@@ -1,0 +1,124 @@
+// Reproduces paper Fig. 4: the epoch-based QoS definition for logical
+// mobility — "on change of location from y to z, all notifications
+// should be delivered to the consumer *as if* flooding were used".
+//
+// The bench runs the identical deterministic workload twice — once with
+// the location-dependent machinery, once with flooding + client-side
+// filtering (the reference semantics) — and diffs the delivered sets,
+// per uncertainty profile and movement speed.
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <set>
+
+#include "src/broker/overlay.hpp"
+#include "src/client/client.hpp"
+#include "src/net/topology.hpp"
+
+using namespace rebeca;
+
+namespace {
+
+std::multiset<std::uint64_t> run(bool ld_mode,
+                                 const location::UncertaintyProfile& profile,
+                                 sim::Duration delta, std::uint64_t seed) {
+  auto graph = location::LocationGraph::grid(5, 5);
+  sim::Simulation sim(seed);
+  broker::OverlayConfig cfg;
+  cfg.broker.locations = &graph;
+  broker::Overlay overlay(sim, net::Topology::chain(4), cfg);
+
+  client::ClientConfig cc;
+  cc.id = ClientId(1);
+  cc.locations = &graph;
+  client::Client consumer(sim, cc);
+  overlay.connect_client(consumer, 0);
+  consumer.move_to("g0_0");
+
+  location::LdSpec spec;
+  spec.vicinity_radius = 1;
+  spec.profile = ld_mode ? profile : location::UncertaintyProfile::flooding();
+  consumer.subscribe(spec);
+
+  client::ClientConfig pc;
+  pc.id = ClientId(2);
+  client::Client producer(sim, pc);
+  overlay.connect_client(producer, 3);
+
+  sim.run_until(sim::seconds(1));
+
+  // Deterministic workload (independent of the two modes' RNG usage).
+  util::Rng wl(seed * 7919);
+  LocationId at = graph.id_of("g0_0");
+  for (int m = 1; m <= 20; ++m) {
+    const auto& nbrs = graph.neighbors(at);
+    at = nbrs[wl.index(nbrs.size())];
+    sim.schedule_at(sim::seconds(1) + delta * m,
+                    [&consumer, at] { consumer.move_to(at); });
+  }
+  for (int i = 0; i < 600; ++i) {
+    const auto where =
+        graph.name(LocationId(static_cast<std::uint32_t>(wl.index(graph.size()))));
+    sim.schedule_at(sim::seconds(1) + sim::millis(7.0 * i + 3.0),
+                    [&producer, where] {
+                      producer.publish(filter::Notification()
+                                           .set("service", "s")
+                                           .set("location", where));
+                    });
+  }
+  sim.run_until(sim::seconds(1) + delta * 25 + sim::seconds(5));
+
+  std::multiset<std::uint64_t> ids;
+  for (const auto& d : consumer.deliveries()) ids.insert(d.notification.id().value());
+  return ids;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Fig. 4: epoch QoS — location-dependent delivery vs. the "
+               "flooding reference on identical workloads\n\n";
+  std::cout << std::left << std::setw(16) << "profile" << std::setw(12)
+            << "delta (ms)" << std::setw(12) << "LD recv" << std::setw(12)
+            << "flood recv" << std::setw(10) << "missing" << std::setw(10)
+            << "extra" << "\n";
+
+  struct Case {
+    const char* name;
+    location::UncertaintyProfile profile;
+    double delta_ms;
+  };
+  const Case cases[] = {
+      {"global-resub", location::UncertaintyProfile::global_resub(), 400.0},
+      {"global-resub", location::UncertaintyProfile::global_resub(), 150.0},
+      {"adaptive", location::UncertaintyProfile::adaptive(
+                       sim::millis(400), {sim::millis(12), sim::millis(10),
+                                          sim::millis(10)}),
+       400.0},
+      {"flooding", location::UncertaintyProfile::flooding(), 100.0},
+  };
+
+  for (const auto& c : cases) {
+    const auto delta = sim::millis(c.delta_ms);
+    const auto ld = run(true, c.profile, delta, 3);
+    const auto fl = run(false, c.profile, delta, 3);
+    std::size_t missing = 0, extra = 0;
+    for (auto id : fl) {
+      if (ld.count(id) < fl.count(id)) ++missing;
+    }
+    std::multiset<std::uint64_t> diff;
+    for (auto id : ld) {
+      if (fl.count(id) < ld.count(id)) ++extra;
+    }
+    std::cout << std::left << std::setw(16) << c.name << std::setw(12)
+              << c.delta_ms << std::setw(12) << ld.size() << std::setw(12)
+              << fl.size() << std::setw(10) << missing << std::setw(10) << extra
+              << "\n";
+  }
+
+  std::cout << "\nexpected shape: with a sufficient uncertainty horizon the "
+               "LD run delivers exactly the flooding reference (missing = "
+               "extra = 0); only if the client outruns the horizon do "
+               "epochs go missing (the paper's starvation caveat).\n";
+  return 0;
+}

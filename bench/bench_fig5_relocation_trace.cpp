@@ -1,0 +1,107 @@
+// Reproduces paper Fig. 5: a message-level trace of the relocation
+// protocol on the moving-client scenario — one producer (left half of
+// the figure) and two producers (right half). Prints every relocation /
+// replay message with virtual-time stamps, so the junction detection,
+// fetch, replay and cleanup steps are visible exactly as the figure
+// narrates them.
+#include <iomanip>
+#include <iostream>
+#include <memory>
+
+#include "src/broker/overlay.hpp"
+#include "src/client/client.hpp"
+#include "src/net/topology.hpp"
+#include "src/util/logging.hpp"
+
+using namespace rebeca;
+
+namespace {
+
+void run_scenario(bool two_producers) {
+  std::cout << (two_producers ? "\n--- Fig. 5 (right): two producers ---\n"
+                              : "--- Fig. 5 (left): one producer ---\n");
+  // Tree:      0
+  //          /   \
+  //         1     2
+  //        / \   / \
+  //       3   4 5   6
+  // Client starts at leaf 3, moves to leaf 4; producers publish from 5
+  // (and 6). The junction for the move is broker 1.
+  sim::Simulation sim(3);
+  broker::OverlayConfig cfg;
+  cfg.broker.use_advertisements = true;
+  broker::Overlay overlay(sim, net::Topology::balanced_tree(2, 2), cfg);
+
+  client::ClientConfig cc;
+  cc.id = ClientId(1);
+  client::Client consumer(sim, cc);
+  overlay.connect_client(consumer, 3);
+  const auto sub =
+      consumer.subscribe(filter::Filter().where("sym", filter::Constraint::eq("X")));
+
+  client::ClientConfig p1c;
+  p1c.id = ClientId(2);
+  client::Client p1(sim, p1c);
+  overlay.connect_client(p1, 5);
+  p1.advertise(filter::Filter().where("sym", filter::Constraint::any()));
+
+  std::unique_ptr<client::Client> p2;
+  if (two_producers) {
+    client::ClientConfig p2c;
+    p2c.id = ClientId(3);
+    p2 = std::make_unique<client::Client>(sim, p2c);
+    overlay.connect_client(*p2, 6);
+    p2->advertise(filter::Filter().where("sym", filter::Constraint::any()));
+  }
+
+  sim.run_until(sim::seconds(1));
+  int px = 0;
+  auto publish_all = [&] {
+    p1.publish(filter::Notification().set("sym", "X").set("px", ++px));
+    if (p2) p2->publish(filter::Notification().set("sym", "X").set("px", ++px));
+  };
+  publish_all();
+  sim.run_until(sim.now() + sim::millis(100));
+
+  std::cout << "t=" << sim::FormatTime{sim.now()} << " step 1: client (at "
+            << "broker 3, " << consumer.deliveries().size()
+            << " notifications so far, last seq " << consumer.last_seq(sub)
+            << ") disconnects\n";
+  consumer.detach_silently();
+  sim.run_until(sim.now() + sim::millis(200));
+  publish_all();  // buffered by the virtual counterpart at broker 3
+  sim.run_until(sim.now() + sim::millis(200));
+  std::cout << "t=" << sim::FormatTime{sim.now()}
+            << " step 2: virtual counterpart at broker 3 buffers (virtuals: "
+            << overlay.broker(3).virtual_count() << ")\n";
+
+  std::cout << "t=" << sim::FormatTime{sim.now()}
+            << " step 3: client reconnects at broker 4, re-issuing (C, F, "
+            << consumer.last_seq(sub) << ")\n";
+  overlay.connect_client(consumer, 4);
+  sim.run_until(sim.now() + sim::millis(500));
+  publish_all();
+  sim.run_until(sim.now() + sim::seconds(1));
+
+  std::cout << "t=" << sim::FormatTime{sim.now()}
+            << " step 6 done: replay delivered, old state cleaned (virtuals "
+            << "at broker 3: " << overlay.broker(3).virtual_count()
+            << ", replayed notifications: "
+            << overlay.broker(3).replayed_notifications() << ")\n";
+  std::cout << "client received " << consumer.deliveries().size() << " of "
+            << px << " published, duplicates " << consumer.duplicate_count()
+            << ", final seq " << consumer.last_seq(sub) << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Fig. 5: relocation walkthrough (junction at broker 1; "
+               "messages traced by the relocation counters)\n\n";
+  run_scenario(false);
+  run_scenario(true);
+  std::cout << "\nexpected shape: all published notifications delivered "
+               "exactly once in both scenarios; virtual counterparts are "
+               "fetched and garbage-collected.\n";
+  return 0;
+}

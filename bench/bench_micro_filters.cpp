@@ -1,0 +1,122 @@
+// Ablation A4: filter-engine micro-benchmarks (google-benchmark) —
+// match / cover / overlap / merge throughput, and ploc ball computation.
+// The broker's routing decision is "assumed to be an atomic operation"
+// (paper Sec. 2.2); these numbers say what that atom costs.
+#include <benchmark/benchmark.h>
+
+#include "src/filter/filter.hpp"
+#include "src/location/location_graph.hpp"
+#include "src/util/rng.hpp"
+
+using namespace rebeca;
+
+namespace {
+
+filter::Filter make_filter(std::size_t constraints) {
+  filter::Filter f;
+  f.where("service", filter::Constraint::eq("parking"));
+  if (constraints > 1) f.where("cost", filter::Constraint::lt(3.0));
+  if (constraints > 2) f.where("size", filter::Constraint::ge("compact"));
+  if (constraints > 3) {
+    f.where("location", filter::Constraint::in_set(
+                            {filter::Value("a"), filter::Value("b"),
+                             filter::Value("c"), filter::Value("d")}));
+  }
+  return f;
+}
+
+filter::Notification make_notification() {
+  return filter::Notification()
+      .set("service", "parking")
+      .set("cost", 2.5)
+      .set("size", "compact")
+      .set("location", "b")
+      .set("ts", 123456);
+}
+
+void BM_FilterMatch(benchmark::State& state) {
+  const auto f = make_filter(static_cast<std::size_t>(state.range(0)));
+  const auto n = make_notification();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.matches(n));
+  }
+}
+BENCHMARK(BM_FilterMatch)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_FilterCovers(benchmark::State& state) {
+  const auto broad = make_filter(2);
+  const auto narrow = make_filter(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(broad.covers(narrow));
+  }
+}
+BENCHMARK(BM_FilterCovers)->Arg(2)->Arg(4);
+
+void BM_FilterOverlaps(benchmark::State& state) {
+  const auto a = make_filter(3);
+  const auto b = make_filter(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.overlaps(b));
+  }
+}
+BENCHMARK(BM_FilterOverlaps);
+
+void BM_FilterMerge(benchmark::State& state) {
+  filter::Filter a, b;
+  a.where("sym", filter::Constraint::eq("AAA"));
+  b.where("sym", filter::Constraint::eq("BBB"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.try_merge(b));
+  }
+}
+BENCHMARK(BM_FilterMerge);
+
+void BM_InSetMatch(benchmark::State& state) {
+  std::set<filter::Value> values;
+  for (int i = 0; i < state.range(0); ++i) {
+    values.insert(filter::Value("loc" + std::to_string(i)));
+  }
+  const auto c = filter::Constraint::in_set(std::move(values));
+  const filter::Value probe("loc" + std::to_string(state.range(0) / 2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.matches(probe));
+  }
+}
+BENCHMARK(BM_InSetMatch)->Arg(4)->Arg(64)->Arg(1024);
+
+void BM_PlocBall(benchmark::State& state) {
+  auto g = location::LocationGraph::grid(32, 32);
+  const auto center = g.id_of("g16_16");
+  const auto radius = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    // Rebuild a fresh graph cache every 512 iterations to measure the
+    // BFS cost, not just the memo lookup.
+    benchmark::DoNotOptimize(g.ploc(center, radius));
+  }
+}
+BENCHMARK(BM_PlocBall)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_PlocBallUncached(benchmark::State& state) {
+  const auto radius = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto g = location::LocationGraph::grid(16, 16);
+    const auto center = g.id_of("g8_8");
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(g.ploc(center, radius));
+  }
+}
+BENCHMARK(BM_PlocBallUncached)->Arg(2)->Arg(8);
+
+void BM_ConstraintForSet(benchmark::State& state) {
+  auto g = location::LocationGraph::grid(16, 16);
+  const auto ball = g.ploc(g.id_of("g8_8"), static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.constraint_for(ball));
+  }
+}
+BENCHMARK(BM_ConstraintForSet)->Arg(2)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

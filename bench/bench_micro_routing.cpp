@@ -1,0 +1,107 @@
+// Ablation A5: routing-engine micro-benchmarks (google-benchmark) —
+// forward-set computation per strategy as the subscription population
+// grows, and end-to-end publish cost through a simulated broker chain.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/broker/overlay.hpp"
+#include "src/client/client.hpp"
+#include "src/net/topology.hpp"
+#include "src/routing/strategy.hpp"
+
+using namespace rebeca;
+
+namespace {
+
+std::vector<routing::ForwardInput> make_inputs(std::size_t n) {
+  std::vector<routing::ForwardInput> inputs;
+  for (std::size_t i = 0; i < n; ++i) {
+    filter::Filter f;
+    f.where("service", filter::Constraint::eq("quote"));
+    switch (i % 3) {
+      case 0:
+        f.where("px", filter::Constraint::lt(static_cast<int>(100 + i)));
+        break;
+      case 1:
+        f.where("sym", filter::Constraint::eq("S" + std::to_string(i % 16)));
+        break;
+      default:
+        f.where("px", filter::Constraint::range(
+                          filter::Value(static_cast<int>(i)),
+                          filter::Value(static_cast<int>(i + 40))));
+        break;
+    }
+    inputs.push_back({std::move(f),
+                      {SubKey{ClientId(static_cast<std::uint32_t>(i)), 1}}});
+  }
+  return inputs;
+}
+
+void BM_ForwardSet(benchmark::State& state, routing::Strategy strategy) {
+  const auto inputs = make_inputs(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing::compute_forward_set(strategy, inputs));
+  }
+}
+BENCHMARK_CAPTURE(BM_ForwardSet, simple, routing::Strategy::simple)
+    ->Arg(8)->Arg(64)->Arg(256);
+BENCHMARK_CAPTURE(BM_ForwardSet, identity, routing::Strategy::identity)
+    ->Arg(8)->Arg(64)->Arg(256);
+BENCHMARK_CAPTURE(BM_ForwardSet, covering, routing::Strategy::covering)
+    ->Arg(8)->Arg(64)->Arg(256);
+BENCHMARK_CAPTURE(BM_ForwardSet, merging, routing::Strategy::merging)
+    ->Arg(8)->Arg(64);
+
+void BM_ForwardDiff(benchmark::State& state) {
+  const auto inputs = make_inputs(static_cast<std::size_t>(state.range(0)));
+  auto sent = routing::compute_forward_set(routing::Strategy::covering, inputs);
+  auto inputs2 = inputs;
+  inputs2.pop_back();
+  auto target = routing::compute_forward_set(routing::Strategy::covering, inputs2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing::diff_forward_sets(sent, target));
+  }
+}
+BENCHMARK(BM_ForwardDiff)->Arg(64)->Arg(256);
+
+/// End-to-end: one publish through an 8-broker chain with 32 consumers,
+/// measured in simulated events per publish.
+void BM_PublishThroughChain(benchmark::State& state) {
+  const auto strategy = static_cast<routing::Strategy>(state.range(0));
+  sim::Simulation sim(3);
+  broker::OverlayConfig cfg;
+  cfg.broker.strategy = strategy;
+  broker::Overlay overlay(sim, net::Topology::chain(8), cfg);
+
+  std::vector<std::unique_ptr<client::Client>> consumers;
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    client::ClientConfig cc;
+    cc.id = ClientId(i + 1);
+    consumers.push_back(std::make_unique<client::Client>(sim, cc));
+    overlay.connect_client(*consumers.back(), i % 8);
+    filter::Filter f;
+    f.where("sym", filter::Constraint::eq("S" + std::to_string(i % 4)));
+    consumers.back()->subscribe(std::move(f));
+  }
+  client::ClientConfig pc;
+  pc.id = ClientId(1000);
+  client::Client producer(sim, pc);
+  overlay.connect_client(producer, 7);
+  sim.run_until(sim::seconds(1));
+
+  int i = 0;
+  for (auto _ : state) {
+    producer.publish(
+        filter::Notification().set("sym", "S" + std::to_string(i++ % 4)));
+    sim.run_until(sim.now() + sim::millis(100));
+  }
+}
+BENCHMARK(BM_PublishThroughChain)
+    ->Arg(static_cast<int>(routing::Strategy::flooding))
+    ->Arg(static_cast<int>(routing::Strategy::simple))
+    ->Arg(static_cast<int>(routing::Strategy::covering));
+
+}  // namespace
+
+BENCHMARK_MAIN();

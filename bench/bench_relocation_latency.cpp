@@ -1,0 +1,93 @@
+// Ablation A2 (paper Sec. 3.2 "Responsiveness"): relocation latency and
+// replay size as functions of topology depth and disconnection duration.
+//
+// Latency is measured from the reconnect instant to the first delivery
+// of a backlogged notification at the new border broker.
+#include <iomanip>
+#include <iostream>
+
+#include "src/broker/overlay.hpp"
+#include "src/client/client.hpp"
+#include "src/net/topology.hpp"
+#include "src/workload/publisher.hpp"
+
+using namespace rebeca;
+
+namespace {
+
+struct Result {
+  double relocation_latency_ms = -1;  // reconnect -> first replayed delivery
+  std::size_t replayed = 0;
+  bool complete = false;
+};
+
+Result run(std::size_t chain_length, double gap_sec) {
+  sim::Simulation sim(7);
+  broker::Overlay overlay(sim, net::Topology::chain(chain_length),
+                          broker::OverlayConfig{});
+
+  client::ClientConfig cc;
+  cc.id = ClientId(1);
+  client::Client consumer(sim, cc);
+  overlay.connect_client(consumer, chain_length - 1);
+  consumer.subscribe(filter::Filter().where("sym", filter::Constraint::eq("X")));
+
+  client::ClientConfig pc;
+  pc.id = ClientId(2);
+  client::Client producer(sim, pc);
+  overlay.connect_client(producer, 0);
+  workload::PublisherConfig wc;
+  wc.rate = workload::RateModel::periodic(sim::millis(20));
+  wc.prototype = filter::Notification().set("sym", "X");
+  workload::Publisher pub(sim, producer, wc);
+
+  sim.run_until(sim::seconds(1));
+  pub.start();
+  sim.run_until(sim.now() + sim::seconds(1));
+
+  consumer.detach_silently();
+  sim.run_until(sim.now() + sim::seconds(gap_sec));
+
+  const auto received_before = consumer.deliveries().size();
+  const auto reconnect_at = sim.now();
+  overlay.connect_client(consumer, 0);  // far end: worst-case path
+  sim.run_until(sim.now() + sim::seconds(10));
+  pub.stop();
+  sim.run_until(sim.now() + sim::seconds(1));
+
+  Result r;
+  if (consumer.deliveries().size() > received_before) {
+    r.relocation_latency_ms = sim::to_millis(
+        consumer.deliveries()[received_before].delivered_at - reconnect_at);
+  }
+  r.replayed = static_cast<std::size_t>(
+      static_cast<double>(gap_sec) * 50.0);  // nominal backlog (50/s)
+  r.complete = consumer.deliveries().size() == pub.published() &&
+               consumer.duplicate_count() == 0;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "A2: relocation responsiveness vs. topology depth and "
+               "disconnection gap\n(50 notifications/s backlog; client moves "
+               "to the opposite end of the chain)\n\n";
+  std::cout << std::left << std::setw(10) << "brokers" << std::setw(12)
+            << "gap (s)" << std::right << std::setw(22) << "reloc latency (ms)"
+            << std::setw(18) << "backlog (~#)" << std::setw(14) << "complete"
+            << "\n";
+  for (std::size_t chain : {3u, 5u, 8u, 12u}) {
+    for (double gap : {0.2, 1.0, 5.0}) {
+      const auto r = run(chain, gap);
+      std::cout << std::left << std::setw(10) << chain << std::setw(12) << gap
+                << std::right << std::setw(22) << r.relocation_latency_ms
+                << std::setw(18) << r.replayed << std::setw(14)
+                << (r.complete ? "yes" : "NO") << "\n";
+    }
+  }
+  std::cout << "\nexpected shape: latency grows linearly with the broker "
+               "path (the fetch/replay round trip), is independent of the "
+               "gap length, and every row is complete (exactly-once).\n";
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Ablation A1 (paper Sec. 2.2): routing-table sizes and administrative
+// traffic under the routing strategies — simple, identity, covering,
+// merging — on a workload of overlapping subscriptions. Reproduces the
+// claim that covering "significantly decreas[es] the table size" and
+// that merging forwards only the merged cover.
+#include <iomanip>
+#include <iostream>
+#include <memory>
+
+#include "src/broker/overlay.hpp"
+#include "src/client/client.hpp"
+#include "src/net/topology.hpp"
+
+using namespace rebeca;
+
+namespace {
+
+struct Result {
+  std::size_t table_entries = 0;   // distinct filters in routing tables
+  std::size_t table_tags = 0;      // per-subscription rows (simple routing)
+  std::uint64_t admin_messages = 0;
+  std::uint64_t notification_hops = 0;
+  std::size_t delivered = 0;
+};
+
+Result run(routing::Strategy strategy, std::size_t consumers) {
+  sim::Simulation sim(13);
+  broker::OverlayConfig cfg;
+  cfg.broker.strategy = strategy;
+  broker::Overlay overlay(sim, net::Topology::balanced_tree(2, 3), cfg);  // 13 brokers
+
+  // Consumers at leaves, with heavily overlapping filters: many are
+  // covered by broader colleagues, pairs are mergeable.
+  std::vector<std::unique_ptr<client::Client>> clients;
+  for (std::size_t i = 0; i < consumers; ++i) {
+    client::ClientConfig cc;
+    cc.id = ClientId(static_cast<std::uint32_t>(i + 1));
+    clients.push_back(std::make_unique<client::Client>(sim, cc));
+    overlay.connect_client(*clients.back(), 4 + (i % 9));
+    filter::Filter f;
+    f.where("service", filter::Constraint::eq("quote"));
+    switch (i % 4) {
+      case 0:  // broad
+        f.where("px", filter::Constraint::lt(1000));
+        break;
+      case 1:  // covered by case 0
+        f.where("px", filter::Constraint::lt(static_cast<int>(10 + i)));
+        break;
+      case 2:  // mergeable siblings
+        f.where("sym", filter::Constraint::eq("A" + std::to_string(i % 8)));
+        break;
+      default:  // range, partially overlapping
+        f.where("px", filter::Constraint::range(filter::Value(static_cast<int>(i)),
+                                                filter::Value(static_cast<int>(i + 50))));
+        break;
+    }
+    clients.back()->subscribe(f);
+  }
+  sim.run_until(sim::seconds(5));
+  const auto admin =
+      overlay.counters().count(metrics::MessageClass::subscription_admin);
+
+  // One publisher exercising the tables.
+  client::ClientConfig pc;
+  pc.id = ClientId(1000);
+  client::Client producer(sim, pc);
+  overlay.connect_client(producer, 0);
+  for (int i = 0; i < 100; ++i) {
+    producer.publish(filter::Notification()
+                         .set("service", "quote")
+                         .set("sym", "A" + std::to_string(i % 8))
+                         .set("px", i * 13 % 300));
+  }
+  sim.run_until(sim.now() + sim::seconds(2));
+
+  Result r;
+  for (std::size_t b = 0; b < overlay.broker_count(); ++b) {
+    r.table_entries += overlay.broker(b).routing_entry_count();
+    r.table_tags += overlay.broker(b).routing_tag_count();
+  }
+  r.admin_messages = admin;
+  r.notification_hops =
+      overlay.counters().count(metrics::MessageClass::notification);
+  for (const auto& c : clients) r.delivered += c->deliveries().size();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "A1: routing strategies — table sizes and admin traffic\n"
+            << "(13-broker tree, overlapping subscriptions; paper Sec. 2.2)\n\n";
+  std::cout << std::left << std::setw(12) << "strategy" << std::setw(12)
+            << "consumers" << std::right << std::setw(14) << "table entries"
+            << std::setw(12) << "table rows" << std::setw(12) << "admin msg"
+            << std::setw(12) << "notif hops" << std::setw(12) << "delivered"
+            << "\n";
+
+  std::size_t delivered_reference = 0;
+  for (std::size_t consumers : {8u, 24u, 48u}) {
+    for (auto strategy :
+         {routing::Strategy::simple, routing::Strategy::identity,
+          routing::Strategy::covering, routing::Strategy::merging}) {
+      const auto r = run(strategy, consumers);
+      std::cout << std::left << std::setw(12) << routing::strategy_name(strategy)
+                << std::setw(12) << consumers << std::right << std::setw(14)
+                << r.table_entries << std::setw(12) << r.table_tags
+                << std::setw(12) << r.admin_messages << std::setw(12)
+                << r.notification_hops << std::setw(12) << r.delivered << "\n";
+      if (delivered_reference == 0) delivered_reference = r.delivered;
+    }
+    std::cout << "\n";
+  }
+
+  std::cout << "expected shape: identical 'delivered' in every row "
+               "(strategies are delivery-equivalent); table entries shrink "
+               "simple -> identity -> covering -> merging, and covering "
+               "roughly halves admin traffic. Merging trades some admin "
+               "churn (re-merging on arrival order) for the smallest "
+               "tables.\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Reproduces paper Table 1: "Values of ploc(x, t) for the example
+// setting" — the movement graph of Fig. 7 (a–b, a–c, b–d, c–d).
+//
+// Expected output (the paper's exact table):
+//   t=0:  {a}        {b}        {c}        {d}
+//   t=1:  {a,b,c}    {a,b,d}    {a,c,d}    {b,c,d}
+//   t=2:  {a,b,c,d}  ...        (all locations)
+//   t=3:  {a,b,c,d}  ...        (all locations)
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "src/location/location_graph.hpp"
+
+using namespace rebeca;
+
+namespace {
+
+std::string set_to_string(const location::LocationGraph& g,
+                          const location::LocationSet& s) {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (auto id : s) {
+    if (!first) os << ",";
+    os << g.name(id);
+    first = false;
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace
+
+int main() {
+  auto g = location::LocationGraph::paper_fig7();
+
+  std::cout << "Table 1: values of ploc(x, t) on the Fig. 7 movement graph\n";
+  std::cout << std::left << std::setw(4) << "t";
+  for (const char* x : {"a", "b", "c", "d"}) {
+    std::cout << std::setw(12) << (std::string("x = ") + x);
+  }
+  std::cout << "\n";
+
+  for (std::size_t t = 0; t <= 3; ++t) {
+    std::cout << std::left << std::setw(4) << t;
+    for (const char* x : {"a", "b", "c", "d"}) {
+      std::cout << std::setw(12) << set_to_string(g, g.ploc(g.id_of(x), t));
+    }
+    std::cout << "\n";
+  }
+
+  std::cout << "\npaper row t=1 check: ploc(a,1)={a,b,c} "
+            << (set_to_string(g, g.ploc(g.id_of("a"), 1)) == "{a,b,c}" ? "OK"
+                                                                       : "MISMATCH")
+            << "\n";
+  return 0;
+}

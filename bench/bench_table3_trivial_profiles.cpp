@@ -1,0 +1,63 @@
+// Reproduces paper Table 3: ploc instantiations of the two trivial
+// schemes — global sub/unsub (top) and flooding with client-side
+// filtering (bottom) — on the Fig. 7 movement graph, demonstrating that
+// both are instances of the ploc abstraction (paper Sec. 5.2/5.3).
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "src/location/ld_spec.hpp"
+#include "src/location/location_graph.hpp"
+#include "src/location/profile.hpp"
+
+using namespace rebeca;
+
+namespace {
+
+std::string set_to_string(const location::LocationGraph& g,
+                          const location::LocationSet& s) {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (auto id : s) {
+    if (!first) os << ",";
+    os << g.name(id);
+    first = false;
+  }
+  os << "}";
+  return os.str();
+}
+
+void print_table(const location::LocationGraph& g,
+                 const location::UncertaintyProfile& profile,
+                 const std::string& title) {
+  location::LdSpec spec;
+  spec.profile = profile;
+  std::cout << title << "\n";
+  std::cout << std::left << std::setw(4) << "t";
+  for (const char* x : {"a", "b", "c", "d"}) {
+    std::cout << std::setw(12) << (std::string("x = ") + x);
+  }
+  std::cout << "\n";
+  for (std::size_t t = 0; t <= 3; ++t) {
+    std::cout << std::left << std::setw(4) << t;
+    for (const char* x : {"a", "b", "c", "d"}) {
+      std::cout << std::setw(12)
+                << set_to_string(g, spec.concrete_set(g, g.id_of(x), t));
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  auto g = location::LocationGraph::paper_fig7();
+  std::cout << "Table 3: ploc(x,t) of the two trivial implementations\n\n";
+  print_table(g, location::UncertaintyProfile::global_resub(),
+              "(top) global sub/unsub — one step of lookahead everywhere:");
+  print_table(g, location::UncertaintyProfile::flooding(),
+              "(bottom) flooding with client-side filtering:");
+  return 0;
+}

@@ -1,0 +1,131 @@
+#include "src/analysis/fig9_model.hpp"
+
+#include <algorithm>
+
+#include "src/util/assert.hpp"
+
+namespace rebeca::analysis {
+
+namespace {
+
+using location::LocationGraph;
+using location::LocationSet;
+
+/// The concrete location set of the filter held by a broker at tree
+/// distance `d` from the consumer's border broker (hop index d+1; the
+/// border itself holds F_1).
+LocationSet set_at_distance(const Fig9Config& cfg, LocationId loc,
+                            std::size_t d) {
+  location::LdSpec spec;
+  spec.vicinity_radius = cfg.vicinity_radius;
+  spec.profile = cfg.profile;
+  return spec.concrete_set(*cfg.locations, loc, d + 1);
+}
+
+}  // namespace
+
+MessageModel build_message_model(const Fig9Config& cfg) {
+  REBECA_ASSERT(cfg.topology != nullptr && cfg.locations != nullptr,
+                "model needs topology and locations");
+  REBECA_ASSERT(!cfg.producer_brokers.empty(), "model needs producers");
+  REBECA_ASSERT(cfg.topology->valid(), "topology must be a tree");
+
+  const auto& topo = *cfg.topology;
+  const auto& graph = *cfg.locations;
+  const std::size_t n_links = topo.edges().size();
+  const std::size_t n_loc = graph.size();
+
+  MessageModel model;
+  model.publish_rate_hz = cfg.publish_rate_hz;
+  model.moves_per_sec = 1.0 / sim::to_seconds(cfg.delta);
+
+  // ---- flooding ----
+  // producer client link + every broker link + delivery to the consumer.
+  model.flooding_per_notification = 1.0 + static_cast<double>(n_links) + 1.0;
+
+  // ---- new algorithm: notification hops ----
+  // For each producer, each consumer location, each notification
+  // location: count the contiguous stretch of accepting links from the
+  // producer's border toward the consumer, plus the delivery hop.
+  const auto dist = topo.distances_from(cfg.consumer_broker);
+  double hop_sum = 0;
+  for (std::size_t producer : cfg.producer_brokers) {
+    const auto path = topo.path(producer, cfg.consumer_broker);
+    const std::size_t k = path.size() - 1;  // broker links on the path
+    for (std::uint32_t consumer_loc = 0; consumer_loc < n_loc; ++consumer_loc) {
+      // Sets along the path, indexed by distance from the consumer's
+      // border broker (0 = the border's F_1, …, k = the producer border).
+      std::vector<LocationSet> sets;
+      sets.reserve(k + 1);
+      for (std::size_t d = 0; d <= k; ++d) {
+        sets.push_back(set_at_distance(cfg, LocationId(consumer_loc), d));
+      }
+      for (std::uint32_t note_loc = 0; note_loc < n_loc; ++note_loc) {
+        double hops = 1.0;  // producer -> its border broker
+        // Travel inward: the link from the distance d+1 broker to the
+        // distance d broker is governed by the sender's set (hop d+2,
+        // i.e. sets[d+1]). The sets nest, so travel stops at the first
+        // rejection.
+        bool reached_border = (k == 0);
+        for (std::size_t d = k; d-- > 0;) {
+          if (!location::set_contains(sets[d + 1], LocationId(note_loc))) break;
+          hops += 1.0;
+          if (d == 0) reached_border = true;
+        }
+        // Delivery over the client link: the border's F_1 decides.
+        if (reached_border &&
+            location::set_contains(sets[0], LocationId(note_loc))) {
+          hops += 1.0;
+        }
+        hop_sum += hops;
+      }
+    }
+  }
+  model.newalg_per_notification =
+      hop_sum / (static_cast<double>(cfg.producer_brokers.size()) *
+                 static_cast<double>(n_loc) * static_cast<double>(n_loc));
+
+  // ---- new algorithm: administrative traffic per move ----
+  // A move x→y updates the client link plus every broker link whose
+  // consumer-side endpoint's set changed (changes form a distance
+  // prefix; the stop rule ends propagation at the first unchanged set).
+  // Expectation over all directed movement edges (x, y).
+  double admin_sum = 0;
+  std::size_t move_count = 0;
+  const std::size_t max_d = *std::max_element(dist.begin(), dist.end());
+  for (std::uint32_t x = 0; x < n_loc; ++x) {
+    for (LocationId y : graph.neighbors(LocationId(x))) {
+      ++move_count;
+      double msgs = 1.0;  // client -> border
+      // Distance prefix where the sets differ.
+      std::size_t d_max = 0;
+      bool any = false;
+      for (std::size_t d = 0; d <= max_d; ++d) {
+        if (set_at_distance(cfg, LocationId(x), d) !=
+            set_at_distance(cfg, y, d)) {
+          d_max = d;
+          any = true;
+        } else {
+          break;
+        }
+      }
+      if (any) {
+        // The update crosses every link whose consumer-side endpoint is
+        // at distance <= d_max (LD state floods along all branches).
+        for (const auto& [a, b] : topo.edges()) {
+          if (std::min(dist[a], dist[b]) <= d_max) msgs += 1.0;
+        }
+      }
+      admin_sum += msgs;
+    }
+  }
+  REBECA_ASSERT(move_count > 0, "movement graph has no edges");
+  model.newalg_admin_per_move = admin_sum / static_cast<double>(move_count);
+
+  // ---- setup: the initial LD subscription floods every broker link ----
+  model.setup_messages = static_cast<double>(n_links);
+
+  return model;
+}
+
+}  // namespace rebeca::analysis

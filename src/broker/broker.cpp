@@ -1,0 +1,327 @@
+#include "src/broker/broker.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/util/assert.hpp"
+#include "src/util/logging.hpp"
+
+namespace rebeca::broker {
+
+Broker::Broker(sim::Simulation& sim, NodeId id, BrokerConfig config)
+    : sim_(sim), id_(id), config_(std::move(config)) {}
+
+void Broker::attach_broker_link(net::Link& link) {
+  REBECA_ASSERT(link.connects(*this), "link does not connect this broker");
+  broker_links_.push_back(&link);
+  links_by_id_.emplace(link.id(), &link);
+  remote_[link.id()];
+  sent_[link.id()];
+}
+
+void Broker::attach_client_link(net::Link& link) {
+  REBECA_ASSERT(link.connects(*this), "link does not connect this broker");
+  client_links_.insert(link.id());
+  client_links_by_id_.emplace(link.id(), &link);
+}
+
+std::string Broker::endpoint_name() const {
+  std::ostringstream os;
+  os << "broker" << id_;
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+void Broker::handle_message(net::Link& from, const net::Message& msg) {
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, net::PublishMsg>) {
+          on_publish(from, m.n);
+        } else if constexpr (std::is_same_v<T, net::SubscribeMsg>) {
+          on_subscribe(from, m);
+        } else if constexpr (std::is_same_v<T, net::UnsubscribeMsg>) {
+          on_unsubscribe(from, m);
+        } else if constexpr (std::is_same_v<T, net::AdvertiseMsg>) {
+          on_advertise(from, m, /*from_client=*/false);
+        } else if constexpr (std::is_same_v<T, net::UnadvertiseMsg>) {
+          on_unadvertise(from, m);
+        } else if constexpr (std::is_same_v<T, net::RelocateSubMsg>) {
+          on_relocate_sub(from, m);
+        } else if constexpr (std::is_same_v<T, net::FetchMsg>) {
+          on_fetch(from, m);
+        } else if constexpr (std::is_same_v<T, net::ReplayMsg>) {
+          on_replay(from, m);
+        } else if constexpr (std::is_same_v<T, net::LdSubscribeMsg>) {
+          on_ld_subscribe(from, m);
+        } else if constexpr (std::is_same_v<T, net::LdUnsubscribeMsg>) {
+          on_ld_unsubscribe(from, m);
+        } else if constexpr (std::is_same_v<T, net::LdMoveMsg>) {
+          on_ld_move(from, m);
+        } else if constexpr (std::is_same_v<T, net::ClientHelloMsg>) {
+          on_client_hello(from, m);
+        } else if constexpr (std::is_same_v<T, net::ClientByeMsg>) {
+          on_client_bye(from, m);
+        } else if constexpr (std::is_same_v<T, net::ClientSubscribeMsg>) {
+          on_client_subscribe(from, m);
+        } else if constexpr (std::is_same_v<T, net::ClientUnsubscribeMsg>) {
+          on_client_unsubscribe(from, m);
+        } else if constexpr (std::is_same_v<T, net::ClientPublishMsg>) {
+          on_publish(from, m.n);
+        } else if constexpr (std::is_same_v<T, net::ClientAdvertiseMsg>) {
+          on_advertise(from, net::AdvertiseMsg{m.id, m.f}, /*from_client=*/true);
+        } else if constexpr (std::is_same_v<T, net::ClientUnadvertiseMsg>) {
+          on_unadvertise(from, net::UnadvertiseMsg{m.id});
+        } else if constexpr (std::is_same_v<T, net::ClientMoveMsg>) {
+          on_client_move(from, m);
+        } else if constexpr (std::is_same_v<T, net::DeliverMsg>) {
+          REBECA_ASSERT(false, "broker received a DeliverMsg");
+        }
+      },
+      msg);
+}
+
+// ---------------------------------------------------------------------------
+// Forwarding machinery
+// ---------------------------------------------------------------------------
+
+std::vector<routing::ForwardInput> Broker::collect_inputs_excluding(
+    LinkId exclude) const {
+  std::vector<routing::ForwardInput> inputs;
+  // Neighbor subscriptions (subscribers beyond other links).
+  for (const auto& [link, fs] : remote_) {
+    if (link == exclude) continue;
+    for (const auto& [f, tags] : fs) inputs.push_back({f, tags});
+  }
+  // Local client subscriptions. Location-dependent subscriptions
+  // propagate through their own plane (LdSubscribeMsg carries per-hop
+  // instantiations), so they are not generic inputs.
+  for (const auto& [client, session] : sessions_) {
+    for (const auto& [sub_id, sub] : session.subs) {
+      if (sub.is_ld()) continue;
+      inputs.push_back({sub.concrete, {sub.key}});
+    }
+  }
+  // Virtual counterparts keep the old delivery path alive until fetched.
+  for (const auto& [key, v] : virtuals_) {
+    if (v.ld) continue;
+    inputs.push_back({v.f, {key}});
+  }
+  return inputs;
+}
+
+bool Broker::adv_allows(LinkId link, const filter::Filter& f) const {
+  if (!config_.use_advertisements) return true;
+  for (const auto& [id, adv] : advs_) {
+    if (adv.from_client) continue;  // local producers don't pull subs outward
+    if (adv.from_link == link && adv.f.overlaps(f)) return true;
+  }
+  return false;
+}
+
+void Broker::refresh_link(net::Link& link) {
+  const LinkId lid = link.id();
+  auto target = routing::compute_forward_set(
+      config_.strategy, collect_inputs_excluding(lid));
+  if (config_.use_advertisements) {
+    for (auto it = target.begin(); it != target.end();) {
+      if (!adv_allows(lid, it->first)) {
+        it = target.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  auto diff = routing::diff_forward_sets(sent_[lid], target);
+  for (const auto& f : diff.unsubscribe) {
+    send(link, net::UnsubscribeMsg{f});
+  }
+  for (const auto& [f, tags] : diff.subscribe) {
+    send(link, net::SubscribeMsg{f, tags});
+  }
+  sent_[lid] = std::move(target);
+}
+
+void Broker::refresh_all_links() {
+  for (net::Link* link : broker_links_) refresh_link(*link);
+}
+
+// ---------------------------------------------------------------------------
+// Admin handlers
+// ---------------------------------------------------------------------------
+
+void Broker::on_subscribe(net::Link& from, const net::SubscribeMsg& m) {
+  remote_[from.id()][m.f] = m.tags;
+  refresh_all_links();
+}
+
+void Broker::on_unsubscribe(net::Link& from, const net::UnsubscribeMsg& m) {
+  remote_[from.id()].erase(m.f);
+  refresh_all_links();
+}
+
+void Broker::on_advertise(net::Link& from, const net::AdvertiseMsg& m,
+                          bool from_client) {
+  advs_[m.id] = AdvEntry{m.f, from_client, from.id()};
+  // Advertisements flood (dedup per link), as in Rebeca.
+  for (net::Link* link : broker_links_) {
+    if (link->id() == from.id()) continue;
+    if (sent_advs_[link->id()].insert(m.id).second) {
+      send(*link, net::AdvertiseMsg{m.id, m.f});
+    }
+  }
+  // A new advertisement from `from` may unlock subscription forwarding
+  // toward it.
+  if (!from_client && config_.use_advertisements) {
+    refresh_link(from);
+  }
+}
+
+void Broker::on_unadvertise(net::Link& from, const net::UnadvertiseMsg& m) {
+  auto it = advs_.find(m.id);
+  if (it == advs_.end()) return;
+  const bool was_client = it->second.from_client;
+  advs_.erase(it);
+  for (net::Link* link : broker_links_) {
+    if (link->id() == from.id()) continue;
+    if (sent_advs_[link->id()].erase(m.id) != 0) {
+      send(*link, net::UnadvertiseMsg{m.id});
+    }
+  }
+  if (!was_client && config_.use_advertisements) {
+    refresh_link(from);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Notification path
+// ---------------------------------------------------------------------------
+
+void Broker::on_publish(net::Link& from, const filter::Notification& n) {
+  route_notification(n, &from);
+}
+
+void Broker::route_notification(const filter::Notification& n,
+                                const net::Link* from) {
+  const bool flooding = config_.strategy == routing::Strategy::flooding;
+
+  // Forward to neighbor brokers.
+  for (net::Link* link : broker_links_) {
+    if (from != nullptr && link->id() == from->id()) continue;
+    bool forward = flooding;
+    if (!forward) {
+      const auto& fs = remote_[link->id()];
+      forward = std::any_of(fs.begin(), fs.end(), [&](const auto& entry) {
+        return entry.first.matches(n);
+      });
+    }
+    if (!forward) {
+      // Location-dependent state whose consumer lies beyond this link.
+      for (const auto& [key, transit] : ld_) {
+        if (transit.toward == link->id() && transit.concrete.matches(n)) {
+          forward = true;
+          break;
+        }
+      }
+    }
+    if (forward) send(*link, net::PublishMsg{n});
+  }
+
+  // Local deliveries.
+  for (auto& [client, session] : sessions_) {
+    for (auto& [sub_id, sub] : session.subs) {
+      if (sub.concrete.matches(n)) deliver_to_sub(session, sub, n);
+    }
+  }
+
+  // Virtual counterparts buffer what their client would have received.
+  for (auto& [key, v] : virtuals_) {
+    if (!v.f.matches(n)) continue;
+    if (v.awaiting_replay) {
+      v.pre_replay.push_back(n);
+    } else {
+      v.buffer.push(net::StampedNotification{n, v.next_seq++});
+    }
+  }
+}
+
+void Broker::deliver_to_sub(Session& session, LocalSub& sub,
+                            const filter::Notification& n) {
+  if (sub.relocating) {
+    sub.pending_live.push_back(n);
+    return;
+  }
+  net::StampedNotification sn{n, sub.next_seq++};
+  sub.history.push(sn);
+  REBECA_ASSERT(session.link != nullptr, "session without link");
+  send(*session.link, net::DeliverMsg{sub.key, std::move(sn)});
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+std::size_t Broker::routing_entry_count() const {
+  std::size_t count = 0;
+  for (const auto& [link, fs] : remote_) count += fs.size();
+  return count;
+}
+
+std::size_t Broker::routing_tag_count() const {
+  std::size_t count = 0;
+  for (const auto& [link, fs] : remote_) {
+    for (const auto& [f, tags] : fs) count += tags.size();
+  }
+  return count;
+}
+
+std::optional<location::LocationSet> Broker::ld_concrete_set(
+    const SubKey& key) const {
+  auto it = ld_.find(key);
+  if (it != ld_.end()) return it->second.concrete_set;
+  for (const auto& [client, session] : sessions_) {
+    for (const auto& [sub_id, sub] : session.subs) {
+      if (sub.key == key && sub.is_ld()) return sub.concrete_set;
+    }
+  }
+  return std::nullopt;
+}
+
+const routing::ForwardSet* Broker::forwarded_to(LinkId link) const {
+  auto it = sent_.find(link);
+  return it == sent_.end() ? nullptr : &it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Small helpers shared by the mobility/location translation units
+// ---------------------------------------------------------------------------
+
+Broker::Session* Broker::session_of_link(LinkId link) {
+  auto it = session_by_link_.find(link);
+  if (it == session_by_link_.end()) return nullptr;
+  auto sit = sessions_.find(it->second);
+  return sit == sessions_.end() ? nullptr : &sit->second;
+}
+
+Broker::LocalSub* Broker::find_local_sub(const SubKey& key) {
+  auto sit = sessions_.find(key.client);
+  if (sit == sessions_.end()) return nullptr;
+  auto it = sit->second.subs.find(key.sub);
+  return it == sit->second.subs.end() ? nullptr : &it->second;
+}
+
+Broker::Session* Broker::find_session(ClientId client) {
+  auto it = sessions_.find(client);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+const location::LocationGraph& Broker::locations() const {
+  REBECA_ASSERT(config_.locations != nullptr,
+                "broker " << id_ << " has no location graph configured");
+  return *config_.locations;
+}
+
+}  // namespace rebeca::broker

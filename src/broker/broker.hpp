@@ -1,0 +1,291 @@
+// The Rebeca-style content-based broker (paper Sec. 2, 4, 5).
+//
+// One class implements all three broker roles of Fig. 1: border brokers
+// hold client sessions; inner brokers only route. (The paper's "local
+// broker" lives inside the Client library.) A broker owns four kinds of
+// routing state:
+//
+//   remote_    filters received from neighbor brokers (per link) — the
+//              routing table of Sec. 2.2, with serving-subscription tags
+//   sessions_  local client sessions with per-subscription delivery
+//              sequence numbers and a bounded delivery history
+//   virtuals_  "virtual counterparts" of disconnected clients that keep
+//              buffering matching notifications (Sec. 4.1)
+//   ld_        location-dependent subscription state of subscriptions
+//              passing through this broker (Sec. 5)
+//
+// Subscription forwarding is recomputed, not incrementally patched: after
+// any state change the broker recomputes the per-link target forward set
+// under its routing strategy and sends only the diff (see
+// routing/strategy.hpp). This makes covering/merging unsubscription
+// re-exposure automatic and keeps the relocation protocol's path
+// cleanups free: removing a virtual counterpart simply removes its input
+// and the diffs prune the old path.
+#ifndef REBECA_BROKER_BROKER_HPP
+#define REBECA_BROKER_BROKER_HPP
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/location/ld_spec.hpp"
+#include "src/location/location_graph.hpp"
+#include "src/net/endpoint.hpp"
+#include "src/net/link.hpp"
+#include "src/net/message.hpp"
+#include "src/routing/strategy.hpp"
+#include "src/sim/simulation.hpp"
+#include "src/util/ring_buffer.hpp"
+
+namespace rebeca::broker {
+
+struct BrokerConfig {
+  routing::Strategy strategy = routing::Strategy::covering;
+  /// Forward subscriptions only toward overlapping advertisements
+  /// (Rebeca's advertisement-based pruning; Fig. 5 junction semantics).
+  bool use_advertisements = false;
+  /// Delivered-notification history kept per session subscription, so a
+  /// silently disconnected client can be replayed from its last received
+  /// sequence number even though in-flight deliveries were lost.
+  std::size_t session_history = 4096;
+  /// Capacity of a virtual counterpart's buffer (0 = unbounded). The
+  /// paper: completeness "within the boundaries of time and/or space
+  /// limitations of buffering approaches".
+  std::size_t virtual_capacity = 65536;
+  /// Virtual counterparts are garbage-collected after this much virtual
+  /// time without a fetch (0 = never).
+  sim::Duration virtual_ttl = 0;
+  /// A relocating session flushes its live buffer and goes active if no
+  /// replay arrived in time (e.g. the old broker's state had already
+  /// been garbage-collected).
+  sim::Duration relocation_timeout = sim::seconds(30);
+  /// Location graph for location-dependent subscriptions (may be null if
+  /// the deployment never uses them).
+  const location::LocationGraph* locations = nullptr;
+  /// Pre-subscribe extension (paper Sec. 6 future work): while a
+  /// location-dependent subscription's client is disconnected, its
+  /// virtual counterpart widens the location sets by one movement step
+  /// per interval — the client's possible locations keep spreading — so
+  /// that on reconnection at *any* broker the buffered notifications can
+  /// be replayed and filtered by the client's actual location (flooding
+  /// epoch semantics across physical roaming).
+  bool ld_presubscribe = false;
+  sim::Duration ld_widen_interval = sim::seconds(1);
+};
+
+class Broker final : public net::Endpoint {
+ public:
+  Broker(sim::Simulation& sim, NodeId id, BrokerConfig config);
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] const BrokerConfig& config() const { return config_; }
+
+  /// Overlay wiring.
+  void attach_broker_link(net::Link& link);
+  void attach_client_link(net::Link& link);
+
+  // --- net::Endpoint ---
+  void handle_message(net::Link& from, const net::Message& msg) override;
+  void handle_link_down(net::Link& link) override;
+  [[nodiscard]] std::string endpoint_name() const override;
+
+  // --- introspection (tests, benches) ---
+  /// Number of remote routing-table entries (filters) across all links.
+  [[nodiscard]] std::size_t routing_entry_count() const;
+  /// Total serving tags across remote entries (simple-routing's logical
+  /// table size: one row per subscription).
+  [[nodiscard]] std::size_t routing_tag_count() const;
+  [[nodiscard]] std::size_t session_count() const { return sessions_.size(); }
+  [[nodiscard]] std::size_t virtual_count() const { return virtuals_.size(); }
+  [[nodiscard]] std::size_t ld_transit_count() const { return ld_.size(); }
+  [[nodiscard]] std::uint64_t replayed_notifications() const {
+    return replayed_notifications_;
+  }
+  /// Concrete location set currently installed for an LD subscription
+  /// passing through (or anchored at) this broker; nullopt if absent.
+  [[nodiscard]] std::optional<location::LocationSet> ld_concrete_set(
+      const SubKey& key) const;
+  [[nodiscard]] bool has_virtual(const SubKey& key) const {
+    return virtuals_.count(key) != 0;
+  }
+  /// Filters currently forwarded to the given neighbor (testing).
+  [[nodiscard]] const routing::ForwardSet* forwarded_to(LinkId link) const;
+
+ private:
+  // ---------- session-side state ----------
+  struct LocalSub {
+    SubKey key;
+    net::SubscriptionSpec spec;
+    filter::Filter concrete;  // matching filter at this broker
+    std::uint64_t epoch = 0;
+    std::uint64_t next_seq = 1;  // next delivery sequence number
+    util::RingBuffer<net::StampedNotification> history;
+    // relocation
+    bool relocating = false;
+    std::uint64_t reported_last_seq = 0;
+    std::vector<filter::Notification> pending_live;
+    std::set<NotificationId> replay_seen;
+    sim::EventHandle relocation_timer;
+    // location-dependent state (spec holds LdSpec)
+    LocationId loc;
+    std::uint64_t move_seq = 0;
+    location::LocationSet concrete_set;
+    std::vector<LinkId> ld_forwarded;
+
+    [[nodiscard]] bool is_ld() const { return net::is_location_dependent(spec); }
+  };
+
+  struct Session {
+    ClientId client;
+    net::Link* link = nullptr;
+    std::map<std::uint32_t, LocalSub> subs;
+  };
+
+  /// Virtual counterpart of a (disconnected) client's subscription.
+  struct VirtualSub {
+    SubKey key;
+    filter::Filter f;
+    bool ld = false;
+    std::uint64_t epoch = 0;
+    std::uint64_t next_seq = 1;
+    util::RingBuffer<net::StampedNotification> buffer;
+    // The session died while itself waiting for a replay (client moved
+    // twice quickly): hold unstamped arrivals until the upstream replay
+    // arrives, then merge; if a fetch already waits, answer it then.
+    bool awaiting_replay = false;
+    std::uint64_t reported_last_seq = 0;
+    std::vector<filter::Notification> pre_replay;
+    std::set<NotificationId> replay_seen;
+    bool fetch_pending = false;
+    std::uint64_t fetch_epoch = 0;
+    std::uint64_t fetch_last_seq = 0;
+    LinkId fetch_reply;
+    // LD cleanup bookkeeping
+    location::LdSpec ld_spec;
+    LocationId ld_loc;
+    std::vector<LinkId> ld_forwarded;
+    std::uint64_t ld_move_seq = 0;
+    // pre-subscribe widening (extension, see BrokerConfig)
+    std::uint32_t widen_steps = 0;
+    sim::EventHandle widen_timer;
+    sim::EventHandle ttl_timer;
+  };
+
+  /// LD subscription state at a transit broker (paper Fig. 6: broker at
+  /// filter index `hop` holds the ball of q_hop movement steps).
+  struct LdTransit {
+    SubKey key;
+    location::LdSpec spec;
+    LocationId loc;
+    std::uint32_t hop = 1;
+    std::uint64_t move_seq = 0;
+    std::uint32_t extra_steps = 0;  // pre-subscribe widening
+    LinkId toward;  // link in the direction of the consumer
+    filter::Filter concrete;
+    location::LocationSet concrete_set;
+    std::vector<LinkId> forwarded;
+  };
+
+  struct AdvEntry {
+    filter::Filter f;
+    bool from_client = false;
+    LinkId from_link;
+  };
+
+  /// Reverse-path breadcrumb for replay routing (laid by RelocateSubMsg
+  /// on the new path and by FetchMsg on the old path).
+  struct Crumb {
+    std::uint64_t epoch = 0;
+    LinkId toward_new;
+  };
+
+  // ---------- message handlers ----------
+  void on_publish(net::Link& from, const filter::Notification& n);
+  void on_subscribe(net::Link& from, const net::SubscribeMsg& m);
+  void on_unsubscribe(net::Link& from, const net::UnsubscribeMsg& m);
+  void on_advertise(net::Link& from, const net::AdvertiseMsg& m, bool from_client);
+  void on_unadvertise(net::Link& from, const net::UnadvertiseMsg& m);
+  void on_relocate_sub(net::Link& from, const net::RelocateSubMsg& m);
+  void on_fetch(net::Link& from, const net::FetchMsg& m);
+  void on_replay(net::Link& from, const net::ReplayMsg& m);
+  void on_ld_subscribe(net::Link& from, const net::LdSubscribeMsg& m);
+  void on_ld_unsubscribe(net::Link& from, const net::LdUnsubscribeMsg& m);
+  void on_ld_move(net::Link& from, const net::LdMoveMsg& m);
+  void on_client_hello(net::Link& from, const net::ClientHelloMsg& m);
+  void on_client_bye(net::Link& from, const net::ClientByeMsg& m);
+  void on_client_subscribe(net::Link& from, const net::ClientSubscribeMsg& m);
+  void on_client_unsubscribe(net::Link& from, const net::ClientUnsubscribeMsg& m);
+  void on_client_move(net::Link& from, const net::ClientMoveMsg& m);
+
+  // ---------- forwarding machinery ----------
+  [[nodiscard]] std::vector<routing::ForwardInput> collect_inputs_excluding(
+      LinkId exclude) const;
+  void refresh_link(net::Link& link);
+  void refresh_all_links();
+  [[nodiscard]] bool adv_allows(LinkId link, const filter::Filter& f) const;
+
+  // ---------- notification path ----------
+  void route_notification(const filter::Notification& n, const net::Link* from);
+  void deliver_to_sub(Session& session, LocalSub& sub, const filter::Notification& n);
+
+  // ---------- session/virtual helpers ----------
+  Session* session_of_link(LinkId link);
+  LocalSub* find_local_sub(const SubKey& key);
+  Session* find_session(ClientId client);
+  void install_sub(Session& session, const SubKey& key,
+                   const net::SubscriptionSpec& spec, LocationId loc,
+                   std::uint64_t epoch, std::uint64_t last_seq, bool relocate);
+  /// Junction check: if this broker serves `key` (tagged entries) — or
+  /// covers `f` — in a direction other than `exclude`, re-points that
+  /// state and dispatches FetchMsg along it.
+  enum class Junction { none, covering, tagged };
+  Junction dispatch_fetch(const SubKey& key, const filter::Filter& f,
+                          std::uint64_t epoch, std::uint64_t last_seq,
+                          LinkId exclude);
+  void remove_local_sub(Session& session, std::uint32_t sub_id, bool propagate);
+  void virtualize_session(Session& session);
+  void emit_replay(VirtualSub& v, net::Link& to, std::uint64_t epoch,
+                   std::uint64_t last_seq);
+  void drop_virtual(const SubKey& key);
+  void schedule_virtual_ttl(VirtualSub& v);
+  void finish_relocation(Session& session, LocalSub& sub, const net::ReplayMsg& m);
+  void flush_relocation_timeout(ClientId client, std::uint32_t sub_id,
+                                std::uint64_t epoch);
+
+  // ---------- LD helpers ----------
+  [[nodiscard]] const location::LocationGraph& locations() const;
+  void ld_apply_move(LocalSub& sub, LocationId loc);
+  /// Pre-subscribe widening tick for a disconnected LD subscription.
+  void widen_ld_virtual(const SubKey& key, std::uint64_t epoch);
+  void schedule_ld_widen(VirtualSub& v);
+
+  void send(net::Link& link, net::Message msg) { link.send(*this, std::move(msg)); }
+
+  sim::Simulation& sim_;
+  NodeId id_;
+  BrokerConfig config_;
+
+  std::vector<net::Link*> broker_links_;
+  std::map<LinkId, net::Link*> links_by_id_;  // broker links only
+  std::set<LinkId> client_links_;
+  std::map<LinkId, net::Link*> client_links_by_id_;
+
+  std::map<LinkId, routing::ForwardSet> remote_;
+  std::map<LinkId, routing::ForwardSet> sent_;
+  std::map<AdvId, AdvEntry> advs_;
+  std::map<LinkId, std::set<AdvId>> sent_advs_;
+
+  std::map<ClientId, Session> sessions_;
+  std::map<LinkId, ClientId> session_by_link_;
+  std::map<SubKey, VirtualSub> virtuals_;
+  std::map<SubKey, LdTransit> ld_;
+  std::map<SubKey, Crumb> crumbs_;
+
+  std::uint64_t replayed_notifications_ = 0;
+};
+
+}  // namespace rebeca::broker
+
+#endif  // REBECA_BROKER_BROKER_HPP

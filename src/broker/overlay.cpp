@@ -1,0 +1,41 @@
+#include "src/broker/overlay.hpp"
+
+#include "src/util/assert.hpp"
+
+namespace rebeca::broker {
+
+Overlay::Overlay(sim::Simulation& sim, const net::Topology& topology,
+                 OverlayConfig config)
+    : sim_(sim), topology_(topology), config_(std::move(config)) {
+  REBECA_ASSERT(topology_.valid(), "overlay topology must be a connected tree");
+  brokers_.reserve(topology_.broker_count());
+  for (std::size_t i = 0; i < topology_.broker_count(); ++i) {
+    brokers_.push_back(std::make_unique<Broker>(
+        sim_, NodeId(static_cast<std::uint32_t>(i)), config_.broker));
+  }
+  for (const auto& [a, b] : topology_.edges()) {
+    auto link = std::make_unique<net::Link>(
+        LinkId(next_link_id_++), sim_, *brokers_[a], *brokers_[b],
+        config_.broker_link_delay, &counters_);
+    brokers_[a]->attach_broker_link(*link);
+    brokers_[b]->attach_broker_link(*link);
+    links_.push_back(std::move(link));
+  }
+}
+
+net::Link& Overlay::connect_client(client::Client& client,
+                                   std::size_t broker_index) {
+  // A client may hold several links at once (make-before-break roaming,
+  // used by the naive-overlap baseline of Fig. 2).
+  REBECA_ASSERT(broker_index < brokers_.size(), "broker index out of range");
+  auto link = std::make_unique<net::Link>(
+      LinkId(next_link_id_++), sim_, *brokers_[broker_index], client,
+      config_.client_link_delay, &counters_);
+  net::Link& ref = *link;
+  links_.push_back(std::move(link));
+  brokers_[broker_index]->attach_client_link(ref);
+  client.attach(ref);
+  return ref;
+}
+
+}  // namespace rebeca::broker

@@ -1,0 +1,52 @@
+// Overlay: instantiates a Topology as live brokers and links, and
+// manages the dynamic client links that roaming creates and cuts.
+#ifndef REBECA_BROKER_OVERLAY_HPP
+#define REBECA_BROKER_OVERLAY_HPP
+
+#include <memory>
+#include <vector>
+
+#include "src/broker/broker.hpp"
+#include "src/client/client.hpp"
+#include "src/metrics/counters.hpp"
+#include "src/net/topology.hpp"
+
+namespace rebeca::broker {
+
+struct OverlayConfig {
+  BrokerConfig broker;
+  sim::DelayModel broker_link_delay = sim::DelayModel::fixed(sim::millis(5));
+  sim::DelayModel client_link_delay = sim::DelayModel::fixed(sim::millis(1));
+};
+
+class Overlay {
+ public:
+  Overlay(sim::Simulation& sim, const net::Topology& topology,
+          OverlayConfig config);
+
+  [[nodiscard]] sim::Simulation& sim() { return sim_; }
+  [[nodiscard]] std::size_t broker_count() const { return brokers_.size(); }
+  [[nodiscard]] Broker& broker(std::size_t i) { return *brokers_.at(i); }
+  [[nodiscard]] metrics::MessageCounters& counters() { return counters_; }
+  [[nodiscard]] const net::Topology& topology() const { return topology_; }
+
+  /// Connects a client to a border broker: creates the client link and
+  /// triggers the client's hello (which re-issues subscriptions when the
+  /// client was connected before).
+  net::Link& connect_client(client::Client& client, std::size_t broker_index);
+
+ private:
+  sim::Simulation& sim_;
+  net::Topology topology_;
+  OverlayConfig config_;
+  metrics::MessageCounters counters_;
+  std::vector<std::unique_ptr<Broker>> brokers_;
+  // Links are kept alive for the whole run: in-flight lambdas reference
+  // them, and dead client links stay down harmlessly.
+  std::vector<std::unique_ptr<net::Link>> links_;
+  std::uint32_t next_link_id_ = 0;
+};
+
+}  // namespace rebeca::broker
+
+#endif  // REBECA_BROKER_OVERLAY_HPP

@@ -1,0 +1,237 @@
+#include "src/client/client.hpp"
+
+#include <algorithm>
+
+#include <sstream>
+
+#include "src/util/assert.hpp"
+#include "src/util/logging.hpp"
+
+namespace rebeca::client {
+
+Client::Client(sim::Simulation& sim, ClientConfig config)
+    : sim_(sim), config_(std::move(config)) {
+  REBECA_ASSERT(config_.id.valid(), "client needs a valid id");
+}
+
+std::string Client::endpoint_name() const {
+  std::ostringstream os;
+  os << "client" << config_.id;
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// The four primitives
+// ---------------------------------------------------------------------------
+
+std::uint32_t Client::subscribe(filter::Filter f) {
+  const std::uint32_t sub_id = next_sub_++;
+  SubState& s = subs_[sub_id];
+  s.spec = std::move(f);
+  if (connected()) {
+    s.fresh = false;
+    send_all_links(net::ClientSubscribeMsg{SubKey{config_.id, sub_id}, s.spec, loc_});
+  }
+  return sub_id;
+}
+
+std::uint32_t Client::subscribe(location::LdSpec spec) {
+  REBECA_ASSERT(config_.locations != nullptr,
+                "location-dependent subscription without a location graph");
+  REBECA_ASSERT(loc_.valid(), "subscribe(LdSpec) before move_to(initial location)");
+  const std::uint32_t sub_id = next_sub_++;
+  SubState& s = subs_[sub_id];
+  s.spec = std::move(spec);
+  if (connected()) {
+    s.fresh = false;
+    send_all_links(net::ClientSubscribeMsg{SubKey{config_.id, sub_id}, s.spec, loc_});
+  }
+  return sub_id;
+}
+
+void Client::unsubscribe(std::uint32_t sub) {
+  auto it = subs_.find(sub);
+  if (it == subs_.end()) return;
+  if (connected()) {
+    send_all_links(net::ClientUnsubscribeMsg{SubKey{config_.id, sub}});
+  }
+  subs_.erase(it);
+}
+
+AdvId Client::advertise(filter::Filter f) {
+  const AdvId id((static_cast<std::uint64_t>(config_.id.value()) << 32) |
+                 next_adv_++);
+  advs_[id] = f;
+  if (connected()) {
+    send_all_links(net::ClientAdvertiseMsg{id, std::move(f)});
+  }
+  return id;
+}
+
+void Client::unadvertise(AdvId id) {
+  if (advs_.erase(id) == 0) return;
+  if (connected()) {
+    send_all_links(net::ClientUnadvertiseMsg{id});
+  }
+}
+
+void Client::publish(filter::Notification n) {
+  n.stamp(NotificationId((static_cast<std::uint64_t>(config_.id.value()) << 32) |
+                         next_pub_),
+          config_.id, next_pub_, sim_.now());
+  ++next_pub_;
+  if (!connected()) {
+    // Disconnected producers queue locally and flush on reconnect, so
+    // published events are not silently lost.
+    pending_pubs_.push_back(std::move(n));
+    return;
+  }
+  send_all_links(net::ClientPublishMsg{std::move(n)});
+}
+
+// ---------------------------------------------------------------------------
+// Mobility
+// ---------------------------------------------------------------------------
+
+void Client::move_to(LocationId loc) {
+  loc_ = loc;
+  // The client-side filter F_0 updates locally for free; the border only
+  // needs to hear about moves when a location-dependent subscription
+  // exists (flooding + client-side filtering sends nothing, Fig. 3b).
+  const bool any_ld = std::any_of(
+      subs_.begin(), subs_.end(),
+      [](const auto& kv) { return net::is_location_dependent(kv.second.spec); });
+  if (connected() && any_ld) {
+    send_all_links(net::ClientMoveMsg{config_.id, loc});
+  }
+}
+
+void Client::move_to(const std::string& loc_name) {
+  REBECA_ASSERT(config_.locations != nullptr, "no location graph configured");
+  move_to(config_.locations->id_of(loc_name));
+}
+
+net::ClientHelloMsg Client::hello() {
+  net::ClientHelloMsg m;
+  m.client = config_.id;
+  if (config_.relocation == RelocationMode::naive) {
+    return m;  // the baseline presents itself as a brand-new client
+  }
+  for (auto& [sub_id, s] : subs_) {
+    net::ClientHelloMsg::Resub r;
+    r.key = SubKey{config_.id, sub_id};
+    r.spec = s.spec;
+    // A subscription no broker has seen yet installs plainly (epoch 0:
+    // there is no old state to relocate from).
+    r.epoch = s.fresh ? 0 : s.epoch;
+    s.fresh = false;
+    r.last_seq = s.last_seq;
+    r.loc = loc_;
+    m.resubs.push_back(std::move(r));
+  }
+  return m;
+}
+
+void Client::attach(net::Link& link) {
+  REBECA_ASSERT(link.connects(*this), "attach: link does not reach this client");
+  links_.push_back(&link);
+
+  // Bump epochs: this connection supersedes previous ones.
+  for (auto& [sub_id, s] : subs_) s.epoch += 1;
+  link.send(*this, hello());
+
+  if (config_.relocation == RelocationMode::naive) {
+    // Re-subscribe from scratch, as a mobility-unaware application would.
+    for (const auto& [sub_id, s] : subs_) {
+      link.send(*this, net::ClientSubscribeMsg{SubKey{config_.id, sub_id},
+                                               s.spec, loc_});
+    }
+  }
+  for (const auto& [id, f] : advs_) {
+    link.send(*this, net::ClientAdvertiseMsg{id, f});
+  }
+  for (auto& n : pending_pubs_) {
+    link.send(*this, net::ClientPublishMsg{std::move(n)});
+  }
+  pending_pubs_.clear();
+}
+
+void Client::detach_gracefully() {
+  // The broker closes the link after processing the bye; cutting it here
+  // would race the bye itself (in-flight messages die with the link).
+  for (net::Link* link : links_) {
+    link->send(*this, net::ClientByeMsg{config_.id});
+  }
+}
+
+void Client::detach_silently() {
+  // Copy: set_up(false) triggers handle_link_down which edits links_.
+  std::vector<net::Link*> links = links_;
+  for (net::Link* link : links) link->set_up(false);
+}
+
+void Client::handle_link_down(net::Link& link) {
+  std::erase(links_, &link);
+}
+
+// ---------------------------------------------------------------------------
+// Delivery path
+// ---------------------------------------------------------------------------
+
+bool Client::passes_client_filter(const SubState& sub,
+                                  const filter::Notification& n) const {
+  if (!config_.client_side_filtering) return true;
+  const auto* ld = std::get_if<location::LdSpec>(&sub.spec);
+  if (ld == nullptr) return true;
+  REBECA_ASSERT(config_.locations != nullptr, "LD sub without location graph");
+  // F_0: the exact vicinity at the *current* location (paper Sec. 5.1:
+  // "always have the local broker of the consumer do perfect client-side
+  // filtering").
+  return ld->concrete_filter(*config_.locations, loc_, 0).matches(n);
+}
+
+void Client::handle_message(net::Link& from, const net::Message& msg) {
+  const auto* deliver = std::get_if<net::DeliverMsg>(&msg);
+  if (deliver == nullptr) {
+    REBECA_WARN("client " << config_.id << ": unexpected "
+                          << net::message_name(msg));
+    return;
+  }
+  (void)from;
+  auto it = subs_.find(deliver->key.sub);
+  if (it == subs_.end()) return;  // unsubscribed in the meantime
+  SubState& sub = it->second;
+
+  // Track the border broker's sequence annotation even for notifications
+  // the client-side filter rejects: replay-on-reconnect resumes from the
+  // last *delivered* sequence number.
+  sub.last_seq = deliver->sn.seq;
+
+  if (config_.dedup &&
+      !sub.seen.insert(deliver->sn.notification.id()).second) {
+    ++duplicates_;
+    return;
+  }
+  if (!passes_client_filter(sub, deliver->sn.notification)) {
+    ++filtered_;
+    return;
+  }
+  Delivery d;
+  d.sub = deliver->key.sub;
+  d.notification = deliver->sn.notification;
+  d.seq = deliver->sn.seq;
+  d.delivered_at = sim_.now();
+  deliveries_.push_back(d);
+  if (on_notify) on_notify(deliveries_.back());
+}
+
+std::uint64_t Client::last_seq(std::uint32_t sub) const {
+  auto it = subs_.find(sub);
+  return it == subs_.end() ? 0 : it->second.last_seq;
+}
+
+void Client::send_all_links(net::Message msg) {
+  for (net::Link* link : links_) link->send(*this, msg);
+}
+
+}  // namespace rebeca::client

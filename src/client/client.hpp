@@ -1,0 +1,141 @@
+// The client library: pub, sub, unsub, notify (paper Sec. 2.1) — plus
+// advertisements and the mobility hooks.
+//
+// The paper's "local broker" is "part of the communication library
+// loaded into the clients" (Sec. 2.1); here it is this class. It does
+// client-side filtering for location-dependent subscriptions (the
+// perfect filter F_0 of Sec. 5.1), tracks the last received sequence
+// number per subscription, and re-issues subscriptions on reconnect —
+// the interface the application sees never changes, which is the
+// paper's transparency requirement (Sec. 3.2 "Interface").
+//
+// RelocationMode selects between the paper's protocol and the naive
+// baseline of Sec. 3.2 (plain re-subscribe, no recovery), which the
+// Fig. 2 / Fig. 3 experiments quantify.
+#ifndef REBECA_CLIENT_CLIENT_HPP
+#define REBECA_CLIENT_CLIENT_HPP
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/location/ld_spec.hpp"
+#include "src/net/endpoint.hpp"
+#include "src/net/link.hpp"
+#include "src/sim/simulation.hpp"
+
+namespace rebeca::client {
+
+enum class RelocationMode {
+  /// The paper's Sec. 4 protocol: re-issue subscriptions with the last
+  /// received sequence number; the middleware replays.
+  rebeca,
+  /// Naive baseline: plain re-subscribe at the new broker, no sequence
+  /// numbers, no replay (loses the disconnection gap plus the 2·t_d
+  /// subscription blackout).
+  naive,
+};
+
+struct ClientConfig {
+  ClientId id;
+  const location::LocationGraph* locations = nullptr;
+  RelocationMode relocation = RelocationMode::rebeca;
+  /// Client-side duplicate suppression by notification id (the naive
+  /// baselines switch this off to expose duplicate deliveries).
+  bool dedup = true;
+  /// F_0: filter location-dependent deliveries against the exact
+  /// current vicinity before notifying the application.
+  bool client_side_filtering = true;
+};
+
+/// A delivered notification as the application sees it.
+struct Delivery {
+  std::uint32_t sub = 0;
+  filter::Notification notification;
+  std::uint64_t seq = 0;
+  sim::TimePoint delivered_at = 0;
+};
+
+class Client final : public net::Endpoint {
+ public:
+  Client(sim::Simulation& sim, ClientConfig config);
+
+  [[nodiscard]] ClientId id() const { return config_.id; }
+  [[nodiscard]] const ClientConfig& config() const { return config_; }
+
+  // ---- the four primitives (+ advertisements) ----
+  std::uint32_t subscribe(filter::Filter f);
+  std::uint32_t subscribe(location::LdSpec spec);
+  void unsubscribe(std::uint32_t sub);
+  AdvId advertise(filter::Filter f);
+  void unadvertise(AdvId id);
+  void publish(filter::Notification n);
+  /// notify: invoked for every delivery that passes client-side checks.
+  std::function<void(const Delivery&)> on_notify;
+
+  // ---- logical mobility ----
+  void move_to(LocationId loc);
+  void move_to(const std::string& loc_name);
+  [[nodiscard]] LocationId location() const { return loc_; }
+
+  // ---- physical connectivity (driven by the Overlay) ----
+  /// Called by Overlay when a link to a border broker is established;
+  /// sends the hello (with re-subscriptions when roaming).
+  void attach(net::Link& link);
+  /// Graceful detach: sign off, then cut the link.
+  void detach_gracefully();
+  /// Silent detach: just cut the link (out of radio range).
+  void detach_silently();
+  [[nodiscard]] bool connected() const { return !links_.empty(); }
+
+  // ---- net::Endpoint ----
+  void handle_message(net::Link& from, const net::Message& msg) override;
+  void handle_link_down(net::Link& link) override;
+  [[nodiscard]] std::string endpoint_name() const override;
+
+  // ---- introspection ----
+  [[nodiscard]] const std::vector<Delivery>& deliveries() const {
+    return deliveries_;
+  }
+  [[nodiscard]] std::uint64_t last_seq(std::uint32_t sub) const;
+  [[nodiscard]] std::uint64_t duplicate_count() const { return duplicates_; }
+  [[nodiscard]] std::uint64_t filtered_count() const { return filtered_; }
+
+ private:
+  struct SubState {
+    net::SubscriptionSpec spec;
+    std::uint64_t epoch = 0;
+    std::uint64_t last_seq = 0;
+    /// True until a border broker has seen this subscription: fresh subs
+    /// are plainly installed, never relocated (there is no old state to
+    /// hunt for).
+    bool fresh = true;
+    std::set<NotificationId> seen;  // dedup window
+  };
+
+  void send_all_links(net::Message msg);
+  [[nodiscard]] net::ClientHelloMsg hello();
+  [[nodiscard]] bool passes_client_filter(const SubState& sub,
+                                          const filter::Notification& n) const;
+
+  sim::Simulation& sim_;
+  ClientConfig config_;
+  std::vector<net::Link*> links_;
+  std::map<std::uint32_t, SubState> subs_;
+  std::uint32_t next_sub_ = 1;
+  std::uint64_t next_pub_ = 1;
+  std::uint64_t next_adv_ = 1;
+  LocationId loc_;
+  std::vector<filter::Notification> pending_pubs_;  // published offline
+  std::map<AdvId, filter::Filter> advs_;
+  std::vector<Delivery> deliveries_;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t filtered_ = 0;
+};
+
+}  // namespace rebeca::client
+
+#endif  // REBECA_CLIENT_CLIENT_HPP

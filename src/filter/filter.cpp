@@ -1,0 +1,89 @@
+#include "src/filter/filter.hpp"
+
+#include <sstream>
+
+namespace rebeca::filter {
+
+bool Filter::matches(const Notification& n) const {
+  for (const auto& [attr, c] : constraints_) {
+    auto v = n.get(attr);
+    if (!v.has_value() || !c.matches(*v)) return false;
+  }
+  return true;
+}
+
+bool Filter::covers(const Filter& other) const {
+  // Every constraint of the (broader) cover must be implied by a
+  // constraint of `other` on the same attribute. An attribute this
+  // filter constrains but `other` leaves free makes covering impossible:
+  // `other` accepts notifications with arbitrary values there.
+  for (const auto& [attr, c] : constraints_) {
+    const Constraint* oc = other.find(attr);
+    if (oc == nullptr || !c.covers(*oc)) return false;
+  }
+  return true;
+}
+
+bool Filter::overlaps(const Filter& other) const {
+  for (const auto& [attr, c] : constraints_) {
+    const Constraint* oc = other.find(attr);
+    if (oc != nullptr && !c.overlaps(*oc)) return false;
+  }
+  return true;
+}
+
+std::optional<Filter> Filter::try_merge(const Filter& other) const {
+  if (covers(other)) return *this;
+  if (other.covers(*this)) return other;
+
+  // Exact merging needs identical attribute sets differing in exactly
+  // one constraint whose union is representable; anything else would
+  // change the accepted set (conjunctions don't distribute over union).
+  if (constraints_.size() != other.constraints_.size()) return std::nullopt;
+
+  const std::string* diff_attr = nullptr;
+  for (const auto& [attr, c] : constraints_) {
+    const Constraint* oc = other.find(attr);
+    if (oc == nullptr) return std::nullopt;
+    if (c == *oc) continue;
+    if (diff_attr != nullptr) return std::nullopt;  // more than one differs
+    diff_attr = &attr;
+  }
+  if (diff_attr == nullptr) return *this;  // structurally identical
+
+  const Constraint& a = constraints_.at(*diff_attr);
+  const Constraint& b = *other.find(*diff_attr);
+  auto merged_c = a.try_merge(b);
+  if (!merged_c.has_value()) return std::nullopt;
+
+  Filter merged = *this;
+  merged.where(*diff_attr, std::move(*merged_c));
+  return merged;
+}
+
+std::string Filter::to_string() const {
+  if (constraints_.empty()) return "(true)";
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [attr, c] : constraints_) {
+    if (!first) os << " and ";
+    os << "(" << attr << " " << c << ")";
+    first = false;
+  }
+  return os.str();
+}
+
+std::string Notification::to_string() const {
+  std::ostringstream os;
+  os << "n" << id_ << "{";
+  bool first = true;
+  for (const auto& [attr, v] : attrs_) {
+    if (!first) os << ", ";
+    os << attr << "=" << v;
+    first = false;
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace rebeca::filter

@@ -1,0 +1,79 @@
+// Conjunctive content-based filters (paper Sec. 2.1/2.2).
+//
+// A Filter is a conjunction of per-attribute constraints. A notification
+// matches iff every constrained attribute is present and satisfies its
+// constraint; unconstrained attributes are unrestricted — hence fewer
+// constraints means a broader filter, and the empty filter matches
+// everything.
+#ifndef REBECA_FILTER_FILTER_HPP
+#define REBECA_FILTER_FILTER_HPP
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/filter/constraint.hpp"
+#include "src/filter/notification.hpp"
+
+namespace rebeca::filter {
+
+class Filter {
+ public:
+  Filter() = default;
+
+  /// Fluent builder: Filter().where("service", Constraint::eq("parking")).
+  Filter& where(std::string attr, Constraint c) {
+    constraints_.insert_or_assign(std::move(attr), std::move(c));
+    return *this;
+  }
+
+  [[nodiscard]] bool empty() const { return constraints_.empty(); }
+  [[nodiscard]] std::size_t size() const { return constraints_.size(); }
+  [[nodiscard]] const std::map<std::string, Constraint>& constraints() const {
+    return constraints_;
+  }
+
+  [[nodiscard]] const Constraint* find(const std::string& attr) const {
+    auto it = constraints_.find(attr);
+    return it == constraints_.end() ? nullptr : &it->second;
+  }
+
+  /// Removes the constraint on `attr` (no-op if absent).
+  void erase(const std::string& attr) { constraints_.erase(attr); }
+
+  [[nodiscard]] bool matches(const Notification& n) const;
+
+  /// True if this filter accepts a superset of the notifications `other`
+  /// accepts. Sound (never true when false); exact for the constraint
+  /// pairs Constraint::covers decides exactly.
+  [[nodiscard]] bool covers(const Filter& other) const;
+
+  /// False only if the two filters provably share no matching
+  /// notification (conservative, safe for routing decisions).
+  [[nodiscard]] bool overlaps(const Filter& other) const;
+
+  /// Exact union as a single filter, when representable: either one
+  /// covers the other, or they differ in exactly one attribute whose
+  /// constraints merge exactly (paper Sec. 2.2 "merging").
+  [[nodiscard]] std::optional<Filter> try_merge(const Filter& other) const;
+
+  /// Structural identity — used as a routing-table key.
+  friend bool operator==(const Filter& a, const Filter& b) {
+    return a.constraints_ == b.constraints_;
+  }
+  friend bool operator<(const Filter& a, const Filter& b) {
+    return a.constraints_ < b.constraints_;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+  friend std::ostream& operator<<(std::ostream& os, const Filter& f) {
+    return os << f.to_string();
+  }
+
+ private:
+  std::map<std::string, Constraint> constraints_;
+};
+
+}  // namespace rebeca::filter
+
+#endif  // REBECA_FILTER_FILTER_HPP

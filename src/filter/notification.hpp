@@ -1,0 +1,71 @@
+// Event notifications: name/value-pair messages that reify occurred
+// events (paper Sec. 2.1).
+//
+// Besides its attributes, a notification carries identity metadata the
+// mobility machinery depends on: a globally unique id (duplicate
+// suppression during relocation), its producer and producer-local
+// sequence number (the sender-FIFO checker), and its publish time (the
+// blackout/epoch analyses).
+#ifndef REBECA_FILTER_NOTIFICATION_HPP
+#define REBECA_FILTER_NOTIFICATION_HPP
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/filter/value.hpp"
+#include "src/sim/time.hpp"
+#include "src/util/domain_ids.hpp"
+
+namespace rebeca::filter {
+
+class Notification {
+ public:
+  Notification() = default;
+
+  /// Fluent attribute setter: Notification().set("service", "parking").
+  Notification& set(std::string name, Value value) {
+    attrs_.insert_or_assign(std::move(name), std::move(value));
+    return *this;
+  }
+
+  [[nodiscard]] bool has(const std::string& name) const {
+    return attrs_.count(name) != 0;
+  }
+
+  [[nodiscard]] std::optional<Value> get(const std::string& name) const {
+    auto it = attrs_.find(name);
+    if (it == attrs_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  [[nodiscard]] const std::map<std::string, Value>& attrs() const { return attrs_; }
+
+  // --- identity metadata (stamped by the client library on publish) ---
+
+  [[nodiscard]] NotificationId id() const { return id_; }
+  [[nodiscard]] ClientId producer() const { return producer_; }
+  [[nodiscard]] std::uint64_t producer_seq() const { return producer_seq_; }
+  [[nodiscard]] sim::TimePoint publish_time() const { return publish_time_; }
+
+  void stamp(NotificationId id, ClientId producer, std::uint64_t producer_seq,
+             sim::TimePoint publish_time) {
+    id_ = id;
+    producer_ = producer;
+    producer_seq_ = producer_seq;
+    publish_time_ = publish_time;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::map<std::string, Value> attrs_;
+  NotificationId id_;
+  ClientId producer_;
+  std::uint64_t producer_seq_ = 0;
+  sim::TimePoint publish_time_ = 0;
+};
+
+}  // namespace rebeca::filter
+
+#endif  // REBECA_FILTER_NOTIFICATION_HPP

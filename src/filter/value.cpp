@@ -1,0 +1,47 @@
+#include "src/filter/value.hpp"
+
+#include <sstream>
+
+namespace rebeca::filter {
+
+std::optional<int> Value::compare(const Value& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    // Compare int/int exactly; mixed pairs via double (the magnitudes in
+    // this domain — prices, coordinates, sequence numbers — are far below
+    // 2^53, so the promotion is lossless in practice).
+    if (is_int() && other.is_int()) {
+      const auto a = as_int();
+      const auto b = other.as_int();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    const double a = *numeric();
+    const double b = *other.numeric();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (is_string() && other.is_string()) {
+    const int c = as_string().compare(other.as_string());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  if (is_bool() && other.is_bool()) {
+    const int a = as_bool() ? 1 : 0;
+    const int b = other.as_bool() ? 1 : 0;
+    return a - b;
+  }
+  return std::nullopt;
+}
+
+std::string Value::to_string() const {
+  std::ostringstream os;
+  if (is_int()) {
+    os << as_int();
+  } else if (is_double()) {
+    os << as_double();
+  } else if (is_bool()) {
+    os << (as_bool() ? "true" : "false");
+  } else {
+    os << '"' << as_string() << '"';
+  }
+  return os.str();
+}
+
+}  // namespace rebeca::filter

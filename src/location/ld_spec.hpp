@@ -1,0 +1,64 @@
+// Location-dependent subscription specifications (paper Sec. 3.3, 5).
+//
+// An LdSpec is a subscription template: ordinary constraints plus the
+// `myloc` marker on one location-valued attribute. The marker stands for
+// "the vicinity of the consumer's current location" — a ball of
+// `vicinity_radius` movement steps around it (radius 0 is the paper's
+// simplest myloc(y) = {y}; radius 2 is "at most two blocks away from
+// myloc"). The uncertainty profile dictates how much movement slack each
+// broker along the delivery path adds on top.
+#ifndef REBECA_LOCATION_LD_SPEC_HPP
+#define REBECA_LOCATION_LD_SPEC_HPP
+
+#include <string>
+
+#include "src/filter/filter.hpp"
+#include "src/location/location_graph.hpp"
+#include "src/location/profile.hpp"
+
+namespace rebeca::location {
+
+struct LdSpec {
+  /// Constraints other than the location marker.
+  filter::Filter base;
+  /// Attribute the marker applies to; notifications carry the location
+  /// name as a string under this attribute.
+  std::string location_attr = "location";
+  /// myloc(y) = ball of this many movement steps around y.
+  std::uint32_t vicinity_radius = 0;
+  /// Per-hop uncertainty (Sec. 5.3).
+  UncertaintyProfile profile;
+
+  friend bool operator==(const LdSpec&, const LdSpec&) = default;
+
+  /// The location set filter index i must accept while the consumer is
+  /// at `loc`: the vicinity ball widened by q_i movement steps. (Both
+  /// widenings happen on the same graph, so this is one ball of radius
+  /// vicinity_radius + q_i; BFS balls compose: Sec. 5.1's Eq. 1 chain
+  /// follows from monotone radii.) `extra_steps` widens the ball further
+  /// — the pre-subscribe extension uses it while the consumer is
+  /// disconnected and its possible locations keep spreading.
+  [[nodiscard]] LocationSet concrete_set(const LocationGraph& graph,
+                                         LocationId loc, std::size_t i,
+                                         std::size_t extra_steps = 0) const {
+    const std::size_t q = profile.steps(i);
+    if (q >= graph.size()) {
+      return graph.all();  // saturated (flooding beyond this hop)
+    }
+    return graph.ploc(loc, vicinity_radius + q + extra_steps);
+  }
+
+  /// Fully instantiated filter for index i at location `loc`.
+  [[nodiscard]] filter::Filter concrete_filter(const LocationGraph& graph,
+                                               LocationId loc, std::size_t i,
+                                               std::size_t extra_steps = 0) const {
+    filter::Filter f = base;
+    f.where(location_attr,
+            graph.constraint_for(concrete_set(graph, loc, i, extra_steps)));
+    return f;
+  }
+};
+
+}  // namespace rebeca::location
+
+#endif  // REBECA_LOCATION_LD_SPEC_HPP

@@ -1,0 +1,108 @@
+#include "src/location/profile.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/util/assert.hpp"
+
+namespace rebeca::location {
+
+UncertaintyProfile UncertaintyProfile::adaptive(
+    sim::Duration delta, std::vector<sim::Duration> hop_delays) {
+  REBECA_ASSERT(delta > 0, "residence time must be positive");
+  for (auto d : hop_delays) REBECA_ASSERT(d >= 0, "negative hop delay");
+  return {Kind::adaptive, delta, std::move(hop_delays), {}};
+}
+
+UncertaintyProfile UncertaintyProfile::global_resub() {
+  return {Kind::global_resub, 0, {}, {}};
+}
+
+UncertaintyProfile UncertaintyProfile::flooding() {
+  return {Kind::flooding, 0, {}, {}};
+}
+
+UncertaintyProfile UncertaintyProfile::explicit_steps(std::vector<std::size_t> steps) {
+  // q_0 is the client-side filter: always exact. Enforce monotonicity so
+  // the subset chain of paper Eq. 1 cannot be violated by configuration.
+  if (steps.empty()) steps.push_back(0);
+  steps[0] = 0;
+  for (std::size_t i = 1; i < steps.size(); ++i) {
+    steps[i] = std::max(steps[i], steps[i - 1]);
+  }
+  return {Kind::explicit_steps, 0, {}, std::move(steps)};
+}
+
+std::size_t UncertaintyProfile::steps(std::size_t i) const {
+  if (i == 0) return 0;
+  switch (kind_) {
+    case Kind::global_resub:
+      return 1;
+    case Kind::flooding:
+      return kUnbounded;
+    case Kind::explicit_steps:
+      return i < explicit_q_.size() ? explicit_q_[i] : explicit_q_.back();
+    case Kind::adaptive:
+      return adaptive_steps(i);
+  }
+  return 0;
+}
+
+std::size_t UncertaintyProfile::adaptive_steps(std::size_t i) const {
+  // Fig. 8: accumulate δ_1..δ_i on a time line; q takes a step whenever
+  // the accumulated processing delay crosses the next unclaimed multiple
+  // of Δ. Worked example (Δ=100ms, δ=120,50,50,20ms):
+  //   cum=120 > 1Δ → q_1=1;  cum=170 < 2Δ → q_2=1;
+  //   cum=220 > 2Δ → q_3=2;  cum=240 < 3Δ → q_4=2.   (paper Table 4)
+  std::size_t q = 0;
+  std::size_t next_multiple = 1;
+  sim::Duration cum = 0;
+  for (std::size_t hop = 1; hop <= i; ++hop) {
+    const sim::Duration d =
+        hop_delays_.empty()
+            ? 0
+            : hop_delays_[std::min(hop - 1, hop_delays_.size() - 1)];
+    cum += d;
+    while (cum > static_cast<sim::Duration>(next_multiple) * delta_) {
+      ++q;
+      ++next_multiple;
+    }
+  }
+  // "The algorithm always has to provide information for 'the next' user
+  // location to maintain the semantics of flooding" (paper Sec. 5.3) —
+  // without one step of lookahead, every move opens a blackout window no
+  // matter how slowly the client moves.
+  return std::max<std::size_t>(q, 1);
+}
+
+std::string UncertaintyProfile::to_string() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::global_resub:
+      os << "global-resub";
+      break;
+    case Kind::flooding:
+      os << "flooding";
+      break;
+    case Kind::explicit_steps: {
+      os << "explicit[";
+      for (std::size_t i = 0; i < explicit_q_.size(); ++i) {
+        if (i != 0) os << ",";
+        os << explicit_q_[i];
+      }
+      os << "]";
+      break;
+    }
+    case Kind::adaptive:
+      os << "adaptive(delta=" << sim::to_millis(delta_) << "ms, deltas=[";
+      for (std::size_t i = 0; i < hop_delays_.size(); ++i) {
+        if (i != 0) os << ",";
+        os << sim::to_millis(hop_delays_[i]) << "ms";
+      }
+      os << "])";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace rebeca::location

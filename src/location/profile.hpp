@@ -1,0 +1,85 @@
+// Per-hop uncertainty profiles for location-dependent subscriptions
+// (paper Sec. 5.3 "Adaptivity").
+//
+// A profile answers: at filter index i along the consumer→producer path
+// (paper Fig. 6: F_0 is the client-side filter, F_i sits between B_i and
+// B_{i+1}), how many movement steps q_i of uncertainty must the location
+// set absorb? The paper gives one rule and two extreme instantiations:
+//
+//   adaptive(Δ, δ…)  — Fig. 8: walk the cumulative sums of the per-hop
+//                      subscription-processing delays δ_i; every time the
+//                      sum crosses the next multiple of the residence
+//                      time Δ, ploc "takes a step".
+//   global_resub()   — Table 3 (top): the trivial sub/unsub scheme; one
+//                      step of lookahead everywhere ("the algorithm
+//                      always has to provide information for 'the next'
+//                      user location").
+//   flooding()       — Table 3 (bottom): full uncertainty everywhere
+//                      beyond the client-side filter.
+//
+// Profiles are value types because they travel inside subscription
+// messages: every broker on the path evaluates steps(i) for its own i.
+#ifndef REBECA_LOCATION_PROFILE_HPP
+#define REBECA_LOCATION_PROFILE_HPP
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.hpp"
+
+namespace rebeca::location {
+
+class UncertaintyProfile {
+ public:
+  /// Sentinel meaning "saturate to the whole location space".
+  static constexpr std::size_t kUnbounded = std::numeric_limits<std::size_t>::max();
+
+  UncertaintyProfile() : UncertaintyProfile(global_resub()) {}
+
+  /// Fig. 8 rule. `delta` is the mean residence time Δ; `hop_delays` are
+  /// the per-hop subscription processing delays δ_1, δ_2, …. Hops beyond
+  /// the list reuse the last δ (or δ=0 if the list is empty).
+  static UncertaintyProfile adaptive(sim::Duration delta,
+                                     std::vector<sim::Duration> hop_delays);
+
+  /// Trivial sub/unsub scheme: q_0 = 0, q_i = 1 for i ≥ 1.
+  static UncertaintyProfile global_resub();
+
+  /// Flooding: q_0 = 0, q_i = ∞ for i ≥ 1.
+  static UncertaintyProfile flooding();
+
+  /// Explicit q values (q_0 is forced to 0; values are made
+  /// non-decreasing, which Eq. 1 requires of any sound profile).
+  static UncertaintyProfile explicit_steps(std::vector<std::size_t> steps);
+
+  /// Uncertainty steps for filter index i (F_i of Fig. 6). i = 0 is the
+  /// client-side filter and always returns 0.
+  [[nodiscard]] std::size_t steps(std::size_t i) const;
+
+  enum class Kind { adaptive, global_resub, flooding, explicit_steps };
+  [[nodiscard]] Kind kind() const { return kind_; }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const UncertaintyProfile&, const UncertaintyProfile&) = default;
+
+ private:
+  UncertaintyProfile(Kind kind, sim::Duration delta,
+                     std::vector<sim::Duration> hop_delays,
+                     std::vector<std::size_t> explicit_q)
+      : kind_(kind), delta_(delta), hop_delays_(std::move(hop_delays)),
+        explicit_q_(std::move(explicit_q)) {}
+
+  [[nodiscard]] std::size_t adaptive_steps(std::size_t i) const;
+
+  Kind kind_;
+  sim::Duration delta_ = 0;
+  std::vector<sim::Duration> hop_delays_;
+  std::vector<std::size_t> explicit_q_;
+};
+
+}  // namespace rebeca::location
+
+#endif  // REBECA_LOCATION_PROFILE_HPP

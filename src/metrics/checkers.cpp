@@ -1,0 +1,59 @@
+#include "src/metrics/checkers.hpp"
+
+#include <algorithm>
+
+namespace rebeca::metrics {
+
+CompletenessReport check_exactly_once(
+    const std::vector<client::Delivery>& deliveries,
+    const std::vector<NotificationId>& expected_ids) {
+  CompletenessReport report;
+  report.expected = expected_ids.size();
+  report.delivered = deliveries.size();
+
+  std::map<NotificationId, std::uint64_t> seen;
+  for (const auto& d : deliveries) seen[d.notification.id()] += 1;
+  for (const auto& [id, count] : seen) {
+    if (count > 1) report.duplicates += count - 1;
+  }
+  for (const auto& id : expected_ids) {
+    if (seen.find(id) == seen.end()) {
+      ++report.missing;
+      report.missing_ids.push_back(id);
+    }
+  }
+  return report;
+}
+
+FifoReport check_sender_fifo(const std::vector<client::Delivery>& deliveries) {
+  FifoReport report;
+  std::map<ClientId, std::uint64_t> last;
+  for (const auto& d : deliveries) {
+    auto& prev = last[d.notification.producer()];
+    ++report.checked;
+    if (d.notification.producer_seq() <= prev) ++report.violations;
+    prev = std::max(prev, d.notification.producer_seq());
+  }
+  return report;
+}
+
+BlackoutReport analyze_blackout(const std::vector<client::Delivery>& deliveries,
+                                sim::TimePoint reference) {
+  BlackoutReport report;
+  const client::Delivery* first = nullptr;
+  for (const auto& d : deliveries) {
+    if (d.notification.publish_time() < reference) continue;
+    if (first == nullptr ||
+        d.notification.publish_time() < first->notification.publish_time()) {
+      first = &d;
+    }
+  }
+  if (first != nullptr) {
+    report.any_delivery = true;
+    report.first_published_offset = first->notification.publish_time() - reference;
+    report.first_delivered_offset = first->delivered_at - reference;
+  }
+  return report;
+}
+
+}  // namespace rebeca::metrics

@@ -1,0 +1,65 @@
+// Delivery-log checkers: executable versions of the paper's QoS
+// definitions (Sec. 3.2 completeness & ordering, Sec. 3.3 epochs).
+#ifndef REBECA_METRICS_CHECKERS_HPP
+#define REBECA_METRICS_CHECKERS_HPP
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/client/client.hpp"
+#include "src/util/domain_ids.hpp"
+
+namespace rebeca::metrics {
+
+/// Result of comparing what a consumer received against what it should
+/// have received.
+struct CompletenessReport {
+  std::uint64_t expected = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t missing = 0;
+  std::uint64_t duplicates = 0;
+  std::vector<NotificationId> missing_ids;
+
+  [[nodiscard]] bool exactly_once() const {
+    return missing == 0 && duplicates == 0;
+  }
+};
+
+/// Exactly-once check: `expected_ids` is what the workload published (and
+/// matched the subscription); deliveries are the client's log.
+[[nodiscard]] CompletenessReport check_exactly_once(
+    const std::vector<client::Delivery>& deliveries,
+    const std::vector<NotificationId>& expected_ids);
+
+struct FifoReport {
+  std::uint64_t checked = 0;
+  std::uint64_t violations = 0;
+
+  [[nodiscard]] bool ok() const { return violations == 0; }
+};
+
+/// Sender-FIFO: per producer, producer sequence numbers must appear in
+/// increasing order in the delivery log (gaps allowed — that is
+/// completeness' business).
+[[nodiscard]] FifoReport check_sender_fifo(
+    const std::vector<client::Delivery>& deliveries);
+
+/// Blackout analysis for Fig. 3: how long after a reference instant did
+/// the first delivery (publish-stamped later than the instant) arrive?
+struct BlackoutReport {
+  bool any_delivery = false;
+  /// publish-time offset of the first delivered notification published
+  /// at/after the reference instant.
+  sim::Duration first_published_offset = 0;
+  /// delivery-time offset of that notification.
+  sim::Duration first_delivered_offset = 0;
+};
+
+[[nodiscard]] BlackoutReport analyze_blackout(
+    const std::vector<client::Delivery>& deliveries, sim::TimePoint reference);
+
+}  // namespace rebeca::metrics
+
+#endif  // REBECA_METRICS_CHECKERS_HPP

@@ -1,0 +1,34 @@
+#include "src/metrics/counters.hpp"
+
+namespace rebeca::metrics {
+
+const char* message_class_name(MessageClass c) {
+  switch (c) {
+    case MessageClass::notification: return "notification";
+    case MessageClass::delivery: return "delivery";
+    case MessageClass::subscription_admin: return "sub-admin";
+    case MessageClass::advertisement_admin: return "adv-admin";
+    case MessageClass::relocation_control: return "relocation";
+    case MessageClass::replay: return "replay";
+    case MessageClass::location_update: return "loc-update";
+    case MessageClass::client_control: return "client-ctl";
+    case MessageClass::dropped: return "dropped";
+    case MessageClass::kCount: break;
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const MessageCounters& mc) {
+  os << "{";
+  bool first = true;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(MessageClass::kCount); ++i) {
+    const auto c = static_cast<MessageClass>(i);
+    if (mc.count(c) == 0) continue;
+    if (!first) os << ", ";
+    os << message_class_name(c) << "=" << mc.count(c);
+    first = false;
+  }
+  return os << "}";
+}
+
+}  // namespace rebeca::metrics

@@ -1,0 +1,67 @@
+// Message accounting.
+//
+// Figure 9 of the paper reports "the total number of messages
+// (notifications and administrative messages)" — so every Link::send
+// increments a class-labelled counter here. Counters can be snapshotted
+// at virtual-time checkpoints to produce the cumulative series the
+// figure plots.
+#ifndef REBECA_METRICS_COUNTERS_HPP
+#define REBECA_METRICS_COUNTERS_HPP
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+
+namespace rebeca::metrics {
+
+enum class MessageClass : std::size_t {
+  notification = 0,   // published notifications forwarded broker-to-broker
+  delivery,           // notifications delivered over a client link
+  subscription_admin, // sub/unsub forwarding between brokers
+  advertisement_admin,// adv/unadv forwarding between brokers
+  relocation_control, // relocation subscriptions + fetch requests
+  replay,             // buffered-notification replay batches
+  location_update,    // logical-mobility location change propagation
+  client_control,     // hello/bye/sub/unsub/move on client links
+  dropped,            // messages lost to a down link
+  kCount,
+};
+
+const char* message_class_name(MessageClass c);
+
+class MessageCounters {
+ public:
+  void add(MessageClass c, std::uint64_t n = 1) {
+    counts_[static_cast<std::size_t>(c)] += n;
+  }
+
+  [[nodiscard]] std::uint64_t count(MessageClass c) const {
+    return counts_[static_cast<std::size_t>(c)];
+  }
+
+  /// All message classes that cross links, except drops.
+  [[nodiscard]] std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i + 1 < counts_.size(); ++i) sum += counts_[i];
+    return sum;
+  }
+
+  /// Administrative traffic only (everything except notification
+  /// forwarding and deliveries).
+  [[nodiscard]] std::uint64_t administrative() const {
+    return total() - count(MessageClass::notification) -
+           count(MessageClass::delivery);
+  }
+
+  void reset() { counts_.fill(0); }
+
+  friend std::ostream& operator<<(std::ostream& os, const MessageCounters& mc);
+
+ private:
+  std::array<std::uint64_t, static_cast<std::size_t>(MessageClass::kCount)>
+      counts_{};
+};
+
+}  // namespace rebeca::metrics
+
+#endif  // REBECA_METRICS_COUNTERS_HPP

@@ -1,0 +1,33 @@
+// Endpoint: anything a Link can terminate at (a broker or a client).
+#ifndef REBECA_NET_ENDPOINT_HPP
+#define REBECA_NET_ENDPOINT_HPP
+
+#include <string>
+
+#include "src/net/message.hpp"
+
+namespace rebeca::net {
+
+class Link;
+
+class Endpoint {
+ public:
+  Endpoint() = default;
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+  virtual ~Endpoint() = default;
+
+  /// A message arrived over `from`. The handler runs atomically in
+  /// virtual time (the paper's atomic routing decision, Sec. 2.2).
+  virtual void handle_message(Link& from, const Message& msg) = 0;
+
+  /// The link went down (disconnection). Both endpoints are informed;
+  /// in-flight messages on the link are lost.
+  virtual void handle_link_down(Link& link) { (void)link; }
+
+  [[nodiscard]] virtual std::string endpoint_name() const = 0;
+};
+
+}  // namespace rebeca::net
+
+#endif  // REBECA_NET_ENDPOINT_HPP

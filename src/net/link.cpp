@@ -1,0 +1,60 @@
+#include "src/net/link.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "src/util/assert.hpp"
+
+namespace rebeca::net {
+
+Link::Link(LinkId id, sim::Simulation& sim, Endpoint& a, Endpoint& b,
+           sim::DelayModel delay, metrics::MessageCounters* counters)
+    : id_(id), sim_(sim), a_(&a), b_(&b), delay_(delay), counters_(counters) {
+  REBECA_ASSERT(&a != &b, "link endpoints must differ");
+}
+
+Endpoint& Link::peer_of(const Endpoint& e) const {
+  REBECA_ASSERT(connects(e), "endpoint not on this link");
+  return &e == a_ ? *b_ : *a_;
+}
+
+void Link::send(const Endpoint& from, Message msg) {
+  REBECA_ASSERT(connects(from), "sender not on this link");
+  if (!up_) {
+    if (counters_ != nullptr) counters_->add(metrics::MessageClass::dropped);
+    return;
+  }
+  if (counters_ != nullptr) counters_->add(message_class(msg));
+
+  const std::size_t dir = (&from == a_) ? 0 : 1;
+  const sim::Duration delay = delay_.sample(sim_.rng());
+  sim::TimePoint arrival = sim_.now() + delay;
+  if (arrival < last_arrival_[dir]) arrival = last_arrival_[dir];  // FIFO
+  last_arrival_[dir] = arrival;
+
+  Endpoint* dest = (dir == 0) ? b_ : a_;
+  // Share the payload; delivery copies nothing. The generation check at
+  // delivery time drops messages that were in flight when the link was
+  // cut.
+  auto payload = std::make_shared<Message>(std::move(msg));
+  const std::uint64_t gen = generation_;
+  sim_.schedule_at(arrival, [this, dest, payload, gen] {
+    if (!up_ || gen != generation_) {
+      if (counters_ != nullptr) counters_->add(metrics::MessageClass::dropped);
+      return;
+    }
+    dest->handle_message(*this, *payload);
+  });
+}
+
+void Link::set_up(bool up) {
+  if (up == up_) return;
+  up_ = up;
+  if (!up) {
+    ++generation_;
+    a_->handle_link_down(*this);
+    b_->handle_link_down(*this);
+  }
+}
+
+}  // namespace rebeca::net

@@ -1,0 +1,65 @@
+// Point-to-point FIFO links (paper Sec. 2.1).
+//
+// A Link connects two endpoints through the simulator. Per direction it
+// enforces FIFO delivery even under stochastic delays: an arrival time
+// is clamped to be no earlier than the previous arrival in the same
+// direction. Taking a link down drops all in-flight messages (that is
+// what disconnection means for a roaming client) and notifies both
+// endpoints.
+#ifndef REBECA_NET_LINK_HPP
+#define REBECA_NET_LINK_HPP
+
+#include <array>
+
+#include "src/net/endpoint.hpp"
+#include "src/net/message.hpp"
+#include "src/sim/delay_model.hpp"
+#include "src/sim/simulation.hpp"
+#include "src/metrics/counters.hpp"
+#include "src/util/domain_ids.hpp"
+
+namespace rebeca::net {
+
+class Link {
+ public:
+  Link(LinkId id, sim::Simulation& sim, Endpoint& a, Endpoint& b,
+       sim::DelayModel delay, metrics::MessageCounters* counters = nullptr);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  [[nodiscard]] LinkId id() const { return id_; }
+  [[nodiscard]] bool up() const { return up_; }
+  [[nodiscard]] const sim::DelayModel& delay_model() const { return delay_; }
+
+  [[nodiscard]] Endpoint& peer_of(const Endpoint& e) const;
+  [[nodiscard]] bool connects(const Endpoint& e) const {
+    return &e == a_ || &e == b_;
+  }
+
+  /// Sends `msg` from endpoint `from` to the peer. If the link is down
+  /// the message is dropped (and counted).
+  void send(const Endpoint& from, Message msg);
+
+  /// Takes the link down: in-flight messages are lost, both endpoints
+  /// get handle_link_down. Bringing it back up resumes normal delivery.
+  void set_up(bool up);
+
+ private:
+  LinkId id_;
+  sim::Simulation& sim_;
+  Endpoint* a_;
+  Endpoint* b_;
+  sim::DelayModel delay_;
+  metrics::MessageCounters* counters_;
+  bool up_ = true;
+  /// Increments when the link goes down; deliveries scheduled under an
+  /// older generation are discarded (they were in flight at the cut).
+  std::uint64_t generation_ = 0;
+  /// Per direction (index 0: a→b, 1: b→a): last scheduled arrival.
+  std::array<sim::TimePoint, 2> last_arrival_{0, 0};
+};
+
+}  // namespace rebeca::net
+
+#endif  // REBECA_NET_LINK_HPP

@@ -1,0 +1,64 @@
+#include "src/net/message.hpp"
+
+namespace rebeca::net {
+
+namespace {
+
+struct ClassVisitor {
+  using MC = metrics::MessageClass;
+  MC operator()(const PublishMsg&) const { return MC::notification; }
+  MC operator()(const DeliverMsg&) const { return MC::delivery; }
+  MC operator()(const SubscribeMsg&) const { return MC::subscription_admin; }
+  MC operator()(const UnsubscribeMsg&) const { return MC::subscription_admin; }
+  MC operator()(const AdvertiseMsg&) const { return MC::advertisement_admin; }
+  MC operator()(const UnadvertiseMsg&) const { return MC::advertisement_admin; }
+  MC operator()(const RelocateSubMsg&) const { return MC::relocation_control; }
+  MC operator()(const FetchMsg&) const { return MC::relocation_control; }
+  MC operator()(const ReplayMsg&) const { return MC::replay; }
+  MC operator()(const LdSubscribeMsg&) const { return MC::location_update; }
+  MC operator()(const LdUnsubscribeMsg&) const { return MC::location_update; }
+  MC operator()(const LdMoveMsg&) const { return MC::location_update; }
+  MC operator()(const ClientHelloMsg&) const { return MC::client_control; }
+  MC operator()(const ClientByeMsg&) const { return MC::client_control; }
+  MC operator()(const ClientSubscribeMsg&) const { return MC::client_control; }
+  MC operator()(const ClientUnsubscribeMsg&) const { return MC::client_control; }
+  MC operator()(const ClientPublishMsg&) const { return MC::notification; }
+  MC operator()(const ClientAdvertiseMsg&) const { return MC::client_control; }
+  MC operator()(const ClientUnadvertiseMsg&) const { return MC::client_control; }
+  MC operator()(const ClientMoveMsg&) const { return MC::location_update; }
+};
+
+struct NameVisitor {
+  const char* operator()(const PublishMsg&) const { return "publish"; }
+  const char* operator()(const DeliverMsg&) const { return "deliver"; }
+  const char* operator()(const SubscribeMsg&) const { return "subscribe"; }
+  const char* operator()(const UnsubscribeMsg&) const { return "unsubscribe"; }
+  const char* operator()(const AdvertiseMsg&) const { return "advertise"; }
+  const char* operator()(const UnadvertiseMsg&) const { return "unadvertise"; }
+  const char* operator()(const RelocateSubMsg&) const { return "relocate-sub"; }
+  const char* operator()(const FetchMsg&) const { return "fetch"; }
+  const char* operator()(const ReplayMsg&) const { return "replay"; }
+  const char* operator()(const LdSubscribeMsg&) const { return "ld-subscribe"; }
+  const char* operator()(const LdUnsubscribeMsg&) const { return "ld-unsubscribe"; }
+  const char* operator()(const LdMoveMsg&) const { return "ld-move"; }
+  const char* operator()(const ClientHelloMsg&) const { return "client-hello"; }
+  const char* operator()(const ClientByeMsg&) const { return "client-bye"; }
+  const char* operator()(const ClientSubscribeMsg&) const { return "client-subscribe"; }
+  const char* operator()(const ClientUnsubscribeMsg&) const { return "client-unsubscribe"; }
+  const char* operator()(const ClientPublishMsg&) const { return "client-publish"; }
+  const char* operator()(const ClientAdvertiseMsg&) const { return "client-advertise"; }
+  const char* operator()(const ClientUnadvertiseMsg&) const { return "client-unadvertise"; }
+  const char* operator()(const ClientMoveMsg&) const { return "client-move"; }
+};
+
+}  // namespace
+
+metrics::MessageClass message_class(const Message& m) {
+  return std::visit(ClassVisitor{}, m);
+}
+
+std::string message_name(const Message& m) {
+  return std::visit(NameVisitor{}, m);
+}
+
+}  // namespace rebeca::net

@@ -1,0 +1,224 @@
+// Wire messages of the broker network.
+//
+// Everything brokers and clients exchange is one of these structs,
+// carried by a Link. The set falls into five planes:
+//
+//   data        — PublishMsg (notifications en route), DeliverMsg
+//                 (stamped notification on a client link)
+//   admin       — Subscribe/Unsubscribe (forward-set diffs),
+//                 Advertise/Unadvertise
+//   relocation  — RelocateSubMsg (the roaming client's re-issued
+//                 subscription hunting for the old path), FetchMsg (the
+//                 junction's fetch request), ReplayMsg (the virtual
+//                 counterpart's buffered notifications)
+//   location    — LdSubscribe/LdUnsubscribe/LdMove (location-dependent
+//                 subscription propagation, paper Sec. 5)
+//   client      — hello/bye/subscribe/unsubscribe/publish/advertise/move
+//
+// All communication related to relocation travels inside the broker
+// network — the paper's "pub/sub adherence" requirement (Sec. 4.1): no
+// out-of-band channel between old and new broker exists.
+#ifndef REBECA_NET_MESSAGE_HPP
+#define REBECA_NET_MESSAGE_HPP
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/filter/filter.hpp"
+#include "src/filter/notification.hpp"
+#include "src/location/ld_spec.hpp"
+#include "src/metrics/counters.hpp"
+#include "src/util/domain_ids.hpp"
+
+namespace rebeca::net {
+
+/// A notification plus the per-(client, subscription) delivery sequence
+/// number annotated by the border broker (paper Sec. 4.1: "the last
+/// received sequence number for this subscription").
+struct StampedNotification {
+  filter::Notification notification;
+  std::uint64_t seq = 0;
+};
+
+/// A subscription is either an ordinary content filter or a
+/// location-dependent template (paper Sec. 5).
+using SubscriptionSpec = std::variant<filter::Filter, location::LdSpec>;
+
+[[nodiscard]] inline bool is_location_dependent(const SubscriptionSpec& s) {
+  return std::holds_alternative<location::LdSpec>(s);
+}
+
+// ---------------- data plane ----------------
+
+struct PublishMsg {
+  filter::Notification n;
+};
+
+struct DeliverMsg {
+  SubKey key;
+  StampedNotification sn;
+};
+
+// ---------------- admin plane ----------------
+
+/// Upsert of a forwarded filter: installs or replaces the entry (and its
+/// serving tags) for this filter at the receiving side of the link.
+struct SubscribeMsg {
+  filter::Filter f;
+  std::set<SubKey> tags;
+};
+
+/// Removes the entry for this filter.
+struct UnsubscribeMsg {
+  filter::Filter f;
+};
+
+struct AdvertiseMsg {
+  AdvId id;
+  filter::Filter f;
+};
+
+struct UnadvertiseMsg {
+  AdvId id;
+};
+
+// ---------------- relocation plane (paper Sec. 4) ----------------
+
+/// The re-issued subscription of a roaming client, sent by the new
+/// border broker. Propagates like a subscription until a broker finds
+/// state serving `key` (or covering `f`) in another direction — the
+/// junction — which answers with FetchMsg.
+struct RelocateSubMsg {
+  SubKey key;
+  filter::Filter f;
+  std::uint64_t epoch = 0;     // increments per reconnect
+  std::uint64_t last_seq = 0;  // last sequence number the client received
+};
+
+/// Travels from the junction along the old delivery path to the old
+/// border broker, re-pointing per-key state as it goes.
+struct FetchMsg {
+  SubKey key;
+  filter::Filter f;
+  std::uint64_t epoch = 0;
+  std::uint64_t last_seq = 0;
+};
+
+/// The virtual counterpart's buffered notifications, routed back along
+/// the breadcrumbs laid by RelocateSubMsg and FetchMsg.
+struct ReplayMsg {
+  SubKey key;
+  std::uint64_t epoch = 0;
+  std::vector<StampedNotification> batch;
+  /// Notifications lost to bounded buffering (0 = complete replay).
+  std::uint64_t truncated = 0;
+  /// Sequence number the new border broker continues stamping from.
+  std::uint64_t next_seq = 0;
+};
+
+// ---------------- location plane (paper Sec. 5) ----------------
+
+/// Installs location-dependent state at the receiving broker. `hop` is
+/// the paper's filter index i of Fig. 6: the border broker holds F_1 and
+/// forwards with hop = 2, and so on; the client-side filter is F_0.
+struct LdSubscribeMsg {
+  SubKey key;
+  location::LdSpec spec;
+  LocationId loc;
+  std::uint32_t hop = 1;
+};
+
+struct LdUnsubscribeMsg {
+  SubKey key;
+};
+
+/// A location change, forwarded hop by hop until a broker's concrete
+/// location set is unchanged (then all farther sets are unchanged too —
+/// BFS balls compose, see LocationGraph). `extra_steps` widens every
+/// hop's ball uniformly: the pre-subscribe extension uses it while the
+/// consumer is disconnected and its possible locations keep spreading
+/// (paper Sec. 6, "'pre-subscribe' to information at brokers at possible
+/// next locations").
+struct LdMoveMsg {
+  SubKey key;
+  LocationId loc;
+  std::uint32_t hop = 1;
+  std::uint64_t move_seq = 0;
+  std::uint32_t extra_steps = 0;
+};
+
+// ---------------- client links ----------------
+
+/// Sent by a client upon (re-)connecting to a border broker. For
+/// re-subscriptions the client reports its last received sequence number
+/// per subscription — this is the paper's "(C, F, 123)" (Sec. 4.1).
+struct ClientHelloMsg {
+  struct Resub {
+    SubKey key;
+    SubscriptionSpec spec;
+    std::uint64_t epoch = 0;
+    std::uint64_t last_seq = 0;
+    LocationId loc;  // current location, for location-dependent specs
+  };
+  ClientId client;
+  std::vector<Resub> resubs;
+};
+
+/// Graceful sign-off: the border broker releases all state immediately
+/// (the relocation protocol never requires this — Sec. 4.1 "no explicit
+/// MoveOut or un-subscribe at the old location should be needed" — but
+/// baselines and clean shutdown use it).
+struct ClientByeMsg {
+  ClientId client;
+};
+
+struct ClientSubscribeMsg {
+  SubKey key;
+  SubscriptionSpec spec;
+  LocationId loc;  // for location-dependent specs
+};
+
+struct ClientUnsubscribeMsg {
+  SubKey key;
+};
+
+struct ClientPublishMsg {
+  filter::Notification n;
+};
+
+struct ClientAdvertiseMsg {
+  AdvId id;
+  filter::Filter f;
+};
+
+struct ClientUnadvertiseMsg {
+  AdvId id;
+};
+
+/// Logical move of the client (paper Sec. 5): updates every
+/// location-dependent subscription of this client.
+struct ClientMoveMsg {
+  ClientId client;
+  LocationId loc;
+};
+
+using Message =
+    std::variant<PublishMsg, DeliverMsg, SubscribeMsg, UnsubscribeMsg,
+                 AdvertiseMsg, UnadvertiseMsg, RelocateSubMsg, FetchMsg,
+                 ReplayMsg, LdSubscribeMsg, LdUnsubscribeMsg, LdMoveMsg,
+                 ClientHelloMsg, ClientByeMsg, ClientSubscribeMsg,
+                 ClientUnsubscribeMsg, ClientPublishMsg, ClientAdvertiseMsg,
+                 ClientUnadvertiseMsg, ClientMoveMsg>;
+
+/// Counter class of a message (for MessageCounters).
+[[nodiscard]] metrics::MessageClass message_class(const Message& m);
+
+/// Short human-readable tag for traces.
+[[nodiscard]] std::string message_name(const Message& m);
+
+}  // namespace rebeca::net
+
+#endif  // REBECA_NET_MESSAGE_HPP

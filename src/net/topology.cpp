@@ -1,0 +1,129 @@
+#include "src/net/topology.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/util/assert.hpp"
+
+namespace rebeca::net {
+
+Topology::Topology(std::size_t broker_count,
+                   std::vector<std::pair<std::size_t, std::size_t>> edges)
+    : broker_count_(broker_count), edges_(std::move(edges)) {
+  adjacency_.assign(broker_count_, {});
+  for (const auto& [a, b] : edges_) {
+    REBECA_ASSERT(a < broker_count_ && b < broker_count_ && a != b,
+                  "bad edge " << a << "-" << b);
+    adjacency_[a].push_back(b);
+    adjacency_[b].push_back(a);
+  }
+}
+
+Topology Topology::chain(std::size_t n) {
+  REBECA_ASSERT(n >= 1, "chain needs at least one broker");
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  for (std::size_t i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  return Topology(n, std::move(edges));
+}
+
+Topology Topology::star(std::size_t n) {
+  REBECA_ASSERT(n >= 1, "star needs at least one broker");
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  for (std::size_t i = 1; i < n; ++i) edges.emplace_back(0, i);
+  return Topology(n, std::move(edges));
+}
+
+Topology Topology::balanced_tree(std::size_t depth, std::size_t fanout) {
+  REBECA_ASSERT(fanout >= 1, "fanout must be positive");
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  std::size_t count = 1;
+  std::vector<std::size_t> frontier{0};
+  for (std::size_t d = 0; d < depth; ++d) {
+    std::vector<std::size_t> next;
+    for (std::size_t parent : frontier) {
+      for (std::size_t k = 0; k < fanout; ++k) {
+        edges.emplace_back(parent, count);
+        next.push_back(count);
+        ++count;
+      }
+    }
+    frontier = std::move(next);
+  }
+  return Topology(count, std::move(edges));
+}
+
+Topology Topology::random_tree(std::size_t n, util::Rng& rng) {
+  REBECA_ASSERT(n >= 1, "random_tree needs at least one broker");
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  for (std::size_t i = 1; i < n; ++i) {
+    edges.emplace_back(rng.index(i), i);
+  }
+  return Topology(n, std::move(edges));
+}
+
+const std::vector<std::size_t>& Topology::neighbors(std::size_t broker) const {
+  REBECA_ASSERT(broker < broker_count_, "broker out of range");
+  return adjacency_[broker];
+}
+
+bool Topology::valid() const {
+  if (edges_.size() + 1 != broker_count_) return false;
+  const auto dist = distances_from(0);
+  return std::all_of(dist.begin(), dist.end(),
+                     [&](std::size_t d) { return d != SIZE_MAX; });
+}
+
+std::vector<std::size_t> Topology::distances_from(std::size_t root) const {
+  REBECA_ASSERT(root < broker_count_, "root out of range");
+  std::vector<std::size_t> dist(broker_count_, SIZE_MAX);
+  std::queue<std::size_t> queue;
+  dist[root] = 0;
+  queue.push(root);
+  while (!queue.empty()) {
+    const std::size_t u = queue.front();
+    queue.pop();
+    for (std::size_t v : adjacency_[u]) {
+      if (dist[v] == SIZE_MAX) {
+        dist[v] = dist[u] + 1;
+        queue.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::size_t> Topology::path(std::size_t a, std::size_t b) const {
+  REBECA_ASSERT(a < broker_count_ && b < broker_count_, "endpoint out of range");
+  // BFS parents from a, then walk back from b.
+  std::vector<std::size_t> parent(broker_count_, SIZE_MAX);
+  std::queue<std::size_t> queue;
+  parent[a] = a;
+  queue.push(a);
+  while (!queue.empty() && parent[b] == SIZE_MAX) {
+    const std::size_t u = queue.front();
+    queue.pop();
+    for (std::size_t v : adjacency_[u]) {
+      if (parent[v] == SIZE_MAX) {
+        parent[v] = u;
+        queue.push(v);
+      }
+    }
+  }
+  REBECA_ASSERT(parent[b] != SIZE_MAX, "graph is disconnected");
+  std::vector<std::size_t> result{b};
+  while (result.back() != a) result.push_back(parent[result.back()]);
+  std::reverse(result.begin(), result.end());
+  return result;
+}
+
+std::size_t Topology::diameter() const {
+  // Two BFS passes (exact on trees): farthest node from 0, then farthest
+  // from that.
+  auto d0 = distances_from(0);
+  const auto far = static_cast<std::size_t>(
+      std::max_element(d0.begin(), d0.end()) - d0.begin());
+  auto d1 = distances_from(far);
+  return *std::max_element(d1.begin(), d1.end());
+}
+
+}  // namespace rebeca::net

@@ -1,0 +1,62 @@
+// Broker-network topologies.
+//
+// The paper's communication topology is "a graph, which is assumed to be
+// acyclic and connected" (Sec. 2.1) — a tree. Topology is a pure
+// description (no processes, no links); the Overlay instantiates it.
+// Builders cover the shapes the experiments need: chains (the Fig. 6
+// analysis setting), stars, balanced trees and seeded random trees.
+#ifndef REBECA_NET_TOPOLOGY_HPP
+#define REBECA_NET_TOPOLOGY_HPP
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "src/util/rng.hpp"
+
+namespace rebeca::net {
+
+class Topology {
+ public:
+  /// Brokers 0..n-1 in a line: 0 - 1 - 2 - ... - (n-1).
+  static Topology chain(std::size_t n);
+
+  /// Broker 0 in the middle, 1..n-1 attached to it.
+  static Topology star(std::size_t n);
+
+  /// Complete tree with the given fanout; depth 0 is a single broker.
+  static Topology balanced_tree(std::size_t depth, std::size_t fanout);
+
+  /// Random tree over n brokers: node i attaches to a uniformly chosen
+  /// earlier node. Deterministic given the RNG state.
+  static Topology random_tree(std::size_t n, util::Rng& rng);
+
+  [[nodiscard]] std::size_t broker_count() const { return broker_count_; }
+  [[nodiscard]] const std::vector<std::pair<std::size_t, std::size_t>>& edges() const {
+    return edges_;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& neighbors(std::size_t broker) const;
+
+  /// Connected and acyclic (edge count == n-1 plus reachability).
+  [[nodiscard]] bool valid() const;
+
+  /// Hop distances from `root` to every broker (root itself is 0).
+  [[nodiscard]] std::vector<std::size_t> distances_from(std::size_t root) const;
+
+  /// The unique tree path from `a` to `b`, inclusive of both.
+  [[nodiscard]] std::vector<std::size_t> path(std::size_t a, std::size_t b) const;
+
+  [[nodiscard]] std::size_t diameter() const;
+
+ private:
+  Topology(std::size_t broker_count,
+           std::vector<std::pair<std::size_t, std::size_t>> edges);
+
+  std::size_t broker_count_;
+  std::vector<std::pair<std::size_t, std::size_t>> edges_;
+  std::vector<std::vector<std::size_t>> adjacency_;
+};
+
+}  // namespace rebeca::net
+
+#endif  // REBECA_NET_TOPOLOGY_HPP

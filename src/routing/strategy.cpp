@@ -1,0 +1,121 @@
+#include "src/routing/strategy.hpp"
+
+#include <algorithm>
+
+namespace rebeca::routing {
+
+const char* strategy_name(Strategy s) {
+  switch (s) {
+    case Strategy::flooding: return "flooding";
+    case Strategy::simple: return "simple";
+    case Strategy::identity: return "identity";
+    case Strategy::covering: return "covering";
+    case Strategy::merging: return "merging";
+  }
+  return "?";
+}
+
+namespace {
+
+/// identity collapse: group structurally equal filters, union their tags.
+ForwardSet collapse_identity(const std::vector<ForwardInput>& inputs) {
+  ForwardSet out;
+  for (const auto& in : inputs) {
+    auto& tags = out[in.f];
+    tags.insert(in.tags.begin(), in.tags.end());
+  }
+  return out;
+}
+
+/// covering collapse: keep only maximal filters. A covered
+/// subscription's tags are NOT attached to its representative — that
+/// would turn every covered subscribe into a tag-update message and
+/// forfeit covering's admin savings. The relocation protocol handles
+/// tag-less aggregation with its covering fallback (the fetch is
+/// "directed towards … covering filters", paper Sec. 4.2).
+ForwardSet collapse_covering(const std::vector<ForwardInput>& inputs) {
+  ForwardSet distinct = collapse_identity(inputs);
+
+  // Maximal = not strictly covered by another distinct filter. For
+  // mutually covering (semantically equivalent but structurally distinct)
+  // filters, the structurally smallest one represents the class, which
+  // keeps the choice deterministic.
+  ForwardSet out;
+  for (const auto& [f, tags] : distinct) {
+    bool dominated = false;
+    for (const auto& [g, gtags] : distinct) {
+      if (&g == &f) continue;
+      if (!g.covers(f)) continue;
+      if (f.covers(g)) {
+        // Equivalent pair: the map iterates in operator< order, so the
+        // smaller key wins; f is dominated iff g < f.
+        if (g < f) dominated = true;
+      } else {
+        dominated = true;
+      }
+      if (dominated) break;
+    }
+    if (!dominated) out.emplace(f, tags);
+  }
+  return out;
+}
+
+/// merging collapse: covering, then greedy pairwise exact merges to a
+/// fixpoint. Deterministic: scan pairs in map order, restart on change.
+ForwardSet collapse_merging(const std::vector<ForwardInput>& inputs) {
+  ForwardSet current = collapse_covering(inputs);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto it1 = current.begin(); it1 != current.end() && !changed; ++it1) {
+      for (auto it2 = std::next(it1); it2 != current.end() && !changed; ++it2) {
+        auto merged = it1->first.try_merge(it2->first);
+        if (!merged.has_value()) continue;
+        std::set<SubKey> tags = it1->second;
+        tags.insert(it2->second.begin(), it2->second.end());
+        current.erase(it2);
+        current.erase(it1);
+        auto& slot = current[*merged];
+        slot.insert(tags.begin(), tags.end());
+        changed = true;
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace
+
+ForwardSet compute_forward_set(Strategy strategy,
+                               const std::vector<ForwardInput>& inputs) {
+  switch (strategy) {
+    case Strategy::flooding:
+      return {};
+    case Strategy::simple:
+      // Simple routing forwards every subscription; structurally equal
+      // filters still share one wire entry keyed by the filter, but all
+      // tags ride along so nothing is aggregated away.
+      return collapse_identity(inputs);
+    case Strategy::identity:
+      return collapse_identity(inputs);
+    case Strategy::covering:
+      return collapse_covering(inputs);
+    case Strategy::merging:
+      return collapse_merging(inputs);
+  }
+  return {};
+}
+
+ForwardDiff diff_forward_sets(const ForwardSet& sent, const ForwardSet& target) {
+  ForwardDiff diff;
+  for (const auto& [f, tags] : sent) {
+    if (target.find(f) == target.end()) diff.unsubscribe.push_back(f);
+  }
+  for (const auto& [f, tags] : target) {
+    auto it = sent.find(f);
+    if (it == sent.end() || it->second != tags) diff.subscribe[f] = tags;
+  }
+  return diff;
+}
+
+}  // namespace rebeca::routing

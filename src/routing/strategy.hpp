@@ -1,0 +1,66 @@
+// Routing strategies: what a broker forwards to a neighbor (paper
+// Sec. 2.2).
+//
+// Rather than maintaining incremental covering/merging bookkeeping — the
+// classic source of subtle re-expose bugs on unsubscription — a broker
+// recomputes, per neighbor link, the *target* forward set from its
+// current inputs and diffs it against what it previously sent. The
+// strategy only decides how inputs collapse into the target set:
+//
+//   flooding  — nothing is forwarded; notifications flood instead.
+//   simple    — every subscription forwarded individually.
+//   identity  — structurally identical filters forwarded once.
+//   covering  — only the maximal filters (no other forwarded filter
+//               accepts a superset) are forwarded.
+//   merging   — covering, then pairwise exact merges until fixpoint.
+//
+// Tags (the SubKeys a forwarded filter serves) survive aggregation: a
+// covered subscription's key is attached to every representative that
+// covers it. The relocation protocol depends on this — junction
+// detection must find a roaming client's key in aggregated entries
+// (paper Sec. 4.2: "Covering and merging can be exploited, too").
+#ifndef REBECA_ROUTING_STRATEGY_HPP
+#define REBECA_ROUTING_STRATEGY_HPP
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/filter/filter.hpp"
+#include "src/util/domain_ids.hpp"
+
+namespace rebeca::routing {
+
+enum class Strategy { flooding, simple, identity, covering, merging };
+
+const char* strategy_name(Strategy s);
+
+/// One subscription as seen by the forwarding computation.
+struct ForwardInput {
+  filter::Filter f;
+  std::set<SubKey> tags;
+};
+
+/// Filter → serving subscription keys. Map keys are structural filter
+/// identity; deterministic iteration keeps runs reproducible.
+using ForwardSet = std::map<filter::Filter, std::set<SubKey>>;
+
+/// Collapses the inputs into the set of (filter, tags) pairs that should
+/// be forwarded to one neighbor.
+[[nodiscard]] ForwardSet compute_forward_set(Strategy strategy,
+                                             const std::vector<ForwardInput>& inputs);
+
+/// Difference between the previously sent set and the target: entries to
+/// unsubscribe, and entries to (re-)subscribe (new filter or changed
+/// tags — receivers treat subscribe as an upsert).
+struct ForwardDiff {
+  std::vector<filter::Filter> unsubscribe;
+  ForwardSet subscribe;
+};
+
+[[nodiscard]] ForwardDiff diff_forward_sets(const ForwardSet& sent,
+                                            const ForwardSet& target);
+
+}  // namespace rebeca::routing
+
+#endif  // REBECA_ROUTING_STRATEGY_HPP

@@ -1,0 +1,80 @@
+// Link delay models.
+//
+// The paper postulates point-to-point FIFO links whose delays "satisfy
+// some probability distribution so that an expected delivery time can be
+// computed statistically" (Sec. 2.1). DelayModel captures that: a fixed
+// floor plus an optional stochastic component, sampled from the
+// simulation's seeded RNG.
+#ifndef REBECA_SIM_DELAY_MODEL_HPP
+#define REBECA_SIM_DELAY_MODEL_HPP
+
+#include <algorithm>
+
+#include "src/sim/time.hpp"
+#include "src/util/assert.hpp"
+#include "src/util/rng.hpp"
+
+namespace rebeca::sim {
+
+class DelayModel {
+ public:
+  enum class Kind { fixed, uniform, exponential };
+
+  /// Constant delay.
+  static DelayModel fixed(Duration d) {
+    REBECA_ASSERT(d >= 0, "negative delay");
+    return DelayModel(Kind::fixed, d, d);
+  }
+
+  /// Uniform in [lo, hi].
+  static DelayModel uniform(Duration lo, Duration hi) {
+    REBECA_ASSERT(0 <= lo && lo <= hi, "bad uniform delay range");
+    return DelayModel(Kind::uniform, lo, hi);
+  }
+
+  /// Shifted exponential: floor + Exp(mean), truncated at floor + 10*mean
+  /// so a single unlucky draw cannot stall a FIFO link arbitrarily.
+  static DelayModel exponential(Duration floor, Duration mean) {
+    REBECA_ASSERT(floor >= 0 && mean > 0, "bad exponential delay");
+    return DelayModel(Kind::exponential, floor, mean);
+  }
+
+  [[nodiscard]] Duration sample(util::Rng& rng) const {
+    switch (kind_) {
+      case Kind::fixed:
+        return a_;
+      case Kind::uniform:
+        return rng.uniform_i64(a_, b_);
+      case Kind::exponential: {
+        const double draw = rng.exponential(static_cast<double>(b_));
+        const double capped = std::min(draw, 10.0 * static_cast<double>(b_));
+        return a_ + static_cast<Duration>(capped);
+      }
+    }
+    return a_;
+  }
+
+  /// Expected value of the distribution (used by the analytic model and
+  /// by the adaptivity rule's δ estimates).
+  [[nodiscard]] Duration mean() const {
+    switch (kind_) {
+      case Kind::fixed: return a_;
+      case Kind::uniform: return (a_ + b_) / 2;
+      case Kind::exponential: return a_ + b_;
+    }
+    return a_;
+  }
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+
+ private:
+  DelayModel(Kind kind, Duration a, Duration b) : kind_(kind), a_(a), b_(b) {}
+
+  Kind kind_;
+  Duration a_;  // fixed value / lower bound / floor
+  Duration b_;  // upper bound / mean of exponential part
+};
+
+}  // namespace rebeca::sim
+
+#endif  // REBECA_SIM_DELAY_MODEL_HPP

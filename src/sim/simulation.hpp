@@ -1,0 +1,132 @@
+// Deterministic discrete-event simulation kernel.
+//
+// A Simulation owns a virtual clock and an event queue. Events at equal
+// times execute in scheduling order (a monotone sequence number breaks
+// ties), which — together with seeded RNG — makes every run exactly
+// reproducible. The kernel is single-threaded on purpose: determinism is
+// what lets the experiment harness compare a mobility run against a
+// flooding reference run of the *same* workload (paper Fig. 4 epoch
+// semantics).
+#ifndef REBECA_SIM_SIMULATION_HPP
+#define REBECA_SIM_SIMULATION_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/sim/time.hpp"
+#include "src/util/assert.hpp"
+#include "src/util/rng.hpp"
+
+namespace rebeca::sim {
+
+/// Handle to a scheduled event; allows cancellation.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  [[nodiscard]] bool valid() const { return cancelled_ != nullptr; }
+
+  /// Cancels the event if it has not run yet. Safe to call repeatedly.
+  void cancel() {
+    if (cancelled_) *cancelled_ = true;
+  }
+
+ private:
+  friend class Simulation;
+  explicit EventHandle(std::shared_ptr<bool> flag) : cancelled_(std::move(flag)) {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed = 1) : rng_(seed) {}
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  [[nodiscard]] TimePoint now() const { return now_; }
+  [[nodiscard]] util::Rng& rng() { return rng_; }
+
+  /// Schedules `fn` to run at absolute virtual time `when` (>= now).
+  EventHandle schedule_at(TimePoint when, std::function<void()> fn) {
+    REBECA_ASSERT(when >= now_, "scheduling into the past: when=" << when
+                                                                  << " now=" << now_);
+    auto flag = std::make_shared<bool>(false);
+    queue_.push(Scheduled{when, next_seq_++, std::move(fn), flag});
+    return EventHandle(flag);
+  }
+
+  /// Schedules `fn` to run `delay` after the current time.
+  EventHandle schedule_after(Duration delay, std::function<void()> fn) {
+    REBECA_ASSERT(delay >= 0, "negative delay " << delay);
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Runs events until the queue drains or virtual time would pass
+  /// `deadline`; afterwards now() == deadline (unless stopped early).
+  void run_until(TimePoint deadline) {
+    REBECA_ASSERT(deadline >= now_, "deadline in the past");
+    stopped_ = false;
+    while (!queue_.empty() && !stopped_) {
+      const Scheduled& top = queue_.top();
+      if (top.when > deadline) break;
+      Scheduled ev = top;
+      queue_.pop();
+      now_ = ev.when;
+      if (!*ev.cancelled) ev.fn();
+    }
+    if (!stopped_) now_ = deadline;
+  }
+
+  /// Runs until the queue is empty (or stop() / the event cap hits).
+  /// Returns the number of events executed.
+  std::uint64_t run_all(std::uint64_t max_events = 100'000'000ULL) {
+    stopped_ = false;
+    std::uint64_t executed = 0;
+    while (!queue_.empty() && !stopped_) {
+      REBECA_ASSERT(executed < max_events, "event cap exceeded — runaway simulation?");
+      Scheduled ev = queue_.top();
+      queue_.pop();
+      now_ = ev.when;
+      if (!*ev.cancelled) {
+        ev.fn();
+        ++executed;
+      }
+    }
+    return executed;
+  }
+
+  /// Stops the current run_* loop after the current event returns.
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Scheduled {
+    TimePoint when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+  };
+
+  struct Later {
+    bool operator()(const Scheduled& a, const Scheduled& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  TimePoint now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  bool stopped_ = false;
+  util::Rng rng_;
+  std::priority_queue<Scheduled, std::vector<Scheduled>, Later> queue_;
+};
+
+}  // namespace rebeca::sim
+
+#endif  // REBECA_SIM_SIMULATION_HPP

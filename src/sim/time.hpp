@@ -1,0 +1,60 @@
+// Virtual time.
+//
+// The simulator uses integer nanoseconds. Integers (not doubles) make
+// event ordering exact and runs bit-reproducible; nanosecond granularity
+// comfortably covers the paper's regimes (network delays of milliseconds,
+// residence times of seconds).
+#ifndef REBECA_SIM_TIME_HPP
+#define REBECA_SIM_TIME_HPP
+
+#include <cstdint>
+#include <ostream>
+
+namespace rebeca::sim {
+
+/// A point in virtual time, in nanoseconds since simulation start.
+using TimePoint = std::int64_t;
+
+/// A span of virtual time, in nanoseconds.
+using Duration = std::int64_t;
+
+constexpr Duration kNanosecond = 1;
+constexpr Duration kMicrosecond = 1000 * kNanosecond;
+constexpr Duration kMillisecond = 1000 * kMicrosecond;
+constexpr Duration kSecond = 1000 * kMillisecond;
+
+constexpr Duration micros(double n) {
+  return static_cast<Duration>(n * static_cast<double>(kMicrosecond));
+}
+constexpr Duration millis(double n) {
+  return static_cast<Duration>(n * static_cast<double>(kMillisecond));
+}
+constexpr Duration seconds(double n) {
+  return static_cast<Duration>(n * static_cast<double>(kSecond));
+}
+
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+constexpr double to_millis(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+/// Formats a time point as fractional seconds (for logs and traces).
+struct FormatTime {
+  TimePoint t;
+};
+
+inline std::ostream& operator<<(std::ostream& os, FormatTime ft) {
+  const auto whole = ft.t / kSecond;
+  const auto frac = ft.t % kSecond;
+  os << whole << '.';
+  // Print milliseconds with leading zeros.
+  const auto ms = frac / kMillisecond;
+  os << (ms < 100 ? "0" : "") << (ms < 10 ? "0" : "") << ms << "s";
+  return os;
+}
+
+}  // namespace rebeca::sim
+
+#endif  // REBECA_SIM_TIME_HPP

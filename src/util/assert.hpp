@@ -1,0 +1,48 @@
+// Assertion macros for invariant checking.
+//
+// REBECA_ASSERT throws (rather than aborts) so that violated invariants
+// surface as catchable test failures and carry a message with file/line
+// context. Protocol code uses these liberally: a distributed protocol
+// that silently continues past a broken invariant produces bugs that are
+// far harder to localize than an exception at the violation site.
+#ifndef REBECA_UTIL_ASSERT_HPP
+#define REBECA_UTIL_ASSERT_HPP
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rebeca::util {
+
+/// Thrown when an internal invariant is violated.
+class AssertionError : public std::logic_error {
+ public:
+  explicit AssertionError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void assertion_failure(const char* expr, const char* file,
+                                           int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "assertion failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw AssertionError(os.str());
+}
+
+}  // namespace rebeca::util
+
+/// Always-on invariant check. `msg` is streamed, e.g.
+/// REBECA_ASSERT(x > 0, "x=" << x).
+#define REBECA_ASSERT(expr, msg)                                         \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      std::ostringstream rebeca_assert_os_;                              \
+      rebeca_assert_os_ << msg; /* NOLINT */                             \
+      ::rebeca::util::assertion_failure(#expr, __FILE__, __LINE__,       \
+                                        rebeca_assert_os_.str());        \
+    }                                                                    \
+  } while (false)
+
+/// Invariant check without a message.
+#define REBECA_CHECK(expr) REBECA_ASSERT(expr, "")
+
+#endif  // REBECA_UTIL_ASSERT_HPP

@@ -1,0 +1,59 @@
+// Domain-wide identifier types.
+//
+// These are shared by several modules (a Notification carries its
+// producer's ClientId; routing tables key on SubKey; the location layer
+// speaks LocationId), so they live below all of them.
+#ifndef REBECA_UTIL_DOMAIN_IDS_HPP
+#define REBECA_UTIL_DOMAIN_IDS_HPP
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+#include "src/util/ids.hpp"
+
+namespace rebeca {
+
+/// A broker node in the overlay graph.
+using NodeId = util::StrongId<struct NodeIdTag>;
+
+/// A point-to-point link (broker-broker or broker-client).
+using LinkId = util::StrongId<struct LinkIdTag>;
+
+/// A client process (producer and/or consumer).
+using ClientId = util::StrongId<struct ClientIdTag>;
+
+/// A logical location (a room, a street block, a cell).
+using LocationId = util::StrongId<struct LocationIdTag>;
+
+/// A producer-side advertisement.
+using AdvId = util::StrongId<struct AdvIdTag, std::uint64_t>;
+
+/// A published notification (globally unique).
+using NotificationId = util::StrongId<struct NotificationIdTag, std::uint64_t>;
+
+/// Identifies one subscription of one client, stable across roaming.
+struct SubKey {
+  ClientId client;
+  std::uint32_t sub = 0;
+
+  friend constexpr auto operator<=>(const SubKey&, const SubKey&) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, const SubKey& k) {
+    return os << "c" << k.client << "/s" << k.sub;
+  }
+};
+
+}  // namespace rebeca
+
+namespace std {
+template <>
+struct hash<rebeca::SubKey> {
+  size_t operator()(const rebeca::SubKey& k) const noexcept {
+    return std::hash<std::uint32_t>{}(k.client.value()) * 1000003u ^
+           std::hash<std::uint32_t>{}(k.sub);
+  }
+};
+}  // namespace std
+
+#endif  // REBECA_UTIL_DOMAIN_IDS_HPP

@@ -1,0 +1,56 @@
+// Strongly typed identifiers.
+//
+// The broker network juggles many integer-like identities (nodes, links,
+// clients, subscriptions, locations, ...). Using raw integers invites
+// silent cross-assignment bugs; a tagged wrapper makes every identity a
+// distinct type with value semantics, ordering and hashing.
+#ifndef REBECA_UTIL_IDS_HPP
+#define REBECA_UTIL_IDS_HPP
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace rebeca::util {
+
+/// A strongly typed integer identifier. `Tag` only disambiguates types.
+template <typename Tag, typename Rep = std::uint32_t>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep value) : value_(value) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != invalid_value(); }
+
+  /// Sentinel for "no id".
+  [[nodiscard]] static constexpr StrongId invalid() { return StrongId{}; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    if (!id.valid()) return os << "<invalid>";
+    return os << id.value_;
+  }
+
+ private:
+  static constexpr Rep invalid_value() { return std::numeric_limits<Rep>::max(); }
+  Rep value_ = invalid_value();
+};
+
+}  // namespace rebeca::util
+
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<rebeca::util::StrongId<Tag, Rep>> {
+  size_t operator()(rebeca::util::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+}  // namespace std
+
+#endif  // REBECA_UTIL_IDS_HPP

@@ -1,0 +1,60 @@
+#include "src/util/logging.hpp"
+
+#include <cstdio>
+#include <mutex>
+#include <utility>
+
+namespace rebeca::util {
+
+namespace {
+
+// The library is single-threaded by design (discrete-event simulation),
+// but logging configuration may be touched from test main()s; a mutex
+// keeps this corner safe without imposing costs elsewhere.
+std::mutex g_mutex;
+LogLevel g_level = LogLevel::warn;
+Logging::Sink g_sink;
+
+}  // namespace
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::trace: return "TRACE";
+    case LogLevel::debug: return "DEBUG";
+    case LogLevel::info: return "INFO";
+    case LogLevel::warn: return "WARN";
+    case LogLevel::error: return "ERROR";
+    case LogLevel::off: return "OFF";
+  }
+  return "?";
+}
+
+LogLevel Logging::level() {
+  std::scoped_lock lock(g_mutex);
+  return g_level;
+}
+
+void Logging::set_level(LogLevel level) {
+  std::scoped_lock lock(g_mutex);
+  g_level = level;
+}
+
+void Logging::set_sink(Sink sink) {
+  std::scoped_lock lock(g_mutex);
+  g_sink = std::move(sink);
+}
+
+void Logging::emit(LogLevel level, const std::string& message) {
+  Sink sink;
+  {
+    std::scoped_lock lock(g_mutex);
+    sink = g_sink;
+  }
+  if (sink) {
+    sink(level, message);
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", log_level_name(level), message.c_str());
+  }
+}
+
+}  // namespace rebeca::util

@@ -1,0 +1,52 @@
+// Minimal leveled logging.
+//
+// Logging is kept deliberately small: a global level, an optional sink
+// override (tests capture output), and a streaming macro. The simulator
+// prepends virtual time itself where relevant; this layer knows nothing
+// about simulation.
+#ifndef REBECA_UTIL_LOGGING_HPP
+#define REBECA_UTIL_LOGGING_HPP
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace rebeca::util {
+
+enum class LogLevel { trace = 0, debug = 1, info = 2, warn = 3, error = 4, off = 5 };
+
+const char* log_level_name(LogLevel level);
+
+/// Process-wide logging configuration.
+class Logging {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static LogLevel level();
+  static void set_level(LogLevel level);
+
+  /// Replace the sink (default: stderr). Pass nullptr to restore default.
+  static void set_sink(Sink sink);
+
+  static void emit(LogLevel level, const std::string& message);
+};
+
+}  // namespace rebeca::util
+
+#define REBECA_LOG(level_, msg_)                                          \
+  do {                                                                    \
+    if (static_cast<int>(level_) >=                                       \
+        static_cast<int>(::rebeca::util::Logging::level())) {             \
+      std::ostringstream rebeca_log_os_;                                  \
+      rebeca_log_os_ << msg_; /* NOLINT */                                \
+      ::rebeca::util::Logging::emit(level_, rebeca_log_os_.str());        \
+    }                                                                     \
+  } while (false)
+
+#define REBECA_TRACE(msg_) REBECA_LOG(::rebeca::util::LogLevel::trace, msg_)
+#define REBECA_DEBUG(msg_) REBECA_LOG(::rebeca::util::LogLevel::debug, msg_)
+#define REBECA_INFO(msg_) REBECA_LOG(::rebeca::util::LogLevel::info, msg_)
+#define REBECA_WARN(msg_) REBECA_LOG(::rebeca::util::LogLevel::warn, msg_)
+#define REBECA_ERROR(msg_) REBECA_LOG(::rebeca::util::LogLevel::error, msg_)
+
+#endif  // REBECA_UTIL_LOGGING_HPP

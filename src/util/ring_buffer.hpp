@@ -1,0 +1,65 @@
+// Bounded FIFO buffer with explicit overflow accounting.
+//
+// Used for the "virtual counterpart" notification buffers of the
+// relocation protocol (paper Sec. 4.1: completeness holds "within the
+// boundaries of time and/or space limitations of buffering approaches").
+// When capacity is exceeded the oldest element is dropped and the drop is
+// counted, so callers can surface truncation instead of silently losing
+// completeness.
+#ifndef REBECA_UTIL_RING_BUFFER_HPP
+#define REBECA_UTIL_RING_BUFFER_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+#include "src/util/assert.hpp"
+
+namespace rebeca::util {
+
+template <typename T>
+class RingBuffer {
+ public:
+  /// capacity == 0 means unbounded.
+  explicit RingBuffer(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  /// Appends a value; drops (and counts) the oldest value on overflow.
+  void push(T value) {
+    if (capacity_ != 0 && items_.size() == capacity_) {
+      items_.pop_front();
+      ++dropped_;
+    }
+    items_.push_back(std::move(value));
+  }
+
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+  [[nodiscard]] const T& front() const {
+    REBECA_CHECK(!items_.empty());
+    return items_.front();
+  }
+
+  T pop() {
+    REBECA_CHECK(!items_.empty());
+    T value = std::move(items_.front());
+    items_.pop_front();
+    return value;
+  }
+
+  void clear() { items_.clear(); }
+
+  auto begin() const { return items_.begin(); }
+  auto end() const { return items_.end(); }
+
+ private:
+  std::size_t capacity_;
+  std::deque<T> items_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace rebeca::util
+
+#endif  // REBECA_UTIL_RING_BUFFER_HPP

@@ -1,0 +1,125 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic behaviour in the simulator flows from these generators,
+// seeded explicitly per scenario, so that every experiment is exactly
+// reproducible from its seed. We avoid std::default_random_engine and the
+// std distributions because their outputs are implementation-defined;
+// the distributions below are portable and bit-stable.
+#ifndef REBECA_UTIL_RNG_HPP
+#define REBECA_UTIL_RNG_HPP
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/util/assert.hpp"
+
+namespace rebeca::util {
+
+/// SplitMix64: used for seeding and cheap hashing-style mixing.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: the workhorse generator. Fast, high quality, tiny state.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Unbiased via rejection.
+  std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi) {
+    REBECA_ASSERT(lo <= hi, "uniform_u64 range [" << lo << "," << hi << "]");
+    const std::uint64_t span = hi - lo;
+    if (span == ~0ULL) return next();
+    const std::uint64_t bound = span + 1;
+    const std::uint64_t limit = (~0ULL) - ((~0ULL) % bound + 1) % bound;
+    std::uint64_t draw = next();
+    while (draw > limit) draw = next();
+    return lo + draw % bound;
+  }
+
+  std::int64_t uniform_i64(std::int64_t lo, std::int64_t hi) {
+    REBECA_ASSERT(lo <= hi, "uniform_i64 range");
+    return lo + static_cast<std::int64_t>(
+                    uniform_u64(0, static_cast<std::uint64_t>(hi - lo)));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  double uniform_real(double lo, double hi) {
+    REBECA_ASSERT(lo <= hi, "uniform_real range");
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Exponentially distributed value with the given mean.
+  double exponential(double mean) {
+    REBECA_ASSERT(mean > 0.0, "exponential mean must be positive");
+    double u = uniform01();
+    // Guard against log(0).
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+  }
+
+  bool bernoulli(double p) { return uniform01() < p; }
+
+  /// Pick a uniformly random element index of a non-empty container size.
+  std::size_t index(std::size_t size) {
+    REBECA_ASSERT(size > 0, "index over empty range");
+    return static_cast<std::size_t>(uniform_u64(0, size - 1));
+  }
+
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    return v[index(v.size())];
+  }
+
+  /// Derive an independent child generator (for per-process streams).
+  Rng fork() { return Rng(next()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace rebeca::util
+
+#endif  // REBECA_UTIL_RNG_HPP

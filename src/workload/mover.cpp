@@ -1,0 +1,87 @@
+#include "src/workload/mover.hpp"
+
+#include "src/util/assert.hpp"
+
+namespace rebeca::workload {
+
+LogicalMover::LogicalMover(sim::Simulation& sim, client::Client& client,
+                           LogicalMoverConfig config)
+    : sim_(sim), client_(client), config_(std::move(config)),
+      rng_(config_.seed) {
+  REBECA_ASSERT(config_.locations != nullptr, "mover needs a location graph");
+  REBECA_ASSERT(config_.delta > 0, "residence time must be positive");
+}
+
+void LogicalMover::start() {
+  if (running_) return;
+  running_ = true;
+  const auto dwell = config_.exponential_residence
+                         ? static_cast<sim::Duration>(rng_.exponential(
+                               static_cast<double>(config_.delta)))
+                         : config_.delta;
+  next_ = sim_.schedule_after(dwell, [this] { step(); });
+}
+
+void LogicalMover::stop() {
+  running_ = false;
+  next_.cancel();
+}
+
+void LogicalMover::step() {
+  if (!running_) return;
+  const auto& nbrs = config_.locations->neighbors(client_.location());
+  if (!nbrs.empty()) {
+    client_.move_to(nbrs[rng_.index(nbrs.size())]);
+    ++moves_;
+  }
+  if (config_.max_moves != 0 && moves_ >= config_.max_moves) {
+    running_ = false;
+    return;
+  }
+  const auto dwell = config_.exponential_residence
+                         ? static_cast<sim::Duration>(rng_.exponential(
+                               static_cast<double>(config_.delta)))
+                         : config_.delta;
+  next_ = sim_.schedule_after(dwell, [this] { step(); });
+}
+
+PhysicalMover::PhysicalMover(broker::Overlay& overlay, client::Client& client,
+                             PhysicalMoverConfig config)
+    : overlay_(overlay), client_(client), config_(std::move(config)) {
+  REBECA_ASSERT(!config_.itinerary.empty(), "itinerary must not be empty");
+}
+
+void PhysicalMover::start() {
+  if (running_) return;
+  running_ = true;
+  next_ = overlay_.sim().schedule_after(config_.dwell, [this] { depart(); });
+}
+
+void PhysicalMover::stop() {
+  running_ = false;
+  next_.cancel();
+}
+
+void PhysicalMover::depart() {
+  if (!running_) return;
+  if (config_.graceful) {
+    client_.detach_gracefully();
+  } else {
+    client_.detach_silently();
+  }
+  next_ = overlay_.sim().schedule_after(config_.gap, [this] { arrive(); });
+}
+
+void PhysicalMover::arrive() {
+  if (!running_) return;
+  overlay_.connect_client(client_, config_.itinerary[position_]);
+  position_ = (position_ + 1) % config_.itinerary.size();
+  ++hops_;
+  if (config_.max_hops != 0 && hops_ >= config_.max_hops) {
+    running_ = false;
+    return;
+  }
+  next_ = overlay_.sim().schedule_after(config_.dwell, [this] { depart(); });
+}
+
+}  // namespace rebeca::workload

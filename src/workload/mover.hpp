@@ -1,0 +1,87 @@
+// Mover workloads: drive a client's mobility.
+//
+// LogicalMover performs a random walk on the movement graph, staying Δ
+// at each location (the consumer of Fig. 9). PhysicalMover roams between
+// border brokers with disconnected gaps (the roaming client of Sec. 4).
+#ifndef REBECA_WORKLOAD_MOVER_HPP
+#define REBECA_WORKLOAD_MOVER_HPP
+
+#include <vector>
+
+#include "src/broker/overlay.hpp"
+#include "src/client/client.hpp"
+#include "src/location/location_graph.hpp"
+#include "src/sim/simulation.hpp"
+#include "src/util/rng.hpp"
+
+namespace rebeca::workload {
+
+struct LogicalMoverConfig {
+  const location::LocationGraph* locations = nullptr;
+  /// Mean residence time Δ at one location.
+  sim::Duration delta = sim::seconds(1);
+  /// Draw residence times from Exp(Δ) instead of exactly Δ.
+  bool exponential_residence = false;
+  std::uint64_t seed = 1;
+  std::uint64_t max_moves = 0;  // 0 = unbounded
+};
+
+/// Random walk over the movement graph via Client::move_to.
+class LogicalMover {
+ public:
+  LogicalMover(sim::Simulation& sim, client::Client& client,
+               LogicalMoverConfig config);
+
+  void start();
+  void stop();
+  [[nodiscard]] std::uint64_t moves() const { return moves_; }
+
+ private:
+  void step();
+
+  sim::Simulation& sim_;
+  client::Client& client_;
+  LogicalMoverConfig config_;
+  util::Rng rng_;
+  std::uint64_t moves_ = 0;
+  bool running_ = false;
+  sim::EventHandle next_;
+};
+
+struct PhysicalMoverConfig {
+  /// Brokers visited, in order (wraps around).
+  std::vector<std::size_t> itinerary;
+  /// Connected time at each broker.
+  sim::Duration dwell = sim::seconds(5);
+  /// Disconnected gap between detach and the next attach.
+  sim::Duration gap = sim::seconds(1);
+  bool graceful = false;  // sign off with a bye instead of going silent
+  std::uint64_t max_hops = 0;
+};
+
+/// Roams a client across border brokers: dwell, detach, gap, re-attach.
+class PhysicalMover {
+ public:
+  PhysicalMover(broker::Overlay& overlay, client::Client& client,
+                PhysicalMoverConfig config);
+
+  void start();
+  void stop();
+  [[nodiscard]] std::uint64_t hops() const { return hops_; }
+
+ private:
+  void depart();
+  void arrive();
+
+  broker::Overlay& overlay_;
+  client::Client& client_;
+  PhysicalMoverConfig config_;
+  std::size_t position_ = 0;
+  std::uint64_t hops_ = 0;
+  bool running_ = false;
+  sim::EventHandle next_;
+};
+
+}  // namespace rebeca::workload
+
+#endif  // REBECA_WORKLOAD_MOVER_HPP

@@ -1,0 +1,38 @@
+#include "src/workload/publisher.hpp"
+
+namespace rebeca::workload {
+
+Publisher::Publisher(sim::Simulation& sim, client::Client& client,
+                     PublisherConfig config)
+    : sim_(sim), client_(client), config_(std::move(config)),
+      rng_(config_.seed) {}
+
+void Publisher::start() {
+  if (running_) return;
+  running_ = true;
+  next_ = sim_.schedule_after(config_.rate.next_interval(rng_), [this] { tick(); });
+}
+
+void Publisher::stop() {
+  running_ = false;
+  next_.cancel();
+}
+
+void Publisher::tick() {
+  if (!running_) return;
+  filter::Notification n = config_.prototype;
+  if (config_.locations != nullptr) {
+    const auto loc = LocationId(
+        static_cast<std::uint32_t>(rng_.index(config_.locations->size())));
+    n.set(config_.location_attr, config_.locations->name(loc));
+  }
+  client_.publish(std::move(n));
+  ++published_;
+  if (config_.max_count != 0 && published_ >= config_.max_count) {
+    running_ = false;
+    return;
+  }
+  next_ = sim_.schedule_after(config_.rate.next_interval(rng_), [this] { tick(); });
+}
+
+}  // namespace rebeca::workload

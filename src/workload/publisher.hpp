@@ -1,0 +1,79 @@
+// Publisher workloads: processes that publish notifications on a
+// schedule, used by the experiments (Fig. 9's producers publish
+// "according to a uniform distribution over the set of locations").
+#ifndef REBECA_WORKLOAD_PUBLISHER_HPP
+#define REBECA_WORKLOAD_PUBLISHER_HPP
+
+#include <functional>
+#include <string>
+
+#include "src/client/client.hpp"
+#include "src/location/location_graph.hpp"
+#include "src/sim/simulation.hpp"
+#include "src/util/rng.hpp"
+
+namespace rebeca::workload {
+
+/// Inter-publication timing.
+struct RateModel {
+  enum class Kind { periodic, poisson };
+  Kind kind = Kind::periodic;
+  sim::Duration period = sim::millis(100);  // period / mean inter-arrival
+
+  static RateModel periodic(sim::Duration period) {
+    return {Kind::periodic, period};
+  }
+  static RateModel poisson(sim::Duration mean_interval) {
+    return {Kind::poisson, mean_interval};
+  }
+
+  [[nodiscard]] sim::Duration next_interval(util::Rng& rng) const {
+    switch (kind) {
+      case Kind::periodic:
+        return period;
+      case Kind::poisson:
+        return static_cast<sim::Duration>(
+            rng.exponential(static_cast<double>(period)));
+    }
+    return period;
+  }
+};
+
+struct PublisherConfig {
+  RateModel rate = RateModel::periodic(sim::millis(100));
+  /// Attribute template applied to every notification.
+  filter::Notification prototype;
+  /// If set, each notification gets a `location` attribute drawn
+  /// uniformly from this graph (Fig. 9's uniform location distribution).
+  const location::LocationGraph* locations = nullptr;
+  std::string location_attr = "location";
+  /// Stop after this many publications (0 = run until stopped).
+  std::uint64_t max_count = 0;
+  /// RNG seed for this publisher's draws.
+  std::uint64_t seed = 1;
+};
+
+/// Drives a Client's publish() on the configured schedule.
+class Publisher {
+ public:
+  Publisher(sim::Simulation& sim, client::Client& client, PublisherConfig config);
+
+  void start();
+  void stop();
+  [[nodiscard]] std::uint64_t published() const { return published_; }
+
+ private:
+  void tick();
+
+  sim::Simulation& sim_;
+  client::Client& client_;
+  PublisherConfig config_;
+  util::Rng rng_;
+  std::uint64_t published_ = 0;
+  bool running_ = false;
+  sim::EventHandle next_;
+};
+
+}  // namespace rebeca::workload
+
+#endif  // REBECA_WORKLOAD_PUBLISHER_HPP

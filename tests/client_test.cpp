@@ -1,0 +1,235 @@
+// Client-library unit tests: the four primitives' local behavior,
+// offline queueing, dedup, epochs and client-side filtering.
+#include <gtest/gtest.h>
+
+#include "src/broker/overlay.hpp"
+#include "src/client/client.hpp"
+#include "src/net/topology.hpp"
+
+namespace rebeca {
+namespace {
+
+using client::Client;
+using client::ClientConfig;
+
+struct World {
+  World() : sim(1), overlay(sim, net::Topology::chain(3), {}) {}
+  sim::Simulation sim;
+  broker::Overlay overlay;
+};
+
+TEST(Client, RequiresValidId) {
+  sim::Simulation sim(1);
+  EXPECT_THROW(Client(sim, ClientConfig{}), util::AssertionError);
+}
+
+TEST(Client, PublishStampsUniqueIncreasingIds) {
+  World w;
+  ClientConfig cc;
+  cc.id = ClientId(1);
+  Client producer(w.sim, cc);
+  w.overlay.connect_client(producer, 0);
+
+  ClientConfig sc;
+  sc.id = ClientId(2);
+  Client sink(w.sim, sc);
+  w.overlay.connect_client(sink, 2);
+  sink.subscribe(filter::Filter());
+  w.sim.run_until(sim::seconds(1));
+
+  for (int i = 0; i < 5; ++i) {
+    producer.publish(filter::Notification().set("i", i));
+  }
+  w.sim.run_until(w.sim.now() + sim::seconds(1));
+  ASSERT_EQ(sink.deliveries().size(), 5u);
+  for (std::size_t i = 1; i < 5; ++i) {
+    EXPECT_GT(sink.deliveries()[i].notification.id().value(),
+              sink.deliveries()[i - 1].notification.id().value());
+    EXPECT_EQ(sink.deliveries()[i].notification.producer(), ClientId(1));
+  }
+}
+
+TEST(Client, OfflinePublishesFlushOnConnect) {
+  World w;
+  ClientConfig sc;
+  sc.id = ClientId(2);
+  Client sink(w.sim, sc);
+  w.overlay.connect_client(sink, 2);
+  sink.subscribe(filter::Filter());
+  w.sim.run_until(sim::seconds(1));
+
+  ClientConfig cc;
+  cc.id = ClientId(1);
+  Client producer(w.sim, cc);  // not connected yet
+  producer.publish(filter::Notification().set("i", 1));
+  producer.publish(filter::Notification().set("i", 2));
+  EXPECT_FALSE(producer.connected());
+
+  w.overlay.connect_client(producer, 0);
+  w.sim.run_until(w.sim.now() + sim::seconds(1));
+  EXPECT_EQ(sink.deliveries().size(), 2u);
+}
+
+TEST(Client, SubscribeWhileOfflineActivatesOnConnect) {
+  World w;
+  ClientConfig cc;
+  cc.id = ClientId(1);
+  Client consumer(w.sim, cc);
+  consumer.subscribe(filter::Filter().where("k", filter::Constraint::eq(1)));
+
+  w.overlay.connect_client(consumer, 0);
+
+  ClientConfig pc;
+  pc.id = ClientId(2);
+  Client producer(w.sim, pc);
+  w.overlay.connect_client(producer, 2);
+  w.sim.run_until(sim::seconds(1));
+  producer.publish(filter::Notification().set("k", 1));
+  w.sim.run_until(w.sim.now() + sim::seconds(1));
+  EXPECT_EQ(consumer.deliveries().size(), 1u);
+}
+
+TEST(Client, UnsubscribeIsLocalImmediately) {
+  World w;
+  ClientConfig cc;
+  cc.id = ClientId(1);
+  Client consumer(w.sim, cc);
+  w.overlay.connect_client(consumer, 0);
+  auto sub = consumer.subscribe(filter::Filter());
+  consumer.unsubscribe(sub);
+  consumer.unsubscribe(sub);  // idempotent
+  consumer.unsubscribe(999);  // unknown: no-op
+}
+
+TEST(Client, DedupSuppressesDuplicateDeliveries) {
+  // Double attachment (make-before-break) delivers each notification
+  // once per session; with dedup ON the application sees it once.
+  World w;
+  ClientConfig cc;
+  cc.id = ClientId(1);
+  cc.relocation = client::RelocationMode::naive;
+  cc.dedup = true;
+  Client consumer(w.sim, cc);
+  w.overlay.connect_client(consumer, 0);
+  consumer.subscribe(filter::Filter());
+  w.sim.run_until(sim::seconds(1));
+  w.overlay.connect_client(consumer, 2);  // second simultaneous session
+  w.sim.run_until(w.sim.now() + sim::seconds(1));
+
+  ClientConfig pc;
+  pc.id = ClientId(2);
+  Client producer(w.sim, pc);
+  w.overlay.connect_client(producer, 1);
+  w.sim.run_until(w.sim.now() + sim::seconds(1));
+  producer.publish(filter::Notification().set("x", 1));
+  w.sim.run_until(w.sim.now() + sim::seconds(1));
+
+  EXPECT_EQ(consumer.deliveries().size(), 1u);
+  EXPECT_EQ(consumer.duplicate_count(), 1u);
+}
+
+TEST(Client, LastSeqTracksDeliveries) {
+  World w;
+  ClientConfig cc;
+  cc.id = ClientId(1);
+  Client consumer(w.sim, cc);
+  w.overlay.connect_client(consumer, 0);
+  auto sub = consumer.subscribe(filter::Filter());
+  EXPECT_EQ(consumer.last_seq(sub), 0u);
+  EXPECT_EQ(consumer.last_seq(777), 0u);  // unknown sub
+
+  ClientConfig pc;
+  pc.id = ClientId(2);
+  Client producer(w.sim, pc);
+  w.overlay.connect_client(producer, 2);
+  w.sim.run_until(sim::seconds(1));
+  producer.publish(filter::Notification());
+  producer.publish(filter::Notification());
+  w.sim.run_until(w.sim.now() + sim::seconds(1));
+  EXPECT_EQ(consumer.last_seq(sub), 2u);
+}
+
+TEST(Client, MoveToUnknownLocationThrows) {
+  auto graph = location::LocationGraph::line(3);
+  sim::Simulation sim(1);
+  ClientConfig cc;
+  cc.id = ClientId(1);
+  cc.locations = &graph;
+  Client c(sim, cc);
+  EXPECT_THROW(c.move_to("mars"), util::AssertionError);
+}
+
+TEST(Client, LdSubscribeRequiresGraphAndLocation) {
+  sim::Simulation sim(1);
+  ClientConfig no_graph;
+  no_graph.id = ClientId(1);
+  Client a(sim, no_graph);
+  EXPECT_THROW(a.subscribe(location::LdSpec{}), util::AssertionError);
+
+  auto graph = location::LocationGraph::line(3);
+  ClientConfig with_graph;
+  with_graph.id = ClientId(2);
+  with_graph.locations = &graph;
+  Client b(sim, with_graph);
+  EXPECT_THROW(b.subscribe(location::LdSpec{}), util::AssertionError);  // no loc yet
+  b.move_to("l0");
+  EXPECT_NO_THROW(b.subscribe(location::LdSpec{}));
+}
+
+TEST(Client, ClientSideFilteringCanBeDisabled) {
+  auto graph = location::LocationGraph::line(5);
+  sim::Simulation sim(1);
+  broker::OverlayConfig cfg;
+  cfg.broker.locations = &graph;
+  broker::Overlay overlay(sim, net::Topology::chain(2), cfg);
+
+  ClientConfig cc;
+  cc.id = ClientId(1);
+  cc.locations = &graph;
+  cc.client_side_filtering = false;  // accept the border's lookahead set
+  Client consumer(sim, cc);
+  overlay.connect_client(consumer, 0);
+  consumer.move_to("l1");
+  location::LdSpec spec;
+  spec.profile = location::UncertaintyProfile::global_resub();
+  consumer.subscribe(spec);
+
+  ClientConfig pc;
+  pc.id = ClientId(2);
+  Client producer(sim, pc);
+  overlay.connect_client(producer, 1);
+  sim.run_until(sim::seconds(1));
+
+  // l2 is in the border's one-step lookahead but not at the client's
+  // exact location: with F_0 disabled it reaches the application.
+  producer.publish(filter::Notification().set("location", "l2"));
+  sim.run_until(sim.now() + sim::seconds(1));
+  EXPECT_EQ(consumer.deliveries().size(), 1u);
+  EXPECT_EQ(consumer.filtered_count(), 0u);
+}
+
+TEST(Client, EpochsBumpOnEveryAttach) {
+  World w;
+  ClientConfig cc;
+  cc.id = ClientId(1);
+  Client consumer(w.sim, cc);
+  w.overlay.connect_client(consumer, 0);
+  consumer.subscribe(filter::Filter());
+  w.sim.run_until(sim::seconds(1));
+  consumer.detach_silently();
+  w.sim.run_until(w.sim.now() + sim::millis(100));
+  w.overlay.connect_client(consumer, 1);
+  w.sim.run_until(w.sim.now() + sim::millis(100));
+  consumer.detach_silently();
+  w.sim.run_until(w.sim.now() + sim::millis(100));
+  w.overlay.connect_client(consumer, 2);
+  w.sim.run_until(w.sim.now() + sim::seconds(2));
+  // Three attaches, no crash, no duplicate state: the final session is
+  // the only live one.
+  EXPECT_EQ(w.overlay.broker(2).session_count(), 1u);
+  EXPECT_EQ(w.overlay.broker(0).session_count(), 0u);
+  EXPECT_EQ(w.overlay.broker(1).session_count(), 0u);
+}
+
+}  // namespace
+}  // namespace rebeca

@@ -1,0 +1,104 @@
+// Whole-system determinism: two runs with identical seeds must produce
+// bit-identical delivery logs and message counts — the property the
+// experiment harness's reference-run comparisons rest on (DESIGN.md
+// decision 1).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/broker/overlay.hpp"
+#include "src/client/client.hpp"
+#include "src/net/topology.hpp"
+#include "src/workload/mover.hpp"
+#include "src/workload/publisher.hpp"
+
+namespace rebeca {
+namespace {
+
+using client::Client;
+using client::ClientConfig;
+
+struct RunResult {
+  std::vector<std::tuple<std::uint64_t, std::uint64_t, sim::TimePoint>> log;
+  std::uint64_t total_messages = 0;
+};
+
+RunResult run_system(std::uint64_t seed) {
+  auto graph = location::LocationGraph::grid(5, 5);
+  sim::Simulation sim(seed);
+  broker::OverlayConfig cfg;
+  cfg.broker.locations = &graph;
+  util::Rng topo_rng(seed + 99);
+  broker::Overlay overlay(sim, net::Topology::random_tree(9, topo_rng), cfg);
+
+  ClientConfig cc;
+  cc.id = ClientId(1);
+  cc.locations = &graph;
+  Client consumer(sim, cc);
+  overlay.connect_client(consumer, 0);
+  consumer.move_to("g0_0");
+  consumer.subscribe(filter::Filter().where("sym", filter::Constraint::eq("X")));
+  location::LdSpec spec;
+  spec.vicinity_radius = 1;
+  spec.profile = location::UncertaintyProfile::global_resub();
+  consumer.subscribe(spec);
+
+  ClientConfig pc;
+  pc.id = ClientId(2);
+  Client producer(sim, pc);
+  overlay.connect_client(producer, 8);
+  workload::PublisherConfig wc;
+  wc.rate = workload::RateModel::poisson(sim::millis(15));
+  wc.prototype = filter::Notification().set("sym", "X");
+  wc.locations = &graph;
+  wc.seed = seed * 3;
+  workload::Publisher pub(sim, producer, wc);
+
+  workload::LogicalMoverConfig mc;
+  mc.locations = &graph;
+  mc.delta = sim::millis(300);
+  mc.exponential_residence = true;
+  mc.seed = seed * 7;
+  workload::LogicalMover mover(sim, consumer, mc);
+
+  sim.run_until(sim::seconds(1));
+  pub.start();
+  mover.start();
+  // Roam physically too, with delays drawn from the sim RNG (stochastic
+  // link delays exercise the FIFO clamp).
+  sim.schedule_at(sim::seconds(2), [&] { consumer.detach_silently(); });
+  sim.schedule_at(sim::seconds(2.4), [&] { overlay.connect_client(consumer, 4); });
+  sim.run_until(sim::seconds(6));
+  pub.stop();
+  mover.stop();
+  sim.run_until(sim::seconds(20));
+
+  RunResult r;
+  for (const auto& d : consumer.deliveries()) {
+    r.log.emplace_back(d.notification.id().value(), d.seq, d.delivered_at);
+  }
+  r.total_messages = overlay.counters().total();
+  return r;
+}
+
+class Determinism : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Determinism, IdenticalSeedsIdenticalRuns) {
+  const auto a = run_system(GetParam());
+  const auto b = run_system(GetParam());
+  EXPECT_EQ(a.log, b.log);
+  EXPECT_EQ(a.total_messages, b.total_messages);
+  EXPECT_FALSE(a.log.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Determinism,
+                         ::testing::Values(1, 7, 42, 1337));
+
+TEST(Determinism, DifferentSeedsDiverge) {
+  const auto a = run_system(1);
+  const auto b = run_system(2);
+  EXPECT_NE(a.log, b.log);
+}
+
+}  // namespace
+}  // namespace rebeca

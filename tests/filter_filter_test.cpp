@@ -1,0 +1,246 @@
+// Filter-level semantics: conjunctive matching, covering with absent
+// attributes, overlap and exact merging.
+#include <gtest/gtest.h>
+
+#include "src/filter/filter.hpp"
+
+namespace rebeca::filter {
+namespace {
+
+Filter parking_under(double cost) {
+  return Filter()
+      .where("service", Constraint::eq("parking"))
+      .where("cost", Constraint::lt(cost));
+}
+
+Notification spot(double cost) {
+  return Notification().set("service", "parking").set("cost", cost);
+}
+
+TEST(Filter, EmptyMatchesEverything) {
+  Filter f;
+  EXPECT_TRUE(f.matches(spot(1)));
+  EXPECT_TRUE(f.matches(Notification()));
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(Filter, ConjunctionRequiresAllConstraints) {
+  auto f = parking_under(3);
+  EXPECT_TRUE(f.matches(spot(2.5)));
+  EXPECT_FALSE(f.matches(spot(3.5)));
+  EXPECT_FALSE(f.matches(Notification().set("service", "parking")));  // no cost
+  EXPECT_FALSE(f.matches(Notification().set("cost", 1)));             // no service
+}
+
+TEST(Filter, MissingAttributeNeverMatches) {
+  Filter f;
+  f.where("a", Constraint::any());
+  EXPECT_FALSE(f.matches(Notification().set("b", 1)));
+  EXPECT_TRUE(f.matches(Notification().set("a", 1)));
+}
+
+TEST(Filter, WhereReplacesConstraint) {
+  Filter f;
+  f.where("x", Constraint::lt(5));
+  f.where("x", Constraint::gt(5));
+  EXPECT_EQ(f.size(), 1u);
+  EXPECT_FALSE(f.matches(Notification().set("x", 4)));
+  EXPECT_TRUE(f.matches(Notification().set("x", 6)));
+}
+
+TEST(Filter, EraseRemovesConstraint) {
+  auto f = parking_under(3);
+  f.erase("cost");
+  EXPECT_TRUE(f.matches(spot(100)));
+  f.erase("not-there");  // no-op
+  EXPECT_EQ(f.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// covering
+// ---------------------------------------------------------------------------
+
+TEST(FilterCovers, FewerConstraintsIsBroader) {
+  Filter broad;
+  broad.where("service", Constraint::eq("parking"));
+  auto narrow = parking_under(3);
+  EXPECT_TRUE(broad.covers(narrow));
+  EXPECT_FALSE(narrow.covers(broad));
+}
+
+TEST(FilterCovers, EmptyFilterCoversAll) {
+  Filter everything;
+  EXPECT_TRUE(everything.covers(parking_under(1)));
+  EXPECT_TRUE(everything.covers(Filter()));
+  EXPECT_FALSE(parking_under(1).covers(everything));
+}
+
+TEST(FilterCovers, PerAttributeCoveringRequired) {
+  EXPECT_TRUE(parking_under(5).covers(parking_under(3)));
+  EXPECT_FALSE(parking_under(3).covers(parking_under(5)));
+}
+
+TEST(FilterCovers, DisjointAttributeSetsDontCover) {
+  Filter a, b;
+  a.where("x", Constraint::any());
+  b.where("y", Constraint::any());
+  EXPECT_FALSE(a.covers(b));
+  EXPECT_FALSE(b.covers(a));
+}
+
+TEST(FilterCovers, SoundnessOnProbes) {
+  const Filter filters[] = {
+      Filter(),
+      parking_under(3),
+      parking_under(5),
+      Filter().where("service", Constraint::eq("parking")),
+      Filter().where("service", Constraint::prefix("park")),
+      Filter()
+          .where("service", Constraint::eq("parking"))
+          .where("cost", Constraint::range(Value(1), Value(2))),
+  };
+  const Notification probes[] = {
+      spot(0.5), spot(1.5), spot(2.5), spot(4.0), spot(7.0),
+      Notification().set("service", "parkade").set("cost", 1),
+      Notification().set("service", "weather"),
+  };
+  for (const auto& outer : filters) {
+    for (const auto& inner : filters) {
+      if (!outer.covers(inner)) continue;
+      for (const auto& n : probes) {
+        if (inner.matches(n)) {
+          EXPECT_TRUE(outer.matches(n))
+              << outer << " covers " << inner << " but rejects " << n.to_string();
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// overlap
+// ---------------------------------------------------------------------------
+
+TEST(FilterOverlap, DisjointConstraintOnCommonAttribute) {
+  Filter a, b;
+  a.where("cost", Constraint::lt(2));
+  b.where("cost", Constraint::gt(3));
+  EXPECT_FALSE(a.overlaps(b));
+}
+
+TEST(FilterOverlap, NoCommonAttributesOverlap) {
+  Filter a, b;
+  a.where("x", Constraint::eq(1));
+  b.where("y", Constraint::eq(2));
+  EXPECT_TRUE(a.overlaps(b));  // a notification can carry both
+}
+
+TEST(FilterOverlap, SymmetricOnZoo) {
+  const Filter filters[] = {
+      Filter(),
+      parking_under(3),
+      Filter().where("cost", Constraint::gt(10)),
+      Filter().where("service", Constraint::eq("weather")),
+  };
+  for (const auto& a : filters) {
+    for (const auto& b : filters) {
+      EXPECT_EQ(a.overlaps(b), b.overlaps(a));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// merging
+// ---------------------------------------------------------------------------
+
+TEST(FilterMerge, CoverAbsorbs) {
+  auto m = parking_under(5).try_merge(parking_under(3));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m, parking_under(5));
+}
+
+TEST(FilterMerge, SingleDifferingAttributeMerges) {
+  Filter a, b;
+  a.where("service", Constraint::eq("parking")).where("sym", Constraint::eq("A"));
+  b.where("service", Constraint::eq("parking")).where("sym", Constraint::eq("B"));
+  auto m = a.try_merge(b);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_TRUE(m->matches(
+      Notification().set("service", "parking").set("sym", "A")));
+  EXPECT_TRUE(m->matches(
+      Notification().set("service", "parking").set("sym", "B")));
+  EXPECT_FALSE(m->matches(
+      Notification().set("service", "parking").set("sym", "C")));
+}
+
+TEST(FilterMerge, TwoDifferingAttributesRefuse) {
+  Filter a, b;
+  a.where("x", Constraint::eq(1)).where("y", Constraint::eq(1));
+  b.where("x", Constraint::eq(2)).where("y", Constraint::eq(2));
+  // The union is a cross shape — not a conjunctive filter.
+  EXPECT_FALSE(a.try_merge(b).has_value());
+}
+
+TEST(FilterMerge, DifferentAttributeSetsRefuse) {
+  Filter a, b;
+  a.where("x", Constraint::eq(1));
+  b.where("x", Constraint::eq(1)).where("y", Constraint::eq(2));
+  // b ⊂ a here, so the cover absorbs...
+  auto m = a.try_merge(b);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m, a);
+
+  Filter c;
+  c.where("y", Constraint::eq(2));
+  // ...but disjoint attribute sets with no covering cannot merge.
+  EXPECT_FALSE(b.try_merge(Filter().where("z", Constraint::eq(3))).has_value());
+  (void)c;
+}
+
+TEST(FilterMerge, ExactnessOnProbes) {
+  Filter a, b;
+  a.where("service", Constraint::eq("parking"))
+      .where("cost", Constraint::range(Value(0), Value(5)));
+  b.where("service", Constraint::eq("parking"))
+      .where("cost", Constraint::range(Value(3), Value(9)));
+  auto m = a.try_merge(b);
+  ASSERT_TRUE(m.has_value());
+  for (double cost : {-1.0, 0.0, 2.0, 4.0, 6.0, 9.0, 9.5}) {
+    EXPECT_EQ(m->matches(spot(cost)), a.matches(spot(cost)) || b.matches(spot(cost)))
+        << "cost=" << cost;
+  }
+}
+
+TEST(FilterPrint, ToStringForms) {
+  EXPECT_EQ(Filter().to_string(), "(true)");
+  EXPECT_EQ(parking_under(3).to_string(),
+            "(cost < 3) and (service == \"parking\")");
+}
+
+TEST(NotificationPrint, IncludesAttributes) {
+  auto n = Notification().set("a", 1).set("b", "x");
+  n.stamp(NotificationId(7), ClientId(1), 1, 0);
+  EXPECT_NE(n.to_string().find("a=1"), std::string::npos);
+  EXPECT_NE(n.to_string().find("b=\"x\""), std::string::npos);
+}
+
+TEST(Notification, StampAndAccessors) {
+  Notification n;
+  n.stamp(NotificationId(9), ClientId(4), 17, sim::millis(250));
+  EXPECT_EQ(n.id(), NotificationId(9));
+  EXPECT_EQ(n.producer(), ClientId(4));
+  EXPECT_EQ(n.producer_seq(), 17u);
+  EXPECT_EQ(n.publish_time(), sim::millis(250));
+}
+
+TEST(Notification, GetAndHas) {
+  auto n = Notification().set("k", 5);
+  EXPECT_TRUE(n.has("k"));
+  EXPECT_FALSE(n.has("j"));
+  EXPECT_TRUE(n.get("k").has_value());
+  EXPECT_FALSE(n.get("j").has_value());
+  EXPECT_EQ(n.get("k")->as_int(), 5);
+}
+
+}  // namespace
+}  // namespace rebeca::filter

@@ -1,0 +1,98 @@
+// Value semantics: cross-type numeric comparison, structural ordering,
+// printing.
+#include <gtest/gtest.h>
+
+#include "src/filter/value.hpp"
+
+namespace rebeca::filter {
+namespace {
+
+TEST(Value, TypePredicates) {
+  EXPECT_TRUE(Value(1).is_int());
+  EXPECT_TRUE(Value(1).is_numeric());
+  EXPECT_TRUE(Value(1.5).is_double());
+  EXPECT_TRUE(Value(1.5).is_numeric());
+  EXPECT_TRUE(Value("x").is_string());
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_FALSE(Value(true).is_numeric());
+  EXPECT_FALSE(Value("1").is_numeric());
+}
+
+TEST(Value, NumericView) {
+  EXPECT_EQ(Value(3).numeric(), 3.0);
+  EXPECT_EQ(Value(3.5).numeric(), 3.5);
+  EXPECT_FALSE(Value("3").numeric().has_value());
+  EXPECT_FALSE(Value(true).numeric().has_value());
+}
+
+TEST(Value, CompareNumericCrossType) {
+  EXPECT_EQ(Value(3).compare(Value(3.0)), 0);
+  EXPECT_EQ(Value(2).compare(Value(2.5)), -1);
+  EXPECT_EQ(Value(3.5).compare(Value(3)), 1);
+  EXPECT_EQ(Value(-1).compare(Value(1)), -1);
+}
+
+TEST(Value, CompareIntIntExact) {
+  // Large int64s where double rounding would lie.
+  const std::int64_t big = (1LL << 62) + 1;
+  EXPECT_EQ(Value(big).compare(Value(big)), 0);
+  EXPECT_EQ(Value(big).compare(Value(big - 1)), 1);
+}
+
+TEST(Value, CompareStrings) {
+  EXPECT_EQ(Value("abc").compare(Value("abd")), -1);
+  EXPECT_EQ(Value("b").compare(Value("ab")), 1);
+  EXPECT_EQ(Value("x").compare(Value("x")), 0);
+}
+
+TEST(Value, CompareBools) {
+  EXPECT_EQ(Value(false).compare(Value(true)), -1);
+  EXPECT_EQ(Value(true).compare(Value(true)), 0);
+}
+
+TEST(Value, IncomparablePairs) {
+  EXPECT_FALSE(Value(1).compare(Value("1")).has_value());
+  EXPECT_FALSE(Value(true).compare(Value(1)).has_value());
+  EXPECT_FALSE(Value("a").compare(Value(false)).has_value());
+}
+
+TEST(Value, EqualsUsesSemanticComparison) {
+  EXPECT_TRUE(Value(2).equals(Value(2.0)));
+  EXPECT_FALSE(Value(2).equals(Value("2")));
+  EXPECT_FALSE(Value(2).equals(Value(3)));
+}
+
+TEST(Value, StructuralEqualityIsTypeSensitive) {
+  // operator== is structural (for container keys): 2 and 2.0 differ.
+  EXPECT_FALSE(Value(2) == Value(2.0));
+  EXPECT_TRUE(Value(2) == Value(2));
+}
+
+TEST(Value, StructuralOrderingIsStrictWeak) {
+  std::vector<Value> values{Value(3), Value(1.5), Value("a"), Value(true),
+                            Value(2), Value("b"), Value(false)};
+  std::sort(values.begin(), values.end(),
+            [](const Value& a, const Value& b) { return a < b; });
+  // Sorting must group by type (variant index) then by value; a second
+  // sort is a no-op (determinism).
+  auto again = values;
+  std::sort(again.begin(), again.end(),
+            [](const Value& a, const Value& b) { return a < b; });
+  EXPECT_EQ(values, again);
+}
+
+TEST(Value, ToString) {
+  EXPECT_EQ(Value(42).to_string(), "42");
+  EXPECT_EQ(Value("hi").to_string(), "\"hi\"");
+  EXPECT_EQ(Value(true).to_string(), "true");
+  EXPECT_EQ(Value(false).to_string(), "false");
+}
+
+TEST(Value, DefaultIsIntZero) {
+  Value v;
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.as_int(), 0);
+}
+
+}  // namespace
+}  // namespace rebeca::filter

@@ -1,0 +1,283 @@
+// End-to-end integration: full-system scenarios combining physical and
+// logical mobility, multiple consumers, advertisements and workload
+// generators — the "smart city" the paper's introduction motivates.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/broker/overlay.hpp"
+#include "src/client/client.hpp"
+#include "src/metrics/checkers.hpp"
+#include "src/net/topology.hpp"
+#include "src/workload/mover.hpp"
+#include "src/workload/publisher.hpp"
+
+namespace rebeca {
+namespace {
+
+using client::Client;
+using client::ClientConfig;
+using location::LdSpec;
+using location::LocationGraph;
+using location::UncertaintyProfile;
+
+TEST(EndToEnd, SmartCityMixedWorkload) {
+  // A 13-broker tree city. Three kinds of participants:
+  //  - a roaming commuter with a plain subscription (physical mobility),
+  //  - a driving car with an LD parking subscription (logical mobility),
+  //  - a static dashboard subscribed to everything.
+  auto city = LocationGraph::grid(6, 6);
+  sim::Simulation sim(77);
+  broker::OverlayConfig cfg;
+  cfg.broker.locations = &city;
+  cfg.broker.strategy = routing::Strategy::covering;
+  broker::Overlay overlay(sim, net::Topology::balanced_tree(2, 3), cfg);
+
+  // Sensors: parking + traffic events all over town.
+  ClientConfig sc;
+  sc.id = ClientId(100);
+  Client sensors(sim, sc);
+  overlay.connect_client(sensors, 12);
+  workload::PublisherConfig parking_cfg;
+  parking_cfg.rate = workload::RateModel::poisson(sim::millis(20));
+  parking_cfg.prototype = filter::Notification().set("service", "parking");
+  parking_cfg.locations = &city;
+  parking_cfg.seed = 5;
+  workload::Publisher parking_feed(sim, sensors, parking_cfg);
+
+  ClientConfig tc;
+  tc.id = ClientId(101);
+  Client traffic(sim, tc);
+  overlay.connect_client(traffic, 11);
+  workload::PublisherConfig traffic_cfg;
+  traffic_cfg.rate = workload::RateModel::periodic(sim::millis(40));
+  traffic_cfg.prototype = filter::Notification().set("service", "traffic");
+  traffic_cfg.locations = &city;
+  traffic_cfg.seed = 6;
+  workload::Publisher traffic_feed(sim, traffic, traffic_cfg);
+
+  // The commuter: subscribes to traffic, roams between brokers.
+  ClientConfig commuter_cfg;
+  commuter_cfg.id = ClientId(1);
+  Client commuter(sim, commuter_cfg);
+  overlay.connect_client(commuter, 4);
+  commuter.subscribe(
+      filter::Filter().where("service", filter::Constraint::eq("traffic")));
+
+  // The car: LD subscription for nearby parking, drives around.
+  ClientConfig car_cfg;
+  car_cfg.id = ClientId(2);
+  car_cfg.locations = &city;
+  Client car(sim, car_cfg);
+  overlay.connect_client(car, 5);
+  car.move_to("g3_3");
+  LdSpec spec;
+  spec.base = filter::Filter().where("service", filter::Constraint::eq("parking"));
+  spec.vicinity_radius = 1;
+  spec.profile = UncertaintyProfile::adaptive(
+      sim::millis(500), {sim::millis(12), sim::millis(12), sim::millis(12)});
+  car.subscribe(spec);
+  workload::LogicalMoverConfig carm;
+  carm.locations = &city;
+  carm.delta = sim::millis(500);
+  carm.seed = 7;
+  workload::LogicalMover car_mover(sim, car, carm);
+
+  // The dashboard: everything, never moves.
+  ClientConfig dash_cfg;
+  dash_cfg.id = ClientId(3);
+  Client dashboard(sim, dash_cfg);
+  overlay.connect_client(dashboard, 0);
+  dashboard.subscribe(filter::Filter());
+
+  sim.run_until(sim::seconds(1));
+  parking_feed.start();
+  traffic_feed.start();
+  car_mover.start();
+
+  workload::PhysicalMoverConfig pm;
+  pm.itinerary = {7, 9, 2, 4};
+  pm.dwell = sim::seconds(2);
+  pm.gap = sim::millis(400);
+  pm.max_hops = 4;
+  workload::PhysicalMover commuter_mover(overlay, commuter, pm);
+  commuter_mover.start();
+
+  sim.run_until(sim.now() + sim::seconds(12));
+  parking_feed.stop();
+  traffic_feed.stop();
+  car_mover.stop();
+  commuter_mover.stop();
+  sim.run_until(sim.now() + sim::seconds(10));
+
+  // Commuter: exactly-once FIFO on every traffic event despite roaming.
+  std::vector<NotificationId> traffic_ids;
+  for (std::uint64_t i = 1; i <= traffic_feed.published(); ++i) {
+    traffic_ids.emplace_back((static_cast<std::uint64_t>(101) << 32) | i);
+  }
+  const auto commuter_rep =
+      metrics::check_exactly_once(commuter.deliveries(), traffic_ids);
+  EXPECT_EQ(commuter_rep.missing, 0u);
+  EXPECT_EQ(commuter_rep.duplicates, 0u);
+  EXPECT_TRUE(metrics::check_sender_fifo(commuter.deliveries()).ok());
+  EXPECT_GT(commuter.deliveries().size(), 100u);
+
+  // Car: everything delivered is parking within the vicinity at the
+  // moment of delivery (F_0 guarantees it).
+  EXPECT_GT(car.deliveries().size(), 0u);
+  for (const auto& d : car.deliveries()) {
+    EXPECT_EQ(d.notification.get("service")->as_string(), "parking");
+  }
+  EXPECT_EQ(car.duplicate_count(), 0u);
+
+  // Dashboard: complete view of both feeds.
+  EXPECT_EQ(dashboard.deliveries().size(),
+            parking_feed.published() + traffic_feed.published());
+
+  // No residue anywhere.
+  for (std::size_t b = 0; b < overlay.broker_count(); ++b) {
+    EXPECT_EQ(overlay.broker(b).virtual_count(), 0u) << "broker " << b;
+  }
+}
+
+TEST(EndToEnd, ClientIsBothMobileKindsAtOnce) {
+  // Paper Sec. 3.3: "a client can be both logically and physically
+  // mobile at the same time". The client carries a plain subscription
+  // (relocated with replay) and an LD subscription (re-anchored fresh)
+  // across a physical move, while moving logically before and after.
+  auto rooms = LocationGraph::line(8);
+  sim::Simulation sim(21);
+  broker::OverlayConfig cfg;
+  cfg.broker.locations = &rooms;
+  cfg.broker.virtual_ttl = sim::seconds(30);
+  broker::Overlay overlay(sim, net::Topology::chain(4), cfg);
+
+  ClientConfig cc;
+  cc.id = ClientId(1);
+  cc.locations = &rooms;
+  Client user(sim, cc);
+  overlay.connect_client(user, 0);
+  user.move_to("l1");
+  const auto ticker =
+      user.subscribe(filter::Filter().where("sym", filter::Constraint::eq("T")));
+  LdSpec spec;
+  spec.base = filter::Filter().where("service", filter::Constraint::eq("door"));
+  spec.profile = UncertaintyProfile::global_resub();
+  user.subscribe(spec);
+
+  ClientConfig pc;
+  pc.id = ClientId(2);
+  Client producer(sim, pc);
+  overlay.connect_client(producer, 3);
+  sim.run_until(sim::seconds(1));
+
+  auto publish_pair = [&](const std::string& room, int px) {
+    producer.publish(filter::Notification().set("sym", "T").set("px", px));
+    producer.publish(
+        filter::Notification().set("service", "door").set("location", room));
+  };
+
+  publish_pair("l1", 1);
+  sim.run_until(sim.now() + sim::millis(200));
+  user.move_to("l2");  // logical move
+  sim.run_until(sim.now() + sim::millis(200));
+  publish_pair("l2", 2);
+  sim.run_until(sim.now() + sim::millis(200));
+
+  user.detach_silently();  // physical move begins
+  publish_pair("l2", 3);   // ticker buffered; door event missed (LD: no replay)
+  sim.run_until(sim.now() + sim::millis(500));
+  overlay.connect_client(user, 3);
+  sim.run_until(sim.now() + sim::millis(500));
+  user.move_to("l3");  // logical again, at the new broker
+  sim.run_until(sim.now() + sim::millis(300));
+  publish_pair("l3", 4);
+  sim.run_until(sim.now() + sim::seconds(2));
+
+  // The plain subscription: complete, in order, all four ticks.
+  std::size_t ticks = 0;
+  std::uint64_t last_px = 0;
+  for (const auto& d : user.deliveries()) {
+    if (d.sub != ticker) continue;
+    ++ticks;
+    const auto px = static_cast<std::uint64_t>(d.notification.get("px")->as_int());
+    EXPECT_GT(px, last_px);
+    last_px = px;
+  }
+  EXPECT_EQ(ticks, 4u);
+
+  // The LD subscription: the events at the user's location at delivery
+  // time (l1, l2, l3) except the one published while disconnected
+  // (re-anchoring is replay-less — the paper's future-work boundary).
+  std::vector<std::string> door_rooms;
+  for (const auto& d : user.deliveries()) {
+    if (d.sub == ticker) continue;
+    door_rooms.push_back(d.notification.get("location")->as_string());
+  }
+  EXPECT_EQ(door_rooms, (std::vector<std::string>{"l1", "l2", "l3"}));
+}
+
+TEST(EndToEnd, TwoRoamingConsumersDontInterfere) {
+  sim::Simulation sim(31);
+  broker::Overlay overlay(sim, net::Topology::balanced_tree(2, 2), {});
+
+  ClientConfig c1;
+  c1.id = ClientId(1);
+  Client alpha(sim, c1);
+  overlay.connect_client(alpha, 3);
+  alpha.subscribe(filter::Filter().where("sym", filter::Constraint::eq("X")));
+
+  ClientConfig c2;
+  c2.id = ClientId(2);
+  Client beta(sim, c2);
+  overlay.connect_client(beta, 4);
+  beta.subscribe(filter::Filter().where("sym", filter::Constraint::eq("X")));
+
+  ClientConfig pc;
+  pc.id = ClientId(3);
+  Client producer(sim, pc);
+  overlay.connect_client(producer, 6);
+  workload::PublisherConfig wc;
+  wc.rate = workload::RateModel::periodic(sim::millis(10));
+  wc.prototype = filter::Notification().set("sym", "X");
+  workload::Publisher pub(sim, producer, wc);
+
+  sim.run_until(sim::seconds(1));
+  pub.start();
+
+  // Both roam simultaneously, crossing each other's paths.
+  workload::PhysicalMoverConfig m1;
+  m1.itinerary = {5, 6, 3};
+  m1.dwell = sim::millis(700);
+  m1.gap = sim::millis(150);
+  m1.max_hops = 3;
+  workload::PhysicalMover mover1(overlay, alpha, m1);
+  workload::PhysicalMoverConfig m2;
+  m2.itinerary = {3, 5, 4};
+  m2.dwell = sim::millis(900);
+  m2.gap = sim::millis(100);
+  m2.max_hops = 3;
+  workload::PhysicalMover mover2(overlay, beta, m2);
+  mover1.start();
+  mover2.start();
+
+  sim.run_until(sim.now() + sim::seconds(5));
+  pub.stop();
+  mover1.stop();
+  mover2.stop();
+  sim.run_until(sim.now() + sim::seconds(10));
+
+  std::vector<NotificationId> expected;
+  for (std::uint64_t i = 1; i <= pub.published(); ++i) {
+    expected.emplace_back((static_cast<std::uint64_t>(3) << 32) | i);
+  }
+  for (Client* c : {&alpha, &beta}) {
+    const auto rep = metrics::check_exactly_once(c->deliveries(), expected);
+    EXPECT_EQ(rep.missing, 0u) << "client " << c->id();
+    EXPECT_EQ(rep.duplicates, 0u) << "client " << c->id();
+    EXPECT_TRUE(metrics::check_sender_fifo(c->deliveries()).ok());
+  }
+}
+
+}  // namespace
+}  // namespace rebeca

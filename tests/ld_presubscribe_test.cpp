@@ -1,0 +1,230 @@
+// The pre-subscribe extension (paper Sec. 6 future work): "logically
+// mobile clients roaming beyond the boundaries of a single broker …
+// 'pre-subscribe' to information at brokers at possible next locations".
+//
+// While a location-dependent subscription's client is disconnected, its
+// virtual counterpart widens the buffered location ball by one movement
+// step per interval (the client's possible locations spread); on
+// reconnection at any broker the backlog is fetched and replayed, and
+// the client-side filter F_0 keeps exactly what matches its actual
+// location — flooding epoch semantics across physical roaming.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/broker/overlay.hpp"
+#include "src/client/client.hpp"
+#include "src/net/topology.hpp"
+
+namespace rebeca {
+namespace {
+
+using broker::Overlay;
+using broker::OverlayConfig;
+using client::Client;
+using client::ClientConfig;
+using location::LdSpec;
+using location::LocationGraph;
+using location::UncertaintyProfile;
+
+struct World {
+  World(const LocationGraph* graph, bool presubscribe,
+        std::uint64_t seed = 1)
+      : sim(seed) {
+    OverlayConfig cfg;
+    cfg.broker.locations = graph;
+    cfg.broker.ld_presubscribe = presubscribe;
+    cfg.broker.ld_widen_interval = sim::millis(500);
+    overlay = std::make_unique<Overlay>(sim, net::Topology::chain(4), cfg);
+  }
+
+  Client& add_client(std::uint32_t id, std::size_t broker_index,
+                     ClientConfig cfg = {}) {
+    cfg.id = ClientId(id);
+    clients.push_back(std::make_unique<Client>(sim, cfg));
+    overlay->connect_client(*clients.back(), broker_index);
+    return *clients.back();
+  }
+
+  void settle(double secs = 1.0) { sim.run_until(sim.now() + sim::seconds(secs)); }
+
+  sim::Simulation sim;
+  std::unique_ptr<Overlay> overlay;
+  std::vector<std::unique_ptr<Client>> clients;
+};
+
+LdSpec door_spec() {
+  LdSpec spec;
+  spec.base = filter::Filter().where("service", filter::Constraint::eq("door"));
+  spec.profile = UncertaintyProfile::global_resub();
+  return spec;
+}
+
+filter::Notification door_at(const std::string& room) {
+  return filter::Notification().set("service", "door").set("location", room);
+}
+
+TEST(LdPresubscribe, ReplaysBacklogAfterRoamingToAnotherBroker) {
+  auto rooms = LocationGraph::line(8);
+  World w(&rooms, /*presubscribe=*/true);
+  ClientConfig cc;
+  cc.locations = &rooms;
+  Client& user = w.add_client(1, 0, cc);
+  user.move_to("l2");
+  user.subscribe(door_spec());
+  Client& producer = w.add_client(2, 3);
+  w.settle();
+
+  producer.publish(door_at("l2"));
+  w.settle(0.2);
+  EXPECT_EQ(user.deliveries().size(), 1u);
+
+  // Disconnect; an event at the CURRENT location happens while offline.
+  user.detach_silently();
+  w.settle(0.2);
+  producer.publish(door_at("l2"));
+  w.settle(0.5);
+
+  // Reconnect at the far broker: the backlog must be replayed.
+  w.overlay->connect_client(user, 3);
+  w.settle(2.0);
+  ASSERT_EQ(user.deliveries().size(), 2u);
+  EXPECT_EQ(user.duplicate_count(), 0u);
+  // Old-border state is garbage-collected by the fetch.
+  EXPECT_EQ(w.overlay->broker(0).virtual_count(), 0u);
+}
+
+TEST(LdPresubscribe, WideningCapturesEventsAtPossibleNextLocations) {
+  auto rooms = LocationGraph::line(8);
+  World w(&rooms, /*presubscribe=*/true);
+  ClientConfig cc;
+  cc.locations = &rooms;
+  Client& user = w.add_client(1, 0, cc);
+  user.move_to("l2");
+  user.subscribe(door_spec());
+  Client& producer = w.add_client(2, 3);
+  w.settle();
+
+  // Disconnect at l2 and walk (offline!) to l4 over ~1.2s. The widening
+  // interval is 500ms: by the time the event at l4 fires, the virtual
+  // counterpart's ball l2±(1+2) includes l4.
+  user.detach_silently();
+  w.settle(1.2);
+  user.move_to("l3");  // local only — nobody hears this
+  user.move_to("l4");
+  producer.publish(door_at("l4"));
+  w.settle(0.5);
+
+  w.overlay->connect_client(user, 2);
+  w.settle(2.0);
+
+  // The l4 event was buffered by the widened virtual and survives the
+  // client-side filter (the user IS at l4 now).
+  ASSERT_EQ(user.deliveries().size(), 1u);
+  EXPECT_EQ(user.deliveries()[0].notification.get("location")->as_string(), "l4");
+}
+
+TEST(LdPresubscribe, ClientSideFilterDropsStaleBacklog) {
+  auto rooms = LocationGraph::line(8);
+  World w(&rooms, /*presubscribe=*/true);
+  ClientConfig cc;
+  cc.locations = &rooms;
+  Client& user = w.add_client(1, 0, cc);
+  user.move_to("l2");
+  user.subscribe(door_spec());
+  Client& producer = w.add_client(2, 3);
+  w.settle();
+
+  user.detach_silently();
+  w.settle(0.2);
+  producer.publish(door_at("l2"));  // stale by the time the user returns
+  w.settle(1.5);
+  user.move_to("l7");  // walked far away while offline
+  w.overlay->connect_client(user, 3);
+  w.settle(2.0);
+
+  // The backlog was replayed but F_0 filtered the stale event: epoch
+  // semantics — at delivery time the user is at l7.
+  EXPECT_TRUE(user.deliveries().empty());
+  EXPECT_GE(user.filtered_count(), 1u);
+}
+
+TEST(LdPresubscribe, BaselineWithoutExtensionMissesOfflineEvents) {
+  auto rooms = LocationGraph::line(8);
+  World w(&rooms, /*presubscribe=*/false);
+  ClientConfig cc;
+  cc.locations = &rooms;
+  Client& user = w.add_client(1, 0, cc);
+  user.move_to("l2");
+  user.subscribe(door_spec());
+  Client& producer = w.add_client(2, 3);
+  w.settle();
+
+  user.detach_silently();
+  w.settle(0.2);
+  producer.publish(door_at("l2"));
+  w.settle(0.5);
+  w.overlay->connect_client(user, 3);
+  w.settle(2.0);
+
+  // The paper's baseline boundary: re-anchoring is replay-less.
+  EXPECT_TRUE(user.deliveries().empty());
+}
+
+TEST(LdPresubscribe, WideningStopsAtSaturation) {
+  auto rooms = LocationGraph::line(4);  // saturates after few steps
+  World w(&rooms, /*presubscribe=*/true);
+  ClientConfig cc;
+  cc.locations = &rooms;
+  Client& user = w.add_client(1, 0, cc);
+  user.move_to("l0");
+  user.subscribe(door_spec());
+  w.settle();
+
+  user.detach_silently();
+  const auto before =
+      w.overlay->counters().count(metrics::MessageClass::location_update);
+  w.settle(30.0);  // many widen intervals
+  const auto updates =
+      w.overlay->counters().count(metrics::MessageClass::location_update) -
+      before;
+  // Widening messages stop once the ball covers the whole line (3 steps
+  // from l0 with the 1-step profile): bounded, not one per interval
+  // forever.
+  EXPECT_LE(updates, 4u * 3u);
+  w.overlay->broker(0);  // silence unused warnings
+}
+
+TEST(LdPresubscribe, SequenceNumbersContinueAcrossLdRelocation) {
+  auto rooms = LocationGraph::line(8);
+  World w(&rooms, /*presubscribe=*/true);
+  ClientConfig cc;
+  cc.locations = &rooms;
+  Client& user = w.add_client(1, 0, cc);
+  user.move_to("l2");
+  const auto sub = user.subscribe(door_spec());
+  Client& producer = w.add_client(2, 3);
+  w.settle();
+
+  producer.publish(door_at("l2"));
+  w.settle(0.5);
+  user.detach_silently();
+  w.settle(0.2);
+  producer.publish(door_at("l2"));
+  w.settle(0.5);
+  w.overlay->connect_client(user, 2);
+  w.settle(1.0);
+  producer.publish(door_at("l2"));
+  w.settle(1.0);
+
+  EXPECT_EQ(user.deliveries().size(), 3u);
+  EXPECT_EQ(user.last_seq(sub), 3u);
+  std::uint64_t prev = 0;
+  for (const auto& d : user.deliveries()) {
+    EXPECT_EQ(d.seq, prev + 1);
+    prev = d.seq;
+  }
+}
+
+}  // namespace
+}  // namespace rebeca

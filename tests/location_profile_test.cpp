@@ -1,0 +1,181 @@
+// Uncertainty profiles: the adaptivity rule of paper Sec. 5.3 (Fig. 8,
+// Table 4) and the two trivial instantiations (Table 3).
+#include <gtest/gtest.h>
+
+#include "src/location/ld_spec.hpp"
+#include "src/location/profile.hpp"
+
+namespace rebeca::location {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Paper Table 4 / Fig. 8: Δ=100ms, δ = (120, 50, 50, 20) ms.
+// ---------------------------------------------------------------------------
+
+TEST(Profile, PaperFig8WorkedExample) {
+  auto p = UncertaintyProfile::adaptive(
+      sim::millis(100),
+      {sim::millis(120), sim::millis(50), sim::millis(50), sim::millis(20)});
+  EXPECT_EQ(p.steps(0), 0u);  // client-side filter F_0
+  EXPECT_EQ(p.steps(1), 1u);  // δ1=120 > 1Δ       → one step
+  EXPECT_EQ(p.steps(2), 1u);  // δ1+δ2=170 < 2Δ    → unchanged
+  EXPECT_EQ(p.steps(3), 2u);  // δ1+δ2+δ3=220 > 2Δ → one more step
+  EXPECT_EQ(p.steps(4), 2u);  // +δ4=240 < 3Δ      → unchanged
+}
+
+TEST(Profile, PaperTable4FilterSets) {
+  // The resulting ploc rows of Table 4 on the Fig. 7 movement graph.
+  auto g = LocationGraph::paper_fig7();
+  auto p = UncertaintyProfile::adaptive(
+      sim::millis(100),
+      {sim::millis(120), sim::millis(50), sim::millis(50), sim::millis(20)});
+  LdSpec spec;
+  spec.profile = p;
+  const auto a = g.id_of("a");
+  EXPECT_EQ(spec.concrete_set(g, a, 0).size(), 1u);  // {a}
+  EXPECT_EQ(spec.concrete_set(g, a, 1).size(), 3u);  // {a,b,c}
+  EXPECT_EQ(spec.concrete_set(g, a, 2).size(), 3u);  // {a,b,c}
+  EXPECT_EQ(spec.concrete_set(g, a, 3).size(), 4u);  // {a,b,c,d}
+}
+
+TEST(Profile, SlowClientDegeneratesToGlobalResub) {
+  // Σδ always below Δ: processing outpaces movement, and the scheme
+  // degenerates to the trivial sub/unsub profile — one step of lookahead
+  // everywhere, Table 3 (top): "the algorithm always has to provide
+  // information for 'the next' user location".
+  auto p = UncertaintyProfile::adaptive(
+      sim::seconds(10), {sim::millis(5), sim::millis(5), sim::millis(5)});
+  EXPECT_EQ(p.steps(0), 0u);
+  for (std::size_t i = 1; i <= 6; ++i) EXPECT_EQ(p.steps(i), 1u);
+}
+
+TEST(Profile, FastClientStepsEveryHop) {
+  // Every hop crosses a multiple of Δ.
+  auto p = UncertaintyProfile::adaptive(
+      sim::millis(10), {sim::millis(15), sim::millis(15), sim::millis(15)});
+  EXPECT_EQ(p.steps(1), 1u);  // cum=15 > 1Δ
+  EXPECT_EQ(p.steps(2), 2u);  // cum=30 > 2Δ (but not strictly > 3Δ)
+  EXPECT_EQ(p.steps(3), 4u);  // cum=45 > 3Δ and > 4Δ
+}
+
+TEST(Profile, OneHugeHopCrossesSeveralMultiples) {
+  auto p = UncertaintyProfile::adaptive(sim::millis(10), {sim::millis(35)});
+  EXPECT_EQ(p.steps(1), 3u);  // 35 crosses 10, 20, 30
+}
+
+TEST(Profile, HopsBeyondListReuseLastDelta) {
+  auto p = UncertaintyProfile::adaptive(sim::millis(100), {sim::millis(60)});
+  // Every further hop also adds 60ms.
+  EXPECT_EQ(p.steps(1), 1u);   // 60 < 100: the next-location baseline
+  EXPECT_EQ(p.steps(2), 1u);   // 120 > 100
+  EXPECT_EQ(p.steps(4), 2u);   // 240 > 200
+  EXPECT_EQ(p.steps(10), 5u);  // 600 > 500
+}
+
+TEST(Profile, StepsAreNonDecreasing) {
+  // Required for the subset chain of Eq. 1 along the broker path.
+  auto p = UncertaintyProfile::adaptive(
+      sim::millis(100),
+      {sim::millis(250), sim::millis(1), sim::millis(170), sim::millis(90)});
+  std::size_t prev = 0;
+  for (std::size_t i = 0; i <= 10; ++i) {
+    EXPECT_GE(p.steps(i), prev);
+    prev = p.steps(i);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Paper Table 3: the two trivial schemes as profile instantiations.
+// ---------------------------------------------------------------------------
+
+TEST(Profile, Table3GlobalResub) {
+  auto p = UncertaintyProfile::global_resub();
+  auto g = LocationGraph::paper_fig7();
+  LdSpec spec;
+  spec.profile = p;
+  const auto b = g.id_of("b");
+  // Row t=0: {b}; rows t>=1: one movement step {a,b,d}.
+  EXPECT_EQ(spec.concrete_set(g, b, 0).size(), 1u);
+  for (std::size_t i = 1; i <= 3; ++i) {
+    EXPECT_EQ(spec.concrete_set(g, b, i).size(), 3u);
+  }
+}
+
+TEST(Profile, Table3Flooding) {
+  auto p = UncertaintyProfile::flooding();
+  auto g = LocationGraph::paper_fig7();
+  LdSpec spec;
+  spec.profile = p;
+  const auto c = g.id_of("c");
+  EXPECT_EQ(spec.concrete_set(g, c, 0).size(), 1u);
+  for (std::size_t i = 1; i <= 3; ++i) {
+    EXPECT_EQ(spec.concrete_set(g, c, i).size(), 4u);  // everything
+  }
+}
+
+TEST(Profile, ExplicitStepsForcedMonotone) {
+  auto p = UncertaintyProfile::explicit_steps({0, 2, 1, 3});
+  EXPECT_EQ(p.steps(0), 0u);
+  EXPECT_EQ(p.steps(1), 2u);
+  EXPECT_EQ(p.steps(2), 2u);  // lifted from 1
+  EXPECT_EQ(p.steps(3), 3u);
+  EXPECT_EQ(p.steps(9), 3u);  // beyond list: last value
+}
+
+TEST(Profile, ValidationRejectsBadInputs) {
+  EXPECT_THROW(UncertaintyProfile::adaptive(0, {}), util::AssertionError);
+  EXPECT_THROW(UncertaintyProfile::adaptive(sim::millis(10), {-1}),
+               util::AssertionError);
+}
+
+// ---------------------------------------------------------------------------
+// LdSpec: vicinity radius composition
+// ---------------------------------------------------------------------------
+
+TEST(LdSpec, VicinityRadiusWidensTheBall) {
+  auto g = LocationGraph::line(9);  // l0..l8
+  LdSpec spec;
+  spec.vicinity_radius = 2;  // "at most two blocks away from myloc"
+  spec.profile = UncertaintyProfile::explicit_steps({0, 1, 2});
+  const auto mid = g.id_of("l4");
+  EXPECT_EQ(spec.concrete_set(g, mid, 0).size(), 5u);  // l2..l6
+  EXPECT_EQ(spec.concrete_set(g, mid, 1).size(), 7u);  // l1..l7
+  EXPECT_EQ(spec.concrete_set(g, mid, 2).size(), 9u);  // everything
+}
+
+TEST(LdSpec, ConcreteFilterCombinesBaseAndLocation) {
+  auto g = LocationGraph::paper_fig7();
+  LdSpec spec;
+  spec.base = filter::Filter().where("service", filter::Constraint::eq("parking"));
+  spec.profile = UncertaintyProfile::global_resub();
+  auto f = spec.concrete_filter(g, g.id_of("a"), 1);
+
+  auto at_b = filter::Notification().set("service", "parking").set("location", "b");
+  auto at_d = filter::Notification().set("service", "parking").set("location", "d");
+  auto weather = filter::Notification().set("service", "weather").set("location", "b");
+  EXPECT_TRUE(f.matches(at_b));
+  EXPECT_FALSE(f.matches(at_d));
+  EXPECT_FALSE(f.matches(weather));
+}
+
+TEST(LdSpec, SubsetChainAcrossHops) {
+  // Paper Sec. 5.1: F_k ⊇ F_{k-1} ⊇ … ⊇ F_0 — concrete sets must nest.
+  util::Rng rng(31);
+  auto g = LocationGraph::random_connected(20, 10, rng);
+  LdSpec spec;
+  spec.vicinity_radius = 1;
+  spec.profile = UncertaintyProfile::adaptive(
+      sim::millis(50), {sim::millis(30), sim::millis(60), sim::millis(90)});
+  for (std::uint32_t x = 0; x < g.size(); x += 4) {
+    for (std::size_t i = 0; i + 1 <= 6; ++i) {
+      const auto inner = spec.concrete_set(g, LocationId(x), i);
+      const auto outer = spec.concrete_set(g, LocationId(x), i + 1);
+      EXPECT_TRUE(std::includes(outer.begin(), outer.end(), inner.begin(),
+                                inner.end()))
+          << "chain broken at x=" << x << " i=" << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rebeca::location

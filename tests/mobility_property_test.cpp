@@ -1,0 +1,222 @@
+// Property suite: randomized roaming under randomized topologies and
+// workloads. For every seed, the paper's QoS must hold — exactly-once
+// delivery (completeness, no duplicates) and sender-FIFO ordering —
+// regardless of when and where the consumer roams.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/broker/overlay.hpp"
+#include "src/client/client.hpp"
+#include "src/metrics/checkers.hpp"
+#include "src/net/topology.hpp"
+#include "src/workload/publisher.hpp"
+
+namespace rebeca {
+namespace {
+
+using client::Client;
+using client::ClientConfig;
+
+struct FuzzParam {
+  std::uint64_t seed;
+  routing::Strategy strategy;
+  bool advertisements;
+};
+
+class RoamingFuzz : public ::testing::TestWithParam<FuzzParam> {};
+
+TEST_P(RoamingFuzz, ExactlyOnceFifoUnderRandomRoaming) {
+  const auto param = GetParam();
+  util::Rng rng(param.seed * 2654435761ULL + 17);
+
+  // Random tree of 6..14 brokers.
+  const std::size_t broker_count = 6 + rng.index(9);
+  auto topo = net::Topology::random_tree(broker_count, rng);
+
+  sim::Simulation sim(param.seed);
+  broker::OverlayConfig cfg;
+  cfg.broker.strategy = param.strategy;
+  cfg.broker.use_advertisements = param.advertisements;
+  broker::Overlay overlay(sim, topo, cfg);
+
+  // 1-3 producers at random brokers, 40-100 notifications/s each.
+  const std::size_t producer_count = 1 + rng.index(3);
+  std::vector<std::unique_ptr<Client>> producers;
+  std::vector<std::unique_ptr<workload::Publisher>> pubs;
+  for (std::size_t p = 0; p < producer_count; ++p) {
+    ClientConfig pc;
+    pc.id = ClientId(static_cast<std::uint32_t>(100 + p));
+    producers.push_back(std::make_unique<Client>(sim, pc));
+    overlay.connect_client(*producers.back(), rng.index(broker_count));
+    if (param.advertisements) {
+      producers.back()->advertise(
+          filter::Filter().where("sym", filter::Constraint::any()));
+    }
+    workload::PublisherConfig wc;
+    wc.rate = workload::RateModel::poisson(
+        sim::millis(10.0 + static_cast<double>(rng.index(15))));
+    wc.prototype = filter::Notification().set("sym", "X").set("p", static_cast<int>(p));
+    wc.seed = param.seed * 31 + p;
+    pubs.push_back(std::make_unique<workload::Publisher>(sim, *producers.back(), wc));
+  }
+
+  // The roaming consumer (a second, static consumer keeps covering
+  // aggregation interesting).
+  ClientConfig cc;
+  cc.id = ClientId(1);
+  Client consumer(sim, cc);
+  overlay.connect_client(consumer, rng.index(broker_count));
+  consumer.subscribe(filter::Filter().where("sym", filter::Constraint::eq("X")));
+
+  ClientConfig bc;
+  bc.id = ClientId(2);
+  Client bystander(sim, bc);
+  overlay.connect_client(bystander, rng.index(broker_count));
+  bystander.subscribe(filter::Filter());
+
+  sim.run_until(sim::seconds(1));
+  for (auto& p : pubs) p->start();
+
+  // 4-7 random hops with random dwell/gap times.
+  const std::size_t hops = 4 + rng.index(4);
+  for (std::size_t h = 0; h < hops; ++h) {
+    sim.run_until(sim.now() +
+                  sim::millis(150.0 + static_cast<double>(rng.index(500))));
+    consumer.detach_silently();
+    sim.run_until(sim.now() +
+                  sim::millis(20.0 + static_cast<double>(rng.index(300))));
+    overlay.connect_client(consumer, rng.index(broker_count));
+  }
+  sim.run_until(sim.now() + sim::seconds(1));
+  for (auto& p : pubs) p->stop();
+  sim.run_until(sim.now() + sim::seconds(20));  // drain replays
+
+  // Expected: every notification every producer published.
+  std::vector<NotificationId> expected;
+  for (std::size_t p = 0; p < producer_count; ++p) {
+    for (std::uint64_t i = 1; i <= pubs[p]->published(); ++i) {
+      expected.emplace_back(
+          (static_cast<std::uint64_t>(100 + p) << 32) | i);
+    }
+  }
+  ASSERT_GT(expected.size(), 50u) << "workload too small to be meaningful";
+
+  const auto complete = metrics::check_exactly_once(consumer.deliveries(), expected);
+  EXPECT_EQ(complete.missing, 0u)
+      << "brokers=" << broker_count << " producers=" << producer_count
+      << " hops=" << hops;
+  EXPECT_EQ(complete.duplicates, 0u);
+  EXPECT_EQ(consumer.duplicate_count(), 0u);
+  EXPECT_TRUE(metrics::check_sender_fifo(consumer.deliveries()).ok());
+
+  // The bystander must be completely unaffected by the roaming.
+  const auto bystander_rep =
+      metrics::check_exactly_once(bystander.deliveries(), expected);
+  EXPECT_EQ(bystander_rep.missing, 0u);
+  EXPECT_EQ(bystander_rep.duplicates, 0u);
+
+  // No leaked virtual counterparts anywhere.
+  for (std::size_t b = 0; b < overlay.broker_count(); ++b) {
+    EXPECT_EQ(overlay.broker(b).virtual_count(), 0u) << "broker " << b;
+  }
+}
+
+std::vector<FuzzParam> fuzz_params() {
+  std::vector<FuzzParam> params;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    params.push_back({seed, routing::Strategy::simple, false});
+    params.push_back({seed, routing::Strategy::covering, false});
+  }
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    params.push_back({seed, routing::Strategy::identity, false});
+    params.push_back({seed, routing::Strategy::merging, false});
+    params.push_back({seed, routing::Strategy::covering, true});
+    params.push_back({seed, routing::Strategy::simple, true});
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoamingFuzz, ::testing::ValuesIn(fuzz_params()),
+                         [](const auto& info) {
+                           std::string name =
+                               routing::strategy_name(info.param.strategy);
+                           if (info.param.advertisements) name += "_adv";
+                           return name + "_s" + std::to_string(info.param.seed);
+                         });
+
+// ---------------------------------------------------------------------------
+// Logical mobility fuzz: random movement graphs and walks, LD delivery
+// must equal the flooding reference (with a sufficient horizon).
+// ---------------------------------------------------------------------------
+
+class LogicalFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LogicalFuzz, LdDeliveryEqualsFloodingReference) {
+  const std::uint64_t seed = GetParam();
+  util::Rng setup(seed * 40503 + 7);
+  auto graph = location::LocationGraph::random_connected(
+      8 + setup.index(12), setup.index(8), setup);
+  const std::size_t chain = 3 + setup.index(3);
+  const auto start = LocationId(static_cast<std::uint32_t>(setup.index(graph.size())));
+
+  auto run = [&](bool ld_mode) {
+    sim::Simulation sim(seed);
+    broker::OverlayConfig cfg;
+    cfg.broker.locations = &graph;
+    broker::Overlay overlay(sim, net::Topology::chain(chain), cfg);
+
+    ClientConfig cc;
+    cc.id = ClientId(1);
+    cc.locations = &graph;
+    Client consumer(sim, cc);
+    overlay.connect_client(consumer, 0);
+    consumer.move_to(start);
+
+    location::LdSpec spec;
+    spec.vicinity_radius = 1;
+    spec.profile = ld_mode ? location::UncertaintyProfile::global_resub()
+                           : location::UncertaintyProfile::flooding();
+    consumer.subscribe(spec);
+
+    ClientConfig pc;
+    pc.id = ClientId(2);
+    Client producer(sim, pc);
+    overlay.connect_client(producer, chain - 1);
+    sim.run_until(sim::seconds(1));
+
+    // Deterministic walk + publications derived from the seed.
+    util::Rng wl(seed * 104729 + 13);
+    LocationId at = start;
+    for (int m = 1; m <= 10; ++m) {
+      const auto& nbrs = graph.neighbors(at);
+      if (nbrs.empty()) break;
+      at = nbrs[wl.index(nbrs.size())];
+      sim.schedule_at(sim::seconds(1) + sim::millis(350.0 * m),
+                      [&consumer, at] { consumer.move_to(at); });
+    }
+    for (int i = 0; i < 300; ++i) {
+      const auto where = graph.name(
+          LocationId(static_cast<std::uint32_t>(wl.index(graph.size()))));
+      sim.schedule_at(sim::seconds(1) + sim::millis(13.0 * i + 4.0),
+                      [&producer, where] {
+                        producer.publish(
+                            filter::Notification().set("location", where));
+                      });
+    }
+    sim.run_until(sim::seconds(10));
+
+    std::multiset<std::uint64_t> ids;
+    for (const auto& d : consumer.deliveries()) {
+      ids.insert(d.notification.id().value());
+    }
+    return ids;
+  };
+
+  EXPECT_EQ(run(true), run(false)) << "graph size " << graph.size();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LogicalFuzz, ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace rebeca

@@ -1,0 +1,543 @@
+// Physical mobility: the relocation protocol of paper Sec. 4 (Fig. 5).
+//
+// The QoS obligations under test (paper Sec. 3.2): Completeness (every
+// matching notification is delivered eventually, exactly once),
+// Ordering (sender FIFO across the relocation), Interface (clients only
+// use the ordinary primitives), and garbage collection of the old path.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "src/broker/overlay.hpp"
+#include "src/client/client.hpp"
+#include "src/net/topology.hpp"
+
+namespace rebeca {
+namespace {
+
+using broker::Overlay;
+using broker::OverlayConfig;
+using client::Client;
+using client::ClientConfig;
+using filter::Constraint;
+using filter::Filter;
+using filter::Notification;
+using filter::Value;
+
+struct World {
+  explicit World(const net::Topology& topo, OverlayConfig cfg = {},
+                 std::uint64_t seed = 1)
+      : sim(seed), overlay(sim, topo, std::move(cfg)) {}
+
+  Client& add_client(std::uint32_t id, std::size_t broker_index,
+                     ClientConfig cfg = {}) {
+    cfg.id = ClientId(id);
+    clients.push_back(std::make_unique<Client>(sim, cfg));
+    overlay.connect_client(*clients.back(), broker_index);
+    return *clients.back();
+  }
+
+  void settle(double secs = 1.0) { sim.run_until(sim.now() + sim::seconds(secs)); }
+
+  sim::Simulation sim;
+  Overlay overlay;
+  std::vector<std::unique_ptr<Client>> clients;
+};
+
+Filter ticks(const std::string& sym) {
+  return Filter().where("sym", Constraint::eq(sym));
+}
+
+Notification tick(const std::string& sym, int px) {
+  return Notification().set("sym", sym).set("px", px);
+}
+
+/// Checks exactly-once, gap-free, in-order delivery of producer
+/// sequences 1..expected_count for one producer.
+void expect_complete_fifo(const Client& c, std::uint64_t expected_count) {
+  ASSERT_EQ(c.deliveries().size(), expected_count);
+  std::uint64_t prev = 0;
+  for (const auto& d : c.deliveries()) {
+    EXPECT_EQ(d.notification.producer_seq(), prev + 1)
+        << "gap or reorder at producer seq " << d.notification.producer_seq();
+    prev = d.notification.producer_seq();
+  }
+  EXPECT_EQ(c.duplicate_count(), 0u);
+}
+
+// Publishes `count` ticks at `period`, starting now.
+void publish_stream(World& w, Client& producer, int count, double period_ms,
+                    const std::string& sym = "AAA") {
+  for (int i = 0; i < count; ++i) {
+    w.sim.schedule_after(sim::millis(period_ms * i), [&producer, sym, i] {
+      producer.publish(tick(sym, 100 + i));
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The Fig. 5 scenario
+// ---------------------------------------------------------------------------
+
+TEST(Relocation, Fig5SingleProducer) {
+  // Chain B0..B5; consumer starts at B5 (old border), producer at B2.
+  // The junction for the move B5 → B0 is B2's subtree meeting point.
+  World w(net::Topology::chain(6));
+  Client& consumer = w.add_client(1, 5);
+  Client& producer = w.add_client(2, 2);
+  consumer.subscribe(ticks("AAA"));
+  w.settle();
+
+  publish_stream(w, producer, 100, 10.0);  // one tick per 10ms for 1s
+  w.settle(0.3);                           // ~30 ticks delivered at B5
+
+  consumer.detach_silently();
+  w.settle(0.2);  // ~20 ticks buffered by the virtual counterpart
+  w.overlay.connect_client(consumer, 0);
+  w.settle();
+
+  expect_complete_fifo(consumer, 100);
+  // Old border garbage-collected its virtual counterpart. (Under
+  // subscription flooding every broker legitimately keeps the filter in
+  // its table; the path-cleanup assertion lives in the advertisement-
+  // pruned variant below.)
+  EXPECT_EQ(w.overlay.broker(5).virtual_count(), 0u);
+}
+
+TEST(Relocation, Fig5OldPathCleanupWithAdvertisements) {
+  OverlayConfig cfg;
+  cfg.broker.use_advertisements = true;
+  World w(net::Topology::chain(6), cfg);
+  Client& consumer = w.add_client(1, 5);
+  Client& producer = w.add_client(2, 2);
+  producer.advertise(Filter().where("sym", Constraint::any()));
+  consumer.subscribe(ticks("AAA"));
+  w.settle();
+
+  publish_stream(w, producer, 100, 10.0);
+  w.settle(0.3);
+  consumer.detach_silently();
+  w.settle(0.2);
+  w.overlay.connect_client(consumer, 0);
+  w.settle();
+
+  expect_complete_fifo(consumer, 100);
+  EXPECT_EQ(w.overlay.broker(5).virtual_count(), 0u);
+  // With subscriptions pruned toward the single advertiser at broker 2,
+  // the stretch beyond the junction toward the old border must be bare:
+  // brokers 3..5 kept no entry for the departed consumer (paper Sec. 4:
+  // "any routing path to the old location related to the client will be
+  // deleted").
+  EXPECT_EQ(w.overlay.broker(4).routing_entry_count(), 0u);
+  EXPECT_EQ(w.overlay.broker(5).routing_entry_count(), 0u);
+}
+
+TEST(Relocation, Fig5MultipleProducers) {
+  // balanced_tree(2,2): root 0; inner 1,2; leaves 3,4 (under 1) and 5,6
+  // (under 2). Consumer at leaf 3 moves to sibling leaf 4; producers sit
+  // on the other branch at leaves 5 and 6 — the junction is broker 1.
+  World wb(net::Topology::balanced_tree(2, 2));
+  Client& consumer = wb.add_client(1, 3);  // leaf under node 1
+  Client& p1 = wb.add_client(2, 5);        // leaf under node 2
+  Client& p2 = wb.add_client(3, 6);        // other leaf under node 2
+  consumer.subscribe(ticks("AAA"));
+  wb.settle();
+
+  publish_stream(wb, p1, 60, 10.0, "AAA");
+  publish_stream(wb, p2, 60, 10.0, "AAA");
+  wb.settle(0.25);
+
+  consumer.detach_silently();
+  wb.settle(0.2);
+  wb.overlay.connect_client(consumer, 4);  // sibling leaf under node 1
+  wb.settle();
+
+  // 120 ticks total; per-producer FIFO must hold.
+  ASSERT_EQ(consumer.deliveries().size(), 120u);
+  EXPECT_EQ(consumer.duplicate_count(), 0u);
+  std::map<ClientId, std::uint64_t> prev;
+  for (const auto& d : consumer.deliveries()) {
+    auto& last = prev[d.notification.producer()];
+    EXPECT_EQ(d.notification.producer_seq(), last + 1)
+        << "per-producer FIFO violated";
+    last = d.notification.producer_seq();
+  }
+  EXPECT_EQ(wb.overlay.broker(3).virtual_count(), 0u);
+}
+
+TEST(Relocation, NoPublicationsDuringMove) {
+  World w(net::Topology::chain(4));
+  Client& consumer = w.add_client(1, 3);
+  Client& producer = w.add_client(2, 0);
+  consumer.subscribe(ticks("AAA"));
+  w.settle();
+
+  producer.publish(tick("AAA", 1));
+  w.settle();
+  consumer.detach_silently();
+  w.settle();
+  w.overlay.connect_client(consumer, 1);
+  w.settle();
+  producer.publish(tick("AAA", 2));
+  w.settle();
+
+  expect_complete_fifo(consumer, 2);
+}
+
+TEST(Relocation, InFlightDeliveriesAtCutAreReplayed) {
+  // Deliveries already on the client link when it goes down are lost;
+  // the session history at the border broker must cover them.
+  World w(net::Topology::chain(3));
+  Client& consumer = w.add_client(1, 2);
+  Client& producer = w.add_client(2, 0);
+  consumer.subscribe(ticks("AAA"));
+  w.settle();
+
+  // Publish then cut the link while deliveries are in flight.
+  for (int i = 0; i < 10; ++i) producer.publish(tick("AAA", i));
+  w.sim.run_until(w.sim.now() + sim::millis(11));  // part-way: some arrived
+  consumer.detach_silently();
+  w.settle(0.1);
+  const auto received_before = consumer.deliveries().size();
+  EXPECT_LT(received_before, 10u);
+
+  w.overlay.connect_client(consumer, 0);
+  w.settle();
+  expect_complete_fifo(consumer, 10);
+}
+
+TEST(Relocation, ReconnectToSameBroker) {
+  World w(net::Topology::chain(3));
+  Client& consumer = w.add_client(1, 2);
+  Client& producer = w.add_client(2, 0);
+  consumer.subscribe(ticks("AAA"));
+  w.settle();
+
+  publish_stream(w, producer, 50, 10.0);
+  w.settle(0.2);
+  consumer.detach_silently();
+  w.settle(0.15);
+  w.overlay.connect_client(consumer, 2);  // same border broker
+  w.settle();
+
+  expect_complete_fifo(consumer, 50);
+  EXPECT_EQ(w.overlay.broker(2).virtual_count(), 0u);
+}
+
+TEST(Relocation, ConsumerKeepsWorkingAfterRelocation) {
+  World w(net::Topology::chain(4));
+  Client& consumer = w.add_client(1, 3);
+  Client& producer = w.add_client(2, 0);
+  consumer.subscribe(ticks("AAA"));
+  w.settle();
+
+  publish_stream(w, producer, 30, 5.0);
+  w.settle(0.1);
+  consumer.detach_silently();
+  w.settle(0.05);
+  w.overlay.connect_client(consumer, 1);
+  w.settle();
+
+  // New publications after the dust settled still arrive normally.
+  publish_stream(w, producer, 30, 5.0);
+  w.settle();
+  expect_complete_fifo(consumer, 60);
+}
+
+TEST(Relocation, SequenceNumbersContinueAcrossMove) {
+  World w(net::Topology::chain(3));
+  Client& consumer = w.add_client(1, 2);
+  Client& producer = w.add_client(2, 0);
+  auto sub = consumer.subscribe(ticks("AAA"));
+  w.settle();
+
+  for (int i = 0; i < 5; ++i) producer.publish(tick("AAA", i));
+  w.settle();
+  EXPECT_EQ(consumer.last_seq(sub), 5u);
+
+  consumer.detach_silently();
+  w.settle(0.05);
+  for (int i = 5; i < 9; ++i) producer.publish(tick("AAA", i));
+  w.settle(0.2);
+  w.overlay.connect_client(consumer, 0);
+  w.settle();
+
+  // The border-broker annotation continues 6,7,8,9 over the replay.
+  EXPECT_EQ(consumer.last_seq(sub), 9u);
+  std::uint64_t prev = 0;
+  for (const auto& d : consumer.deliveries()) {
+    EXPECT_EQ(d.seq, prev + 1);
+    prev = d.seq;
+  }
+}
+
+TEST(Relocation, MultipleSubscriptionsRelocateIndependently) {
+  World w(net::Topology::chain(3));
+  Client& consumer = w.add_client(1, 2);
+  Client& producer = w.add_client(2, 0);
+  consumer.subscribe(ticks("AAA"));
+  consumer.subscribe(ticks("BBB"));
+  w.settle();
+
+  for (int i = 0; i < 4; ++i) {
+    producer.publish(tick("AAA", i));
+    producer.publish(tick("BBB", i));
+  }
+  w.settle();
+  consumer.detach_silently();
+  w.settle(0.05);
+  for (int i = 4; i < 8; ++i) {
+    producer.publish(tick("AAA", i));
+    producer.publish(tick("BBB", i));
+  }
+  w.settle(0.2);
+  w.overlay.connect_client(consumer, 1);
+  w.settle();
+
+  ASSERT_EQ(consumer.deliveries().size(), 16u);
+  EXPECT_EQ(consumer.duplicate_count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Strategy / advertisement sweeps
+// ---------------------------------------------------------------------------
+
+struct SweepParam {
+  routing::Strategy strategy;
+  bool advertisements;
+};
+
+class RelocationSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(RelocationSweep, ExactlyOnceFifoOnTree) {
+  OverlayConfig cfg;
+  cfg.broker.strategy = GetParam().strategy;
+  cfg.broker.use_advertisements = GetParam().advertisements;
+  World w(net::Topology::balanced_tree(2, 2), cfg);
+  Client& consumer = w.add_client(1, 3);
+  Client& other = w.add_client(3, 5);  // a second subscriber (covering fodder)
+  Client& producer = w.add_client(2, 6);
+  if (GetParam().advertisements) {
+    producer.advertise(Filter().where("sym", Constraint::any()));
+  }
+  other.subscribe(Filter());  // covers everything
+  consumer.subscribe(ticks("AAA"));
+  w.settle();
+
+  publish_stream(w, producer, 80, 8.0);
+  w.settle(0.3);
+  consumer.detach_silently();
+  w.settle(0.15);
+  w.overlay.connect_client(consumer, 4);
+  w.settle();
+
+  expect_complete_fifo(consumer, 80);
+  // The bystander subscriber is unaffected (gets everything, once).
+  EXPECT_EQ(other.deliveries().size(), 80u);
+  EXPECT_EQ(other.duplicate_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StrategiesAndAdvertisements, RelocationSweep,
+    ::testing::Values(SweepParam{routing::Strategy::simple, false},
+                      SweepParam{routing::Strategy::identity, false},
+                      SweepParam{routing::Strategy::covering, false},
+                      SweepParam{routing::Strategy::merging, false},
+                      SweepParam{routing::Strategy::simple, true},
+                      SweepParam{routing::Strategy::covering, true}),
+    [](const auto& info) {
+      std::string name = routing::strategy_name(info.param.strategy);
+      if (info.param.advertisements) name += "_adv";
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Edge cases
+// ---------------------------------------------------------------------------
+
+TEST(Relocation, RapidDoubleMoveChainsEpochs) {
+  // The client relocates again before the first replay arrives: the
+  // abandoned relocating session becomes a virtual counterpart that
+  // waits for the epoch-1 replay, merges, and forwards to epoch 2.
+  World w(net::Topology::chain(6));
+  Client& consumer = w.add_client(1, 5);
+  Client& producer = w.add_client(2, 0);
+  consumer.subscribe(ticks("AAA"));
+  w.settle();
+
+  publish_stream(w, producer, 200, 5.0);
+  w.settle(0.3);
+  consumer.detach_silently();
+  w.settle(0.05);
+  w.overlay.connect_client(consumer, 3);
+  // Move again almost immediately — before the replay from broker 5 can
+  // have arrived at broker 3.
+  w.sim.run_until(w.sim.now() + sim::millis(3));
+  consumer.detach_silently();
+  w.sim.run_until(w.sim.now() + sim::millis(5));
+  w.overlay.connect_client(consumer, 1);
+  w.settle(3.0);
+
+  expect_complete_fifo(consumer, 200);
+  for (std::size_t b = 0; b < w.overlay.broker_count(); ++b) {
+    EXPECT_EQ(w.overlay.broker(b).virtual_count(), 0u)
+        << "virtual leaked at broker " << b;
+  }
+}
+
+TEST(Relocation, TripleHopTour) {
+  // A tour across four borders with publications throughout.
+  World w(net::Topology::chain(5), OverlayConfig{}, 11);
+  Client& consumer = w.add_client(1, 4);
+  Client& producer = w.add_client(2, 2);
+  consumer.subscribe(ticks("AAA"));
+  w.settle();
+
+  publish_stream(w, producer, 400, 5.0);  // 2s of traffic
+  const std::size_t stops[] = {0, 3, 1};
+  double at = 0.3;
+  for (std::size_t stop : stops) {
+    w.settle(at);
+    consumer.detach_silently();
+    w.settle(0.1);
+    w.overlay.connect_client(consumer, stop);
+    at = 0.4;
+  }
+  w.settle(2.0);
+  expect_complete_fifo(consumer, 400);
+}
+
+TEST(Relocation, BoundedBufferReportsTruncation) {
+  OverlayConfig cfg;
+  cfg.broker.session_history = 4;
+  cfg.broker.virtual_capacity = 4;
+  World w(net::Topology::chain(3), cfg);
+  Client& consumer = w.add_client(1, 2);
+  Client& producer = w.add_client(2, 0);
+  consumer.subscribe(ticks("AAA"));
+  w.settle();
+
+  consumer.detach_silently();
+  w.settle(0.05);
+  for (int i = 0; i < 20; ++i) producer.publish(tick("AAA", i));
+  w.settle(0.5);
+  w.overlay.connect_client(consumer, 0);
+  w.settle();
+
+  // Only the newest 4 notifications survived the bounded buffer; they
+  // arrive in order, without duplicates — completeness is explicitly
+  // bounded by buffer capacity (paper Sec. 4.1).
+  ASSERT_EQ(consumer.deliveries().size(), 4u);
+  EXPECT_EQ(consumer.deliveries().front().notification.producer_seq(), 17u);
+  EXPECT_EQ(consumer.deliveries().back().notification.producer_seq(), 20u);
+}
+
+TEST(Relocation, GracefulByeLeavesNoState) {
+  World w(net::Topology::chain(3));
+  Client& consumer = w.add_client(1, 2);
+  Client& producer = w.add_client(2, 0);
+  consumer.subscribe(ticks("AAA"));
+  w.settle();
+  producer.publish(tick("AAA", 1));
+  w.settle();
+
+  consumer.detach_gracefully();
+  w.settle();
+  for (std::size_t b = 0; b < 3; ++b) {
+    EXPECT_EQ(w.overlay.broker(b).virtual_count(), 0u);
+    EXPECT_EQ(w.overlay.broker(b).routing_entry_count(), 0u);
+  }
+}
+
+TEST(Relocation, VirtualTtlGarbageCollectsUnfetched) {
+  OverlayConfig cfg;
+  cfg.broker.virtual_ttl = sim::seconds(2);
+  World w(net::Topology::chain(3), cfg);
+  Client& consumer = w.add_client(1, 2);
+  consumer.subscribe(ticks("AAA"));
+  w.settle();
+
+  consumer.detach_silently();
+  w.settle(1.0);
+  EXPECT_EQ(w.overlay.broker(2).virtual_count(), 1u);
+  w.settle(2.0);
+  EXPECT_EQ(w.overlay.broker(2).virtual_count(), 0u);
+  EXPECT_EQ(w.overlay.broker(0).routing_entry_count(), 0u);
+}
+
+TEST(Relocation, TimeoutFlushesWhenOldStateVanished) {
+  // The old border's state expired before the client reconnected: the
+  // relocation cannot replay; after the timeout the session goes active
+  // and delivers what arrived live.
+  OverlayConfig cfg;
+  cfg.broker.virtual_ttl = sim::seconds(1);
+  cfg.broker.relocation_timeout = sim::seconds(2);
+  World w(net::Topology::chain(3), cfg);
+  Client& consumer = w.add_client(1, 2);
+  Client& producer = w.add_client(2, 0);
+  consumer.subscribe(ticks("AAA"));
+  w.settle();
+
+  consumer.detach_silently();
+  w.settle(5.0);  // TTL expired, virtual gone
+  w.overlay.connect_client(consumer, 0);
+  w.settle(0.5);
+  producer.publish(tick("AAA", 7));  // arrives while still "relocating"
+  w.settle(5.0);                     // timeout fires, flushes
+
+  ASSERT_EQ(consumer.deliveries().size(), 1u);
+  EXPECT_EQ(consumer.deliveries()[0].notification.get("px")->as_int(), 7);
+}
+
+// ---------------------------------------------------------------------------
+// Naive baseline (paper Sec. 3.2 / Fig. 2 phenomenology)
+// ---------------------------------------------------------------------------
+
+TEST(NaiveBaseline, LosesDisconnectionGapAndBlackout) {
+  ClientConfig naive;
+  naive.relocation = client::RelocationMode::naive;
+  World w(net::Topology::chain(4));
+  Client& producer = w.add_client(2, 0);
+  ClientConfig cc = naive;
+  Client& consumer = w.add_client(1, 3, cc);
+  consumer.subscribe(ticks("AAA"));
+  w.settle();
+
+  publish_stream(w, producer, 100, 10.0);
+  w.settle(0.3);
+  consumer.detach_silently();
+  w.settle(0.2);
+  w.overlay.connect_client(consumer, 1);
+  w.settle();
+
+  // The naive client missed the gap (~20 ticks) plus the re-subscribe
+  // blackout; the Rebeca protocol would have delivered all 100.
+  EXPECT_LT(consumer.deliveries().size(), 90u);
+  EXPECT_GT(consumer.deliveries().size(), 20u);
+  EXPECT_EQ(consumer.duplicate_count(), 0u);
+}
+
+TEST(NaiveBaseline, OverlapAttachDeliversDuplicates) {
+  // Make-before-break: attached to two borders at once, without client
+  // dedup — the duplicate-delivery half of Fig. 2.
+  ClientConfig naive;
+  naive.relocation = client::RelocationMode::naive;
+  naive.dedup = false;
+  World w(net::Topology::chain(3));
+  Client& producer = w.add_client(2, 1);
+  Client& consumer = w.add_client(1, 0, naive);
+  consumer.subscribe(ticks("AAA"));
+  w.settle();
+
+  // Second attachment at broker 2 while still attached at broker 0.
+  w.overlay.connect_client(consumer, 2);
+  w.settle();
+
+  producer.publish(tick("AAA", 1));
+  w.settle();
+  EXPECT_EQ(consumer.deliveries().size(), 2u);  // one per attachment
+}
+
+}  // namespace
+}  // namespace rebeca

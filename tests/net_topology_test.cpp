@@ -1,0 +1,99 @@
+// Topology builders and tree queries.
+#include <gtest/gtest.h>
+
+#include "src/net/topology.hpp"
+#include "src/util/assert.hpp"
+
+namespace rebeca::net {
+namespace {
+
+TEST(Topology, ChainShape) {
+  auto t = Topology::chain(5);
+  EXPECT_EQ(t.broker_count(), 5u);
+  EXPECT_EQ(t.edges().size(), 4u);
+  EXPECT_TRUE(t.valid());
+  EXPECT_EQ(t.neighbors(0).size(), 1u);
+  EXPECT_EQ(t.neighbors(2).size(), 2u);
+  EXPECT_EQ(t.diameter(), 4u);
+}
+
+TEST(Topology, SingleBroker) {
+  auto t = Topology::chain(1);
+  EXPECT_TRUE(t.valid());
+  EXPECT_EQ(t.diameter(), 0u);
+  EXPECT_EQ(t.path(0, 0), (std::vector<std::size_t>{0}));
+}
+
+TEST(Topology, StarShape) {
+  auto t = Topology::star(6);
+  EXPECT_TRUE(t.valid());
+  EXPECT_EQ(t.neighbors(0).size(), 5u);
+  EXPECT_EQ(t.diameter(), 2u);
+  for (std::size_t i = 1; i < 6; ++i) EXPECT_EQ(t.neighbors(i).size(), 1u);
+}
+
+TEST(Topology, BalancedTreeCounts) {
+  auto t = Topology::balanced_tree(2, 2);
+  EXPECT_EQ(t.broker_count(), 7u);  // 1 + 2 + 4
+  EXPECT_TRUE(t.valid());
+  auto t3 = Topology::balanced_tree(3, 3);
+  EXPECT_EQ(t3.broker_count(), 40u);  // 1 + 3 + 9 + 27
+  EXPECT_TRUE(t3.valid());
+  EXPECT_EQ(t3.diameter(), 6u);
+}
+
+TEST(Topology, BalancedTreeDepthZero) {
+  auto t = Topology::balanced_tree(0, 4);
+  EXPECT_EQ(t.broker_count(), 1u);
+  EXPECT_TRUE(t.valid());
+}
+
+TEST(Topology, RandomTreesAreValidAndDeterministic) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    util::Rng rng1(seed), rng2(seed);
+    auto a = Topology::random_tree(30, rng1);
+    auto b = Topology::random_tree(30, rng2);
+    EXPECT_TRUE(a.valid());
+    EXPECT_EQ(a.edges(), b.edges()) << "seed " << seed;
+  }
+}
+
+TEST(Topology, DistancesFromRoot) {
+  auto t = Topology::chain(4);
+  auto d = t.distances_from(0);
+  EXPECT_EQ(d, (std::vector<std::size_t>{0, 1, 2, 3}));
+  auto d2 = t.distances_from(2);
+  EXPECT_EQ(d2, (std::vector<std::size_t>{2, 1, 0, 1}));
+}
+
+TEST(Topology, PathEndpointsInclusive) {
+  auto t = Topology::balanced_tree(2, 2);
+  // Leaves 3 and 5 meet at the root: 3 - 1 - 0 - 2 - 5.
+  auto p = t.path(3, 5);
+  EXPECT_EQ(p.front(), 3u);
+  EXPECT_EQ(p.back(), 5u);
+  EXPECT_EQ(p.size(), 5u);
+  // Reverse path mirrors.
+  auto q = t.path(5, 3);
+  std::reverse(q.begin(), q.end());
+  EXPECT_EQ(p, q);
+}
+
+TEST(Topology, PathToSelf) {
+  auto t = Topology::chain(3);
+  EXPECT_EQ(t.path(1, 1), (std::vector<std::size_t>{1}));
+}
+
+TEST(Topology, NeighborsOutOfRangeThrows) {
+  auto t = Topology::chain(3);
+  EXPECT_THROW(t.neighbors(3), util::AssertionError);
+  EXPECT_THROW(t.distances_from(9), util::AssertionError);
+}
+
+TEST(Topology, DiameterOfBalancedTree) {
+  EXPECT_EQ(Topology::balanced_tree(2, 2).diameter(), 4u);
+  EXPECT_EQ(Topology::star(10).diameter(), 2u);
+}
+
+}  // namespace
+}  // namespace rebeca::net

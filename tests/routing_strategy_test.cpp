@@ -1,0 +1,199 @@
+// Forward-set computation per routing strategy (unit level): identity
+// collapse, covering antichains, exact merging, advertisement-free
+// diffs — the machinery behind paper Sec. 2.2.
+#include <gtest/gtest.h>
+
+#include "src/routing/strategy.hpp"
+
+namespace rebeca::routing {
+namespace {
+
+using filter::Constraint;
+using filter::Filter;
+using filter::Value;
+
+ForwardInput input(Filter f, std::uint32_t client) {
+  return {std::move(f), {SubKey{ClientId(client), 1}}};
+}
+
+Filter lt(const char* attr, int v) {
+  return Filter().where(attr, Constraint::lt(v));
+}
+
+TEST(Strategy, FloodingForwardsNothing) {
+  auto fs = compute_forward_set(Strategy::flooding,
+                                {input(lt("x", 5), 1), input(lt("x", 9), 2)});
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(Strategy, SimpleKeepsEverySubscription) {
+  auto fs = compute_forward_set(Strategy::simple,
+                                {input(lt("x", 5), 1), input(lt("x", 9), 2)});
+  EXPECT_EQ(fs.size(), 2u);
+}
+
+TEST(Strategy, IdentityCollapsesEqualFilters) {
+  auto fs = compute_forward_set(Strategy::identity,
+                                {input(lt("x", 5), 1), input(lt("x", 5), 2)});
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs.begin()->second.size(), 2u);  // both tags preserved
+}
+
+TEST(Strategy, CoveringKeepsOnlyMaximal) {
+  auto fs = compute_forward_set(
+      Strategy::covering,
+      {input(lt("x", 5), 1), input(lt("x", 9), 2), input(lt("x", 7), 3)});
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs.begin()->first, lt("x", 9));
+  // Exact-tags design: the representative carries only its own tags.
+  EXPECT_EQ(fs.begin()->second, (std::set<SubKey>{SubKey{ClientId(2), 1}}));
+}
+
+TEST(Strategy, CoveringKeepsIncomparableFilters) {
+  auto fs = compute_forward_set(
+      Strategy::covering, {input(lt("x", 5), 1), input(lt("y", 5), 2)});
+  EXPECT_EQ(fs.size(), 2u);
+}
+
+TEST(Strategy, CoveringEquivalentFiltersPickCanonical) {
+  // range [v,v] and eq v are mutually covering; exactly one survives,
+  // deterministically.
+  Filter eqf = Filter().where("x", Constraint::eq(5));
+  Filter rangef = Filter().where("x", Constraint::range(Value(5), Value(5)));
+  auto fs = compute_forward_set(Strategy::covering,
+                                {input(eqf, 1), input(rangef, 2)});
+  ASSERT_EQ(fs.size(), 1u);
+  auto fs2 = compute_forward_set(Strategy::covering,
+                                 {input(rangef, 2), input(eqf, 1)});
+  EXPECT_EQ(fs.begin()->first, fs2.begin()->first);  // order-independent
+}
+
+TEST(Strategy, MergingCombinesSiblings) {
+  Filter a = Filter().where("sym", Constraint::eq("A"));
+  Filter b = Filter().where("sym", Constraint::eq("B"));
+  auto fs = compute_forward_set(Strategy::merging, {input(a, 1), input(b, 2)});
+  ASSERT_EQ(fs.size(), 1u);
+  const auto& merged = fs.begin()->first;
+  EXPECT_TRUE(merged.matches(filter::Notification().set("sym", "A")));
+  EXPECT_TRUE(merged.matches(filter::Notification().set("sym", "B")));
+  EXPECT_FALSE(merged.matches(filter::Notification().set("sym", "C")));
+  EXPECT_EQ(fs.begin()->second.size(), 2u);  // merged tags union
+}
+
+TEST(Strategy, MergingReachesFixpoint) {
+  std::vector<ForwardInput> inputs;
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    inputs.push_back(
+        input(Filter().where("sym", Constraint::eq("S" + std::to_string(i))), i));
+  }
+  auto fs = compute_forward_set(Strategy::merging, inputs);
+  ASSERT_EQ(fs.size(), 1u);  // all six collapse into one in-set
+  EXPECT_EQ(fs.begin()->second.size(), 6u);
+}
+
+TEST(Strategy, MergingRefusesInexactUnions) {
+  Filter a = Filter().where("x", Constraint::eq(1)).where("y", Constraint::eq(1));
+  Filter b = Filter().where("x", Constraint::eq(2)).where("y", Constraint::eq(2));
+  auto fs = compute_forward_set(Strategy::merging, {input(a, 1), input(b, 2)});
+  EXPECT_EQ(fs.size(), 2u);
+}
+
+TEST(Strategy, EmptyInputsEmptyOutput) {
+  for (auto s : {Strategy::flooding, Strategy::simple, Strategy::identity,
+                 Strategy::covering, Strategy::merging}) {
+    EXPECT_TRUE(compute_forward_set(s, {}).empty());
+  }
+}
+
+// Semantic invariant: for every non-flooding strategy, the union of
+// accepted notifications is preserved.
+TEST(Strategy, AcceptanceUnionPreserved) {
+  std::vector<ForwardInput> inputs = {
+      input(lt("x", 5), 1),
+      input(lt("x", 9), 2),
+      input(Filter().where("x", Constraint::gt(100)), 3),
+      input(Filter().where("sym", Constraint::eq("A")), 4),
+      input(Filter().where("sym", Constraint::eq("B")), 5),
+      input(Filter().where("sym", Constraint::prefix("A")), 6),
+  };
+  std::vector<filter::Notification> probes;
+  for (int x : {-3, 0, 4, 6, 8, 50, 101}) {
+    probes.push_back(filter::Notification().set("x", x));
+  }
+  for (const char* s : {"A", "AB", "B", "C"}) {
+    probes.push_back(filter::Notification().set("sym", s));
+  }
+
+  auto accepted_by = [&](const ForwardSet& fs, const filter::Notification& n) {
+    for (const auto& [f, tags] : fs) {
+      if (f.matches(n)) return true;
+    }
+    return false;
+  };
+  auto accepted_by_inputs = [&](const filter::Notification& n) {
+    for (const auto& in : inputs) {
+      if (in.f.matches(n)) return true;
+    }
+    return false;
+  };
+
+  for (auto s : {Strategy::simple, Strategy::identity, Strategy::covering,
+                 Strategy::merging}) {
+    auto fs = compute_forward_set(s, inputs);
+    for (const auto& n : probes) {
+      EXPECT_EQ(accepted_by(fs, n), accepted_by_inputs(n))
+          << strategy_name(s) << " changed acceptance of " << n.to_string();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// diff engine
+// ---------------------------------------------------------------------------
+
+TEST(StrategyDiff, EmptyToTargetSubscribesAll) {
+  ForwardSet target;
+  target[lt("x", 5)] = {SubKey{ClientId(1), 1}};
+  target[lt("y", 5)] = {SubKey{ClientId(2), 1}};
+  auto d = diff_forward_sets({}, target);
+  EXPECT_TRUE(d.unsubscribe.empty());
+  EXPECT_EQ(d.subscribe.size(), 2u);
+}
+
+TEST(StrategyDiff, TargetToEmptyUnsubscribesAll) {
+  ForwardSet sent;
+  sent[lt("x", 5)] = {SubKey{ClientId(1), 1}};
+  auto d = diff_forward_sets(sent, {});
+  EXPECT_EQ(d.unsubscribe.size(), 1u);
+  EXPECT_TRUE(d.subscribe.empty());
+}
+
+TEST(StrategyDiff, UnchangedIsSilent) {
+  ForwardSet s;
+  s[lt("x", 5)] = {SubKey{ClientId(1), 1}};
+  auto d = diff_forward_sets(s, s);
+  EXPECT_TRUE(d.unsubscribe.empty());
+  EXPECT_TRUE(d.subscribe.empty());
+}
+
+TEST(StrategyDiff, TagChangeIsAnUpsert) {
+  ForwardSet sent, target;
+  sent[lt("x", 5)] = {SubKey{ClientId(1), 1}};
+  target[lt("x", 5)] = {SubKey{ClientId(1), 1}, SubKey{ClientId(2), 1}};
+  auto d = diff_forward_sets(sent, target);
+  EXPECT_TRUE(d.unsubscribe.empty());
+  ASSERT_EQ(d.subscribe.size(), 1u);
+  EXPECT_EQ(d.subscribe.begin()->second.size(), 2u);
+}
+
+TEST(StrategyDiff, ReplacementIsUnsubPlusSub) {
+  ForwardSet sent, target;
+  sent[lt("x", 5)] = {SubKey{ClientId(1), 1}};
+  target[lt("x", 9)] = {SubKey{ClientId(1), 1}};
+  auto d = diff_forward_sets(sent, target);
+  EXPECT_EQ(d.unsubscribe.size(), 1u);
+  EXPECT_EQ(d.subscribe.size(), 1u);
+}
+
+}  // namespace
+}  // namespace rebeca::routing

@@ -1,0 +1,346 @@
+// Simulation kernel: event ordering, determinism, cancellation, and the
+// FIFO property of links under stochastic delays.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/net/link.hpp"
+#include "src/sim/delay_model.hpp"
+#include "src/sim/simulation.hpp"
+
+namespace rebeca {
+namespace {
+
+TEST(Simulation, StartsAtTimeZero) {
+  sim::Simulation s;
+  EXPECT_EQ(s.now(), 0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Simulation, ExecutesEventsInTimeOrder) {
+  sim::Simulation s;
+  std::vector<int> order;
+  s.schedule_at(sim::millis(30), [&] { order.push_back(3); });
+  s.schedule_at(sim::millis(10), [&] { order.push_back(1); });
+  s.schedule_at(sim::millis(20), [&] { order.push_back(2); });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulation, EqualTimesExecuteInSchedulingOrder) {
+  sim::Simulation s;
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) {
+    s.schedule_at(sim::millis(5), [&, i] { order.push_back(i); });
+  }
+  s.run_all();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulation, NowAdvancesToEventTime) {
+  sim::Simulation s;
+  sim::TimePoint seen = -1;
+  s.schedule_at(sim::seconds(2), [&] { seen = s.now(); });
+  s.run_all();
+  EXPECT_EQ(seen, sim::seconds(2));
+}
+
+TEST(Simulation, RunUntilStopsAtDeadline) {
+  sim::Simulation s;
+  int fired = 0;
+  s.schedule_at(sim::seconds(1), [&] { ++fired; });
+  s.schedule_at(sim::seconds(3), [&] { ++fired; });
+  s.run_until(sim::seconds(2));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), sim::seconds(2));
+  s.run_until(sim::seconds(4));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, EventsCanScheduleEvents) {
+  sim::Simulation s;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 10) s.schedule_after(sim::millis(1), chain);
+  };
+  s.schedule_after(sim::millis(1), chain);
+  s.run_all();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(s.now(), sim::millis(10));
+}
+
+TEST(Simulation, CancelledEventsDoNotRun) {
+  sim::Simulation s;
+  bool ran = false;
+  auto h = s.schedule_at(sim::millis(10), [&] { ran = true; });
+  h.cancel();
+  s.run_all();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulation, CancelIsIdempotent) {
+  sim::Simulation s;
+  auto h = s.schedule_at(sim::millis(10), [] {});
+  h.cancel();
+  h.cancel();
+  s.run_all();
+}
+
+TEST(Simulation, SchedulingIntoThePastThrows) {
+  sim::Simulation s;
+  s.schedule_at(sim::seconds(1), [] {});
+  s.run_all();
+  EXPECT_THROW(s.schedule_at(sim::millis(1), [] {}), util::AssertionError);
+}
+
+TEST(Simulation, StopHaltsTheLoop) {
+  sim::Simulation s;
+  int fired = 0;
+  s.schedule_at(1, [&] {
+    ++fired;
+    s.stop();
+  });
+  s.schedule_at(2, [&] { ++fired; });
+  s.run_all();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulation, RngIsDeterministicAcrossRuns) {
+  sim::Simulation a(42);
+  sim::Simulation b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.rng().next(), b.rng().next());
+  }
+}
+
+TEST(Simulation, DifferentSeedsDiverge) {
+  sim::Simulation a(1);
+  sim::Simulation b(2);
+  bool diverged = false;
+  for (int i = 0; i < 10 && !diverged; ++i) {
+    diverged = a.rng().next() != b.rng().next();
+  }
+  EXPECT_TRUE(diverged);
+}
+
+// ---------------------------------------------------------------------------
+// Delay models
+// ---------------------------------------------------------------------------
+
+TEST(DelayModel, FixedAlwaysSame) {
+  sim::Simulation s;
+  auto m = sim::DelayModel::fixed(sim::millis(7));
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(m.sample(s.rng()), sim::millis(7));
+  EXPECT_EQ(m.mean(), sim::millis(7));
+}
+
+TEST(DelayModel, UniformWithinBounds) {
+  sim::Simulation s;
+  auto m = sim::DelayModel::uniform(sim::millis(2), sim::millis(9));
+  for (int i = 0; i < 200; ++i) {
+    auto d = m.sample(s.rng());
+    EXPECT_GE(d, sim::millis(2));
+    EXPECT_LE(d, sim::millis(9));
+  }
+  EXPECT_EQ(m.mean(), (sim::millis(2) + sim::millis(9)) / 2);
+}
+
+TEST(DelayModel, ExponentialRespectsFloorAndCap) {
+  sim::Simulation s;
+  auto m = sim::DelayModel::exponential(sim::millis(1), sim::millis(4));
+  for (int i = 0; i < 500; ++i) {
+    auto d = m.sample(s.rng());
+    EXPECT_GE(d, sim::millis(1));
+    EXPECT_LE(d, sim::millis(1) + 10 * sim::millis(4));
+  }
+  EXPECT_EQ(m.mean(), sim::millis(5));
+}
+
+TEST(DelayModel, ExponentialMeanApproximatelyCorrect) {
+  sim::Simulation s;
+  auto m = sim::DelayModel::exponential(0, sim::millis(10));
+  double sum = 0;
+  const int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += static_cast<double>(m.sample(s.rng()));
+  }
+  const double mean = sum / kSamples;
+  EXPECT_NEAR(mean, static_cast<double>(sim::millis(10)), 0.05 * sim::millis(10));
+}
+
+// ---------------------------------------------------------------------------
+// Links
+// ---------------------------------------------------------------------------
+
+class RecordingEndpoint : public net::Endpoint {
+ public:
+  explicit RecordingEndpoint(sim::Simulation& sim, std::string name)
+      : sim_(sim), name_(std::move(name)) {}
+
+  void handle_message(net::Link&, const net::Message& msg) override {
+    const auto& pub = std::get<net::PublishMsg>(msg);
+    arrivals.emplace_back(sim_.now(), pub.n.producer_seq());
+  }
+  void handle_link_down(net::Link&) override { ++downs; }
+  [[nodiscard]] std::string endpoint_name() const override { return name_; }
+
+  std::vector<std::pair<sim::TimePoint, std::uint64_t>> arrivals;
+  int downs = 0;
+
+ private:
+  sim::Simulation& sim_;
+  std::string name_;
+};
+
+filter::Notification numbered(std::uint64_t i) {
+  filter::Notification n;
+  n.set("i", static_cast<std::int64_t>(i));
+  n.stamp(NotificationId(i), ClientId(1), i, 0);
+  return n;
+}
+
+TEST(Link, DeliversWithDelay) {
+  sim::Simulation s;
+  RecordingEndpoint a(s, "a"), b(s, "b");
+  net::Link link(LinkId(0), s, a, b, sim::DelayModel::fixed(sim::millis(5)));
+  link.send(a, net::PublishMsg{numbered(1)});
+  s.run_all();
+  ASSERT_EQ(b.arrivals.size(), 1u);
+  EXPECT_EQ(b.arrivals[0].first, sim::millis(5));
+  EXPECT_TRUE(a.arrivals.empty());
+}
+
+TEST(Link, FifoUnderRandomDelays) {
+  sim::Simulation s(7);
+  RecordingEndpoint a(s, "a"), b(s, "b");
+  net::Link link(LinkId(0), s, a, b,
+                 sim::DelayModel::uniform(sim::millis(1), sim::millis(50)));
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    s.schedule_at(sim::millis(static_cast<double>(i)),
+                  [&, i] { link.send(a, net::PublishMsg{numbered(i)}); });
+  }
+  s.run_all();
+  ASSERT_EQ(b.arrivals.size(), 200u);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(b.arrivals[i].second, i) << "FIFO violated at " << i;
+    if (i > 0) EXPECT_GE(b.arrivals[i].first, b.arrivals[i - 1].first);
+  }
+}
+
+TEST(Link, BothDirectionsIndependentFifo) {
+  sim::Simulation s(9);
+  RecordingEndpoint a(s, "a"), b(s, "b");
+  net::Link link(LinkId(0), s, a, b,
+                 sim::DelayModel::uniform(sim::millis(1), sim::millis(20)));
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    s.schedule_at(sim::millis(static_cast<double>(i)), [&, i] {
+      link.send(a, net::PublishMsg{numbered(i)});
+      link.send(b, net::PublishMsg{numbered(1000 + i)});
+    });
+  }
+  s.run_all();
+  ASSERT_EQ(a.arrivals.size(), 50u);
+  ASSERT_EQ(b.arrivals.size(), 50u);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(b.arrivals[i].second, i);
+    EXPECT_EQ(a.arrivals[i].second, 1000 + i);
+  }
+}
+
+TEST(Link, DownDropsInFlightAndNotifiesBothEnds) {
+  sim::Simulation s;
+  RecordingEndpoint a(s, "a"), b(s, "b");
+  metrics::MessageCounters counters;
+  net::Link link(LinkId(0), s, a, b, sim::DelayModel::fixed(sim::millis(10)),
+                 &counters);
+  link.send(a, net::PublishMsg{numbered(1)});
+  s.schedule_at(sim::millis(5), [&] { link.set_up(false); });
+  s.run_all();
+  EXPECT_TRUE(b.arrivals.empty());
+  EXPECT_EQ(a.downs, 1);
+  EXPECT_EQ(b.downs, 1);
+  EXPECT_EQ(counters.count(metrics::MessageClass::dropped), 1u);
+}
+
+TEST(Link, SendWhileDownIsDropped) {
+  sim::Simulation s;
+  RecordingEndpoint a(s, "a"), b(s, "b");
+  metrics::MessageCounters counters;
+  net::Link link(LinkId(0), s, a, b, sim::DelayModel::fixed(sim::millis(1)),
+                 &counters);
+  link.set_up(false);
+  link.send(a, net::PublishMsg{numbered(1)});
+  s.run_all();
+  EXPECT_TRUE(b.arrivals.empty());
+  EXPECT_EQ(counters.count(metrics::MessageClass::dropped), 1u);
+}
+
+TEST(Link, ResumesAfterReconnect) {
+  sim::Simulation s;
+  RecordingEndpoint a(s, "a"), b(s, "b");
+  net::Link link(LinkId(0), s, a, b, sim::DelayModel::fixed(sim::millis(1)));
+  link.set_up(false);
+  link.set_up(true);
+  link.send(a, net::PublishMsg{numbered(2)});
+  s.run_all();
+  ASSERT_EQ(b.arrivals.size(), 1u);
+}
+
+TEST(Link, CountsMessageClasses) {
+  sim::Simulation s;
+  RecordingEndpoint a(s, "a"), b(s, "b");
+  metrics::MessageCounters counters;
+  net::Link link(LinkId(0), s, a, b, sim::DelayModel::fixed(1), &counters);
+  link.send(a, net::PublishMsg{numbered(1)});
+  link.send(a, net::SubscribeMsg{filter::Filter{}, {}});
+  link.send(a, net::UnsubscribeMsg{filter::Filter{}});
+  EXPECT_EQ(counters.count(metrics::MessageClass::notification), 1u);
+  EXPECT_EQ(counters.count(metrics::MessageClass::subscription_admin), 2u);
+  EXPECT_EQ(counters.total(), 3u);
+  EXPECT_EQ(counters.administrative(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// RNG distributions
+// ---------------------------------------------------------------------------
+
+TEST(Rng, UniformU64CoversRangeInclusively) {
+  util::Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    auto v = rng.uniform_u64(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    saw_lo |= v == 5;
+    saw_hi |= v == 8;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  util::Rng rng(4);
+  for (int i = 0; i < 2000; ++i) {
+    double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  util::Rng a(5);
+  util::Rng b = a.fork();
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, BernoulliExtremes) {
+  util::Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace rebeca

@@ -1,0 +1,182 @@
+// Support utilities: strong ids, ring buffer, assertion machinery,
+// message classification.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "src/net/message.hpp"
+#include "src/util/assert.hpp"
+#include "src/util/domain_ids.hpp"
+#include "src/util/ring_buffer.hpp"
+
+namespace rebeca {
+namespace {
+
+TEST(StrongId, DefaultIsInvalid) {
+  NodeId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, NodeId::invalid());
+}
+
+TEST(StrongId, ValueRoundTrip) {
+  NodeId id(7);
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 7u);
+}
+
+TEST(StrongId, Ordering) {
+  EXPECT_LT(NodeId(1), NodeId(2));
+  EXPECT_EQ(NodeId(3), NodeId(3));
+  EXPECT_NE(NodeId(3), NodeId(4));
+}
+
+TEST(StrongId, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<NodeId, LinkId>);
+  static_assert(!std::is_same_v<ClientId, LocationId>);
+}
+
+TEST(StrongId, Hashable) {
+  std::unordered_set<ClientId> s;
+  s.insert(ClientId(1));
+  s.insert(ClientId(2));
+  s.insert(ClientId(1));
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(StrongId, StreamsValue) {
+  std::ostringstream os;
+  os << NodeId(5) << " " << NodeId();
+  EXPECT_EQ(os.str(), "5 <invalid>");
+}
+
+TEST(SubKey, OrderingAndHash) {
+  SubKey a{ClientId(1), 1};
+  SubKey b{ClientId(1), 2};
+  SubKey c{ClientId(2), 1};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  std::set<SubKey> s{a, b, c, a};
+  EXPECT_EQ(s.size(), 3u);
+  std::unordered_set<SubKey> us{a, b, c};
+  EXPECT_EQ(us.size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// RingBuffer
+// ---------------------------------------------------------------------------
+
+TEST(RingBuffer, UnboundedKeepsEverything) {
+  util::RingBuffer<int> rb;
+  for (int i = 0; i < 1000; ++i) rb.push(i);
+  EXPECT_EQ(rb.size(), 1000u);
+  EXPECT_EQ(rb.dropped(), 0u);
+  EXPECT_EQ(rb.front(), 0);
+}
+
+TEST(RingBuffer, BoundedDropsOldestAndCounts) {
+  util::RingBuffer<int> rb(3);
+  for (int i = 1; i <= 5; ++i) rb.push(i);
+  EXPECT_EQ(rb.size(), 3u);
+  EXPECT_EQ(rb.dropped(), 2u);
+  std::vector<int> items(rb.begin(), rb.end());
+  EXPECT_EQ(items, (std::vector<int>{3, 4, 5}));
+}
+
+TEST(RingBuffer, PopIsFifo) {
+  util::RingBuffer<int> rb(10);
+  rb.push(1);
+  rb.push(2);
+  EXPECT_EQ(rb.pop(), 1);
+  EXPECT_EQ(rb.pop(), 2);
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, PopEmptyThrows) {
+  util::RingBuffer<int> rb(2);
+  EXPECT_THROW(rb.pop(), util::AssertionError);
+  EXPECT_THROW(rb.front(), util::AssertionError);
+}
+
+TEST(RingBuffer, ClearKeepsDropCount) {
+  util::RingBuffer<int> rb(1);
+  rb.push(1);
+  rb.push(2);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  EXPECT_EQ(rb.dropped(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Assertions
+// ---------------------------------------------------------------------------
+
+TEST(Assert, ThrowsWithContext) {
+  try {
+    REBECA_ASSERT(1 == 2, "context " << 42);
+    FAIL() << "should have thrown";
+  } catch (const util::AssertionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("context 42"), std::string::npos);
+    EXPECT_NE(what.find("util_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Assert, PassingIsSilent) {
+  REBECA_ASSERT(true, "never");
+  REBECA_CHECK(2 + 2 == 4);
+}
+
+// ---------------------------------------------------------------------------
+// Message classification
+// ---------------------------------------------------------------------------
+
+TEST(Message, ClassificationCoversAllPlanes) {
+  using MC = metrics::MessageClass;
+  EXPECT_EQ(net::message_class(net::PublishMsg{}), MC::notification);
+  EXPECT_EQ(net::message_class(net::ClientPublishMsg{}), MC::notification);
+  EXPECT_EQ(net::message_class(net::DeliverMsg{}), MC::delivery);
+  EXPECT_EQ(net::message_class(net::SubscribeMsg{}), MC::subscription_admin);
+  EXPECT_EQ(net::message_class(net::UnsubscribeMsg{}), MC::subscription_admin);
+  EXPECT_EQ(net::message_class(net::AdvertiseMsg{}), MC::advertisement_admin);
+  EXPECT_EQ(net::message_class(net::RelocateSubMsg{}), MC::relocation_control);
+  EXPECT_EQ(net::message_class(net::FetchMsg{}), MC::relocation_control);
+  EXPECT_EQ(net::message_class(net::ReplayMsg{}), MC::replay);
+  EXPECT_EQ(net::message_class(net::LdSubscribeMsg{}), MC::location_update);
+  EXPECT_EQ(net::message_class(net::LdMoveMsg{}), MC::location_update);
+  EXPECT_EQ(net::message_class(net::ClientMoveMsg{}), MC::location_update);
+  EXPECT_EQ(net::message_class(net::ClientHelloMsg{}), MC::client_control);
+  EXPECT_EQ(net::message_class(net::ClientByeMsg{}), MC::client_control);
+}
+
+TEST(Message, NamesAreDistinctive) {
+  EXPECT_EQ(net::message_name(net::PublishMsg{}), "publish");
+  EXPECT_EQ(net::message_name(net::FetchMsg{}), "fetch");
+  EXPECT_EQ(net::message_name(net::ReplayMsg{}), "replay");
+  EXPECT_EQ(net::message_name(net::LdMoveMsg{}), "ld-move");
+}
+
+TEST(Counters, TotalsAndAdministrative) {
+  metrics::MessageCounters c;
+  c.add(metrics::MessageClass::notification, 10);
+  c.add(metrics::MessageClass::delivery, 5);
+  c.add(metrics::MessageClass::subscription_admin, 3);
+  c.add(metrics::MessageClass::location_update, 2);
+  c.add(metrics::MessageClass::dropped, 100);  // not part of total
+  EXPECT_EQ(c.total(), 20u);
+  EXPECT_EQ(c.administrative(), 5u);
+  c.reset();
+  EXPECT_EQ(c.total(), 0u);
+}
+
+TEST(Counters, StreamOutputSkipsZeroes) {
+  metrics::MessageCounters c;
+  c.add(metrics::MessageClass::replay, 2);
+  std::ostringstream os;
+  os << c;
+  EXPECT_EQ(os.str(), "{replay=2}");
+}
+
+}  // namespace
+}  // namespace rebeca

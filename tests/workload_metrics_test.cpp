@@ -1,0 +1,257 @@
+// Workload generators and QoS checkers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/broker/overlay.hpp"
+#include "src/client/client.hpp"
+#include "src/metrics/checkers.hpp"
+#include "src/net/topology.hpp"
+#include "src/workload/mover.hpp"
+#include "src/workload/publisher.hpp"
+
+namespace rebeca {
+namespace {
+
+struct World {
+  World() : sim(1), overlay(sim, net::Topology::chain(2), {}) {}
+  sim::Simulation sim;
+  broker::Overlay overlay;
+};
+
+TEST(Publisher, PeriodicRateIsExact) {
+  World w;
+  client::ClientConfig cc;
+  cc.id = ClientId(1);
+  client::Client producer(w.sim, cc);
+  w.overlay.connect_client(producer, 0);
+
+  workload::PublisherConfig pc;
+  pc.rate = workload::RateModel::periodic(sim::millis(100));
+  workload::Publisher pub(w.sim, producer, pc);
+  pub.start();
+  w.sim.run_until(sim::seconds(10));
+  pub.stop();
+  EXPECT_EQ(pub.published(), 100u);
+}
+
+TEST(Publisher, PoissonRateApproximatelyCorrect) {
+  World w;
+  client::ClientConfig cc;
+  cc.id = ClientId(1);
+  client::Client producer(w.sim, cc);
+  w.overlay.connect_client(producer, 0);
+
+  workload::PublisherConfig pc;
+  pc.rate = workload::RateModel::poisson(sim::millis(10));
+  pc.seed = 5;
+  workload::Publisher pub(w.sim, producer, pc);
+  pub.start();
+  w.sim.run_until(sim::seconds(60));
+  pub.stop();
+  // 60s at 100/s: within 10%.
+  EXPECT_NEAR(static_cast<double>(pub.published()), 6000.0, 600.0);
+}
+
+TEST(Publisher, MaxCountStops) {
+  World w;
+  client::ClientConfig cc;
+  cc.id = ClientId(1);
+  client::Client producer(w.sim, cc);
+  w.overlay.connect_client(producer, 0);
+
+  workload::PublisherConfig pc;
+  pc.rate = workload::RateModel::periodic(sim::millis(1));
+  pc.max_count = 17;
+  workload::Publisher pub(w.sim, producer, pc);
+  pub.start();
+  w.sim.run_until(sim::seconds(5));
+  EXPECT_EQ(pub.published(), 17u);
+}
+
+TEST(Publisher, StampsLocationsUniformly) {
+  World w;
+  auto graph = location::LocationGraph::line(4);
+  client::ClientConfig cc;
+  cc.id = ClientId(1);
+  client::Client producer(w.sim, cc);
+  w.overlay.connect_client(producer, 0);
+
+  client::ClientConfig sc;
+  sc.id = ClientId(2);
+  client::Client sink(w.sim, sc);
+  w.overlay.connect_client(sink, 1);
+  sink.subscribe(filter::Filter());
+
+  workload::PublisherConfig pc;
+  pc.rate = workload::RateModel::periodic(sim::millis(1));
+  pc.locations = &graph;
+  pc.seed = 11;
+  pc.max_count = 4000;
+  workload::Publisher pub(w.sim, producer, pc);
+  pub.start();
+  w.sim.run_until(sim::seconds(10));
+
+  std::map<std::string, int> histogram;
+  for (const auto& d : sink.deliveries()) {
+    histogram[d.notification.get("location")->as_string()] += 1;
+  }
+  ASSERT_EQ(histogram.size(), 4u);
+  for (const auto& [loc, count] : histogram) {
+    EXPECT_NEAR(count, 1000, 120) << loc;  // uniform within ~4 sigma
+  }
+}
+
+TEST(LogicalMover, WalksOnlyAlongEdges) {
+  World w;
+  auto graph = location::LocationGraph::ring(6);
+  client::ClientConfig cc;
+  cc.id = ClientId(1);
+  cc.locations = &graph;
+  client::Client consumer(w.sim, cc);
+  w.overlay.connect_client(consumer, 0);
+  consumer.move_to("r0");
+
+  std::vector<LocationId> trail{consumer.location()};
+  workload::LogicalMoverConfig mc;
+  mc.locations = &graph;
+  mc.delta = sim::millis(100);
+  mc.seed = 3;
+  workload::LogicalMover mover(w.sim, consumer, mc);
+  mover.start();
+  for (int i = 0; i < 50; ++i) {
+    w.sim.run_until(w.sim.now() + sim::millis(100));
+    if (trail.back() != consumer.location()) trail.push_back(consumer.location());
+  }
+  mover.stop();
+  EXPECT_GT(trail.size(), 10u);
+  for (std::size_t i = 1; i < trail.size(); ++i) {
+    const auto& nbrs = graph.neighbors(trail[i - 1]);
+    EXPECT_NE(std::find(nbrs.begin(), nbrs.end(), trail[i]), nbrs.end())
+        << "teleport from " << graph.name(trail[i - 1]) << " to "
+        << graph.name(trail[i]);
+  }
+}
+
+TEST(LogicalMover, MaxMovesRespected) {
+  World w;
+  auto graph = location::LocationGraph::line(5);
+  client::ClientConfig cc;
+  cc.id = ClientId(1);
+  cc.locations = &graph;
+  client::Client consumer(w.sim, cc);
+  w.overlay.connect_client(consumer, 0);
+  consumer.move_to("l0");
+
+  workload::LogicalMoverConfig mc;
+  mc.locations = &graph;
+  mc.delta = sim::millis(10);
+  mc.max_moves = 7;
+  workload::LogicalMover mover(w.sim, consumer, mc);
+  mover.start();
+  w.sim.run_until(sim::seconds(5));
+  EXPECT_EQ(mover.moves(), 7u);
+}
+
+TEST(PhysicalMover, RoamsTheItinerary) {
+  sim::Simulation sim(1);
+  broker::Overlay overlay(sim, net::Topology::chain(4), {});
+  client::ClientConfig cc;
+  cc.id = ClientId(1);
+  client::Client consumer(sim, cc);
+  overlay.connect_client(consumer, 0);
+  consumer.subscribe(filter::Filter());
+
+  workload::PhysicalMoverConfig pm;
+  pm.itinerary = {1, 2, 3};
+  pm.dwell = sim::millis(500);
+  pm.gap = sim::millis(100);
+  pm.max_hops = 3;
+  workload::PhysicalMover mover(overlay, consumer, pm);
+  mover.start();
+  sim.run_until(sim::seconds(5));
+  EXPECT_EQ(mover.hops(), 3u);
+  EXPECT_TRUE(consumer.connected());
+}
+
+// ---------------------------------------------------------------------------
+// Checkers
+// ---------------------------------------------------------------------------
+
+client::Delivery make_delivery(std::uint64_t nid, std::uint32_t producer,
+                               std::uint64_t pseq) {
+  client::Delivery d;
+  d.notification.stamp(NotificationId(nid), ClientId(producer), pseq, 0);
+  return d;
+}
+
+TEST(Checkers, ExactlyOnceDetectsMissing) {
+  std::vector<client::Delivery> log{make_delivery(1, 1, 1), make_delivery(3, 1, 3)};
+  std::vector<NotificationId> expected{NotificationId(1), NotificationId(2),
+                                       NotificationId(3)};
+  auto rep = metrics::check_exactly_once(log, expected);
+  EXPECT_EQ(rep.missing, 1u);
+  EXPECT_EQ(rep.duplicates, 0u);
+  EXPECT_FALSE(rep.exactly_once());
+  ASSERT_EQ(rep.missing_ids.size(), 1u);
+  EXPECT_EQ(rep.missing_ids[0], NotificationId(2));
+}
+
+TEST(Checkers, ExactlyOnceDetectsDuplicates) {
+  std::vector<client::Delivery> log{make_delivery(1, 1, 1), make_delivery(1, 1, 1),
+                                    make_delivery(1, 1, 1)};
+  auto rep = metrics::check_exactly_once(log, {NotificationId(1)});
+  EXPECT_EQ(rep.duplicates, 2u);
+  EXPECT_FALSE(rep.exactly_once());
+}
+
+TEST(Checkers, ExactlyOncePasses) {
+  std::vector<client::Delivery> log{make_delivery(1, 1, 1), make_delivery(2, 1, 2)};
+  auto rep = metrics::check_exactly_once(
+      log, {NotificationId(1), NotificationId(2)});
+  EXPECT_TRUE(rep.exactly_once());
+}
+
+TEST(Checkers, FifoDetectsReorder) {
+  std::vector<client::Delivery> log{make_delivery(2, 1, 2), make_delivery(1, 1, 1)};
+  auto rep = metrics::check_sender_fifo(log);
+  EXPECT_EQ(rep.violations, 1u);
+}
+
+TEST(Checkers, FifoPerProducerIndependent) {
+  // Interleaving producers is fine; only per-producer order matters.
+  std::vector<client::Delivery> log{make_delivery(10, 1, 1), make_delivery(20, 2, 1),
+                                    make_delivery(11, 1, 2), make_delivery(21, 2, 2)};
+  EXPECT_TRUE(metrics::check_sender_fifo(log).ok());
+}
+
+TEST(Checkers, FifoAllowsGaps) {
+  std::vector<client::Delivery> log{make_delivery(1, 1, 1), make_delivery(5, 1, 5)};
+  EXPECT_TRUE(metrics::check_sender_fifo(log).ok());
+}
+
+TEST(Checkers, BlackoutFindsFirstPostReferenceDelivery) {
+  std::vector<client::Delivery> log;
+  auto d1 = make_delivery(1, 1, 1);
+  d1.notification.stamp(NotificationId(1), ClientId(1), 1, sim::millis(50));
+  d1.delivered_at = sim::millis(60);
+  auto d2 = make_delivery(2, 1, 2);
+  d2.notification.stamp(NotificationId(2), ClientId(1), 2, sim::millis(150));
+  d2.delivered_at = sim::millis(170);
+  log.push_back(d1);
+  log.push_back(d2);
+
+  auto rep = metrics::analyze_blackout(log, sim::millis(100));
+  EXPECT_TRUE(rep.any_delivery);
+  EXPECT_EQ(rep.first_published_offset, sim::millis(50));
+  EXPECT_EQ(rep.first_delivered_offset, sim::millis(70));
+}
+
+TEST(Checkers, BlackoutEmptyWhenNothingAfterReference) {
+  std::vector<client::Delivery> log{make_delivery(1, 1, 1)};
+  auto rep = metrics::analyze_blackout(log, sim::seconds(10));
+  EXPECT_FALSE(rep.any_delivery);
+}
+
+}  // namespace
+}  // namespace rebeca
