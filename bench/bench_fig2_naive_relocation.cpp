@@ -4,16 +4,16 @@
 // (make-before-break overlaps), even under flooding. The Sec. 4
 // relocation protocol shows 0/0 on the identical workload.
 //
+// Each row is one scenario declaration: relocation style × disconnection
+// gap; delivered/missing/duplicate counts come straight out of the
+// ScenarioReport's completeness tracking.
+//
 // Output: one row per relocation style × disconnection gap.
 #include <iomanip>
 #include <iostream>
-#include <memory>
+#include <sstream>
 
-#include "src/broker/overlay.hpp"
-#include "src/client/client.hpp"
-#include "src/metrics/checkers.hpp"
-#include "src/net/topology.hpp"
-#include "src/workload/publisher.hpp"
+#include "src/scenario/scenario.hpp"
 
 using namespace rebeca;
 
@@ -28,53 +28,48 @@ struct Result {
 
 Result run(client::RelocationMode mode, bool overlap, double gap_ms,
            routing::Strategy strategy) {
-  sim::Simulation sim(17);
-  broker::OverlayConfig cfg;
-  cfg.broker.strategy = strategy;
-  broker::Overlay overlay(sim, net::Topology::chain(4), cfg);
+  scenario::ScenarioBuilder b;
+  b.seed(17).topology(scenario::TopologySpec::chain(4)).routing(strategy);
 
-  client::ClientConfig cc;
-  cc.id = ClientId(1);
-  cc.relocation = mode;
-  cc.dedup = false;  // count duplicates honestly at the application
-  client::Client consumer(sim, cc);
-  overlay.connect_client(consumer, 3);
-  consumer.subscribe(filter::Filter().where("sym", filter::Constraint::eq("X")));
+  b.client("consumer")
+      .with_id(1)
+      .at_broker(3)
+      .relocation(mode)
+      .dedup(false)  // count duplicates honestly at the application
+      .subscribes(filter::Filter().where("sym", filter::Constraint::eq("X")));
+  b.client("producer")
+      .with_id(2)
+      .at_broker(0)
+      .publishes(scenario::PublishSpec()
+                     .every(sim::millis(10))
+                     .body(filter::Notification().set("sym", "X"))
+                     .from_phase("before")
+                     .until_phase_end("after"));
 
-  client::ClientConfig pc;
-  pc.id = ClientId(2);
-  client::Client producer(sim, pc);
-  overlay.connect_client(producer, 0);
-  workload::PublisherConfig wc;
-  wc.rate = workload::RateModel::periodic(sim::millis(10));
-  wc.prototype = filter::Notification().set("sym", "X");
-  workload::Publisher pub(sim, producer, wc);
-
-  sim.run_until(sim::seconds(1));
-  pub.start();
-  sim.run_until(sim.now() + sim::seconds(2));
-
+  b.phase("settle", sim::seconds(1));
+  b.phase("before", sim::seconds(2));
   if (overlap) {
-    // Make-before-break: attach at broker 1 while still attached at 3.
-    overlay.connect_client(consumer, 1);
-    sim.run_until(sim.now() + sim::millis(gap_ms));
-    consumer.detach_silently();  // cuts both links
-    overlay.connect_client(consumer, 1);
+    // Make-before-break: attach at broker 1 while still attached at 3,
+    // then cut both and re-attach cleanly.
+    b.phase("overlap", sim::millis(gap_ms),
+            [](scenario::Scenario& s) { s.connect("consumer", 1); });
+    b.phase("after", sim::seconds(2), [](scenario::Scenario& s) {
+      s.detach("consumer");  // cuts both links
+      s.connect("consumer", 1);
+    });
   } else {
-    consumer.detach_silently();
-    sim.run_until(sim.now() + sim::millis(gap_ms));
-    overlay.connect_client(consumer, 1);
+    b.phase("gap", sim::millis(gap_ms),
+            [](scenario::Scenario& s) { s.detach("consumer"); });
+    b.phase("after", sim::seconds(2),
+            [](scenario::Scenario& s) { s.connect("consumer", 1); });
   }
-  sim.run_until(sim.now() + sim::seconds(2));
-  pub.stop();
-  sim.run_until(sim.now() + sim::seconds(2));
+  b.phase("drain", sim::seconds(2));
 
-  std::vector<NotificationId> expected;
-  for (std::uint64_t i = 1; i <= pub.published(); ++i) {
-    expected.emplace_back((static_cast<std::uint64_t>(2) << 32) | i);
-  }
-  const auto rep = metrics::check_exactly_once(consumer.deliveries(), expected);
-  return {pub.published(), rep.delivered, rep.missing, rep.duplicates};
+  auto s = b.build();
+  s->run();
+  const scenario::ScenarioReport rep = s->report();
+  const scenario::ClientReport& c = rep.client("consumer");
+  return {rep.client("producer").published, c.delivered, c.missing, c.duplicates};
 }
 
 void report(const char* label, const Result& r) {

@@ -6,16 +6,13 @@
 //  (b) flooding with client-side filtering: notifications are already
 //      everywhere; the first delivery arrives almost immediately.
 //
-// The bench sweeps the broker-chain length (t_d grows with the path) and
-// prints the measured blackout against the predicted 2·t_d.
+// The bench sweeps the broker-chain length (t_d grows with the path);
+// each point is a scenario whose probe subscription is issued by a
+// phase-entry callback mid-stream.
 #include <iomanip>
 #include <iostream>
 
-#include "src/broker/overlay.hpp"
-#include "src/client/client.hpp"
-#include "src/metrics/checkers.hpp"
-#include "src/net/topology.hpp"
-#include "src/workload/publisher.hpp"
+#include "src/scenario/scenario.hpp"
 
 using namespace rebeca;
 
@@ -27,41 +24,42 @@ struct Blackout {
 };
 
 Blackout run(std::size_t chain, routing::Strategy strategy) {
-  sim::Simulation sim(5);
-  broker::OverlayConfig cfg;
-  cfg.broker.strategy = strategy;
-  broker::Overlay overlay(sim, net::Topology::chain(chain), cfg);
+  sim::TimePoint subscribe_time = 0;
 
-  client::ClientConfig pc;
-  pc.id = ClientId(2);
-  client::Client producer(sim, pc);
-  overlay.connect_client(producer, chain - 1);
-  workload::PublisherConfig wc;
-  wc.rate = workload::RateModel::periodic(sim::millis(1));  // dense probe
-  wc.prototype = filter::Notification().set("sym", "X");
-  workload::Publisher pub(sim, producer, wc);
+  scenario::ScenarioBuilder b;
+  b.seed(5).topology(scenario::TopologySpec::chain(chain)).routing(strategy);
 
-  client::ClientConfig cc;
-  cc.id = ClientId(1);
-  client::Client consumer(sim, cc);
-  overlay.connect_client(consumer, 0);
+  b.client("producer")
+      .with_id(2)
+      .at_broker(chain - 1)
+      .publishes(scenario::PublishSpec()
+                     .every(sim::millis(1))  // dense probe
+                     .body(filter::Notification().set("sym", "X"))
+                     .from_phase("traffic")
+                     .until_phase_end("probe"));
+  b.client("consumer").with_id(1).at_broker(0);
 
-  sim.run_until(sim::seconds(1));
-  pub.start();
-  sim.run_until(sim.now() + sim::millis(500));
+  b.phase("settle", sim::seconds(1));
+  b.phase("traffic", sim::millis(500));
+  // The probe: subscribe mid-stream and measure how long until the first
+  // matching notification reaches the application.
+  b.phase("probe", sim::seconds(2), [&subscribe_time](scenario::Scenario& s) {
+    subscribe_time = s.sim().now();
+    s.client("consumer")
+        .subscribe(filter::Filter().where("sym", filter::Constraint::eq("X")));
+  });
 
-  const auto subscribe_time = sim.now();
-  consumer.subscribe(filter::Filter().where("sym", filter::Constraint::eq("X")));
-  sim.run_until(sim.now() + sim::seconds(2));
-  pub.stop();
+  auto s = b.build();
+  s->run();
 
-  const auto rep = metrics::analyze_blackout(consumer.deliveries(), subscribe_time);
-  Blackout b;
+  const auto rep =
+      metrics::analyze_blackout(s->client("consumer").deliveries(), subscribe_time);
+  Blackout result;
   if (rep.any_delivery) {
-    b.first_published_ms = sim::to_millis(rep.first_published_offset);
-    b.first_delivered_ms = sim::to_millis(rep.first_delivered_offset);
+    result.first_published_ms = sim::to_millis(rep.first_published_offset);
+    result.first_delivered_ms = sim::to_millis(rep.first_delivered_offset);
   }
-  return b;
+  return result;
 }
 
 }  // namespace

@@ -2,14 +2,13 @@
 // replay size as functions of topology depth and disconnection duration.
 //
 // Latency is measured from the reconnect instant to the first delivery
-// of a backlogged notification at the new border broker.
+// of a backlogged notification at the new border broker. Each point is
+// one scenario: the disconnect and the far-end reconnect are phase-entry
+// callbacks, completeness comes from the report.
 #include <iomanip>
 #include <iostream>
 
-#include "src/broker/overlay.hpp"
-#include "src/client/client.hpp"
-#include "src/net/topology.hpp"
-#include "src/workload/publisher.hpp"
+#include "src/scenario/scenario.hpp"
 
 using namespace rebeca;
 
@@ -22,48 +21,49 @@ struct Result {
 };
 
 Result run(std::size_t chain_length, double gap_sec) {
-  sim::Simulation sim(7);
-  broker::Overlay overlay(sim, net::Topology::chain(chain_length),
-                          broker::OverlayConfig{});
+  std::size_t received_before = 0;
+  sim::TimePoint reconnect_at = 0;
 
-  client::ClientConfig cc;
-  cc.id = ClientId(1);
-  client::Client consumer(sim, cc);
-  overlay.connect_client(consumer, chain_length - 1);
-  consumer.subscribe(filter::Filter().where("sym", filter::Constraint::eq("X")));
+  scenario::ScenarioBuilder b;
+  b.seed(7).topology(scenario::TopologySpec::chain(chain_length));
 
-  client::ClientConfig pc;
-  pc.id = ClientId(2);
-  client::Client producer(sim, pc);
-  overlay.connect_client(producer, 0);
-  workload::PublisherConfig wc;
-  wc.rate = workload::RateModel::periodic(sim::millis(20));
-  wc.prototype = filter::Notification().set("sym", "X");
-  workload::Publisher pub(sim, producer, wc);
+  b.client("consumer")
+      .with_id(1)
+      .at_broker(chain_length - 1)
+      .subscribes(filter::Filter().where("sym", filter::Constraint::eq("X")));
+  b.client("producer")
+      .with_id(2)
+      .at_broker(0)
+      .publishes(scenario::PublishSpec()
+                     .every(sim::millis(20))
+                     .body(filter::Notification().set("sym", "X"))
+                     .from_phase("traffic")
+                     .until_phase_end("recover"));
 
-  sim.run_until(sim::seconds(1));
-  pub.start();
-  sim.run_until(sim.now() + sim::seconds(1));
+  b.phase("settle", sim::seconds(1));
+  b.phase("traffic", sim::seconds(1));
+  b.phase("dark", sim::seconds(gap_sec),
+          [](scenario::Scenario& s) { s.detach("consumer"); });
+  b.phase("recover", sim::seconds(10), [&](scenario::Scenario& s) {
+    received_before = s.client("consumer").deliveries().size();
+    reconnect_at = s.sim().now();
+    s.connect("consumer", 0);  // far end: worst-case path
+  });
+  b.phase("drain", sim::seconds(1));
 
-  consumer.detach_silently();
-  sim.run_until(sim.now() + sim::seconds(gap_sec));
-
-  const auto received_before = consumer.deliveries().size();
-  const auto reconnect_at = sim.now();
-  overlay.connect_client(consumer, 0);  // far end: worst-case path
-  sim.run_until(sim.now() + sim::seconds(10));
-  pub.stop();
-  sim.run_until(sim.now() + sim::seconds(1));
+  auto s = b.build();
+  s->run();
 
   Result r;
-  if (consumer.deliveries().size() > received_before) {
-    r.relocation_latency_ms = sim::to_millis(
-        consumer.deliveries()[received_before].delivered_at - reconnect_at);
+  const auto& deliveries = s->client("consumer").deliveries();
+  if (deliveries.size() > received_before) {
+    r.relocation_latency_ms =
+        sim::to_millis(deliveries[received_before].delivered_at - reconnect_at);
   }
   r.replayed = static_cast<std::size_t>(
       static_cast<double>(gap_sec) * 50.0);  // nominal backlog (50/s)
-  r.complete = consumer.deliveries().size() == pub.published() &&
-               consumer.duplicate_count() == 0;
+  const scenario::ClientReport& c = s->report().client("consumer");
+  r.complete = c.missing == 0 && c.duplicates == 0;
   return r;
 }
 

@@ -3,13 +3,14 @@
 // merging — on a workload of overlapping subscriptions. Reproduces the
 // claim that covering "significantly decreas[es] the table size" and
 // that merging forwards only the merged cover.
+//
+// Each cell is a scenario declaration: the consumer population is a
+// loop over declarative client specs; the strategy is one builder knob.
 #include <iomanip>
 #include <iostream>
-#include <memory>
+#include <string>
 
-#include "src/broker/overlay.hpp"
-#include "src/client/client.hpp"
-#include "src/net/topology.hpp"
+#include "src/scenario/scenario.hpp"
 
 using namespace rebeca;
 
@@ -20,68 +21,71 @@ struct Result {
   std::size_t table_tags = 0;      // per-subscription rows (simple routing)
   std::uint64_t admin_messages = 0;
   std::uint64_t notification_hops = 0;
-  std::size_t delivered = 0;
+  std::uint64_t delivered = 0;
 };
 
+filter::Filter consumer_filter(std::size_t i) {
+  // Heavily overlapping filters: many are covered by broader colleagues,
+  // pairs are mergeable.
+  filter::Filter f;
+  f.where("service", filter::Constraint::eq("quote"));
+  switch (i % 4) {
+    case 0:  // broad
+      f.where("px", filter::Constraint::lt(1000));
+      break;
+    case 1:  // covered by case 0
+      f.where("px", filter::Constraint::lt(static_cast<int>(10 + i)));
+      break;
+    case 2:  // mergeable siblings
+      f.where("sym", filter::Constraint::eq("A" + std::to_string(i % 8)));
+      break;
+    default:  // range, partially overlapping
+      f.where("px", filter::Constraint::range(filter::Value(static_cast<int>(i)),
+                                              filter::Value(static_cast<int>(i + 50))));
+      break;
+  }
+  return f;
+}
+
 Result run(routing::Strategy strategy, std::size_t consumers) {
-  sim::Simulation sim(13);
-  broker::OverlayConfig cfg;
-  cfg.broker.strategy = strategy;
-  broker::Overlay overlay(sim, net::Topology::balanced_tree(2, 3), cfg);  // 13 brokers
+  scenario::ScenarioBuilder b;
+  b.seed(13)
+      .topology(scenario::TopologySpec::balanced_tree(2, 3))  // 13 brokers
+      .routing(strategy);
 
-  // Consumers at leaves, with heavily overlapping filters: many are
-  // covered by broader colleagues, pairs are mergeable.
-  std::vector<std::unique_ptr<client::Client>> clients;
+  // Consumers at leaves.
   for (std::size_t i = 0; i < consumers; ++i) {
-    client::ClientConfig cc;
-    cc.id = ClientId(static_cast<std::uint32_t>(i + 1));
-    clients.push_back(std::make_unique<client::Client>(sim, cc));
-    overlay.connect_client(*clients.back(), 4 + (i % 9));
-    filter::Filter f;
-    f.where("service", filter::Constraint::eq("quote"));
-    switch (i % 4) {
-      case 0:  // broad
-        f.where("px", filter::Constraint::lt(1000));
-        break;
-      case 1:  // covered by case 0
-        f.where("px", filter::Constraint::lt(static_cast<int>(10 + i)));
-        break;
-      case 2:  // mergeable siblings
-        f.where("sym", filter::Constraint::eq("A" + std::to_string(i % 8)));
-        break;
-      default:  // range, partially overlapping
-        f.where("px", filter::Constraint::range(filter::Value(static_cast<int>(i)),
-                                                filter::Value(static_cast<int>(i + 50))));
-        break;
-    }
-    clients.back()->subscribe(f);
+    b.client("consumer" + std::to_string(i))
+        .with_id(static_cast<std::uint32_t>(i + 1))
+        .at_broker(4 + (i % 9))
+        .subscribes(consumer_filter(i));
   }
-  sim.run_until(sim::seconds(5));
-  const auto admin =
-      overlay.counters().count(metrics::MessageClass::subscription_admin);
+  // One publisher exercising the tables after the subscriptions settle.
+  b.client("producer").with_id(1000).at_broker(0);
 
-  // One publisher exercising the tables.
-  client::ClientConfig pc;
-  pc.id = ClientId(1000);
-  client::Client producer(sim, pc);
-  overlay.connect_client(producer, 0);
-  for (int i = 0; i < 100; ++i) {
-    producer.publish(filter::Notification()
-                         .set("service", "quote")
-                         .set("sym", "A" + std::to_string(i % 8))
-                         .set("px", i * 13 % 300));
-  }
-  sim.run_until(sim.now() + sim::seconds(2));
+  b.phase("subscribe", sim::seconds(5));
+  b.phase("publish", sim::seconds(2), [](scenario::Scenario& s) {
+    for (int i = 0; i < 100; ++i) {
+      s.client("producer")
+          .publish(filter::Notification()
+                       .set("service", "quote")
+                       .set("sym", "A" + std::to_string(i % 8))
+                       .set("px", i * 13 % 300));
+    }
+  });
+
+  auto s = b.build();
+  s->run();
 
   Result r;
-  for (std::size_t b = 0; b < overlay.broker_count(); ++b) {
-    r.table_entries += overlay.broker(b).routing_entry_count();
-    r.table_tags += overlay.broker(b).routing_tag_count();
+  for (std::size_t i = 0; i < s->topology().broker_count(); ++i) {
+    r.table_entries += s->overlay().broker(i).routing_entry_count();
+    r.table_tags += s->overlay().broker(i).routing_tag_count();
   }
-  r.admin_messages = admin;
-  r.notification_hops =
-      overlay.counters().count(metrics::MessageClass::notification);
-  for (const auto& c : clients) r.delivered += c->deliveries().size();
+  const scenario::ScenarioReport rep = s->report();
+  r.admin_messages = rep.messages.count(metrics::MessageClass::subscription_admin);
+  r.notification_hops = rep.messages.count(metrics::MessageClass::notification);
+  r.delivered = rep.delivered;
   return r;
 }
 
@@ -96,7 +100,6 @@ int main() {
             << std::setw(12) << "notif hops" << std::setw(12) << "delivered"
             << "\n";
 
-  std::size_t delivered_reference = 0;
   for (std::size_t consumers : {8u, 24u, 48u}) {
     for (auto strategy :
          {routing::Strategy::simple, routing::Strategy::identity,
@@ -107,7 +110,6 @@ int main() {
                 << r.table_entries << std::setw(12) << r.table_tags
                 << std::setw(12) << r.admin_messages << std::setw(12)
                 << r.notification_hops << std::setw(12) << r.delivered << "\n";
-      if (delivered_reference == 0) delivered_reference = r.delivered;
     }
     std::cout << "\n";
   }

@@ -11,38 +11,40 @@
 // adjacent bands as the client spends or earns); the subscription
 // "sales I can afford" is a location-dependent filter over the budget
 // band, and the broker-side ploc lookahead absorbs spending the same way
-// it absorbs driving.
+// it absorbs driving. The whole experiment is one scenario declaration
+// whose "movement graph" is a line of budget bands.
 //
 // Run: ./example_affordable_sales
 #include <iostream>
 
-#include "src/broker/overlay.hpp"
-#include "src/client/client.hpp"
-#include "src/location/ld_spec.hpp"
-#include "src/net/topology.hpp"
+#include "src/scenario/scenario.hpp"
 
 using namespace rebeca;
 
+namespace {
+
+void post_sale(scenario::Scenario& s, const char* item, int price) {
+  s.client("marketplace")
+      .publish(filter::Notification()
+                   .set("service", "sale")
+                   .set("item", item)
+                   .set("price", price)
+                   .set("location", "l" + std::to_string(price / 10)));
+}
+
+}  // namespace
+
 int main() {
+  scenario::ScenarioBuilder b;
   // The "movement graph" of the budget: bands 0-9, 10-19, ..., 90-99
   // EUR; spending/earning moves between adjacent bands.
-  auto budget_bands = location::LocationGraph::line(10);  // l0 .. l9
-
-  sim::Simulation sim(5);
-  broker::OverlayConfig cfg;
-  cfg.broker.locations = &budget_bands;
-  broker::Overlay overlay(sim, net::Topology::chain(3), cfg);
-
-  client::ClientConfig shopper_cfg;
-  shopper_cfg.id = ClientId(1);
-  shopper_cfg.locations = &budget_bands;
-  client::Client shopper(sim, shopper_cfg);
-  overlay.connect_client(shopper, 0);
-  shopper.move_to("l5");  // 50-59 EUR in the wallet
+  b.seed(5)
+      .topology(scenario::TopologySpec::chain(3))
+      .locations(scenario::LocationSpec::line(10));  // l0 .. l9
 
   // "Sales I can afford": the marketplace tags each sale with the budget
   // band its price falls into; affordability = the sale's band is at or
-  // below the shopper's. A vicinity radius of 5 bands approximates
+  // below the shopper's. A vicinity radius of 2 bands approximates
   // "within reach" (bands are a line, so the ball spans lower and higher
   // bands; the client-side filter is exact either way and the paper's
   // point — broker-side lookahead on a client-state variable — stands).
@@ -50,48 +52,41 @@ int main() {
   spec.base = filter::Filter().where("service", filter::Constraint::eq("sale"));
   spec.vicinity_radius = 2;  // prices within ±2 bands of the wallet
   spec.profile = location::UncertaintyProfile::global_resub();
-  shopper.subscribe(spec);
+  b.client("shopper").at_broker(0).starts_at("l5").subscribes(spec);
+  b.client("marketplace").at_broker(2);
 
+  b.phase("setup", sim::millis(200));
+  b.phase("sales", sim::millis(200), [](scenario::Scenario& s) {
+    std::cout << "wallet: 50-59 EUR band; posting sales...\n";
+    post_sale(s, "headphones", 45);  // within reach
+    post_sale(s, "keyboard", 60);    // within reach (one band up)
+    post_sale(s, "monitor", 89);     // far out of reach
+  });
+  b.phase("spend", sim::millis(200), [](scenario::Scenario& s) {
+    std::cout << "the shopper spends 30 EUR (wallet drifts to the 20-29 "
+                 "band); the dynamic filter follows automatically:\n";
+    s.client("shopper").move_to("l4");
+    s.client("shopper").move_to("l3");
+    s.client("shopper").move_to("l2");
+  });
+  b.phase("more-sales", sim::millis(200), [](scenario::Scenario& s) {
+    post_sale(s, "usb cable", 9);     // now within reach
+    post_sale(s, "headphones2", 55);  // no longer within reach (3 bands up)
+  });
+
+  auto s = b.build();
+  const location::LocationGraph& budget_bands = *s->locations();
+  client::Client& shopper = s->client("shopper");
   shopper.on_notify = [&](const client::Delivery& d) {
     std::cout << "  [" << sim::FormatTime{d.delivered_at} << "] wallet band "
               << budget_bands.name(shopper.location()) << ": affordable sale — "
               << d.notification.get("item")->as_string() << " at "
               << d.notification.get("price")->as_int() << " EUR\n";
   };
+  s->run();
 
-  client::ClientConfig market_cfg;
-  market_cfg.id = ClientId(2);
-  client::Client marketplace(sim, market_cfg);
-  overlay.connect_client(marketplace, 2);
-
-  auto post_sale = [&](const char* item, int price) {
-    marketplace.publish(filter::Notification()
-                            .set("service", "sale")
-                            .set("item", item)
-                            .set("price", price)
-                            .set("location",
-                                 "l" + std::to_string(price / 10)));
-  };
-
-  sim.run_until(sim::millis(200));
-  std::cout << "wallet: 50-59 EUR band; posting sales...\n";
-  post_sale("headphones", 45);  // within reach
-  post_sale("keyboard", 60);    // within reach (one band up)
-  post_sale("monitor", 89);     // far out of reach
-  sim.run_until(sim::millis(400));
-
-  std::cout << "the shopper spends 30 EUR (wallet drifts to the 20-29 "
-               "band); the dynamic filter follows automatically:\n";
-  shopper.move_to("l4");
-  shopper.move_to("l3");
-  shopper.move_to("l2");
-  sim.run_until(sim::millis(600));
-  post_sale("usb cable", 9);    // now within reach
-  post_sale("headphones2", 55); // no longer within reach (3 bands up)
-  sim.run_until(sim::millis(800));
-
-  std::cout << "received " << shopper.deliveries().size()
+  std::cout << "received " << s->client("shopper").deliveries().size()
             << " affordable-sale notifications (filters tracked the wallet "
                "without any re-subscription by the application).\n";
-  return shopper.deliveries().size() == 3 ? 0 : 1;
+  return s->client("shopper").deliveries().size() == 3 ? 0 : 1;
 }

@@ -5,31 +5,39 @@
 //
 // One border broker serves the whole building (the client stays
 // attached — pure logical mobility). Facility events are published per
-// room; the user's subscription (location ∈ myloc) follows them. The
-// example contrasts the middleware's location-dependent subscription
-// against a manual unsub/resub wrapper, which suffers the 2·t_d blackout
-// of Fig. 3a.
+// room; the user's subscription (location ∈ myloc) follows them. Both
+// contestants — the middleware's location-dependent subscription and a
+// manual unsub/resub wrapper that suffers the 2·t_d blackout of
+// Fig. 3a — run as scenarios over the same building graph and phase
+// schedule; only the subscription style differs.
 //
 // Run: ./example_conference_room
 #include <iostream>
 
-#include "src/broker/overlay.hpp"
-#include "src/client/client.hpp"
-#include "src/location/ld_spec.hpp"
-#include "src/net/topology.hpp"
+#include "src/scenario/scenario.hpp"
 
 using namespace rebeca;
 
 namespace {
 
-// Publishes one event in every room every 40 ms.
-void publish_everywhere(sim::Simulation& sim, client::Client& facility,
-                        const location::LocationGraph& building,
-                        double duration_sec) {
+// The building: office — corridor — conference — lab — kitchen.
+location::LocationGraph make_building() {
+  location::LocationGraph building;
+  building.connect("office", "corridor");
+  building.connect("corridor", "conference");
+  building.connect("corridor", "lab");
+  building.connect("lab", "kitchen");
+  return building;
+}
+
+// Publishes one event in every room every 40 ms for `duration_sec`.
+void publish_everywhere(scenario::Scenario& s, double duration_sec) {
+  client::Client& facility = s.client("facility");
+  const location::LocationGraph& building = *s.locations();
   const int rounds = static_cast<int>(duration_sec * 25.0);
   for (int i = 0; i < rounds; ++i) {
     for (std::uint32_t r = 0; r < building.size(); ++r) {
-      sim.schedule_after(sim::millis(40.0 * i), [&, r] {
+      s.sim().schedule_after(sim::millis(40.0 * i), [&, r] {
         facility.publish(filter::Notification()
                              .set("service", "announce")
                              .set("location", building.name(LocationId(r))));
@@ -38,94 +46,73 @@ void publish_everywhere(sim::Simulation& sim, client::Client& facility,
   }
 }
 
+// Shared skeleton: producer 4 slow hops away (subscription changes take
+// ~2·t_d ≈ 170 ms to take effect, movement is fast — exactly the regime
+// the LD machinery targets); the user walks office → corridor →
+// conference mid-stream. `on_move` performs the move in the contestant's
+// own style.
+scenario::ScenarioBuilder walk_skeleton(
+    const location::LocationGraph* building,
+    std::function<void(scenario::Scenario&, const std::string&)> on_move) {
+  scenario::ScenarioBuilder b;
+  b.seed(1)
+      .topology(scenario::TopologySpec::chain(5))
+      .locations(building)
+      .broker_link_delay(sim::DelayModel::fixed(sim::millis(20)));
+  b.client("user").at_broker(0).starts_at("office");
+  b.client("facility").at_broker(4);
+  b.phase("setup", sim::millis(200));
+  b.phase("office", sim::millis(800),
+          [](scenario::Scenario& s) { publish_everywhere(s, 2.0); });
+  b.phase("corridor", sim::millis(200),
+          [on_move](scenario::Scenario& s) { on_move(s, "corridor"); });
+  b.phase("conference", sim::millis(2800),
+          [on_move](scenario::Scenario& s) { on_move(s, "conference"); });
+  return b;
+}
+
 }  // namespace
 
 int main() {
-  // The building: office — corridor — conference — lab — kitchen.
-  location::LocationGraph building;
-  building.connect("office", "corridor");
-  building.connect("corridor", "conference");
-  building.connect("corridor", "lab");
-  building.connect("lab", "kitchen");
+  const location::LocationGraph building = make_building();
 
   // ---------- run 1: location-dependent subscription ----------
   std::size_t ld_received;
   {
-    sim::Simulation sim(1);
-    broker::OverlayConfig cfg;
-    cfg.broker.locations = &building;
-    // The producer sits 4 slow hops away: subscription changes take
-    // ~2·t_d ≈ 170 ms to take effect, movement is fast — exactly the
-    // regime the LD machinery targets.
-    cfg.broker_link_delay = sim::DelayModel::fixed(sim::millis(20));
-    broker::Overlay overlay(sim, net::Topology::chain(5), cfg);
-
-    client::ClientConfig uc;
-    uc.id = ClientId(1);
-    uc.locations = &building;
-    client::Client user(sim, uc);
-    overlay.connect_client(user, 0);
-    user.move_to("office");
-
+    auto b = walk_skeleton(&building,
+                           [](scenario::Scenario& s, const std::string& room) {
+                             s.client("user").move_to(room);
+                           });
     location::LdSpec spec;
     spec.base =
         filter::Filter().where("service", filter::Constraint::eq("announce"));
     spec.profile = location::UncertaintyProfile::global_resub();
-    user.subscribe(spec);
-
-    client::ClientConfig fc;
-    fc.id = ClientId(2);
-    client::Client facility(sim, fc);
-    overlay.connect_client(facility, 4);
-
-    sim.run_until(sim::millis(200));
-    publish_everywhere(sim, facility, building, 2.0);
-    // Walk to the conference room mid-stream.
-    sim.schedule_at(sim::seconds(1), [&] { user.move_to("corridor"); });
-    sim.schedule_at(sim::seconds(1.2), [&] { user.move_to("conference"); });
-    sim.run_until(sim::seconds(4));
-    ld_received = user.deliveries().size();
+    b.client("user").subscribes(spec);
+    auto s = b.build();
+    s->run();
+    ld_received = s->client("user").deliveries().size();
   }
 
   // ---------- run 2: manual unsub/resub wrapper (the Sec. 3.3 strawman) --
   std::size_t manual_received;
   {
-    sim::Simulation sim(1);
-    broker::OverlayConfig cfg;
-    cfg.broker.locations = &building;
-    cfg.broker_link_delay = sim::DelayModel::fixed(sim::millis(20));
-    broker::Overlay overlay(sim, net::Topology::chain(5), cfg);
-
-    client::ClientConfig uc;
-    uc.id = ClientId(1);
-    uc.locations = &building;
-    client::Client user(sim, uc);
-    overlay.connect_client(user, 0);
-    user.move_to("office");
-
-    auto room_filter = [&](const std::string& room) {
+    auto room_filter = [](const std::string& room) {
       return filter::Filter()
           .where("service", filter::Constraint::eq("announce"))
           .where("location", filter::Constraint::eq(room));
     };
-    std::uint32_t sub = user.subscribe(room_filter("office"));
-
-    client::ClientConfig fc;
-    fc.id = ClientId(2);
-    client::Client facility(sim, fc);
-    overlay.connect_client(facility, 4);
-
-    sim.run_until(sim::millis(200));
-    publish_everywhere(sim, facility, building, 2.0);
-    auto move_manually = [&](const std::string& room) {
-      user.unsubscribe(sub);
-      sub = user.subscribe(room_filter(room));
-      user.move_to(room);
-    };
-    sim.schedule_at(sim::seconds(1), [&] { move_manually("corridor"); });
-    sim.schedule_at(sim::seconds(1.2), [&] { move_manually("conference"); });
-    sim.run_until(sim::seconds(4));
-    manual_received = user.deliveries().size();
+    auto sub = std::make_shared<std::uint32_t>(0);
+    auto b = walk_skeleton(
+        &building, [room_filter, sub](scenario::Scenario& s, const std::string& room) {
+          client::Client& user = s.client("user");
+          user.unsubscribe(*sub);
+          *sub = user.subscribe(room_filter(room));
+          user.move_to(room);
+        });
+    auto s = b.build();
+    *sub = s->client("user").subscribe(room_filter("office"));
+    s->run();
+    manual_received = s->client("user").deliveries().size();
   }
 
   std::cout << "announcements received while walking office → corridor → "

@@ -5,90 +5,83 @@
 // blackout: the middleware's per-hop ploc filters keep notifications for
 // the *next* possible locations already flowing.
 //
+// The whole experiment — the city grid, the broker tree, the sensor
+// feed, and the drive itself — is one scenario declaration.
 // Run: ./example_parking_guidance
 #include <iomanip>
 #include <iostream>
 
-#include "src/broker/overlay.hpp"
-#include "src/client/client.hpp"
-#include "src/location/ld_spec.hpp"
-#include "src/net/topology.hpp"
-#include "src/workload/publisher.hpp"
+#include "src/scenario/scenario.hpp"
 
 using namespace rebeca;
 
 int main() {
-  sim::Simulation sim(7);
+  scenario::ScenarioBuilder b;
+  // The city: an 8×8 grid of street blocks, served by a broker tree.
+  b.seed(7)
+      .topology(scenario::TopologySpec::balanced_tree(2, 3))
+      .locations(scenario::LocationSpec::grid(8, 8));
 
-  // The city: an 8×8 grid of street blocks.
-  auto city = location::LocationGraph::grid(8, 8);
-
-  broker::OverlayConfig cfg;
-  cfg.broker.locations = &city;
-  broker::Overlay overlay(sim, net::Topology::balanced_tree(2, 3), cfg);
-
-  // The car, attached to a downtown broker.
-  client::ClientConfig car_cfg;
-  car_cfg.id = ClientId(1);
-  car_cfg.locations = &city;
-  client::Client car(sim, car_cfg);
-  overlay.connect_client(car, 4);
-  car.move_to("g0_0");
-
-  // Location-dependent subscription: parking vacancies within 2 blocks,
-  // with the adaptive uncertainty profile of paper Sec. 5.3 (the car
-  // changes blocks about every second; subscription processing between
-  // brokers takes ~10 ms round trips).
+  // The car, attached to a downtown broker. Location-dependent
+  // subscription: parking vacancies within 2 blocks, with the adaptive
+  // uncertainty profile of paper Sec. 5.3 (the car changes blocks about
+  // every second; subscription processing between brokers takes ~10 ms
+  // round trips). It drives east along the first avenue, one block per
+  // second.
   location::LdSpec spec;
   spec.base = filter::Filter().where("service", filter::Constraint::eq("parking"));
   spec.vicinity_radius = 2;
   spec.profile = location::UncertaintyProfile::adaptive(
       sim::seconds(1), {sim::millis(12), sim::millis(10), sim::millis(10)});
-  car.subscribe(spec);
+  b.client("car")
+      .at_broker(4)
+      .starts_at("g0_0")
+      .subscribes(spec)
+      .walks(scenario::WalkSpec()
+                 .route({"g1_0", "g2_0", "g3_0", "g4_0", "g5_0", "g6_0", "g7_0"})
+                 .residing(sim::seconds(1))
+                 .moves(7)
+                 .from_phase("drive"));
 
+  // The city's parking sensors: vacancies pop up all over town, four per
+  // second, attached to a different broker than the car.
+  b.client("sensors")
+      .at_broker(9)
+      .publishes(scenario::PublishSpec()
+                     .poisson(sim::millis(250))
+                     .body(filter::Notification().set("service", "parking"))
+                     .uniform_locations()
+                     .with_seed(99)
+                     .from_phase("drive")
+                     .until_phase_end("drive"));
+
+  b.phase("warmup", sim::millis(200));
+  b.phase("drive", sim::seconds(8800.0 / 1000.0));
+  b.phase("drain", sim::seconds(1));
+
+  auto s = b.build();
+  const location::LocationGraph& city = *s->locations();
+  client::Client& car = s->client("car");
   car.on_notify = [&](const client::Delivery& d) {
     std::cout << "  [" << sim::FormatTime{d.delivered_at} << "] car at "
               << city.name(car.location()) << ": vacancy at "
               << d.notification.get("location")->as_string() << "\n";
   };
 
-  // The city's parking sensors: vacancies pop up all over town, four per
-  // second, attached to a different broker than the car.
-  client::ClientConfig sensors_cfg;
-  sensors_cfg.id = ClientId(2);
-  client::Client sensors(sim, sensors_cfg);
-  overlay.connect_client(sensors, 9);
-  workload::PublisherConfig pub_cfg;
-  pub_cfg.rate = workload::RateModel::poisson(sim::millis(250));
-  pub_cfg.prototype = filter::Notification().set("service", "parking");
-  pub_cfg.locations = &city;
-  pub_cfg.seed = 99;
-  workload::Publisher sensors_feed(sim, sensors, pub_cfg);
-
-  sim.run_until(sim::millis(200));
-  sensors_feed.start();
-
-  // Drive east along the first avenue, one block per second.
-  for (int x = 1; x < 8; ++x) {
-    sim.schedule_at(sim::seconds(x), [&car, x] {
-      car.move_to("g" + std::to_string(x) + "_0");
-    });
-  }
   std::cout << "driving g0_0 → g7_0, one block per second; vacancies "
             << "within 2 blocks are delivered:\n";
-  sim.run_until(sim::seconds(9));
-  sensors_feed.stop();
-  sim.run_until(sim::seconds(10));
+  s->run();
 
-  std::cout << "received " << car.deliveries().size()
-            << " nearby vacancies out of " << sensors_feed.published()
-            << " citywide reports; " << car.filtered_count()
+  const scenario::ScenarioReport report = s->report();
+  std::cout << "received " << report.client("car").delivered
+            << " nearby vacancies out of " << report.published
+            << " citywide reports; " << report.client("car").filtered
             << " were stopped by the client-side filter, the rest never "
                "left the broker network.\n"
             << "location updates sent: "
-            << overlay.counters().count(metrics::MessageClass::location_update)
-            << " (vs. " << sensors_feed.published() << "×"
-            << overlay.topology().edges().size()
+            << report.messages.count(metrics::MessageClass::location_update)
+            << " (vs. " << report.published << "×"
+            << s->topology().edges().size()
             << " notification hops flooding would have cost)\n";
-  return car.deliveries().empty() ? 1 : 0;
+  return report.client("car").delivered == 0 ? 1 : 0;
 }

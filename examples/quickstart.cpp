@@ -1,75 +1,64 @@
-// Quickstart: the four pub/sub primitives on a small broker network.
+// Quickstart: the four pub/sub primitives on a small broker network,
+// declared through the scenario API.
 //
-// Builds a three-broker chain, attaches a consumer and a producer,
-// subscribes with a content filter, publishes a handful of notifications
-// and prints what arrives. Run: ./example_quickstart
+// A three-broker chain, a consumer and a producer, a content filter, a
+// handful of publications and a printout of what arrives.
+// Run: ./example_quickstart
 #include <iostream>
 
-#include "src/broker/overlay.hpp"
-#include "src/client/client.hpp"
-#include "src/net/topology.hpp"
+#include "src/scenario/scenario.hpp"
 
 using namespace rebeca;
 
 int main() {
-  // The simulation kernel: all of virtual time flows from here.
-  sim::Simulation sim(/*seed=*/42);
-
+  scenario::ScenarioBuilder b;
   // Three brokers in a chain: B0 — B1 — B2, links with 5 ms delay.
-  broker::OverlayConfig cfg;
-  cfg.broker.strategy = routing::Strategy::covering;
-  broker::Overlay overlay(sim, net::Topology::chain(3), cfg);
-
-  // A consumer at broker 0.
-  client::ClientConfig consumer_cfg;
-  consumer_cfg.id = ClientId(1);
-  client::Client consumer(sim, consumer_cfg);
-  overlay.connect_client(consumer, 0);
-
-  // A producer at broker 2.
-  client::ClientConfig producer_cfg;
-  producer_cfg.id = ClientId(2);
-  client::Client producer(sim, producer_cfg);
-  overlay.connect_client(producer, 2);
+  b.seed(42).topology(scenario::TopologySpec::chain(3));
 
   // sub: free parking spaces cheaper than 3 EUR for compact cars or
-  // larger (the paper's Sec. 2.1 example subscription).
-  consumer.subscribe(filter::Filter()
-                         .where("service", filter::Constraint::eq("parking"))
-                         .where("cost", filter::Constraint::lt(3.0))
-                         .where("size", filter::Constraint::ge("compact")));
+  // larger (the paper's Sec. 2.1 example subscription); notify: print.
+  b.client("consumer")
+      .at_broker(0)
+      .subscribes(filter::Filter()
+                      .where("service", filter::Constraint::eq("parking"))
+                      .where("cost", filter::Constraint::lt(3.0))
+                      .where("size", filter::Constraint::ge("compact")))
+      .notify([](const client::Delivery& d) {
+        std::cout << "[" << sim::FormatTime{d.delivered_at} << "] received "
+                  << d.notification.to_string() << " (seq " << d.seq << ")\n";
+      });
+  b.client("producer").at_broker(2);
 
-  // notify: print every delivery.
-  consumer.on_notify = [&](const client::Delivery& d) {
-    std::cout << "[" << sim::FormatTime{d.delivered_at} << "] received "
-              << d.notification.to_string() << " (seq " << d.seq << ")\n";
-  };
+  // Let the subscription propagate, then pub: three notifications, of
+  // which only two match the filter.
+  b.phase("propagate", sim::millis(100));
+  b.phase("publish", sim::millis(100), [](scenario::Scenario& s) {
+    client::Client& producer = s.client("producer");
+    producer.publish(filter::Notification()
+                         .set("service", "parking")
+                         .set("location", "100 Rebeca Drive")
+                         .set("cost", 2.5)
+                         .set("size", "compact"));
+    producer.publish(filter::Notification()
+                         .set("service", "parking")
+                         .set("location", "200 Rebeca Drive")
+                         .set("cost", 5.0)  // too expensive — filtered out
+                         .set("size", "compact"));
+    producer.publish(filter::Notification()
+                         .set("service", "parking")
+                         .set("location", "17 Middleware Way")
+                         .set("cost", 1.0)
+                         .set("size", "suv"));
+  });
 
-  // Let the subscription propagate through the broker chain.
-  sim.run_until(sim::millis(100));
+  auto s = b.build();
+  s->run();
 
-  // pub: three notifications; only two match the filter.
-  producer.publish(filter::Notification()
-                       .set("service", "parking")
-                       .set("location", "100 Rebeca Drive")
-                       .set("cost", 2.5)
-                       .set("size", "compact"));
-  producer.publish(filter::Notification()
-                       .set("service", "parking")
-                       .set("location", "200 Rebeca Drive")
-                       .set("cost", 5.0)  // too expensive — filtered out
-                       .set("size", "compact"));
-  producer.publish(filter::Notification()
-                       .set("service", "parking")
-                       .set("location", "17 Middleware Way")
-                       .set("cost", 1.0)
-                       .set("size", "suv"));
-
-  sim.run_until(sim::millis(200));
-
-  std::cout << "delivered " << consumer.deliveries().size()
-            << " of 3 published notifications (1 filtered by content)\n"
-            << "total messages in the network: " << overlay.counters().total()
-            << " " << overlay.counters() << "\n";
-  return consumer.deliveries().size() == 2 ? 0 : 1;
+  const scenario::ScenarioReport report = s->report();
+  std::cout << "delivered " << report.client("consumer").delivered << " of "
+            << report.published
+            << " published notifications (1 filtered by content)\n"
+            << "total messages in the network: " << report.messages.total()
+            << " " << report.messages << "\n";
+  return report.client("consumer").delivered == 2 ? 0 : 1;
 }

@@ -1,81 +1,75 @@
 // Roaming stock monitor: the paper's transparency scenario (Sec. 3.1 —
 // "stock quote monitoring seamlessly transferred from PCs to PDAs").
 //
-// A trader watches a ticker at the office (broker 0), disconnects, rides
+// A trader watches a ticker at the office (broker 3), disconnects, rides
 // the train (offline), and reopens the application on a PDA attached to
-// a different broker. The application code only ever calls subscribe and
-// reads notifications — the middleware relocates the subscription,
-// replays the buffered quotes, and the trader misses nothing, sees no
-// duplicates, and sees quotes in order.
+// a different broker. The whole experiment is one scenario declaration:
+// the application code only ever calls subscribe and reads
+// notifications — the middleware relocates the subscription, replays the
+// buffered quotes, and the trader misses nothing, sees no duplicates,
+// and sees quotes in order.
 //
 // Run: ./example_roaming_stock_monitor
 #include <iostream>
 
-#include "src/broker/overlay.hpp"
-#include "src/client/client.hpp"
-#include "src/metrics/checkers.hpp"
-#include "src/net/topology.hpp"
-#include "src/workload/publisher.hpp"
+#include "src/scenario/scenario.hpp"
 
 using namespace rebeca;
 
 int main() {
-  sim::Simulation sim(2026);
-
-  broker::Overlay overlay(sim, net::Topology::balanced_tree(2, 2),
-                          broker::OverlayConfig{});
+  scenario::ScenarioBuilder b;
+  b.seed(2026).topology(scenario::TopologySpec::balanced_tree(2, 2));
 
   // The exchange feed: 20 quotes per second, attached at a leaf broker.
-  client::ClientConfig feed_cfg;
-  feed_cfg.id = ClientId(100);
-  client::Client exchange(sim, feed_cfg);
-  overlay.connect_client(exchange, 6);
-  workload::PublisherConfig pub_cfg;
-  pub_cfg.rate = workload::RateModel::periodic(sim::millis(50));
-  pub_cfg.prototype = filter::Notification().set("sym", "RBCA").set("px", 101.5);
-  pub_cfg.seed = 5;
-  workload::Publisher feed(sim, exchange, pub_cfg);
+  b.client("exchange")
+      .with_id(100)
+      .at_broker(6)
+      .publishes(scenario::PublishSpec()
+                     .every(sim::millis(50))
+                     .body(filter::Notification().set("sym", "RBCA").set("px", 101.5))
+                     .with_seed(5)
+                     .from_phase("office")
+                     .until_phase_end("pda"));
 
   // The trader at the office.
-  client::ClientConfig trader_cfg;
-  trader_cfg.id = ClientId(1);
-  client::Client trader(sim, trader_cfg);
-  overlay.connect_client(trader, 3);
-  trader.subscribe(filter::Filter().where("sym", filter::Constraint::eq("RBCA")));
+  b.client("trader")
+      .with_id(1)
+      .at_broker(3)
+      .subscribes(filter::Filter().where("sym", filter::Constraint::eq("RBCA")));
 
-  sim.run_until(sim::millis(200));
-  feed.start();
+  b.phase("warmup", sim::millis(200));
+  b.phase("office", sim::seconds(5), [](scenario::Scenario&) {
+    std::cout << "09:00 trading starts; trader watches at the office broker\n";
+  });
+  b.phase("train", sim::seconds(5), [](scenario::Scenario& s) {
+    std::cout << "09:05 laptop lid closed — silent disconnect, train ride\n";
+    s.detach("trader");
+  });
+  b.phase("pda", sim::seconds(5), [](scenario::Scenario& s) {
+    std::cout << "09:10 PDA comes online at another broker; subscription\n"
+              << "      relocates, buffered quotes replay\n";
+    s.connect("trader", 5);
+  });
+  b.phase("drain", sim::seconds(1));
 
-  std::cout << "09:00 trading starts; trader watches at the office broker\n";
-  sim.run_until(sim.now() + sim::seconds(5));
-  const auto at_office = trader.deliveries().size();
+  auto s = b.build();
+  s->run_next_phase();  // warmup
+  s->run_next_phase();  // office
+  const auto at_office = s->client("trader").deliveries().size();
   std::cout << "      " << at_office << " quotes received at the office\n";
+  s->run();
 
-  std::cout << "09:05 laptop lid closed — silent disconnect, train ride\n";
-  trader.detach_silently();
-  sim.run_until(sim.now() + sim::seconds(5));
+  // The paper's QoS requirements, straight from the scenario report.
+  const scenario::ScenarioReport report = s->report();
+  const scenario::ClientReport& trader = report.client("trader");
+  const auto fifo = metrics::check_sender_fifo(s->client("trader").deliveries());
 
-  std::cout << "09:10 PDA comes online at another broker; subscription\n"
-            << "      relocates, buffered quotes replay\n";
-  overlay.connect_client(trader, 5);
-  sim.run_until(sim.now() + sim::seconds(5));
-  feed.stop();
-  sim.run_until(sim.now() + sim::seconds(1));
-
-  // Verify the paper's QoS requirements explicitly.
-  const auto fifo = metrics::check_sender_fifo(trader.deliveries());
-  std::vector<NotificationId> expected;
-  for (std::uint64_t i = 1; i <= feed.published(); ++i) {
-    expected.emplace_back((static_cast<std::uint64_t>(100) << 32) | i);
-  }
-  const auto complete = metrics::check_exactly_once(trader.deliveries(), expected);
-
-  std::cout << "published " << feed.published() << ", delivered "
-            << trader.deliveries().size() << " (missing " << complete.missing
-            << ", duplicates " << complete.duplicates << ", FIFO violations "
+  std::cout << "published " << report.published << ", delivered "
+            << trader.delivered << " (missing " << trader.missing
+            << ", duplicates " << trader.duplicates << ", FIFO violations "
             << fifo.violations << ")\n";
-  std::cout << (complete.exactly_once() && fifo.ok()
-                    ? "transparent roaming: exactly-once, in order.\n"
-                    : "QoS violation — this should not happen!\n");
-  return complete.exactly_once() && fifo.ok() ? 0 : 1;
+  const bool ok = trader.missing == 0 && trader.duplicates == 0 && fifo.ok();
+  std::cout << (ok ? "transparent roaming: exactly-once, in order.\n"
+                   : "QoS violation — this should not happen!\n");
+  return ok ? 0 : 1;
 }

@@ -80,6 +80,7 @@ void Client::publish(filter::Notification n) {
                          next_pub_),
           config_.id, next_pub_, sim_.now());
   ++next_pub_;
+  if (on_publish) on_publish(n);
   if (!connected()) {
     // Disconnected producers queue locally and flush on reconnect, so
     // published events are not silently lost.

@@ -75,6 +75,9 @@ class Client final : public net::Endpoint {
   void publish(filter::Notification n);
   /// notify: invoked for every delivery that passes client-side checks.
   std::function<void(const Delivery&)> on_notify;
+  /// Observer invoked for every publication right after stamping, whether
+  /// or not the client is connected (scenario-layer publication logs).
+  std::function<void(const filter::Notification&)> on_publish;
 
   // ---- logical mobility ----
   void move_to(LocationId loc);

@@ -38,7 +38,9 @@ void Link::send(const Endpoint& from, Message msg) {
   // cut.
   auto payload = std::make_shared<Message>(std::move(msg));
   const std::uint64_t gen = generation_;
-  sim_.schedule_at(arrival, [this, dest, payload, gen] {
+  // Fire-and-forget: delivery events are never cancelled (the generation
+  // check below handles link cuts), so skip the EventHandle allocation.
+  sim_.post_at(arrival, [this, dest, payload, gen] {
     if (!up_ || gen != generation_) {
       if (counters_ != nullptr) counters_->add(metrics::MessageClass::dropped);
       return;

@@ -65,6 +65,20 @@ class Simulation {
     return schedule_at(now_ + delay, std::move(fn));
   }
 
+  /// Fire-and-forget scheduling: no EventHandle, no cancellation-flag
+  /// allocation. This is the hot path — link delivery schedules one
+  /// event per message in flight and never cancels it.
+  void post_at(TimePoint when, std::function<void()> fn) {
+    REBECA_ASSERT(when >= now_, "scheduling into the past: when=" << when
+                                                                  << " now=" << now_);
+    queue_.push(Scheduled{when, next_seq_++, std::move(fn), nullptr});
+  }
+
+  void post_after(Duration delay, std::function<void()> fn) {
+    REBECA_ASSERT(delay >= 0, "negative delay " << delay);
+    post_at(now_ + delay, std::move(fn));
+  }
+
   /// Runs events until the queue drains or virtual time would pass
   /// `deadline`; afterwards now() == deadline (unless stopped early).
   void run_until(TimePoint deadline) {
@@ -76,7 +90,7 @@ class Simulation {
       Scheduled ev = top;
       queue_.pop();
       now_ = ev.when;
-      if (!*ev.cancelled) ev.fn();
+      if (!ev.cancelled || !*ev.cancelled) ev.fn();
     }
     if (!stopped_) now_ = deadline;
   }
@@ -91,7 +105,7 @@ class Simulation {
       Scheduled ev = queue_.top();
       queue_.pop();
       now_ = ev.when;
-      if (!*ev.cancelled) {
+      if (!ev.cancelled || !*ev.cancelled) {
         ev.fn();
         ++executed;
       }
@@ -110,7 +124,7 @@ class Simulation {
     TimePoint when;
     std::uint64_t seq;
     std::function<void()> fn;
-    std::shared_ptr<bool> cancelled;
+    std::shared_ptr<bool> cancelled;  // null for fire-and-forget posts
   };
 
   struct Later {

@@ -29,10 +29,16 @@ void LogicalMover::stop() {
 
 void LogicalMover::step() {
   if (!running_) return;
-  const auto& nbrs = config_.locations->neighbors(client_.location());
-  if (!nbrs.empty()) {
-    client_.move_to(nbrs[rng_.index(nbrs.size())]);
+  if (!config_.waypoints.empty()) {
+    client_.move_to(config_.waypoints[position_]);
+    position_ = (position_ + 1) % config_.waypoints.size();
     ++moves_;
+  } else {
+    const auto& nbrs = config_.locations->neighbors(client_.location());
+    if (!nbrs.empty()) {
+      client_.move_to(nbrs[rng_.index(nbrs.size())]);
+      ++moves_;
+    }
   }
   if (config_.max_moves != 0 && moves_ >= config_.max_moves) {
     running_ = false;
@@ -47,8 +53,10 @@ void LogicalMover::step() {
 
 PhysicalMover::PhysicalMover(broker::Overlay& overlay, client::Client& client,
                              PhysicalMoverConfig config)
-    : overlay_(overlay), client_(client), config_(std::move(config)) {
-  REBECA_ASSERT(!config_.itinerary.empty(), "itinerary must not be empty");
+    : overlay_(overlay), client_(client), config_(std::move(config)),
+      rng_(config_.seed), last_broker_(overlay.broker_count()) {
+  REBECA_ASSERT(!config_.itinerary.empty() || config_.random_waypoint,
+                "itinerary must not be empty (or set random_waypoint)");
 }
 
 void PhysicalMover::start() {
@@ -74,8 +82,18 @@ void PhysicalMover::depart() {
 
 void PhysicalMover::arrive() {
   if (!running_) return;
-  overlay_.connect_client(client_, config_.itinerary[position_]);
-  position_ = (position_ + 1) % config_.itinerary.size();
+  std::size_t stop;
+  if (!config_.itinerary.empty()) {
+    stop = config_.itinerary[position_];
+    position_ = (position_ + 1) % config_.itinerary.size();
+  } else {
+    // Random waypoint: any broker but the previous stop (when possible).
+    do {
+      stop = rng_.index(overlay_.broker_count());
+    } while (overlay_.broker_count() > 1 && stop == last_broker_);
+  }
+  last_broker_ = stop;
+  overlay_.connect_client(client_, stop);
   ++hops_;
   if (config_.max_hops != 0 && hops_ >= config_.max_hops) {
     running_ = false;

@@ -18,6 +18,9 @@ namespace rebeca::workload {
 
 struct LogicalMoverConfig {
   const location::LocationGraph* locations = nullptr;
+  /// Scripted route followed in order (wrapping around); empty = random
+  /// walk over the movement graph.
+  std::vector<LocationId> waypoints;
   /// Mean residence time Δ at one location.
   sim::Duration delta = sim::seconds(1);
   /// Draw residence times from Exp(Δ) instead of exactly Δ.
@@ -43,14 +46,20 @@ class LogicalMover {
   client::Client& client_;
   LogicalMoverConfig config_;
   util::Rng rng_;
+  std::size_t position_ = 0;  // next scripted waypoint
   std::uint64_t moves_ = 0;
   bool running_ = false;
   sim::EventHandle next_;
 };
 
 struct PhysicalMoverConfig {
-  /// Brokers visited, in order (wraps around).
+  /// Brokers visited, in order (wraps around). May be empty when
+  /// `random_waypoint` is set.
   std::vector<std::size_t> itinerary;
+  /// Seeded random-waypoint roaming: each hop re-attaches at a uniformly
+  /// drawn broker different from the previous stop.
+  bool random_waypoint = false;
+  std::uint64_t seed = 1;
   /// Connected time at each broker.
   sim::Duration dwell = sim::seconds(5);
   /// Disconnected gap between detach and the next attach.
@@ -76,7 +85,9 @@ class PhysicalMover {
   broker::Overlay& overlay_;
   client::Client& client_;
   PhysicalMoverConfig config_;
+  util::Rng rng_;
   std::size_t position_ = 0;
+  std::size_t last_broker_;  // avoid random re-draws of the current stop
   std::uint64_t hops_ = 0;
   bool running_ = false;
   sim::EventHandle next_;

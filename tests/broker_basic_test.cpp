@@ -5,14 +5,11 @@
 
 #include <memory>
 
-#include "src/broker/overlay.hpp"
-#include "src/client/client.hpp"
-#include "src/net/topology.hpp"
+#include "tests/scenario_world.hpp"
 
 namespace rebeca {
 namespace {
 
-using broker::Overlay;
 using broker::OverlayConfig;
 using client::Client;
 using client::ClientConfig;
@@ -20,28 +17,8 @@ using filter::Constraint;
 using filter::Filter;
 using filter::Notification;
 using filter::Value;
-
-struct World {
-  explicit World(const net::Topology& topo, OverlayConfig cfg = {},
-                 std::uint64_t seed = 1)
-      : sim(seed), overlay(sim, topo, std::move(cfg)) {}
-
-  Client& add_client(std::uint32_t id, std::size_t broker_index,
-                     ClientConfig cfg = {}) {
-    cfg.id = ClientId(id);
-    clients.push_back(std::make_unique<Client>(sim, cfg));
-    overlay.connect_client(*clients.back(), broker_index);
-    return *clients.back();
-  }
-
-  void settle(double secs = 1.0) {
-    sim.run_until(sim.now() + sim::seconds(secs));
-  }
-
-  sim::Simulation sim;
-  Overlay overlay;
-  std::vector<std::unique_ptr<Client>> clients;
-};
+using scenario::TopologySpec;
+using testutil::World;
 
 Filter parking_filter() {
   return Filter().where("service", Constraint::eq("parking"));
@@ -52,7 +29,7 @@ Notification parking_spot(const std::string& where) {
 }
 
 TEST(BrokerBasic, DeliversAcrossChain) {
-  World w(net::Topology::chain(4));
+  World w(TopologySpec::chain(4));
   Client& consumer = w.add_client(1, 0);
   Client& producer = w.add_client(2, 3);
   consumer.subscribe(parking_filter());
@@ -68,7 +45,7 @@ TEST(BrokerBasic, DeliversAcrossChain) {
 }
 
 TEST(BrokerBasic, FiltersNonMatching) {
-  World w(net::Topology::chain(3));
+  World w(TopologySpec::chain(3));
   Client& consumer = w.add_client(1, 0);
   Client& producer = w.add_client(2, 2);
   consumer.subscribe(parking_filter());
@@ -84,7 +61,7 @@ TEST(BrokerBasic, FiltersNonMatching) {
 }
 
 TEST(BrokerBasic, SequenceNumbersIncreasePerSubscription) {
-  World w(net::Topology::chain(2));
+  World w(TopologySpec::chain(2));
   Client& consumer = w.add_client(1, 0);
   Client& producer = w.add_client(2, 1);
   auto sub = consumer.subscribe(parking_filter());
@@ -101,7 +78,7 @@ TEST(BrokerBasic, SequenceNumbersIncreasePerSubscription) {
 }
 
 TEST(BrokerBasic, TwoSubscriptionsGetIndependentSequences) {
-  World w(net::Topology::chain(2));
+  World w(TopologySpec::chain(2));
   Client& consumer = w.add_client(1, 0);
   Client& producer = w.add_client(2, 1);
   auto parking = consumer.subscribe(parking_filter());
@@ -119,7 +96,7 @@ TEST(BrokerBasic, TwoSubscriptionsGetIndependentSequences) {
 }
 
 TEST(BrokerBasic, MultipleConsumersEachGetACopy) {
-  World w(net::Topology::star(4));
+  World w(TopologySpec::star(4));
   Client& c1 = w.add_client(1, 1);
   Client& c2 = w.add_client(2, 2);
   Client& c3 = w.add_client(3, 3);
@@ -138,7 +115,7 @@ TEST(BrokerBasic, MultipleConsumersEachGetACopy) {
 }
 
 TEST(BrokerBasic, UnsubscribeStopsDelivery) {
-  World w(net::Topology::chain(3));
+  World w(TopologySpec::chain(3));
   Client& consumer = w.add_client(1, 0);
   Client& producer = w.add_client(2, 2);
   auto sub = consumer.subscribe(parking_filter());
@@ -159,7 +136,7 @@ TEST(BrokerBasic, UnsubscribeStopsDelivery) {
 }
 
 TEST(BrokerBasic, ConsumerCanAlsoProduce) {
-  World w(net::Topology::chain(2));
+  World w(TopologySpec::chain(2));
   Client& both = w.add_client(1, 0);
   Client& other = w.add_client(2, 1);
   both.subscribe(parking_filter());
@@ -179,7 +156,7 @@ TEST(BrokerBasic, SubscriptionBlackoutIsTwoTd) {
   // to reach the producer's broker and t_d for a notification to travel
   // back. With 5ms hops on a 4-broker chain (3 broker links + 2 client
   // links of 1ms), t_d ≈ 17ms one way.
-  World w(net::Topology::chain(4));
+  World w(TopologySpec::chain(4));
   Client& consumer = w.add_client(1, 0);
   Client& producer = w.add_client(2, 3);
   w.settle();
@@ -213,7 +190,7 @@ class StrategySweep : public ::testing::TestWithParam<routing::Strategy> {};
 TEST_P(StrategySweep, DeliveredSetIdenticalAcrossStrategies) {
   OverlayConfig cfg;
   cfg.broker.strategy = GetParam();
-  World w(net::Topology::balanced_tree(2, 2), cfg);  // 7 brokers
+  World w(TopologySpec::balanced_tree(2, 2), cfg);  // 7 brokers
   Client& c1 = w.add_client(1, 3);
   Client& c2 = w.add_client(2, 4);
   Client& p1 = w.add_client(3, 5);
@@ -245,7 +222,7 @@ TEST_P(StrategySweep, WorksWithAdvertisements) {
   OverlayConfig cfg;
   cfg.broker.strategy = GetParam();
   cfg.broker.use_advertisements = true;
-  World w(net::Topology::chain(5), cfg);
+  World w(TopologySpec::chain(5), cfg);
   Client& consumer = w.add_client(1, 0);
   Client& producer = w.add_client(2, 4);
   producer.advertise(parking_filter());
@@ -268,10 +245,10 @@ TEST(BrokerAdvertisements, SubscriptionsOnlyFlowTowardAdvertisers) {
   OverlayConfig cfg;
   cfg.broker.strategy = routing::Strategy::simple;
   cfg.broker.use_advertisements = true;
-  World w(net::Topology::chain(4));
+  World w(TopologySpec::chain(4));
   // Rebuild with adv config (World ctor took default) — use a dedicated
   // world instead.
-  World wa(net::Topology::chain(4), cfg);
+  World wa(TopologySpec::chain(4), cfg);
   Client& consumer = wa.add_client(1, 1);
   Client& producer = wa.add_client(2, 3);
   producer.advertise(parking_filter());
@@ -293,7 +270,7 @@ TEST(BrokerAdvertisements, SubscriptionsOnlyFlowTowardAdvertisers) {
 TEST(BrokerCovering, CoveredSubscriptionAddsNoUpstreamEntry) {
   OverlayConfig cfg;
   cfg.broker.strategy = routing::Strategy::covering;
-  World w(net::Topology::chain(3), cfg);
+  World w(TopologySpec::chain(3), cfg);
   Client& broad = w.add_client(1, 0);
   Client& narrow = w.add_client(2, 0);
   broad.subscribe(parking_filter());
@@ -319,7 +296,7 @@ TEST(BrokerCovering, CoveredSubscriptionAddsNoUpstreamEntry) {
 TEST(BrokerCovering, UnsubscribingCoverReexposesCovered) {
   OverlayConfig cfg;
   cfg.broker.strategy = routing::Strategy::covering;
-  World w(net::Topology::chain(3), cfg);
+  World w(TopologySpec::chain(3), cfg);
   Client& broad = w.add_client(1, 0);
   Client& narrow = w.add_client(2, 0);
   auto broad_sub = broad.subscribe(parking_filter());
@@ -349,7 +326,7 @@ TEST(BrokerCovering, UnsubscribingCoverReexposesCovered) {
 TEST(BrokerMerging, MergesSiblingFiltersUpstream) {
   OverlayConfig cfg;
   cfg.broker.strategy = routing::Strategy::merging;
-  World w(net::Topology::chain(3), cfg);
+  World w(TopologySpec::chain(3), cfg);
   Client& c1 = w.add_client(1, 0);
   Client& c2 = w.add_client(2, 0);
   c1.subscribe(Filter().where("sym", Constraint::eq("AAA")));
@@ -372,7 +349,7 @@ TEST(BrokerTables, CoveringTablesSmallerThanSimple) {
   auto run = [](routing::Strategy s) {
     OverlayConfig cfg;
     cfg.broker.strategy = s;
-    World w(net::Topology::chain(4), cfg);
+    World w(TopologySpec::chain(4), cfg);
     Client& base = w.add_client(1, 0);
     base.subscribe(parking_filter());
     for (std::uint32_t i = 2; i <= 9; ++i) {

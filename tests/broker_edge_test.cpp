@@ -5,10 +5,7 @@
 
 #include <memory>
 
-#include "src/broker/overlay.hpp"
-#include "src/client/client.hpp"
-#include "src/net/topology.hpp"
-#include "src/workload/publisher.hpp"
+#include "tests/scenario_world.hpp"
 
 namespace rebeca {
 namespace {
@@ -16,26 +13,8 @@ namespace {
 using broker::OverlayConfig;
 using client::Client;
 using client::ClientConfig;
-
-struct World {
-  explicit World(const net::Topology& topo, OverlayConfig cfg = {},
-                 std::uint64_t seed = 1)
-      : sim(seed), overlay(sim, topo, std::move(cfg)) {}
-
-  Client& add_client(std::uint32_t id, std::size_t broker_index,
-                     ClientConfig cfg = {}) {
-    cfg.id = ClientId(id);
-    clients.push_back(std::make_unique<Client>(sim, cfg));
-    overlay.connect_client(*clients.back(), broker_index);
-    return *clients.back();
-  }
-
-  void settle(double secs = 1.0) { sim.run_until(sim.now() + sim::seconds(secs)); }
-
-  sim::Simulation sim;
-  broker::Overlay overlay;
-  std::vector<std::unique_ptr<Client>> clients;
-};
+using scenario::TopologySpec;
+using testutil::World;
 
 filter::Filter ticks() {
   return filter::Filter().where("sym", filter::Constraint::eq("X"));
@@ -46,7 +25,7 @@ filter::Notification tick(int px) {
 }
 
 TEST(BrokerEdge, UnsubscribeDuringRelocationCleansUp) {
-  World w(net::Topology::chain(4));
+  World w(TopologySpec::chain(4));
   Client& consumer = w.add_client(1, 3);
   Client& producer = w.add_client(2, 0);
   auto sub = consumer.subscribe(ticks());
@@ -71,7 +50,7 @@ TEST(BrokerEdge, UnsubscribeDuringRelocationCleansUp) {
 }
 
 TEST(BrokerEdge, ByeWhileRelocationPending) {
-  World w(net::Topology::chain(4));
+  World w(TopologySpec::chain(4));
   Client& consumer = w.add_client(1, 3);
   Client& producer = w.add_client(2, 0);
   consumer.subscribe(ticks());
@@ -98,7 +77,7 @@ TEST(BrokerEdge, ByeWhileRelocationPending) {
 TEST(BrokerEdge, AdvertisementChurnKeepsDeliveryCorrect) {
   OverlayConfig cfg;
   cfg.broker.use_advertisements = true;
-  World w(net::Topology::chain(4), cfg);
+  World w(TopologySpec::chain(4), cfg);
   Client& consumer = w.add_client(1, 0);
   Client& producer = w.add_client(2, 3);
   consumer.subscribe(ticks());
@@ -127,7 +106,7 @@ TEST(BrokerEdge, AdvertisementChurnKeepsDeliveryCorrect) {
 TEST(BrokerEdge, NonOverlappingAdvertisementDoesNotPullSubscription) {
   OverlayConfig cfg;
   cfg.broker.use_advertisements = true;
-  World w(net::Topology::chain(3), cfg);
+  World w(TopologySpec::chain(3), cfg);
   Client& consumer = w.add_client(1, 0);
   Client& producer = w.add_client(2, 2);
   producer.advertise(filter::Filter().where("sym", filter::Constraint::eq("Y")));
@@ -137,7 +116,7 @@ TEST(BrokerEdge, NonOverlappingAdvertisementDoesNotPullSubscription) {
 }
 
 TEST(BrokerEdge, ManySubscriptionsOneClientRoam) {
-  World w(net::Topology::chain(4));
+  World w(TopologySpec::chain(4));
   Client& consumer = w.add_client(1, 3);
   Client& producer = w.add_client(2, 0);
   std::vector<std::uint32_t> subs;
@@ -168,7 +147,7 @@ TEST(BrokerEdge, ManySubscriptionsOneClientRoam) {
 
 TEST(BrokerEdge, PublisherRoamsWhilePublishing) {
   // Producer-side mobility: offline publications queue and flush.
-  World w(net::Topology::chain(3));
+  World w(TopologySpec::chain(3));
   Client& consumer = w.add_client(1, 0);
   Client& producer = w.add_client(2, 2);
   consumer.subscribe(ticks());
@@ -194,7 +173,7 @@ TEST(BrokerEdge, PublisherRoamsWhilePublishing) {
 TEST(BrokerEdge, ZeroCapacityHistoryStillWorksWhenConnected) {
   OverlayConfig cfg;
   cfg.broker.session_history = 1;  // pathological but legal
-  World w(net::Topology::chain(2), cfg);
+  World w(TopologySpec::chain(2), cfg);
   Client& consumer = w.add_client(1, 0);
   Client& producer = w.add_client(2, 1);
   consumer.subscribe(ticks());
@@ -209,7 +188,7 @@ TEST(BrokerEdge, RelocationSurvivesBystanderUnsubscribe) {
   // the relocation is in flight; per-key tags must still find the path.
   OverlayConfig cfg;
   cfg.broker.strategy = routing::Strategy::covering;
-  World w(net::Topology::chain(4), cfg);
+  World w(TopologySpec::chain(4), cfg);
   Client& bystander = w.add_client(3, 1);
   auto broad = bystander.subscribe(filter::Filter());
   Client& consumer = w.add_client(1, 3);
@@ -232,7 +211,7 @@ TEST(BrokerEdge, RelocationSurvivesBystanderUnsubscribe) {
 }
 
 TEST(BrokerEdge, TwoClientsSameFilterRoamIndependently) {
-  World w(net::Topology::chain(4));
+  World w(TopologySpec::chain(4));
   Client& a = w.add_client(1, 3);
   Client& b = w.add_client(2, 3);  // same border, same filter
   Client& producer = w.add_client(3, 0);
@@ -259,7 +238,7 @@ TEST(BrokerEdge, TwoClientsSameFilterRoamIndependently) {
 
 TEST(BrokerEdge, ReplayPreservedAcrossManyQuickHops) {
   // Hammer the epoch chaining: five hops with barely any dwell.
-  World w(net::Topology::chain(6), OverlayConfig{}, 5);
+  World w(TopologySpec::chain(6), OverlayConfig{}, 5);
   Client& consumer = w.add_client(1, 5);
   Client& producer = w.add_client(2, 0);
   consumer.subscribe(ticks());

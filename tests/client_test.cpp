@@ -2,20 +2,17 @@
 // offline queueing, dedup, epochs and client-side filtering.
 #include <gtest/gtest.h>
 
-#include "src/broker/overlay.hpp"
-#include "src/client/client.hpp"
-#include "src/net/topology.hpp"
+#include "tests/scenario_world.hpp"
 
 namespace rebeca {
 namespace {
 
 using client::Client;
 using client::ClientConfig;
+using scenario::TopologySpec;
 
-struct World {
-  World() : sim(1), overlay(sim, net::Topology::chain(3), {}) {}
-  sim::Simulation sim;
-  broker::Overlay overlay;
+struct World : testutil::World {
+  World() : testutil::World(TopologySpec::chain(3)) {}
 };
 
 TEST(Client, RequiresValidId) {
@@ -178,32 +175,23 @@ TEST(Client, LdSubscribeRequiresGraphAndLocation) {
 
 TEST(Client, ClientSideFilteringCanBeDisabled) {
   auto graph = location::LocationGraph::line(5);
-  sim::Simulation sim(1);
-  broker::OverlayConfig cfg;
-  cfg.broker.locations = &graph;
-  broker::Overlay overlay(sim, net::Topology::chain(2), cfg);
+  testutil::World w(TopologySpec::chain(2), {}, 1, &graph);
 
   ClientConfig cc;
-  cc.id = ClientId(1);
-  cc.locations = &graph;
   cc.client_side_filtering = false;  // accept the border's lookahead set
-  Client consumer(sim, cc);
-  overlay.connect_client(consumer, 0);
+  Client& consumer = w.add_client(1, 0, cc);
   consumer.move_to("l1");
   location::LdSpec spec;
   spec.profile = location::UncertaintyProfile::global_resub();
   consumer.subscribe(spec);
 
-  ClientConfig pc;
-  pc.id = ClientId(2);
-  Client producer(sim, pc);
-  overlay.connect_client(producer, 1);
-  sim.run_until(sim::seconds(1));
+  Client& producer = w.add_client(2, 1);
+  w.settle();
 
   // l2 is in the border's one-step lookahead but not at the client's
   // exact location: with F_0 disabled it reaches the application.
   producer.publish(filter::Notification().set("location", "l2"));
-  sim.run_until(sim.now() + sim::seconds(1));
+  w.settle();
   EXPECT_EQ(consumer.deliveries().size(), 1u);
   EXPECT_EQ(consumer.filtered_count(), 0u);
 }

@@ -12,14 +12,11 @@
 
 #include <memory>
 
-#include "src/broker/overlay.hpp"
-#include "src/client/client.hpp"
-#include "src/net/topology.hpp"
+#include "tests/scenario_world.hpp"
 
 namespace rebeca {
 namespace {
 
-using broker::Overlay;
 using broker::OverlayConfig;
 using client::Client;
 using client::ClientConfig;
@@ -27,30 +24,17 @@ using location::LdSpec;
 using location::LocationGraph;
 using location::UncertaintyProfile;
 
-struct World {
-  World(const LocationGraph* graph, bool presubscribe,
-        std::uint64_t seed = 1)
-      : sim(seed) {
+struct World : testutil::World {
+  World(const LocationGraph* graph, bool presubscribe, std::uint64_t seed = 1)
+      : testutil::World(scenario::TopologySpec::chain(4),
+                        presub_config(presubscribe), seed, graph) {}
+
+  static OverlayConfig presub_config(bool presubscribe) {
     OverlayConfig cfg;
-    cfg.broker.locations = graph;
     cfg.broker.ld_presubscribe = presubscribe;
     cfg.broker.ld_widen_interval = sim::millis(500);
-    overlay = std::make_unique<Overlay>(sim, net::Topology::chain(4), cfg);
+    return cfg;
   }
-
-  Client& add_client(std::uint32_t id, std::size_t broker_index,
-                     ClientConfig cfg = {}) {
-    cfg.id = ClientId(id);
-    clients.push_back(std::make_unique<Client>(sim, cfg));
-    overlay->connect_client(*clients.back(), broker_index);
-    return *clients.back();
-  }
-
-  void settle(double secs = 1.0) { sim.run_until(sim.now() + sim::seconds(secs)); }
-
-  sim::Simulation sim;
-  std::unique_ptr<Overlay> overlay;
-  std::vector<std::unique_ptr<Client>> clients;
 };
 
 LdSpec door_spec() {
@@ -86,12 +70,12 @@ TEST(LdPresubscribe, ReplaysBacklogAfterRoamingToAnotherBroker) {
   w.settle(0.5);
 
   // Reconnect at the far broker: the backlog must be replayed.
-  w.overlay->connect_client(user, 3);
+  w.overlay.connect_client(user, 3);
   w.settle(2.0);
   ASSERT_EQ(user.deliveries().size(), 2u);
   EXPECT_EQ(user.duplicate_count(), 0u);
   // Old-border state is garbage-collected by the fetch.
-  EXPECT_EQ(w.overlay->broker(0).virtual_count(), 0u);
+  EXPECT_EQ(w.overlay.broker(0).virtual_count(), 0u);
 }
 
 TEST(LdPresubscribe, WideningCapturesEventsAtPossibleNextLocations) {
@@ -115,7 +99,7 @@ TEST(LdPresubscribe, WideningCapturesEventsAtPossibleNextLocations) {
   producer.publish(door_at("l4"));
   w.settle(0.5);
 
-  w.overlay->connect_client(user, 2);
+  w.overlay.connect_client(user, 2);
   w.settle(2.0);
 
   // The l4 event was buffered by the widened virtual and survives the
@@ -140,7 +124,7 @@ TEST(LdPresubscribe, ClientSideFilterDropsStaleBacklog) {
   producer.publish(door_at("l2"));  // stale by the time the user returns
   w.settle(1.5);
   user.move_to("l7");  // walked far away while offline
-  w.overlay->connect_client(user, 3);
+  w.overlay.connect_client(user, 3);
   w.settle(2.0);
 
   // The backlog was replayed but F_0 filtered the stale event: epoch
@@ -164,7 +148,7 @@ TEST(LdPresubscribe, BaselineWithoutExtensionMissesOfflineEvents) {
   w.settle(0.2);
   producer.publish(door_at("l2"));
   w.settle(0.5);
-  w.overlay->connect_client(user, 3);
+  w.overlay.connect_client(user, 3);
   w.settle(2.0);
 
   // The paper's baseline boundary: re-anchoring is replay-less.
@@ -183,16 +167,16 @@ TEST(LdPresubscribe, WideningStopsAtSaturation) {
 
   user.detach_silently();
   const auto before =
-      w.overlay->counters().count(metrics::MessageClass::location_update);
+      w.overlay.counters().count(metrics::MessageClass::location_update);
   w.settle(30.0);  // many widen intervals
   const auto updates =
-      w.overlay->counters().count(metrics::MessageClass::location_update) -
+      w.overlay.counters().count(metrics::MessageClass::location_update) -
       before;
   // Widening messages stop once the ball covers the whole line (3 steps
   // from l0 with the 1-step profile): bounded, not one per interval
   // forever.
   EXPECT_LE(updates, 4u * 3u);
-  w.overlay->broker(0);  // silence unused warnings
+  w.overlay.broker(0);  // silence unused warnings
 }
 
 TEST(LdPresubscribe, SequenceNumbersContinueAcrossLdRelocation) {
@@ -212,7 +196,7 @@ TEST(LdPresubscribe, SequenceNumbersContinueAcrossLdRelocation) {
   w.settle(0.2);
   producer.publish(door_at("l2"));
   w.settle(0.5);
-  w.overlay->connect_client(user, 2);
+  w.overlay.connect_client(user, 2);
   w.settle(1.0);
   producer.publish(door_at("l2"));
   w.settle(1.0);

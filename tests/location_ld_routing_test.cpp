@@ -7,14 +7,11 @@
 #include <memory>
 #include <set>
 
-#include "src/broker/overlay.hpp"
-#include "src/client/client.hpp"
-#include "src/net/topology.hpp"
+#include "tests/scenario_world.hpp"
 
 namespace rebeca {
 namespace {
 
-using broker::Overlay;
 using broker::OverlayConfig;
 using client::Client;
 using client::ClientConfig;
@@ -24,28 +21,12 @@ using filter::Notification;
 using location::LdSpec;
 using location::LocationGraph;
 using location::UncertaintyProfile;
+using scenario::TopologySpec;
 
-struct World {
-  World(const net::Topology& topo, const LocationGraph* locations,
+struct World : testutil::World {
+  World(scenario::TopologySpec topo, const LocationGraph* locations,
         OverlayConfig cfg = {}, std::uint64_t seed = 1)
-      : sim(seed) {
-    cfg.broker.locations = locations;
-    overlay = std::make_unique<Overlay>(sim, topo, cfg);
-  }
-
-  Client& add_client(std::uint32_t id, std::size_t broker_index,
-                     ClientConfig cfg = {}) {
-    cfg.id = ClientId(id);
-    clients.push_back(std::make_unique<Client>(sim, cfg));
-    overlay->connect_client(*clients.back(), broker_index);
-    return *clients.back();
-  }
-
-  void settle(double secs = 1.0) { sim.run_until(sim.now() + sim::seconds(secs)); }
-
-  sim::Simulation sim;
-  std::unique_ptr<Overlay> overlay;
-  std::vector<std::unique_ptr<Client>> clients;
+      : testutil::World(std::move(topo), std::move(cfg), seed, locations) {}
 };
 
 Notification parking_at(const std::string& loc) {
@@ -78,7 +59,7 @@ TEST(LdRouting, PaperTable2FilterEvolution) {
   // of Fig. 7, and the Table 1/2 profile where F_1 has one step of
   // uncertainty and F_2, F_3 saturate.
   auto graph = LocationGraph::paper_fig7();
-  World w(net::Topology::chain(3), &graph);
+  World w(TopologySpec::chain(3), &graph);
 
   ClientConfig cc;
   cc.locations = &graph;
@@ -93,27 +74,27 @@ TEST(LdRouting, PaperTable2FilterEvolution) {
 
   // t=0, at a (Table 2 row 0): F1={a,b,c} at the border broker (hop 1),
   // F2=F3={a,b,c,d} upstream.
-  EXPECT_EQ(set_names(graph, *w.overlay->broker(0).ld_concrete_set(key)),
+  EXPECT_EQ(set_names(graph, *w.overlay.broker(0).ld_concrete_set(key)),
             (Names{"a", "b", "c"}));
-  EXPECT_EQ(set_names(graph, *w.overlay->broker(1).ld_concrete_set(key)),
+  EXPECT_EQ(set_names(graph, *w.overlay.broker(1).ld_concrete_set(key)),
             (Names{"a", "b", "c", "d"}));
-  EXPECT_EQ(set_names(graph, *w.overlay->broker(2).ld_concrete_set(key)),
+  EXPECT_EQ(set_names(graph, *w.overlay.broker(2).ld_concrete_set(key)),
             (Names{"a", "b", "c", "d"}));
 
   // t=1: move to b (Table 2 row 1): F1={a,b,d}.
   consumer.move_to("b");
   w.settle();
-  EXPECT_EQ(set_names(graph, *w.overlay->broker(0).ld_concrete_set(key)),
+  EXPECT_EQ(set_names(graph, *w.overlay.broker(0).ld_concrete_set(key)),
             (Names{"a", "b", "d"}));
-  EXPECT_EQ(set_names(graph, *w.overlay->broker(1).ld_concrete_set(key)),
+  EXPECT_EQ(set_names(graph, *w.overlay.broker(1).ld_concrete_set(key)),
             (Names{"a", "b", "c", "d"}));
 
   // t=2: move to d (Table 2 row 2): F1={b,c,d}.
   consumer.move_to("d");
   w.settle();
-  EXPECT_EQ(set_names(graph, *w.overlay->broker(0).ld_concrete_set(key)),
+  EXPECT_EQ(set_names(graph, *w.overlay.broker(0).ld_concrete_set(key)),
             (Names{"b", "c", "d"}));
-  EXPECT_EQ(set_names(graph, *w.overlay->broker(1).ld_concrete_set(key)),
+  EXPECT_EQ(set_names(graph, *w.overlay.broker(1).ld_concrete_set(key)),
             (Names{"a", "b", "c", "d"}));
 }
 
@@ -122,7 +103,7 @@ TEST(LdRouting, MoveStopsAtSaturatedBrokers) {
   // must not generate location updates past the first unchanged hop
   // (the "restricted flooding" savings).
   auto graph = LocationGraph::paper_fig7();
-  World w(net::Topology::chain(5), &graph);
+  World w(TopologySpec::chain(5), &graph);
   ClientConfig cc;
   cc.locations = &graph;
   Client& consumer = w.add_client(1, 0, cc);
@@ -131,11 +112,11 @@ TEST(LdRouting, MoveStopsAtSaturatedBrokers) {
   w.settle();
 
   const auto updates_before =
-      w.overlay->counters().count(metrics::MessageClass::location_update);
+      w.overlay.counters().count(metrics::MessageClass::location_update);
   consumer.move_to("b");
   w.settle();
   const auto updates =
-      w.overlay->counters().count(metrics::MessageClass::location_update) -
+      w.overlay.counters().count(metrics::MessageClass::location_update) -
       updates_before;
   // client→border (1) + border→B1 (1); B1's set is already {a,b,c,d} and
   // stays, so nothing travels to B2, B3, B4.
@@ -146,7 +127,7 @@ TEST(LdRouting, GlobalResubProfileUpdatesEveryHop) {
   // With the trivial profile every hop's set changes on (almost) every
   // move, so updates travel the whole chain.
   auto graph = LocationGraph::line(12);
-  World w(net::Topology::chain(5), &graph);
+  World w(TopologySpec::chain(5), &graph);
   ClientConfig cc;
   cc.locations = &graph;
   Client& consumer = w.add_client(1, 0, cc);
@@ -155,11 +136,11 @@ TEST(LdRouting, GlobalResubProfileUpdatesEveryHop) {
   w.settle();
 
   const auto before =
-      w.overlay->counters().count(metrics::MessageClass::location_update);
+      w.overlay.counters().count(metrics::MessageClass::location_update);
   consumer.move_to("l6");
   w.settle();
   const auto updates =
-      w.overlay->counters().count(metrics::MessageClass::location_update) - before;
+      w.overlay.counters().count(metrics::MessageClass::location_update) - before;
   EXPECT_EQ(updates, 5u);  // client link + all 4 broker links
 }
 
@@ -169,7 +150,7 @@ TEST(LdRouting, GlobalResubProfileUpdatesEveryHop) {
 
 TEST(LdRouting, DeliversOnlyCurrentVicinity) {
   auto graph = LocationGraph::line(10);
-  World w(net::Topology::chain(3), &graph);
+  World w(TopologySpec::chain(3), &graph);
   ClientConfig cc;
   cc.locations = &graph;
   Client& consumer = w.add_client(1, 0, cc);
@@ -197,7 +178,7 @@ TEST(LdRouting, ClientSideFilterTracksInstantaneousLocation) {
   // admits them the moment the client actually moves (the paper's
   // "frictionless" handover, Sec. 3.3).
   auto graph = LocationGraph::line(6);
-  World w(net::Topology::chain(2), &graph);
+  World w(TopologySpec::chain(2), &graph);
   ClientConfig cc;
   cc.locations = &graph;
   Client& consumer = w.add_client(1, 0, cc);
@@ -219,20 +200,20 @@ TEST(LdRouting, ClientSideFilterTracksInstantaneousLocation) {
 
 TEST(LdRouting, UnsubscribeCleansTransitState) {
   auto graph = LocationGraph::paper_fig7();
-  World w(net::Topology::chain(4), &graph);
+  World w(TopologySpec::chain(4), &graph);
   ClientConfig cc;
   cc.locations = &graph;
   Client& consumer = w.add_client(1, 0, cc);
   consumer.move_to("a");
   auto sub = consumer.subscribe(parking_spec(UncertaintyProfile::global_resub()));
   w.settle();
-  EXPECT_EQ(w.overlay->broker(1).ld_transit_count(), 1u);
-  EXPECT_EQ(w.overlay->broker(3).ld_transit_count(), 1u);
+  EXPECT_EQ(w.overlay.broker(1).ld_transit_count(), 1u);
+  EXPECT_EQ(w.overlay.broker(3).ld_transit_count(), 1u);
 
   consumer.unsubscribe(sub);
   w.settle();
   for (std::size_t b = 0; b < 4; ++b) {
-    EXPECT_EQ(w.overlay->broker(b).ld_transit_count(), 0u) << "broker " << b;
+    EXPECT_EQ(w.overlay.broker(b).ld_transit_count(), 0u) << "broker " << b;
   }
 }
 
@@ -265,7 +246,7 @@ std::multiset<std::uint64_t> run_workload(bool ld_mode, std::size_t profile_kind
                                           std::uint64_t seed) {
   auto graph = LocationGraph::grid(4, 4);
   OverlayConfig cfg;
-  World w(net::Topology::chain(4), &graph, cfg, seed);
+  World w(TopologySpec::chain(4), &graph, cfg, seed);
   ClientConfig cc;
   cc.locations = &graph;
   Client& consumer = w.add_client(1, 0, cc);
@@ -337,7 +318,7 @@ TEST(LdStarvation, TooFastClientMissesNotifications) {
   // to adapt", notifications go missing. A zero-lookahead profile with
   // fast movement demonstrates the regime.
   auto graph = LocationGraph::line(20);
-  World w(net::Topology::chain(4), &graph);
+  World w(TopologySpec::chain(4), &graph);
   ClientConfig cc;
   cc.locations = &graph;
   Client& consumer = w.add_client(1, 0, cc);

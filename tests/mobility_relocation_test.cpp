@@ -9,14 +9,11 @@
 #include <memory>
 #include <set>
 
-#include "src/broker/overlay.hpp"
-#include "src/client/client.hpp"
-#include "src/net/topology.hpp"
+#include "tests/scenario_world.hpp"
 
 namespace rebeca {
 namespace {
 
-using broker::Overlay;
 using broker::OverlayConfig;
 using client::Client;
 using client::ClientConfig;
@@ -24,26 +21,8 @@ using filter::Constraint;
 using filter::Filter;
 using filter::Notification;
 using filter::Value;
-
-struct World {
-  explicit World(const net::Topology& topo, OverlayConfig cfg = {},
-                 std::uint64_t seed = 1)
-      : sim(seed), overlay(sim, topo, std::move(cfg)) {}
-
-  Client& add_client(std::uint32_t id, std::size_t broker_index,
-                     ClientConfig cfg = {}) {
-    cfg.id = ClientId(id);
-    clients.push_back(std::make_unique<Client>(sim, cfg));
-    overlay.connect_client(*clients.back(), broker_index);
-    return *clients.back();
-  }
-
-  void settle(double secs = 1.0) { sim.run_until(sim.now() + sim::seconds(secs)); }
-
-  sim::Simulation sim;
-  Overlay overlay;
-  std::vector<std::unique_ptr<Client>> clients;
-};
+using scenario::TopologySpec;
+using testutil::World;
 
 Filter ticks(const std::string& sym) {
   return Filter().where("sym", Constraint::eq(sym));
@@ -83,7 +62,7 @@ void publish_stream(World& w, Client& producer, int count, double period_ms,
 TEST(Relocation, Fig5SingleProducer) {
   // Chain B0..B5; consumer starts at B5 (old border), producer at B2.
   // The junction for the move B5 → B0 is B2's subtree meeting point.
-  World w(net::Topology::chain(6));
+  World w(TopologySpec::chain(6));
   Client& consumer = w.add_client(1, 5);
   Client& producer = w.add_client(2, 2);
   consumer.subscribe(ticks("AAA"));
@@ -108,7 +87,7 @@ TEST(Relocation, Fig5SingleProducer) {
 TEST(Relocation, Fig5OldPathCleanupWithAdvertisements) {
   OverlayConfig cfg;
   cfg.broker.use_advertisements = true;
-  World w(net::Topology::chain(6), cfg);
+  World w(TopologySpec::chain(6), cfg);
   Client& consumer = w.add_client(1, 5);
   Client& producer = w.add_client(2, 2);
   producer.advertise(Filter().where("sym", Constraint::any()));
@@ -137,7 +116,7 @@ TEST(Relocation, Fig5MultipleProducers) {
   // balanced_tree(2,2): root 0; inner 1,2; leaves 3,4 (under 1) and 5,6
   // (under 2). Consumer at leaf 3 moves to sibling leaf 4; producers sit
   // on the other branch at leaves 5 and 6 — the junction is broker 1.
-  World wb(net::Topology::balanced_tree(2, 2));
+  World wb(TopologySpec::balanced_tree(2, 2));
   Client& consumer = wb.add_client(1, 3);  // leaf under node 1
   Client& p1 = wb.add_client(2, 5);        // leaf under node 2
   Client& p2 = wb.add_client(3, 6);        // other leaf under node 2
@@ -167,7 +146,7 @@ TEST(Relocation, Fig5MultipleProducers) {
 }
 
 TEST(Relocation, NoPublicationsDuringMove) {
-  World w(net::Topology::chain(4));
+  World w(TopologySpec::chain(4));
   Client& consumer = w.add_client(1, 3);
   Client& producer = w.add_client(2, 0);
   consumer.subscribe(ticks("AAA"));
@@ -188,7 +167,7 @@ TEST(Relocation, NoPublicationsDuringMove) {
 TEST(Relocation, InFlightDeliveriesAtCutAreReplayed) {
   // Deliveries already on the client link when it goes down are lost;
   // the session history at the border broker must cover them.
-  World w(net::Topology::chain(3));
+  World w(TopologySpec::chain(3));
   Client& consumer = w.add_client(1, 2);
   Client& producer = w.add_client(2, 0);
   consumer.subscribe(ticks("AAA"));
@@ -208,7 +187,7 @@ TEST(Relocation, InFlightDeliveriesAtCutAreReplayed) {
 }
 
 TEST(Relocation, ReconnectToSameBroker) {
-  World w(net::Topology::chain(3));
+  World w(TopologySpec::chain(3));
   Client& consumer = w.add_client(1, 2);
   Client& producer = w.add_client(2, 0);
   consumer.subscribe(ticks("AAA"));
@@ -226,7 +205,7 @@ TEST(Relocation, ReconnectToSameBroker) {
 }
 
 TEST(Relocation, ConsumerKeepsWorkingAfterRelocation) {
-  World w(net::Topology::chain(4));
+  World w(TopologySpec::chain(4));
   Client& consumer = w.add_client(1, 3);
   Client& producer = w.add_client(2, 0);
   consumer.subscribe(ticks("AAA"));
@@ -246,7 +225,7 @@ TEST(Relocation, ConsumerKeepsWorkingAfterRelocation) {
 }
 
 TEST(Relocation, SequenceNumbersContinueAcrossMove) {
-  World w(net::Topology::chain(3));
+  World w(TopologySpec::chain(3));
   Client& consumer = w.add_client(1, 2);
   Client& producer = w.add_client(2, 0);
   auto sub = consumer.subscribe(ticks("AAA"));
@@ -273,7 +252,7 @@ TEST(Relocation, SequenceNumbersContinueAcrossMove) {
 }
 
 TEST(Relocation, MultipleSubscriptionsRelocateIndependently) {
-  World w(net::Topology::chain(3));
+  World w(TopologySpec::chain(3));
   Client& consumer = w.add_client(1, 2);
   Client& producer = w.add_client(2, 0);
   consumer.subscribe(ticks("AAA"));
@@ -314,7 +293,7 @@ TEST_P(RelocationSweep, ExactlyOnceFifoOnTree) {
   OverlayConfig cfg;
   cfg.broker.strategy = GetParam().strategy;
   cfg.broker.use_advertisements = GetParam().advertisements;
-  World w(net::Topology::balanced_tree(2, 2), cfg);
+  World w(TopologySpec::balanced_tree(2, 2), cfg);
   Client& consumer = w.add_client(1, 3);
   Client& other = w.add_client(3, 5);  // a second subscriber (covering fodder)
   Client& producer = w.add_client(2, 6);
@@ -360,7 +339,7 @@ TEST(Relocation, RapidDoubleMoveChainsEpochs) {
   // The client relocates again before the first replay arrives: the
   // abandoned relocating session becomes a virtual counterpart that
   // waits for the epoch-1 replay, merges, and forwards to epoch 2.
-  World w(net::Topology::chain(6));
+  World w(TopologySpec::chain(6));
   Client& consumer = w.add_client(1, 5);
   Client& producer = w.add_client(2, 0);
   consumer.subscribe(ticks("AAA"));
@@ -388,7 +367,7 @@ TEST(Relocation, RapidDoubleMoveChainsEpochs) {
 
 TEST(Relocation, TripleHopTour) {
   // A tour across four borders with publications throughout.
-  World w(net::Topology::chain(5), OverlayConfig{}, 11);
+  World w(TopologySpec::chain(5), OverlayConfig{}, 11);
   Client& consumer = w.add_client(1, 4);
   Client& producer = w.add_client(2, 2);
   consumer.subscribe(ticks("AAA"));
@@ -412,7 +391,7 @@ TEST(Relocation, BoundedBufferReportsTruncation) {
   OverlayConfig cfg;
   cfg.broker.session_history = 4;
   cfg.broker.virtual_capacity = 4;
-  World w(net::Topology::chain(3), cfg);
+  World w(TopologySpec::chain(3), cfg);
   Client& consumer = w.add_client(1, 2);
   Client& producer = w.add_client(2, 0);
   consumer.subscribe(ticks("AAA"));
@@ -434,7 +413,7 @@ TEST(Relocation, BoundedBufferReportsTruncation) {
 }
 
 TEST(Relocation, GracefulByeLeavesNoState) {
-  World w(net::Topology::chain(3));
+  World w(TopologySpec::chain(3));
   Client& consumer = w.add_client(1, 2);
   Client& producer = w.add_client(2, 0);
   consumer.subscribe(ticks("AAA"));
@@ -453,7 +432,7 @@ TEST(Relocation, GracefulByeLeavesNoState) {
 TEST(Relocation, VirtualTtlGarbageCollectsUnfetched) {
   OverlayConfig cfg;
   cfg.broker.virtual_ttl = sim::seconds(2);
-  World w(net::Topology::chain(3), cfg);
+  World w(TopologySpec::chain(3), cfg);
   Client& consumer = w.add_client(1, 2);
   consumer.subscribe(ticks("AAA"));
   w.settle();
@@ -473,7 +452,7 @@ TEST(Relocation, TimeoutFlushesWhenOldStateVanished) {
   OverlayConfig cfg;
   cfg.broker.virtual_ttl = sim::seconds(1);
   cfg.broker.relocation_timeout = sim::seconds(2);
-  World w(net::Topology::chain(3), cfg);
+  World w(TopologySpec::chain(3), cfg);
   Client& consumer = w.add_client(1, 2);
   Client& producer = w.add_client(2, 0);
   consumer.subscribe(ticks("AAA"));
@@ -497,7 +476,7 @@ TEST(Relocation, TimeoutFlushesWhenOldStateVanished) {
 TEST(NaiveBaseline, LosesDisconnectionGapAndBlackout) {
   ClientConfig naive;
   naive.relocation = client::RelocationMode::naive;
-  World w(net::Topology::chain(4));
+  World w(TopologySpec::chain(4));
   Client& producer = w.add_client(2, 0);
   ClientConfig cc = naive;
   Client& consumer = w.add_client(1, 3, cc);
@@ -524,7 +503,7 @@ TEST(NaiveBaseline, OverlapAttachDeliversDuplicates) {
   ClientConfig naive;
   naive.relocation = client::RelocationMode::naive;
   naive.dedup = false;
-  World w(net::Topology::chain(3));
+  World w(TopologySpec::chain(3));
   Client& producer = w.add_client(2, 1);
   Client& consumer = w.add_client(1, 0, naive);
   consumer.subscribe(ticks("AAA"));

@@ -1,0 +1,58 @@
+// Shared scenario-backed test fixture.
+//
+// The old per-file `World` structs hand-wired Simulation + Overlay +
+// clients (and got the member ordering right by luck). This one drives
+// the same shape through the scenario layer, so the tests exercise the
+// same composition root as the examples and benches: the Scenario owns
+// every runtime object in dependency order, and the fixture only adds
+// the imperative add_client/settle conveniences the tests want.
+#ifndef REBECA_TESTS_SCENARIO_WORLD_HPP
+#define REBECA_TESTS_SCENARIO_WORLD_HPP
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "src/scenario/scenario.hpp"
+
+namespace rebeca::testutil {
+
+struct World {
+  explicit World(scenario::TopologySpec topo, broker::OverlayConfig cfg = {},
+                 std::uint64_t seed = 1,
+                 const location::LocationGraph* locations = nullptr)
+      : world_(make(std::move(topo), std::move(cfg), seed, locations)),
+        sim(world_->sim()),
+        overlay(world_->overlay()) {}
+
+  client::Client& add_client(std::uint32_t id, std::size_t broker_index,
+                             client::ClientConfig cfg = {}) {
+    cfg.id = ClientId(id);
+    return world_->add_client("client-" + std::to_string(id), broker_index,
+                              std::move(cfg));
+  }
+
+  void settle(double secs = 1.0) { world_->run_for(sim::seconds(secs)); }
+
+  [[nodiscard]] scenario::Scenario& scenario() { return *world_; }
+
+ private:
+  static std::unique_ptr<scenario::Scenario> make(
+      scenario::TopologySpec topo, broker::OverlayConfig cfg,
+      std::uint64_t seed, const location::LocationGraph* locations) {
+    scenario::ScenarioBuilder b;
+    b.seed(seed).topology(std::move(topo)).overlay(std::move(cfg));
+    if (locations != nullptr) b.locations(locations);
+    return b.build();
+  }
+
+  std::unique_ptr<scenario::Scenario> world_;
+
+ public:
+  sim::Simulation& sim;
+  broker::Overlay& overlay;
+};
+
+}  // namespace rebeca::testutil
+
+#endif  // REBECA_TESTS_SCENARIO_WORLD_HPP

@@ -3,20 +3,15 @@
 
 #include <cmath>
 
-#include "src/broker/overlay.hpp"
-#include "src/client/client.hpp"
-#include "src/metrics/checkers.hpp"
-#include "src/net/topology.hpp"
-#include "src/workload/mover.hpp"
-#include "src/workload/publisher.hpp"
+#include "tests/scenario_world.hpp"
 
 namespace rebeca {
 namespace {
 
-struct World {
-  World() : sim(1), overlay(sim, net::Topology::chain(2), {}) {}
-  sim::Simulation sim;
-  broker::Overlay overlay;
+using scenario::TopologySpec;
+
+struct World : testutil::World {
+  World() : testutil::World(TopologySpec::chain(2)) {}
 };
 
 TEST(Publisher, PeriodicRateIsExact) {
@@ -154,12 +149,8 @@ TEST(LogicalMover, MaxMovesRespected) {
 }
 
 TEST(PhysicalMover, RoamsTheItinerary) {
-  sim::Simulation sim(1);
-  broker::Overlay overlay(sim, net::Topology::chain(4), {});
-  client::ClientConfig cc;
-  cc.id = ClientId(1);
-  client::Client consumer(sim, cc);
-  overlay.connect_client(consumer, 0);
+  testutil::World w(TopologySpec::chain(4));
+  client::Client& consumer = w.add_client(1, 0);
   consumer.subscribe(filter::Filter());
 
   workload::PhysicalMoverConfig pm;
@@ -167,11 +158,54 @@ TEST(PhysicalMover, RoamsTheItinerary) {
   pm.dwell = sim::millis(500);
   pm.gap = sim::millis(100);
   pm.max_hops = 3;
-  workload::PhysicalMover mover(overlay, consumer, pm);
+  workload::PhysicalMover mover(w.overlay, consumer, pm);
   mover.start();
-  sim.run_until(sim::seconds(5));
+  w.settle(5.0);
   EXPECT_EQ(mover.hops(), 3u);
   EXPECT_TRUE(consumer.connected());
+}
+
+TEST(PhysicalMover, RandomWaypointVisitsManyBrokers) {
+  testutil::World w(TopologySpec::chain(6));
+  client::Client& consumer = w.add_client(1, 0);
+  consumer.subscribe(filter::Filter());
+
+  workload::PhysicalMoverConfig pm;
+  pm.random_waypoint = true;
+  pm.seed = 42;
+  pm.dwell = sim::millis(200);
+  pm.gap = sim::millis(50);
+  pm.max_hops = 20;
+  workload::PhysicalMover mover(w.overlay, consumer, pm);
+  mover.start();
+  w.settle(10.0);
+  EXPECT_EQ(mover.hops(), 20u);
+  EXPECT_TRUE(consumer.connected());
+}
+
+TEST(LogicalMover, ScriptedWaypointsFollowRoute) {
+  auto graph = location::LocationGraph::line(5);
+  testutil::World w(TopologySpec::chain(2), {}, 1, &graph);
+  client::Client& consumer = w.add_client(1, 0);
+  consumer.move_to("l0");
+
+  std::vector<LocationId> trail;
+  workload::LogicalMoverConfig mc;
+  mc.locations = &graph;
+  mc.waypoints = {graph.id_of("l1"), graph.id_of("l2"), graph.id_of("l3")};
+  mc.delta = sim::millis(100);
+  mc.max_moves = 3;
+  workload::LogicalMover mover(w.sim, consumer, mc);
+  mover.start();
+  for (int i = 0; i < 5; ++i) {
+    w.sim.run_until(w.sim.now() + sim::millis(100));
+    if (trail.empty() || trail.back() != consumer.location()) {
+      trail.push_back(consumer.location());
+    }
+  }
+  EXPECT_EQ(mover.moves(), 3u);
+  EXPECT_EQ(trail, (std::vector<LocationId>{graph.id_of("l1"), graph.id_of("l2"),
+                                            graph.id_of("l3")}));
 }
 
 // ---------------------------------------------------------------------------
