@@ -4,112 +4,123 @@
 // (make-before-break overlaps), even under flooding. The Sec. 4
 // relocation protocol shows 0/0 on the identical workload.
 //
-// Each row is one scenario declaration: relocation style × disconnection
-// gap; delivered/missing/duplicate counts come straight out of the
-// ScenarioReport's completeness tracking.
+// Each row is one scenario declaration (relocation style × disconnection
+// gap) swept over N seeds with stochastic link delays; the columns are
+// mean ± 95%-CI over the sweep, straight out of the ScenarioReport's
+// completeness tracking.
 //
-// Output: one row per relocation style × disconnection gap.
+//   bench_fig2_naive_relocation [runs] [threads]
+#include <cstdlib>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 
-#include "src/scenario/scenario.hpp"
+#include "src/scenario/sweep.hpp"
 
 using namespace rebeca;
 
 namespace {
 
-struct Result {
-  std::uint64_t published = 0;
-  std::uint64_t delivered = 0;
-  std::uint64_t missing = 0;
-  std::uint64_t duplicates = 0;
-};
+scenario::ScenarioSweep::Declare declare(client::RelocationMode mode,
+                                         bool overlap, double gap_ms,
+                                         routing::Strategy strategy) {
+  return [mode, overlap, gap_ms, strategy](scenario::ScenarioBuilder& b) {
+    b.topology(scenario::TopologySpec::chain(4)).routing(strategy);
+    // Stochastic link delays: the sweep dimension. Each seed draws its
+    // own delay realization, so the aggregate has real spread.
+    b.broker_link_delay(sim::DelayModel::uniform(sim::millis(3), sim::millis(7)));
+    b.client_link_delay(
+        sim::DelayModel::uniform(sim::micros(500), sim::micros(1500)));
 
-Result run(client::RelocationMode mode, bool overlap, double gap_ms,
-           routing::Strategy strategy) {
-  scenario::ScenarioBuilder b;
-  b.seed(17).topology(scenario::TopologySpec::chain(4)).routing(strategy);
+    b.client("consumer")
+        .with_id(1)
+        .at_broker(3)
+        .relocation(mode)
+        .dedup(false)  // count duplicates honestly at the application
+        .subscribes(filter::Filter().where("sym", filter::Constraint::eq("X")));
+    b.client("producer")
+        .with_id(2)
+        .at_broker(0)
+        .publishes(scenario::PublishSpec()
+                       .every(sim::millis(10))
+                       .body(filter::Notification().set("sym", "X"))
+                       .from_phase("before")
+                       .until_phase_end("after"));
 
-  b.client("consumer")
-      .with_id(1)
-      .at_broker(3)
-      .relocation(mode)
-      .dedup(false)  // count duplicates honestly at the application
-      .subscribes(filter::Filter().where("sym", filter::Constraint::eq("X")));
-  b.client("producer")
-      .with_id(2)
-      .at_broker(0)
-      .publishes(scenario::PublishSpec()
-                     .every(sim::millis(10))
-                     .body(filter::Notification().set("sym", "X"))
-                     .from_phase("before")
-                     .until_phase_end("after"));
-
-  b.phase("settle", sim::seconds(1));
-  b.phase("before", sim::seconds(2));
-  if (overlap) {
-    // Make-before-break: attach at broker 1 while still attached at 3,
-    // then cut both and re-attach cleanly.
-    b.phase("overlap", sim::millis(gap_ms),
-            [](scenario::Scenario& s) { s.connect("consumer", 1); });
-    b.phase("after", sim::seconds(2), [](scenario::Scenario& s) {
-      s.detach("consumer");  // cuts both links
-      s.connect("consumer", 1);
-    });
-  } else {
-    b.phase("gap", sim::millis(gap_ms),
-            [](scenario::Scenario& s) { s.detach("consumer"); });
-    b.phase("after", sim::seconds(2),
-            [](scenario::Scenario& s) { s.connect("consumer", 1); });
-  }
-  b.phase("drain", sim::seconds(2));
-
-  auto s = b.build();
-  s->run();
-  const scenario::ScenarioReport rep = s->report();
-  const scenario::ClientReport& c = rep.client("consumer");
-  return {rep.client("producer").published, c.delivered, c.missing, c.duplicates};
+    b.phase("settle", sim::seconds(1));
+    b.phase("before", sim::seconds(2));
+    if (overlap) {
+      // Make-before-break: attach at broker 1 while still attached at 3,
+      // then cut both and re-attach cleanly.
+      b.phase("overlap", sim::millis(gap_ms),
+              [](scenario::Scenario& s) { s.connect("consumer", 1); });
+      b.phase("after", sim::seconds(2), [](scenario::Scenario& s) {
+        s.detach("consumer");  // cuts both links
+        s.connect("consumer", 1);
+      });
+    } else {
+      b.phase("gap", sim::millis(gap_ms),
+              [](scenario::Scenario& s) { s.detach("consumer"); });
+      b.phase("after", sim::seconds(2),
+              [](scenario::Scenario& s) { s.connect("consumer", 1); });
+    }
+    b.phase("drain", sim::seconds(2));
+  };
 }
 
-void report(const char* label, const Result& r) {
+void report_row(const char* label, const scenario::SweepResult& r) {
+  const auto cell = [&](const char* metric) {
+    const scenario::MetricStats s = r.stats(metric);
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(1) << s.mean << " ±" << s.ci95;
+    return os.str();
+  };
   std::cout << std::left << std::setw(44) << label << std::right
-            << std::setw(10) << r.published << std::setw(11) << r.delivered
-            << std::setw(9) << r.missing << std::setw(11) << r.duplicates
-            << "\n";
+            << std::setw(14) << cell("client.producer.published")
+            << std::setw(15) << cell("client.consumer.delivered")
+            << std::setw(14) << cell("client.consumer.missing")
+            << std::setw(15) << cell("client.consumer.duplicates") << "\n";
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  scenario::SweepConfig cfg;
+  cfg.base_seed = 17;
+  cfg.runs = argc > 1 ? static_cast<std::size_t>(std::atol(argv[1])) : 5;
+  cfg.threads = argc > 2 ? static_cast<std::size_t>(std::atol(argv[2])) : 0;
+
   std::cout << "Fig. 2: naive relocation loses and duplicates notifications\n"
-            << "(100 notifications/s; client roams broker 3 -> broker 1)\n\n";
+            << "(100 notifications/s; client roams broker 3 -> broker 1;\n"
+            << " mean ± 95% CI over " << cfg.runs
+            << " seeds, stochastic link delays)\n\n";
   std::cout << std::left << std::setw(44) << "scenario" << std::right
-            << std::setw(10) << "published" << std::setw(11) << "delivered"
-            << std::setw(9) << "missing" << std::setw(11) << "duplicates"
+            << std::setw(14) << "published" << std::setw(15) << "delivered"
+            << std::setw(14) << "missing" << std::setw(15) << "duplicates"
             << "\n";
 
   for (double gap : {50.0, 200.0, 1000.0}) {
-    const auto naive = run(client::RelocationMode::naive, false, gap,
-                           routing::Strategy::flooding);
+    scenario::ScenarioSweep sweep(declare(client::RelocationMode::naive, false,
+                                          gap, routing::Strategy::flooding));
     std::ostringstream label;
     label << "naive resub, flooding, gap " << gap << " ms";
-    report(label.str().c_str(), naive);
+    report_row(label.str().c_str(), sweep.run(cfg));
   }
-  const auto dup = run(client::RelocationMode::naive, true, 200.0,
-                       routing::Strategy::flooding);
-  report("naive overlap (make-before-break), flooding", dup);
-
+  {
+    scenario::ScenarioSweep sweep(declare(client::RelocationMode::naive, true,
+                                          200.0, routing::Strategy::flooding));
+    report_row("naive overlap (make-before-break), flooding", sweep.run(cfg));
+  }
   for (double gap : {50.0, 200.0, 1000.0}) {
-    const auto rebeca =
-        run(client::RelocationMode::rebeca, false, gap, routing::Strategy::covering);
+    scenario::ScenarioSweep sweep(declare(client::RelocationMode::rebeca, false,
+                                          gap, routing::Strategy::covering));
     std::ostringstream label;
     label << "Sec. 4 relocation protocol, gap " << gap << " ms";
-    report(label.str().c_str(), rebeca);
+    report_row(label.str().c_str(), sweep.run(cfg));
   }
 
   std::cout << "\nexpected shape: naive rows lose (gap x rate + blackout) "
                "notifications, the overlap row duplicates, the protocol rows "
-               "deliver everything exactly once.\n";
+               "deliver everything exactly once (0 ±0 / 0 ±0).\n";
   return 0;
 }

@@ -103,6 +103,11 @@ class Broker final : public net::Endpoint {
   [[nodiscard]] std::uint64_t replayed_notifications() const {
     return replayed_notifications_;
   }
+  /// Notifications reported lost to bounded buffering across all replays
+  /// this broker emitted (the ReplayMsg::truncated sum).
+  [[nodiscard]] std::uint64_t replay_truncated() const {
+    return replay_truncated_;
+  }
   /// Concrete location set currently installed for an LD subscription
   /// passing through (or anchored at) this broker; nullopt if absent.
   [[nodiscard]] std::optional<location::LocationSet> ld_concrete_set(
@@ -284,6 +289,7 @@ class Broker final : public net::Endpoint {
   std::map<SubKey, Crumb> crumbs_;
 
   std::uint64_t replayed_notifications_ = 0;
+  std::uint64_t replay_truncated_ = 0;
 };
 
 }  // namespace rebeca::broker

@@ -162,8 +162,7 @@ void Broker::install_sub(Session& session, const SubKey& key,
       sub.pending_live.assign(v.pre_replay.begin(), v.pre_replay.end());
       sub.replay_seen = v.replay_seen;
       sub.reported_last_seq = v.reported_last_seq;
-      virtuals_.erase(vit);
-      refresh_all_links();
+      drop_virtual(key);  // cancels both timers before erasing
       const std::uint64_t timeout_epoch = sub.epoch;
       const ClientId client = session.client;
       const std::uint32_t sub_id = key.sub;
@@ -180,8 +179,12 @@ void Broker::install_sub(Session& session, const SubKey& key,
       send(*session.link, net::DeliverMsg{key, sn});
       sub.history.push(sn);
     }
-    virtuals_.erase(vit);
-    refresh_all_links();
+    // drop_virtual, not a bare erase: a TTL (or widen) timer left armed
+    // here would fire against a LATER virtual with the same key — under
+    // epoch-0 workloads (naive clients, plain re-subscribes) the epoch
+    // guard cannot tell them apart and the stale timer drops the new
+    // counterpart.
+    drop_virtual(key);
     return;
   }
 
@@ -507,19 +510,25 @@ void Broker::emit_replay(VirtualSub& v, net::Link& to, std::uint64_t epoch,
   reply.key = v.key;
   reply.epoch = epoch;
   reply.next_seq = v.next_seq;
-  std::uint64_t first_available = v.next_seq;
   for (const auto& sn : v.buffer) {
     if (sn.seq <= last_seq) continue;
-    first_available = std::min(first_available, sn.seq);
     reply.batch.push_back(sn);
   }
-  if (!reply.batch.empty()) first_available = reply.batch.front().seq;
-  // Sequence numbers between the client's last and the first we still
-  // hold were evicted from the bounded buffer: report the gap honestly.
-  if (first_available > last_seq + 1) {
-    reply.truncated = first_available - (last_seq + 1);
+  // Truncation accounting: the buffer's retained window is contiguous and
+  // ends at next_seq - 1, so the oldest sequence number still available
+  // is next_seq - size(). Everything between the client's last received
+  // number and that point is gone for good — evicted by RingBuffer
+  // overflow (dropped() > 0) or never retained because the session
+  // history was bounded at virtualization time. Deriving the floor from
+  // the retained window rather than the filtered batch keeps the report
+  // honest when the batch comes out empty even though notifications the
+  // client never saw were evicted.
+  const std::uint64_t oldest_available = v.next_seq - v.buffer.size();
+  if (oldest_available > last_seq + 1) {
+    reply.truncated = oldest_available - (last_seq + 1);
   }
   replayed_notifications_ += reply.batch.size();
+  replay_truncated_ += reply.truncated;
   send(to, std::move(reply));
 }
 
@@ -617,7 +626,12 @@ void Broker::flush_relocation_timeout(ClientId client, std::uint32_t sub_id,
   REBECA_WARN("broker " << id_ << ": relocation of " << sub.key
                         << " timed out — flushing live buffer");
   sub.relocating = false;
-  sub.next_seq = sub.reported_last_seq + 1;
+  // Continue from whichever is further along: the client's reported
+  // sequence number or the stamping position this session already
+  // reached. Resetting to reported+1 alone reuses numbers the client saw
+  // from in-flight pre-cut deliveries, and a later replay would skip the
+  // reused range as "already delivered" — silently losing notifications.
+  sub.next_seq = std::max(sub.next_seq, sub.reported_last_seq + 1);
   for (const auto& n : sub.pending_live) {
     net::StampedNotification sn{n, sub.next_seq++};
     sub.history.push(sn);

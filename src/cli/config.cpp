@@ -1,0 +1,526 @@
+#include "src/cli/config.hpp"
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+namespace rebeca::cli {
+
+namespace {
+
+using scenario::ScenarioBuilder;
+
+[[noreturn]] void fail(const std::string& where, const std::string& msg) {
+  throw JsonError("config field " + where + ": " + msg);
+}
+
+// ---------------------------------------------------------------------------
+// Values, filters, notifications
+// ---------------------------------------------------------------------------
+
+filter::Value parse_value(const JsonValue& v, const std::string& where) {
+  switch (v.kind()) {
+    case JsonValue::Kind::boolean:
+      return filter::Value(v.as_bool(where));
+    case JsonValue::Kind::string:
+      return filter::Value(v.as_string(where));
+    case JsonValue::Kind::number: {
+      const double d = v.as_number(where);
+      // Integral values become int64 attributes — but only inside the
+      // exactly-representable range (±2^53); beyond it the cast is UB
+      // and the value stays a double.
+      constexpr double kMaxExact = 9007199254740992.0;  // 2^53
+      if (d >= -kMaxExact && d <= kMaxExact) {
+        const auto i = static_cast<std::int64_t>(d);
+        if (static_cast<double>(i) == d) return filter::Value(i);
+      }
+      return filter::Value(d);
+    }
+    default:
+      fail(where, std::string("cannot use ") + v.kind_name() +
+                      " as an attribute value");
+  }
+}
+
+filter::Constraint parse_constraint(const JsonValue& v,
+                                    const std::string& where) {
+  // Shorthand: a bare scalar means equality.
+  if (!v.is_object()) return filter::Constraint::eq(parse_value(v, where));
+  if (v.size() != 1) {
+    fail(where, "a constraint object holds exactly one operator key");
+  }
+  const auto& [op, operand] = v.members().front();
+  const std::string at = where + "." + op;
+  if (op == "eq") return filter::Constraint::eq(parse_value(operand, at));
+  if (op == "ne") return filter::Constraint::ne(parse_value(operand, at));
+  if (op == "lt") return filter::Constraint::lt(parse_value(operand, at));
+  if (op == "le") return filter::Constraint::le(parse_value(operand, at));
+  if (op == "gt") return filter::Constraint::gt(parse_value(operand, at));
+  if (op == "ge") return filter::Constraint::ge(parse_value(operand, at));
+  if (op == "prefix") {
+    return filter::Constraint::prefix(operand.as_string(at));
+  }
+  if (op == "any") return filter::Constraint::any();
+  if (op == "in") {
+    std::set<filter::Value> values;
+    for (const JsonValue& item : operand.items()) {
+      values.insert(parse_value(item, at));
+    }
+    return filter::Constraint::in_set(std::move(values));
+  }
+  if (op == "range") {
+    if (!operand.is_array() || operand.size() != 2) {
+      fail(at, "range takes [lo, hi]");
+    }
+    return filter::Constraint::range(parse_value(operand.at(0), at),
+                                     parse_value(operand.at(1), at));
+  }
+  fail(where, "unknown constraint operator \"" + op + "\"");
+}
+
+}  // namespace
+
+filter::Filter parse_filter(const JsonValue& v, const std::string& where) {
+  filter::Filter f;
+  for (const auto& [attr, c] : v.members()) {
+    f.where(attr, parse_constraint(c, where + "." + attr));
+  }
+  return f;
+}
+
+filter::Notification parse_notification(const JsonValue& v,
+                                        const std::string& where) {
+  filter::Notification n;
+  for (const auto& [attr, value] : v.members()) {
+    n.set(attr, parse_value(value, where + "." + attr));
+  }
+  return n;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Structural pieces
+// ---------------------------------------------------------------------------
+
+scenario::TopologySpec parse_topology(const JsonValue& v) {
+  const std::string kind = v.string_or("kind", "chain");
+  const auto size = static_cast<std::size_t>(v.int_or("size", 2));
+  if (kind == "chain") return scenario::TopologySpec::chain(size);
+  if (kind == "star") return scenario::TopologySpec::star(size);
+  if (kind == "balanced_tree") {
+    return scenario::TopologySpec::balanced_tree(
+        static_cast<std::size_t>(v.int_or("depth", 2)),
+        static_cast<std::size_t>(v.int_or("fanout", 2)));
+  }
+  if (kind == "random_tree") return scenario::TopologySpec::random_tree(size);
+  fail("topology.kind", "unknown topology \"" + kind + "\"");
+}
+
+scenario::LocationSpec parse_locations(const JsonValue& v) {
+  const std::string kind = v.string_or("kind", "none");
+  if (kind == "none") return scenario::LocationSpec::none();
+  if (kind == "line") {
+    return scenario::LocationSpec::line(
+        static_cast<std::size_t>(v.int_or("size", 2)));
+  }
+  if (kind == "grid") {
+    return scenario::LocationSpec::grid(
+        static_cast<std::size_t>(v.int_or("width", 2)),
+        static_cast<std::size_t>(v.int_or("height", 2)));
+  }
+  if (kind == "ring") {
+    return scenario::LocationSpec::ring(
+        static_cast<std::size_t>(v.int_or("size", 3)));
+  }
+  if (kind == "fig7") return scenario::LocationSpec::paper_fig7();
+  if (kind == "random") {
+    return scenario::LocationSpec::random_connected(
+        static_cast<std::size_t>(v.int_or("size", 4)),
+        static_cast<std::size_t>(v.int_or("extra_edges", 0)));
+  }
+  fail("locations.kind", "unknown location graph \"" + kind + "\"");
+}
+
+routing::Strategy parse_strategy(const std::string& name) {
+  if (name == "flooding") return routing::Strategy::flooding;
+  if (name == "simple") return routing::Strategy::simple;
+  if (name == "identity") return routing::Strategy::identity;
+  if (name == "covering") return routing::Strategy::covering;
+  if (name == "merging") return routing::Strategy::merging;
+  fail("routing", "unknown strategy \"" + name + "\"");
+}
+
+sim::DelayModel parse_delay(const JsonValue& v, const std::string& where) {
+  // Shorthand: a bare number is a fixed delay in milliseconds.
+  if (v.is_number()) return sim::DelayModel::fixed(sim::millis(v.as_number(where)));
+  const std::string kind = v.string_or("kind", "fixed");
+  if (kind == "fixed") {
+    return sim::DelayModel::fixed(sim::millis(v.number_or("ms", 1)));
+  }
+  if (kind == "uniform") {
+    return sim::DelayModel::uniform(sim::millis(v.number_or("lo_ms", 0)),
+                                    sim::millis(v.number_or("hi_ms", 1)));
+  }
+  if (kind == "exponential") {
+    return sim::DelayModel::exponential(sim::millis(v.number_or("floor_ms", 0)),
+                                        sim::millis(v.number_or("mean_ms", 1)));
+  }
+  fail(where + ".kind", "unknown delay model \"" + kind + "\"");
+}
+
+broker::BrokerConfig parse_broker(const JsonValue& v,
+                                  broker::BrokerConfig base) {
+  base.use_advertisements =
+      v.bool_or("use_advertisements", base.use_advertisements);
+  base.session_history = static_cast<std::size_t>(
+      v.int_or("session_history", static_cast<std::int64_t>(base.session_history)));
+  base.virtual_capacity = static_cast<std::size_t>(v.int_or(
+      "virtual_capacity", static_cast<std::int64_t>(base.virtual_capacity)));
+  base.virtual_ttl =
+      sim::millis(v.number_or("virtual_ttl_ms", sim::to_millis(base.virtual_ttl)));
+  base.relocation_timeout = sim::millis(v.number_or(
+      "relocation_timeout_ms", sim::to_millis(base.relocation_timeout)));
+  base.ld_presubscribe = v.bool_or("ld_presubscribe", base.ld_presubscribe);
+  base.ld_widen_interval = sim::millis(v.number_or(
+      "ld_widen_interval_ms", sim::to_millis(base.ld_widen_interval)));
+  return base;
+}
+
+location::UncertaintyProfile parse_profile(const JsonValue& v,
+                                           const std::string& where) {
+  const std::string kind = v.string_or("kind", "global_resub");
+  if (kind == "global_resub") return location::UncertaintyProfile::global_resub();
+  if (kind == "flooding") return location::UncertaintyProfile::flooding();
+  if (kind == "explicit") {
+    std::vector<std::size_t> steps;
+    for (const JsonValue& s : v.get("steps", where).items()) {
+      steps.push_back(static_cast<std::size_t>(s.as_int(where + ".steps")));
+    }
+    return location::UncertaintyProfile::explicit_steps(std::move(steps));
+  }
+  if (kind == "adaptive") {
+    std::vector<sim::Duration> hops;
+    if (const JsonValue* h = v.find("hop_delays_ms")) {
+      for (const JsonValue& d : h->items()) {
+        hops.push_back(sim::millis(d.as_number(where + ".hop_delays_ms")));
+      }
+    }
+    return location::UncertaintyProfile::adaptive(
+        sim::millis(v.number_or("delta_ms", 1000)), std::move(hops));
+  }
+  fail(where + ".kind", "unknown uncertainty profile \"" + kind + "\"");
+}
+
+location::LdSpec parse_ld_spec(const JsonValue& v, const std::string& where) {
+  location::LdSpec spec;
+  if (const JsonValue* base = v.find("base")) {
+    spec.base = parse_filter(*base, where + ".base");
+  }
+  spec.location_attr = v.string_or("location_attr", spec.location_attr);
+  spec.vicinity_radius = static_cast<std::uint32_t>(
+      v.int_or("vicinity_radius", spec.vicinity_radius));
+  if (const JsonValue* p = v.find("profile")) {
+    spec.profile = parse_profile(*p, where + ".profile");
+  }
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Clients
+// ---------------------------------------------------------------------------
+
+void apply_client(const JsonValue& v, const std::string& where,
+                  ScenarioBuilder& b) {
+  const std::string name = v.get("name", where).as_string(where + ".name");
+  scenario::ClientSpec& c = b.client(name);
+  if (const JsonValue* id = v.find("id")) {
+    c.with_id(static_cast<std::uint32_t>(id->as_int(where + ".id")));
+  }
+  if (const JsonValue* broker = v.find("broker")) {
+    c.at_broker(static_cast<std::size_t>(broker->as_int(where + ".broker")));
+  }
+  if (const JsonValue* loc = v.find("starts_at")) {
+    c.starts_at(loc->as_string(where + ".starts_at"));
+  }
+  const std::string mode = v.string_or("relocation", "rebeca");
+  if (mode == "rebeca") {
+    c.relocation(client::RelocationMode::rebeca);
+  } else if (mode == "naive") {
+    c.relocation(client::RelocationMode::naive);
+  } else {
+    fail(where + ".relocation", "unknown mode \"" + mode + "\"");
+  }
+  c.dedup(v.bool_or("dedup", true));
+  c.client_side_filtering(v.bool_or("client_side_filtering", true));
+
+  if (const JsonValue* subs = v.find("subscribes")) {
+    std::size_t i = 0;
+    for (const JsonValue& f : subs->items()) {
+      std::ostringstream w;
+      w << where << ".subscribes[" << i++ << "]";
+      c.subscribes(parse_filter(f, w.str()));
+    }
+  }
+  if (const JsonValue* subs = v.find("subscribes_ld")) {
+    std::size_t i = 0;
+    for (const JsonValue& s : subs->items()) {
+      std::ostringstream w;
+      w << where << ".subscribes_ld[" << i++ << "]";
+      c.subscribes(parse_ld_spec(s, w.str()));
+    }
+  }
+  if (const JsonValue* advs = v.find("advertises")) {
+    std::size_t i = 0;
+    for (const JsonValue& f : advs->items()) {
+      std::ostringstream w;
+      w << where << ".advertises[" << i++ << "]";
+      c.advertises(parse_filter(f, w.str()));
+    }
+  }
+
+  if (const JsonValue* pubs = v.find("publishes")) {
+    std::size_t i = 0;
+    for (const JsonValue& p : pubs->items()) {
+      std::ostringstream ws;
+      ws << where << ".publishes[" << i++ << "]";
+      const std::string w = ws.str();
+      scenario::PublishSpec spec;
+      if (const JsonValue* every = p.find("every_ms")) {
+        spec.every(sim::millis(every->as_number(w + ".every_ms")));
+      } else if (const JsonValue* poisson = p.find("poisson_ms")) {
+        spec.poisson(sim::millis(poisson->as_number(w + ".poisson_ms")));
+      } else {
+        fail(w, "publishes needs every_ms or poisson_ms");
+      }
+      spec.body(parse_notification(p.get("body", w), w + ".body"));
+      if (p.bool_or("uniform_locations", false)) {
+        spec.uniform_locations(p.string_or("location_attr", "location"));
+      }
+      spec.count(static_cast<std::uint64_t>(p.int_or("count", 0)));
+      if (const JsonValue* seed = p.find("seed")) {
+        spec.with_seed(static_cast<std::uint64_t>(seed->as_int(w + ".seed")));
+      }
+      if (const JsonValue* from = p.find("from_phase")) {
+        spec.from_phase(from->as_string(w + ".from_phase"));
+      }
+      if (const JsonValue* until = p.find("until_phase_end")) {
+        spec.until_phase_end(until->as_string(w + ".until_phase_end"));
+      }
+      c.publishes(std::move(spec));
+    }
+  }
+
+  if (const JsonValue* roams = v.find("roams")) {
+    std::size_t i = 0;
+    for (const JsonValue& r : roams->items()) {
+      std::ostringstream ws;
+      ws << where << ".roams[" << i++ << "]";
+      const std::string w = ws.str();
+      scenario::RoamSpec spec;
+      if (const JsonValue* route = r.find("route")) {
+        std::vector<std::size_t> stops;
+        for (const JsonValue& s : route->items()) {
+          stops.push_back(static_cast<std::size_t>(s.as_int(w + ".route")));
+        }
+        spec.route(std::move(stops));
+      }
+      if (r.bool_or("random_waypoint", false)) spec.random_waypoint();
+      spec.dwelling(sim::millis(r.number_or("dwell_ms", 5000)));
+      spec.dark_for(sim::millis(r.number_or("gap_ms", 1000)));
+      if (r.bool_or("graceful", false)) spec.gracefully();
+      spec.hops(static_cast<std::uint64_t>(r.int_or("hops", 0)));
+      if (const JsonValue* seed = r.find("seed")) {
+        spec.with_seed(static_cast<std::uint64_t>(seed->as_int(w + ".seed")));
+      }
+      if (const JsonValue* from = r.find("from_phase")) {
+        spec.from_phase(from->as_string(w + ".from_phase"));
+      }
+      c.roams(std::move(spec));
+    }
+  }
+
+  if (const JsonValue* walks = v.find("walks")) {
+    std::size_t i = 0;
+    for (const JsonValue& wv : walks->items()) {
+      std::ostringstream ws;
+      ws << where << ".walks[" << i++ << "]";
+      const std::string w = ws.str();
+      scenario::WalkSpec spec;
+      if (const JsonValue* route = wv.find("route")) {
+        std::vector<std::string> stops;
+        for (const JsonValue& s : route->items()) {
+          stops.push_back(s.as_string(w + ".route"));
+        }
+        spec.route(std::move(stops));
+      }
+      spec.residing(sim::millis(wv.number_or("residence_ms", 1000)));
+      if (wv.bool_or("exponential_residence", false)) {
+        spec.exponential_residence();
+      }
+      spec.moves(static_cast<std::uint64_t>(wv.int_or("moves", 0)));
+      if (const JsonValue* seed = wv.find("seed")) {
+        spec.with_seed(static_cast<std::uint64_t>(seed->as_int(w + ".seed")));
+      }
+      if (const JsonValue* from = wv.find("from_phase")) {
+        spec.from_phase(from->as_string(w + ".from_phase"));
+      }
+      c.walks(std::move(spec));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Phases and on-enter actions
+// ---------------------------------------------------------------------------
+
+std::function<void(scenario::Scenario&)> parse_action(const JsonValue& v,
+                                                      const std::string& where) {
+  const std::string action = v.get("action", where).as_string(where + ".action");
+  const auto client_of = [&]() {
+    return v.get("client", where).as_string(where + ".client");
+  };
+  if (action == "connect") {
+    const std::string client = client_of();
+    const auto broker =
+        static_cast<std::size_t>(v.get("broker", where).as_int(where + ".broker"));
+    return [client, broker](scenario::Scenario& s) {
+      s.connect(client, broker);
+    };
+  }
+  if (action == "detach") {
+    const std::string client = client_of();
+    const bool graceful = v.bool_or("graceful", false);
+    return [client, graceful](scenario::Scenario& s) {
+      s.detach(client, graceful);
+    };
+  }
+  if (action == "subscribe") {
+    const std::string client = client_of();
+    const filter::Filter f = parse_filter(v.get("filter", where), where + ".filter");
+    return [client, f](scenario::Scenario& s) { s.client(client).subscribe(f); };
+  }
+  if (action == "publish") {
+    const std::string client = client_of();
+    const filter::Notification n =
+        parse_notification(v.get("body", where), where + ".body");
+    return [client, n](scenario::Scenario& s) { s.client(client).publish(n); };
+  }
+  if (action == "move") {
+    const std::string client = client_of();
+    const std::string to = v.get("to", where).as_string(where + ".to");
+    return [client, to](scenario::Scenario& s) { s.client(client).move_to(to); };
+  }
+  fail(where + ".action", "unknown action \"" + action + "\"");
+}
+
+void apply_phase(const JsonValue& v, const std::string& where,
+                 ScenarioBuilder& b) {
+  const std::string name = v.get("name", where).as_string(where + ".name");
+  const sim::Duration duration =
+      sim::millis(v.get("duration_ms", where).as_number(where + ".duration_ms"));
+  std::function<void(scenario::Scenario&)> on_enter;
+  if (const JsonValue* actions = v.find("on_enter")) {
+    std::vector<std::function<void(scenario::Scenario&)>> steps;
+    std::size_t i = 0;
+    for (const JsonValue& a : actions->items()) {
+      std::ostringstream w;
+      w << where << ".on_enter[" << i++ << "]";
+      steps.push_back(parse_action(a, w.str()));
+    }
+    on_enter = [steps = std::move(steps)](scenario::Scenario& s) {
+      for (const auto& step : steps) step(s);
+    };
+  }
+  b.phase(name, duration, std::move(on_enter));
+}
+
+// ---------------------------------------------------------------------------
+// Whole document
+// ---------------------------------------------------------------------------
+
+void apply_config(const JsonValue& root, ScenarioBuilder& b) {
+  if (!root.is_object()) {
+    throw JsonError("config root must be a JSON object");
+  }
+  if (const JsonValue* topo = root.find("topology")) {
+    b.topology(parse_topology(*topo));
+  }
+  if (const JsonValue* locs = root.find("locations")) {
+    b.locations(parse_locations(*locs));
+  }
+  broker::OverlayConfig overlay;
+  if (const JsonValue* br = root.find("broker")) {
+    overlay.broker = parse_broker(*br, overlay.broker);
+  }
+  if (const JsonValue* routing = root.find("routing")) {
+    overlay.broker.strategy = parse_strategy(routing->as_string("routing"));
+  }
+  if (const JsonValue* d = root.find("broker_link_delay")) {
+    overlay.broker_link_delay = parse_delay(*d, "broker_link_delay");
+  }
+  if (const JsonValue* d = root.find("client_link_delay")) {
+    overlay.client_link_delay = parse_delay(*d, "client_link_delay");
+  }
+  b.overlay(std::move(overlay));
+
+  std::size_t i = 0;
+  for (const JsonValue& c : root.get("clients", "").items()) {
+    std::ostringstream w;
+    w << "clients[" << i++ << "]";
+    apply_client(c, w.str(), b);
+  }
+  i = 0;
+  for (const JsonValue& p : root.get("phases", "").items()) {
+    std::ostringstream w;
+    w << "phases[" << i++ << "]";
+    apply_phase(p, w.str(), b);
+  }
+}
+
+scenario::SweepConfig parse_sweep(const JsonValue& root) {
+  scenario::SweepConfig cfg;
+  const JsonValue* sweep = root.find("sweep");
+  if (sweep == nullptr) return cfg;
+  if (const JsonValue* seeds = sweep->find("seeds")) {
+    for (const JsonValue& s : seeds->items()) {
+      cfg.seeds.push_back(static_cast<std::uint64_t>(s.as_int("sweep.seeds")));
+    }
+  }
+  cfg.base_seed =
+      static_cast<std::uint64_t>(sweep->int_or("base_seed", 1));
+  cfg.runs = static_cast<std::size_t>(sweep->int_or("runs", 1));
+  cfg.threads = static_cast<std::size_t>(sweep->int_or("threads", 0));
+  return cfg;
+}
+
+}  // namespace
+
+RunSpec parse_config(const std::string& json_text) {
+  // shared_ptr: the Declare closure outlives this frame and may be
+  // copied into worker threads; the parsed tree is immutable from here.
+  auto root = std::make_shared<const JsonValue>(JsonValue::parse(json_text));
+
+  RunSpec spec;
+  spec.name = root->string_or("name", "");
+  spec.sweep = parse_sweep(*root);
+  spec.declare = [root](ScenarioBuilder& b) { apply_config(*root, b); };
+
+  // Trial application: surface shape errors at load time with their
+  // config path, not at seed 7 of 16 inside a worker thread.
+  ScenarioBuilder trial;
+  spec.declare(trial);
+  return spec;
+}
+
+RunSpec load_config(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw JsonError("cannot open config file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_config(buf.str());
+}
+
+}  // namespace rebeca::cli

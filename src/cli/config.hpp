@@ -1,0 +1,45 @@
+// JSON scenario configs: the declarative surface of `rebeca-run`.
+//
+// A config file holds everything a ScenarioBuilder declaration holds —
+// topology, location graph, broker/overlay tuning, clients with
+// subscriptions/advertisements/workloads/movement, the phase schedule
+// with imperative on-enter actions, and the sweep settings — so a new
+// workload is a new file, not a recompile. See README ("rebeca-run")
+// for the schema; examples/configs/ has runnable exemplars.
+//
+// parse_config validates the JSON shape eagerly (throwing JsonError with
+// the offending config path) and returns a thread-safe Declare closure:
+// the sweep may invoke it concurrently, once per seed.
+#ifndef REBECA_CLI_CONFIG_HPP
+#define REBECA_CLI_CONFIG_HPP
+
+#include <string>
+
+#include "src/cli/json.hpp"
+#include "src/scenario/sweep.hpp"
+
+namespace rebeca::cli {
+
+/// A loaded config: scenario declaration + sweep settings.
+struct RunSpec {
+  std::string name;
+  scenario::ScenarioSweep::Declare declare;
+  scenario::SweepConfig sweep;
+};
+
+/// Parses a config document. Throws JsonError on malformed JSON or
+/// config shape errors.
+[[nodiscard]] RunSpec parse_config(const std::string& json_text);
+
+/// Reads and parses a config file. Throws JsonError (also for I/O).
+[[nodiscard]] RunSpec load_config(const std::string& path);
+
+// ---- exposed for tests ----
+[[nodiscard]] filter::Filter parse_filter(const JsonValue& v,
+                                          const std::string& where);
+[[nodiscard]] filter::Notification parse_notification(const JsonValue& v,
+                                                      const std::string& where);
+
+}  // namespace rebeca::cli
+
+#endif  // REBECA_CLI_CONFIG_HPP

@@ -1,0 +1,406 @@
+#include "src/cli/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace rebeca::cli {
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    std::size_t line = 1;
+    std::size_t col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    std::ostringstream os;
+    os << "JSON error at line " << line << ", column " << col << ": " << msg;
+    throw JsonError(os.str());
+  }
+
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  char take() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_++];
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  void expect(char c) {
+    if (take() != c) {
+      --pos_;
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n] != '\0') ++n;
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue parse_value() {
+    // Recursive descent: bound the nesting so hostile documents report
+    // an error instead of overflowing the stack.
+    if (depth_ >= kMaxDepth) fail("nesting deeper than 256 levels");
+    ++depth_;
+    JsonValue v = parse_value_inner();
+    --depth_;
+    return v;
+  }
+
+  JsonValue parse_value_inner() {
+    skip_ws();
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"': {
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::string;
+        v.string_ = parse_string();
+        return v;
+      }
+      case 't':
+        if (consume_literal("true")) {
+          JsonValue v;
+          v.kind_ = JsonValue::Kind::boolean;
+          v.bool_ = true;
+          return v;
+        }
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) {
+          JsonValue v;
+          v.kind_ = JsonValue::Kind::boolean;
+          v.bool_ = false;
+          return v;
+        }
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return JsonValue();
+        fail("invalid literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::object;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.object_.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      const char c = take();
+      if (c == '}') return v;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::array;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array_.push_back(parse_value());
+      skip_ws();
+      const char c = take();
+      if (c == ']') return v;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = take();
+      if (c == '"') return out;
+      if (c == '\\') {
+        const char e = take();
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = take();
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code += static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code += static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code += static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                --pos_;
+                fail("invalid \\u escape");
+              }
+            }
+            // UTF-8 encode the BMP code point (config files have no need
+            // for surrogate pairs; reject them honestly).
+            if (code >= 0xD800 && code <= 0xDFFF) {
+              fail("surrogate pairs are not supported");
+            }
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            --pos_;
+            fail("invalid escape character");
+        }
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        fail("unescaped control character in string");
+      }
+      out += c;
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+      fail("invalid number");
+    }
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail("digit required after decimal point");
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail("digit required in exponent");
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::number;
+    try {
+      v.number_ = std::stod(text_.substr(start, pos_ - start));
+    } catch (const std::out_of_range&) {
+      pos_ = start;
+      fail("number out of range");
+    }
+    return v;
+  }
+
+  static constexpr std::size_t kMaxDepth = 256;
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
+};
+
+JsonValue JsonValue::parse(const std::string& text) {
+  return JsonParser(text).parse_document();
+}
+
+// ---------------------------------------------------------------------------
+// Accessors
+// ---------------------------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void kind_fail(const std::string& where, const char* want,
+                            const char* got) {
+  std::ostringstream os;
+  os << "config field " << (where.empty() ? "<value>" : where) << ": expected "
+     << want << ", got " << got;
+  throw JsonError(os.str());
+}
+
+}  // namespace
+
+const char* JsonValue::kind_name() const {
+  switch (kind_) {
+    case Kind::null: return "null";
+    case Kind::boolean: return "boolean";
+    case Kind::number: return "number";
+    case Kind::string: return "string";
+    case Kind::array: return "array";
+    case Kind::object: return "object";
+  }
+  return "?";
+}
+
+bool JsonValue::as_bool(const std::string& where) const {
+  if (!is_bool()) kind_fail(where, "boolean", kind_name());
+  return bool_;
+}
+
+double JsonValue::as_number(const std::string& where) const {
+  if (!is_number()) kind_fail(where, "number", kind_name());
+  return number_;
+}
+
+std::int64_t JsonValue::as_int(const std::string& where) const {
+  const double d = as_number(where);
+  // Exact-integer range of double is ±2^53; beyond it the fraction check
+  // is meaningless and the cast below would be UB. No config integer is
+  // anywhere near that large.
+  constexpr double kMaxExact = 9007199254740992.0;  // 2^53
+  if (d < -kMaxExact || d > kMaxExact) {
+    kind_fail(where, "integer", "out-of-range number");
+  }
+  const auto i = static_cast<std::int64_t>(d);
+  if (static_cast<double>(i) != d) kind_fail(where, "integer", "fraction");
+  return i;
+}
+
+const std::string& JsonValue::as_string(const std::string& where) const {
+  if (!is_string()) kind_fail(where, "string", kind_name());
+  return string_;
+}
+
+std::size_t JsonValue::size() const {
+  if (is_array()) return array_.size();
+  if (is_object()) return object_.size();
+  return 0;
+}
+
+const JsonValue& JsonValue::at(std::size_t i) const {
+  if (!is_array()) kind_fail("", "array", kind_name());
+  if (i >= array_.size()) throw JsonError("array index out of range");
+  return array_[i];
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (!is_array()) kind_fail("", "array", kind_name());
+  return array_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  // Looking a key up in a non-object is a config-shape error, not an
+  // absence: "topology": "chain" (string instead of object) must reject,
+  // or every field would silently fall back to its default and the run
+  // would execute a wrong but plausible-looking experiment.
+  if (!is_object()) kind_fail(key, "object", kind_name());
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::get(const std::string& key,
+                                const std::string& where) const {
+  if (!is_object()) kind_fail(where, "object", kind_name());
+  const JsonValue* v = find(key);
+  if (v == nullptr) {
+    std::ostringstream os;
+    os << "config field " << (where.empty() ? key : where + "." + key)
+       << " is required but missing";
+    throw JsonError(os.str());
+  }
+  return *v;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  if (!is_object()) kind_fail("", "object", kind_name());
+  return object_;
+}
+
+double JsonValue::number_or(const std::string& key, double fallback) const {
+  const JsonValue* v = find(key);
+  return v == nullptr ? fallback : v->as_number(key);
+}
+
+std::int64_t JsonValue::int_or(const std::string& key,
+                               std::int64_t fallback) const {
+  const JsonValue* v = find(key);
+  return v == nullptr ? fallback : v->as_int(key);
+}
+
+bool JsonValue::bool_or(const std::string& key, bool fallback) const {
+  const JsonValue* v = find(key);
+  return v == nullptr ? fallback : v->as_bool(key);
+}
+
+std::string JsonValue::string_or(const std::string& key,
+                                 std::string fallback) const {
+  const JsonValue* v = find(key);
+  return v == nullptr ? std::move(fallback) : v->as_string(key);
+}
+
+}  // namespace rebeca::cli

@@ -1,0 +1,88 @@
+// Minimal JSON for the scenario config loader — no external deps.
+//
+// Full JSON value model (null/bool/number/string/array/object) with a
+// recursive-descent parser that reports line/column on errors. Numbers
+// are stored as double (integral config values stay exact up to 2^53,
+// far beyond anything a scenario config holds). Object member order is
+// preserved so diagnostics can point at the offending entry.
+#ifndef REBECA_CLI_JSON_HPP
+#define REBECA_CLI_JSON_HPP
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rebeca::cli {
+
+/// Parse or config-shape error, with a human-readable location.
+class JsonError : public std::runtime_error {
+ public:
+  explicit JsonError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class JsonValue {
+ public:
+  enum class Kind { null, boolean, number, string, array, object };
+
+  /// Parses a complete JSON document; trailing garbage is an error.
+  static JsonValue parse(const std::string& text);
+
+  JsonValue() = default;  // null
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::null; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::boolean; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::number; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::string; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::array; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::object; }
+  [[nodiscard]] const char* kind_name() const;
+
+  /// Typed accessors throw JsonError on kind mismatch, naming `where`
+  /// (a config path like "clients[0].broker") in the message.
+  [[nodiscard]] bool as_bool(const std::string& where = "") const;
+  [[nodiscard]] double as_number(const std::string& where = "") const;
+  [[nodiscard]] std::int64_t as_int(const std::string& where = "") const;
+  [[nodiscard]] const std::string& as_string(const std::string& where = "") const;
+
+  // ---- array access ----
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] const JsonValue& at(std::size_t i) const;
+  [[nodiscard]] const std::vector<JsonValue>& items() const;
+
+  // ---- object access ----
+  /// nullptr when the key is absent; throws JsonError when this value is
+  /// not an object at all (a mistyped section must reject, not silently
+  /// fall back to defaults).
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+  /// Throws JsonError when absent.
+  [[nodiscard]] const JsonValue& get(const std::string& key,
+                                     const std::string& where = "") const;
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>& members()
+      const;
+
+  // ---- defaulted conveniences for optional config fields ----
+  [[nodiscard]] double number_or(const std::string& key, double fallback) const;
+  [[nodiscard]] std::int64_t int_or(const std::string& key,
+                                    std::int64_t fallback) const;
+  [[nodiscard]] bool bool_or(const std::string& key, bool fallback) const;
+  [[nodiscard]] std::string string_or(const std::string& key,
+                                      std::string fallback) const;
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::null;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+}  // namespace rebeca::cli
+
+#endif  // REBECA_CLI_JSON_HPP

@@ -1,0 +1,281 @@
+#include "src/scenario/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <limits>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "src/util/assert.hpp"
+
+namespace rebeca::scenario {
+
+namespace {
+/// Series value for "this run did not report the metric".
+constexpr double kAbsent = std::numeric_limits<double>::quiet_NaN();
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SweepConfig
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint64_t> SweepConfig::resolved_seeds() const {
+  if (!seeds.empty()) return seeds;
+  std::vector<std::uint64_t> out;
+  out.reserve(runs);
+  for (std::size_t i = 0; i < runs; ++i) {
+    out.push_back(base_seed + static_cast<std::uint64_t>(i));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Metric extraction
+// ---------------------------------------------------------------------------
+
+void extract_metrics(const ScenarioReport& report,
+                     std::map<std::string, double>& out) {
+  const auto put = [&](const std::string& name, double v) {
+    out.emplace(name, v);
+  };
+  put("published", static_cast<double>(report.published));
+  put("delivered", static_cast<double>(report.delivered));
+  put("missing", static_cast<double>(report.missing));
+  put("duplicates", static_cast<double>(report.duplicates));
+  put("latency_mean_ms", sim::to_millis(report.latency.mean));
+  put("latency_p50_ms", sim::to_millis(report.latency.p50));
+  put("latency_p99_ms", sim::to_millis(report.latency.p99));
+  put("messages_total", static_cast<double>(report.messages.total()));
+  put("messages_admin", static_cast<double>(report.messages.administrative()));
+  for (const ClientReport& c : report.clients) {
+    const std::string prefix = "client." + c.name + ".";
+    put(prefix + "published", static_cast<double>(c.published));
+    put(prefix + "delivered", static_cast<double>(c.delivered));
+    put(prefix + "duplicates", static_cast<double>(c.duplicates));
+    if (c.tracked) {
+      put(prefix + "expected", static_cast<double>(c.expected));
+      put(prefix + "missing", static_cast<double>(c.missing));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SweepResult
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint64_t> SweepResult::seeds() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(reports.size());
+  for (const ScenarioReport& r : reports) out.push_back(r.seed);
+  return out;
+}
+
+namespace {
+
+MetricStats stats_of(const std::vector<double>& xs) {
+  MetricStats s;
+  // NaN marks "this run did not report the metric" (conditional probes,
+  // no-delivery sentinels): excluded from the statistics rather than
+  // diluted into them as fake zeros; n exposes the reduced sample.
+  double sum = 0;
+  bool first = true;
+  for (double x : xs) {  // seed order: deterministic summation
+    if (std::isnan(x)) continue;
+    ++s.n;
+    sum += x;
+    s.min = first ? x : std::min(s.min, x);
+    s.max = first ? x : std::max(s.max, x);
+    first = false;
+  }
+  if (s.n == 0) return s;
+  s.mean = sum / static_cast<double>(s.n);
+  if (s.n > 1) {
+    double sq = 0;
+    for (double x : xs) {
+      if (std::isnan(x)) continue;
+      sq += (x - s.mean) * (x - s.mean);
+    }
+    s.stddev = std::sqrt(sq / static_cast<double>(s.n - 1));
+    // Normal-approximation 95% CI of the mean.
+    s.ci95 = 1.96 * s.stddev / std::sqrt(static_cast<double>(s.n));
+  }
+  return s;
+}
+
+/// Fixed-format rendering so tables are byte-stable: %.6g is locale-free
+/// with snprintf and deterministic for identical doubles.
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+MetricStats SweepResult::stats(const std::string& metric) const {
+  auto it = series.find(metric);
+  REBECA_ASSERT(it != series.end(), "sweep has no metric " << metric);
+  return stats_of(it->second);
+}
+
+std::map<std::string, MetricStats> SweepResult::aggregate() const {
+  std::map<std::string, MetricStats> out;
+  for (const auto& [name, xs] : series) out.emplace(name, stats_of(xs));
+  return out;
+}
+
+std::string SweepResult::table() const {
+  std::ostringstream os;
+  os << "sweep over " << reports.size() << " seed"
+     << (reports.size() == 1 ? "" : "s") << " [";
+  const auto ss = seeds();
+  for (std::size_t i = 0; i < ss.size(); ++i) {
+    if (i != 0) os << " ";
+    os << ss[i];
+  }
+  os << "]\n";
+  // Column layout: metric, mean ± ci95, stddev, min, max.
+  std::size_t name_w = 6;
+  for (const auto& [name, xs] : series) name_w = std::max(name_w, name.size());
+  const auto pad = [&os](const std::string& s, std::size_t w) {
+    os << s;
+    for (std::size_t i = s.size(); i < w; ++i) os << ' ';
+  };
+  pad("metric", name_w + 2);
+  pad("n", 5);
+  pad("mean", 14);
+  pad("ci95", 12);
+  pad("stddev", 12);
+  pad("min", 12);
+  os << "max\n";
+  for (const auto& [name, xs] : series) {
+    const MetricStats s = stats_of(xs);
+    pad(name, name_w + 2);
+    pad(std::to_string(s.n), 5);
+    pad(fmt(s.mean), 14);
+    pad(fmt(s.ci95), 12);
+    pad(fmt(s.stddev), 12);
+    pad(fmt(s.min), 12);
+    os << fmt(s.max) << "\n";
+  }
+  return os.str();
+}
+
+std::string SweepResult::csv() const {
+  std::ostringstream os;
+  os << "metric,n,mean,stddev,ci95,min,max\n";
+  for (const auto& [name, xs] : series) {
+    const MetricStats s = stats_of(xs);
+    os << name << "," << s.n << "," << fmt(s.mean) << "," << fmt(s.stddev)
+       << "," << fmt(s.ci95) << "," << fmt(s.min) << "," << fmt(s.max) << "\n";
+  }
+  return os.str();
+}
+
+std::string SweepResult::csv_runs() const {
+  std::ostringstream os;
+  os << "seed";
+  for (const auto& [name, xs] : series) os << "," << name;
+  os << "\n";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    os << reports[i].seed;
+    for (const auto& [name, xs] : series) {
+      os << ",";
+      if (i < xs.size()) os << fmt(xs[i]);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// ScenarioSweep
+// ---------------------------------------------------------------------------
+
+ScenarioSweep::ScenarioSweep(Declare declare) : declare_(std::move(declare)) {
+  REBECA_ASSERT(declare_ != nullptr, "sweep needs a declaration");
+}
+
+ScenarioSweep& ScenarioSweep::probe(Probe p) {
+  probe_ = std::move(p);
+  return *this;
+}
+
+SweepResult ScenarioSweep::run(const SweepConfig& config) const {
+  const std::vector<std::uint64_t> seeds = config.resolved_seeds();
+  REBECA_ASSERT(!seeds.empty(), "sweep with zero runs");
+
+  struct RunSlot {
+    ScenarioReport report;
+    std::map<std::string, double> metrics;
+    std::exception_ptr error;
+  };
+  std::vector<RunSlot> slots(seeds.size());
+
+  // One run, entirely thread-local: fresh builder, fresh Scenario.
+  const auto run_one = [&](std::size_t i) {
+    try {
+      ScenarioBuilder b;
+      declare_(b);
+      b.seed(seeds[i]);
+      std::unique_ptr<Scenario> s = b.build();
+      s->run();
+      slots[i].report = s->report();
+      extract_metrics(slots[i].report, slots[i].metrics);
+      if (probe_) probe_(*s, slots[i].metrics);
+    } catch (...) {
+      slots[i].error = std::current_exception();
+    }
+  };
+
+  std::size_t threads = config.threads;
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, seeds.size());
+
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < seeds.size(); ++i) run_one(i);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      pool.emplace_back([&] {
+        for (std::size_t i = next.fetch_add(1); i < seeds.size();
+             i = next.fetch_add(1)) {
+          run_one(i);
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Surface the first failure in seed order (deterministic, unlike
+  // "first to fail on the clock").
+  for (RunSlot& slot : slots) {
+    if (slot.error) std::rethrow_exception(slot.error);
+  }
+
+  SweepResult result;
+  result.reports.reserve(slots.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    result.reports.push_back(std::move(slots[i].report));
+    for (const auto& [name, value] : slots[i].metrics) {
+      auto& xs = result.series[name];
+      // A metric a run did not report is NaN, never 0.0: stats_of
+      // excludes NaN (and reports the reduced n) instead of diluting the
+      // mean with fake zero samples.
+      xs.resize(i, kAbsent);
+      xs.push_back(value);
+    }
+  }
+  for (auto& [name, xs] : result.series) xs.resize(slots.size(), kAbsent);
+  return result;
+}
+
+}  // namespace rebeca::scenario

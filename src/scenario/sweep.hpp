@@ -1,0 +1,121 @@
+// Multi-seed scenario sweeps: the paper's evaluation methodology.
+//
+// Figs. 2–9 report averages over repeated stochastic runs; a single
+// Scenario is one sample. ScenarioSweep runs one declaration across N
+// seeds — in parallel, one Scenario per worker thread (the kernel is
+// single-threaded per instance, but instances are fully independent) —
+// and aggregates the ScenarioReports into mean / stddev / 95%-CI tables
+// per metric.
+//
+//   ScenarioSweep sweep([](ScenarioBuilder& b) {
+//     b.topology(TopologySpec::chain(4));
+//     b.client("consumer").at_broker(3).subscribes(f);
+//     ...
+//   });
+//   SweepConfig cfg;
+//   cfg.base_seed = 1;
+//   cfg.runs = 16;
+//   SweepResult r = sweep.run(cfg);
+//   std::cout << r.table();
+//
+// Determinism contract: the aggregate (table(), csv(), aggregate()) is
+// byte-identical regardless of thread count or scheduling. Per-run
+// results are stored by seed index and every reduction iterates in seed
+// order, so no floating-point sum depends on completion order.
+#ifndef REBECA_SCENARIO_SWEEP_HPP
+#define REBECA_SCENARIO_SWEEP_HPP
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/scenario/scenario.hpp"
+
+namespace rebeca::scenario {
+
+/// How many runs, with which seeds, on how many threads.
+struct SweepConfig {
+  /// Explicit seed list; when empty, seeds are base_seed .. base_seed+runs-1.
+  std::vector<std::uint64_t> seeds;
+  std::uint64_t base_seed = 1;
+  std::size_t runs = 1;
+  /// Worker threads; 0 = hardware concurrency (capped at the run count).
+  std::size_t threads = 0;
+
+  [[nodiscard]] std::vector<std::uint64_t> resolved_seeds() const;
+};
+
+/// Aggregate of one metric over the runs that reported it (NaN series
+/// entries mean "absent for this run" and are excluded — n is the
+/// surviving sample count). ci95 is the half-width of the
+/// normal-approximation 95% confidence interval of the mean.
+struct MetricStats {
+  std::uint64_t n = 0;
+  double mean = 0;
+  double stddev = 0;  // sample stddev (n-1); 0 when n < 2
+  double ci95 = 0;
+  double min = 0;
+  double max = 0;
+};
+
+/// One sweep's outcome: the per-seed reports (in seed order), the metric
+/// series extracted from them, and deterministic renderings.
+class SweepResult {
+ public:
+  /// Per-seed reports, in seed order (independent of thread scheduling).
+  std::vector<ScenarioReport> reports;
+  /// Metric name -> one value per run, in seed order. Contains the
+  /// standard report metrics plus any probe-emitted custom metrics.
+  std::map<std::string, std::vector<double>> series;
+
+  [[nodiscard]] std::vector<std::uint64_t> seeds() const;
+  [[nodiscard]] MetricStats stats(const std::string& metric) const;
+  [[nodiscard]] std::map<std::string, MetricStats> aggregate() const;
+
+  /// Mean ± CI table over every metric; byte-identical for equal runs
+  /// regardless of thread count.
+  [[nodiscard]] std::string table() const;
+  /// Aggregate CSV: metric,n,mean,stddev,ci95,min,max.
+  [[nodiscard]] std::string csv() const;
+  /// Per-run CSV: seed,<metric...> — one row per seed, in seed order.
+  [[nodiscard]] std::string csv_runs() const;
+};
+
+class ScenarioSweep {
+ public:
+  /// Declares the scenario into a fresh builder. Invoked once per run,
+  /// possibly concurrently from worker threads: it must only touch the
+  /// builder it is given (and the Scenario&, for phase callbacks) —
+  /// never shared mutable state. The sweep sets the seed afterwards, so
+  /// a seed set here is overwritten.
+  using Declare = std::function<void(ScenarioBuilder&)>;
+  /// Optional per-run metric extractor, invoked after the run completes
+  /// on the run's own Scenario (same thread as the run). Values land in
+  /// SweepResult::series under their map key. Emit NaN (or omit the key)
+  /// for "no sample this run" — never a sentinel like -1, which would be
+  /// averaged into the aggregate as a real value.
+  using Probe =
+      std::function<void(Scenario&, std::map<std::string, double>&)>;
+
+  explicit ScenarioSweep(Declare declare);
+
+  ScenarioSweep& probe(Probe p);
+
+  /// Runs the sweep. Throws whatever a run threw (first in seed order).
+  [[nodiscard]] SweepResult run(const SweepConfig& config) const;
+
+ private:
+  Declare declare_;
+  Probe probe_;
+};
+
+/// The standard metric series of one report (also used by probes that
+/// want to extend the set): published, delivered, missing, duplicates,
+/// latency percentiles in ms, message-class counts, and per-client rows.
+void extract_metrics(const ScenarioReport& report,
+                     std::map<std::string, double>& out);
+
+}  // namespace rebeca::scenario
+
+#endif  // REBECA_SCENARIO_SWEEP_HPP

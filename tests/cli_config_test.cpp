@@ -1,0 +1,259 @@
+// The rebeca-run config layer: JSON parsing and config -> scenario
+// equivalence.
+//
+// The acceptance bar: loading examples/configs/fig2.json reproduces the
+// fig2 scenario byte-for-byte against the same declaration written in
+// C++ — a config file is a full substitute for a recompile.
+#include <gtest/gtest.h>
+
+#include "src/cli/config.hpp"
+#include "src/cli/json.hpp"
+
+namespace rebeca {
+namespace {
+
+using cli::JsonError;
+using cli::JsonValue;
+
+// ---------------------------------------------------------------------------
+// JSON parser
+// ---------------------------------------------------------------------------
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+  EXPECT_EQ(JsonValue::parse("true").as_bool(), true);
+  EXPECT_EQ(JsonValue::parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("3.25").as_number(), 3.25);
+  EXPECT_EQ(JsonValue::parse("-17").as_int(), -17);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("1e3").as_number(), 1000.0);
+  EXPECT_EQ(JsonValue::parse("\"hi\\nthere\"").as_string(), "hi\nthere");
+  EXPECT_EQ(JsonValue::parse("\"\\u0041\\u00e9\"").as_string(), "A\xc3\xa9");
+}
+
+TEST(Json, ParsesContainers) {
+  const JsonValue v = JsonValue::parse(
+      R"({"a": [1, 2, 3], "b": {"c": "x"}, "d": true})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.get("a").size(), 3u);
+  EXPECT_EQ(v.get("a").at(1).as_int(), 2);
+  EXPECT_EQ(v.get("b").get("c").as_string(), "x");
+  EXPECT_EQ(v.bool_or("d", false), true);
+  EXPECT_EQ(v.bool_or("missing", true), true);
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, ReportsErrorsWithLocation) {
+  try {
+    JsonValue::parse("{\"a\": 1,\n  \"b\": }");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  EXPECT_THROW(JsonValue::parse("[1, 2"), JsonError);
+  EXPECT_THROW(JsonValue::parse("{} trailing"), JsonError);
+  EXPECT_THROW(JsonValue::parse("01x"), JsonError);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), JsonError);
+}
+
+TEST(Json, RejectsHostileDocumentsWithoutCrashing) {
+  // Out-of-range literal: JsonError, not std::out_of_range from stod.
+  EXPECT_THROW(JsonValue::parse("1e999"), JsonError);
+  // Nesting past the depth bound: JsonError, not a stack overflow.
+  const std::string deep(100000, '[');
+  EXPECT_THROW(JsonValue::parse(deep), JsonError);
+  // At-the-bound nesting still parses.
+  std::string ok;
+  for (int i = 0; i < 200; ++i) ok += '[';
+  ok += '1';
+  for (int i = 0; i < 200; ++i) ok += ']';
+  EXPECT_NO_THROW(JsonValue::parse(ok));
+}
+
+TEST(Json, TypeMismatchNamesTheField) {
+  const JsonValue v = JsonValue::parse(R"({"broker": "three"})");
+  try {
+    (void)v.get("broker").as_int("clients[0].broker");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("clients[0].broker"),
+              std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Config -> filter/notification mapping
+// ---------------------------------------------------------------------------
+
+TEST(Config, ParsesFiltersWithAllOperators) {
+  const JsonValue v = JsonValue::parse(R"({
+    "sym": {"eq": "X"}, "px": {"lt": 100}, "qty": {"range": [1, 9]},
+    "venue": {"in": ["a", "b"]}, "tag": {"prefix": "de"}, "flag": {"any": true},
+    "bare": 7
+  })");
+  const filter::Filter f = cli::parse_filter(v, "test");
+  EXPECT_EQ(f.size(), 7u);
+  filter::Notification n;
+  n.set("sym", "X").set("px", 42).set("qty", 3).set("venue", "a");
+  n.set("tag", "depot").set("flag", true).set("bare", 7);
+  EXPECT_TRUE(f.matches(n));
+  n.set("px", 100);
+  EXPECT_FALSE(f.matches(n));
+}
+
+TEST(Config, RejectsUnknownOperator) {
+  const JsonValue v = JsonValue::parse(R"({"sym": {"matches": "X"}})");
+  EXPECT_THROW(cli::parse_filter(v, "test"), JsonError);
+}
+
+TEST(Config, RejectsUnknownStrategyWithFieldPath) {
+  const std::string doc = R"({
+    "routing": "warp", "clients": [], "phases": []
+  })";
+  try {
+    (void)cli::parse_config(doc);
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("routing"), std::string::npos);
+  }
+}
+
+TEST(Config, RequiresClientsAndPhases) {
+  EXPECT_THROW((void)cli::parse_config(R"({"phases": []})"), JsonError);
+  EXPECT_THROW((void)cli::parse_config(R"({"clients": []})"), JsonError);
+}
+
+TEST(Config, MistypedSectionIsRejectedNotDefaulted) {
+  // "topology": "chain" (string where an object belongs) must error, not
+  // silently run the default 2-broker chain.
+  EXPECT_THROW((void)cli::parse_config(R"({
+    "topology": "chain", "clients": [], "phases": []
+  })"),
+               JsonError);
+  EXPECT_THROW((void)cli::parse_config(R"({
+    "broker_link_delay": [3, 7],
+    "clients": [{"name": "c", "id": 1, "broker": 0}],
+    "phases": [{"name": "p", "duration_ms": 1}]
+  })"),
+               JsonError);
+  // Out-of-range integers are a clean error, not UB.
+  EXPECT_THROW((void)cli::parse_config(R"({
+    "clients": [{"name": "c", "id": 1e300, "broker": 0}],
+    "phases": [{"name": "p", "duration_ms": 1}]
+  })"),
+               JsonError);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-config equivalence with a hand-built declaration
+// ---------------------------------------------------------------------------
+
+scenario::ScenarioReport run_declared(
+    const scenario::ScenarioSweep::Declare& declare, std::uint64_t seed) {
+  scenario::ScenarioBuilder b;
+  declare(b);
+  b.seed(seed);
+  auto s = b.build();
+  s->run();
+  return s->report();
+}
+
+TEST(Config, Fig2ConfigReproducesHandBuiltScenario) {
+  const cli::RunSpec spec =
+      cli::load_config(std::string(REBECA_SOURCE_DIR) +
+                       "/examples/configs/fig2.json");
+  ASSERT_FALSE(spec.sweep.resolved_seeds().empty());
+
+  // The same declaration, written in C++ (the original bench body).
+  const auto hand_built = [](scenario::ScenarioBuilder& b) {
+    b.topology(scenario::TopologySpec::chain(4))
+        .routing(routing::Strategy::covering);
+    b.client("consumer")
+        .with_id(1)
+        .at_broker(3)
+        .relocation(client::RelocationMode::rebeca)
+        .dedup(false)
+        .subscribes(filter::Filter().where("sym", filter::Constraint::eq("X")));
+    b.client("producer")
+        .with_id(2)
+        .at_broker(0)
+        .publishes(scenario::PublishSpec()
+                       .every(sim::millis(10))
+                       .body(filter::Notification().set("sym", "X"))
+                       .from_phase("before")
+                       .until_phase_end("after"));
+    b.phase("settle", sim::seconds(1));
+    b.phase("before", sim::seconds(2));
+    b.phase("gap", sim::millis(200),
+            [](scenario::Scenario& s) { s.detach("consumer"); });
+    b.phase("after", sim::seconds(2),
+            [](scenario::Scenario& s) { s.connect("consumer", 1); });
+    b.phase("drain", sim::seconds(2));
+  };
+
+  const std::uint64_t seed = spec.sweep.resolved_seeds().front();
+  const scenario::ScenarioReport from_config = run_declared(spec.declare, seed);
+  const scenario::ScenarioReport from_code = run_declared(hand_built, seed);
+
+  EXPECT_EQ(from_config.to_string(), from_code.to_string())
+      << "config-declared scenario diverged from the C++ declaration";
+  // And it reproduces fig2's protocol row: exactly-once delivery.
+  EXPECT_GT(from_config.published, 0u);
+  EXPECT_EQ(from_config.missing, 0u);
+  EXPECT_EQ(from_config.duplicates, 0u);
+  EXPECT_EQ(from_config.delivered, from_config.published);
+}
+
+TEST(Config, CheckedInExampleConfigsLoadAndDeclare) {
+  for (const char* name :
+       {"fig2.json", "fig2_naive.json", "fig3_blackout.json",
+        "relocation_latency.json", "roaming_tour.json"}) {
+    SCOPED_TRACE(name);
+    const cli::RunSpec spec = cli::load_config(
+        std::string(REBECA_SOURCE_DIR) + "/examples/configs/" + name);
+    EXPECT_FALSE(spec.name.empty());
+    EXPECT_GE(spec.sweep.resolved_seeds().size(), 1u);
+    // Declaring into a fresh builder and building must succeed.
+    scenario::ScenarioBuilder b;
+    spec.declare(b);
+    b.seed(1);
+    EXPECT_NE(b.build(), nullptr);
+  }
+}
+
+TEST(Config, OnEnterActionsDrive) {
+  // publish / subscribe / connect / detach actions from JSON drive a
+  // live scenario.
+  const std::string doc = R"({
+    "topology": {"kind": "chain", "size": 2},
+    "clients": [
+      {"name": "consumer", "id": 1, "broker": 1},
+      {"name": "producer", "id": 2, "broker": 0}
+    ],
+    "phases": [
+      {"name": "sub", "duration_ms": 200, "on_enter": [
+        {"action": "subscribe", "client": "consumer", "filter": {"sym": "X"}}
+      ]},
+      {"name": "pub", "duration_ms": 200, "on_enter": [
+        {"action": "publish", "client": "producer", "body": {"sym": "X", "px": 5}},
+        {"action": "publish", "client": "producer", "body": {"sym": "Y"}}
+      ]}
+    ]
+  })";
+  const cli::RunSpec spec = cli::parse_config(doc);
+  const scenario::ScenarioReport r = run_declared(spec.declare, 1);
+  EXPECT_EQ(r.published, 2u);
+  EXPECT_EQ(r.client("consumer").delivered, 1u);  // "Y" does not match
+}
+
+TEST(Config, SweepSettingsRoundTrip) {
+  const cli::RunSpec spec = cli::parse_config(R"({
+    "clients": [{"name": "c", "id": 1, "broker": 0}],
+    "phases": [{"name": "p", "duration_ms": 1}],
+    "sweep": {"seeds": [4, 8], "threads": 3}
+  })");
+  EXPECT_EQ(spec.sweep.resolved_seeds(), (std::vector<std::uint64_t>{4, 8}));
+  EXPECT_EQ(spec.sweep.threads, 3u);
+}
+
+}  // namespace
+}  // namespace rebeca

@@ -1,0 +1,232 @@
+// Relocation-timer lifecycle regressions (PR 2 bugfixes).
+//
+// Three bugs, found while auditing the protocol for sweep-readiness,
+// all triggered by repeated connect/disconnect churn:
+//  1. Non-LD same-broker reconnect erased the virtual counterpart
+//     without cancelling its ttl/widen timers; the stale TTL could fire
+//     after the client re-disconnected and drop the NEW virtual with the
+//     same key/epoch (epoch-0 workloads: naive clients cannot tell the
+//     two apart).
+//  2. flush_relocation_timeout reset next_seq to reported_last_seq + 1,
+//     reusing sequence numbers the client had already seen from in-flight
+//     pre-cut deliveries; a later replay then skipped the reused range as
+//     "already delivered" and lost notifications.
+//  3. emit_replay derived the truncation report from a dead scan and
+//     ignored eviction, under-reporting buffer-overflow losses.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tests/scenario_world.hpp"
+
+namespace rebeca {
+namespace {
+
+using broker::OverlayConfig;
+using client::Client;
+using client::ClientConfig;
+using filter::Constraint;
+using filter::Filter;
+using filter::Notification;
+using scenario::TopologySpec;
+using testutil::World;
+
+Filter ticks() { return Filter().where("sym", Constraint::eq("AAA")); }
+
+Notification tick(int px) {
+  return Notification().set("sym", "AAA").set("px", px);
+}
+
+std::set<std::uint64_t> delivered_producer_seqs(const Client& c) {
+  std::set<std::uint64_t> seqs;
+  for (const auto& d : c.deliveries()) seqs.insert(d.notification.producer_seq());
+  return seqs;
+}
+
+// ---------------------------------------------------------------------------
+// Bug 1: stale TTL timer dropping a successor virtual
+// ---------------------------------------------------------------------------
+
+TEST(TimerLifecycle, SameBrokerReconnectCancelsTtlTimer) {
+  // disconnect -> same-broker reconnect -> disconnect, crossing
+  // virtual_ttl of the FIRST disconnect. Epoch-0 subscriptions (naive
+  // relocation re-subscribes from scratch) make the stale timer's epoch
+  // guard useless: without the cancel, the first disconnect's TTL fires
+  // mid-second-disconnection and drops the second virtual.
+  OverlayConfig cfg;
+  cfg.broker.virtual_ttl = sim::seconds(2);
+  World w(TopologySpec::chain(3), cfg);
+  ClientConfig naive;
+  naive.relocation = client::RelocationMode::naive;
+  Client& consumer = w.add_client(1, 2, naive);
+  Client& producer = w.add_client(2, 0);
+  consumer.subscribe(ticks());
+  w.settle();
+
+  for (int i = 0; i < 3; ++i) producer.publish(tick(i));
+  w.settle(0.1);
+  ASSERT_EQ(consumer.deliveries().size(), 3u);
+
+  consumer.detach_silently();  // T1: virtual #1, TTL armed for T1+2s
+  w.settle(1.0);
+  w.overlay.connect_client(consumer, 2);  // same broker: erases virtual #1
+  w.settle(0.2);
+  consumer.detach_silently();  // T1+1.2s: virtual #2, TTL armed for T1+3.2s
+  w.settle(1.3);               // T1+2.5s: virtual #1's stale TTL has fired
+
+  // The second virtual must survive its predecessor's timer.
+  EXPECT_EQ(w.overlay.broker(2).virtual_count(), 1u);
+
+  // And it must still be buffering: the backlog published now arrives
+  // after the next reconnect.
+  producer.publish(tick(3));
+  producer.publish(tick(4));
+  w.settle(0.2);
+  w.overlay.connect_client(consumer, 2);  // T1+~2.9s, before TTL #2
+  w.settle();
+
+  const auto seqs = delivered_producer_seqs(consumer);
+  EXPECT_EQ(seqs.size(), 5u) << "backlog lost with the virtual counterpart";
+  EXPECT_TRUE(seqs.count(4) != 0 && seqs.count(5) != 0);
+}
+
+TEST(TimerLifecycle, RebecaSameBrokerReconnectLeavesNoStaleDrop) {
+  // The protocol-mode flavor of the same churn (epochs advance, so the
+  // old code survived by accident) — pinned so the cancel stays in place
+  // for every erase path.
+  OverlayConfig cfg;
+  cfg.broker.virtual_ttl = sim::seconds(2);
+  World w(TopologySpec::chain(3), cfg);
+  Client& consumer = w.add_client(1, 2);
+  Client& producer = w.add_client(2, 0);
+  consumer.subscribe(ticks());
+  w.settle();
+
+  for (int i = 0; i < 3; ++i) producer.publish(tick(i));
+  w.settle(0.1);
+  consumer.detach_silently();
+  w.settle(1.0);
+  w.overlay.connect_client(consumer, 2);
+  w.settle(0.2);
+  consumer.detach_silently();
+  w.settle(1.3);
+  EXPECT_EQ(w.overlay.broker(2).virtual_count(), 1u);
+  w.overlay.connect_client(consumer, 2);
+  w.settle();
+  EXPECT_EQ(delivered_producer_seqs(consumer).size(), 3u);
+  EXPECT_EQ(consumer.duplicate_count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Bug 2: sequence-number reuse after a relocation timeout
+// ---------------------------------------------------------------------------
+
+TEST(TimerLifecycle, TimeoutFlushDoesNotReuseSequenceNumbers) {
+  // Make-before-break at one border with deliveries in flight: the
+  // second hello reports last_seq = 3 while the broker has already
+  // stamped 4 and 5 (the client receives them on the old link moments
+  // later). No replay ever arrives, the relocation times out, and the
+  // flush must continue stamping from 6 — not reset to 4. With the reset,
+  // the flushed notifications carry seqs the client already saw; after
+  // the next disconnect they sit in the virtual buffer below the
+  // client's reported last_seq, the replay skips them, and they are lost.
+  OverlayConfig cfg;
+  cfg.broker.relocation_timeout = sim::seconds(2);
+  World w(TopologySpec::chain(2), cfg);
+  Client& consumer = w.add_client(1, 0);
+  Client& producer = w.add_client(2, 1);
+  consumer.subscribe(ticks());
+  w.settle();
+
+  for (int i = 0; i < 3; ++i) producer.publish(tick(i));
+  w.settle(0.1);
+  ASSERT_EQ(consumer.last_seq(1), 3u);
+
+  // Producer -> broker1 -> broker0 -> consumer is 1 + 5 + 1 ms; at
+  // +6.5 ms the notifications are stamped at broker 0 but still in
+  // flight on the client link.
+  const sim::TimePoint t1 = w.sim.now();
+  producer.publish(tick(3));
+  producer.publish(tick(4));
+  w.sim.run_until(t1 + sim::millis(6.5));
+  w.overlay.connect_client(consumer, 0);  // second link, same border
+  w.sim.run_until(t1 + sim::millis(50));
+  // The client got the in-flight deliveries on the old link...
+  EXPECT_EQ(consumer.last_seq(1), 5u);
+  // ...while the broker holds a relocating session that will never see a
+  // replay (the hunt finds no old state: the old state IS this session).
+  producer.publish(tick(5));
+  producer.publish(tick(6));  // buffered in pending_live until the flush
+  w.sim.run_until(t1 + sim::seconds(2.1));  // timeout fired, flush stamped
+
+  // Cut the links while the flushed deliveries are still in flight: they
+  // must survive into the virtual buffer ABOVE the client's last seq.
+  consumer.detach_silently();
+  w.settle(0.5);
+  w.overlay.connect_client(consumer, 0);
+  w.settle();
+  producer.publish(tick(7));
+  producer.publish(tick(8));
+  w.settle();
+
+  const auto seqs = delivered_producer_seqs(consumer);
+  EXPECT_EQ(seqs.size(), 9u)
+      << "notifications stamped with reused seqs were skipped by the replay";
+  EXPECT_EQ(consumer.duplicate_count(), 0u);
+  // Border-broker sequence numbers never move backwards at the client.
+  std::uint64_t prev = 0;
+  for (const auto& d : consumer.deliveries()) {
+    EXPECT_GT(d.seq, prev) << "sequence number reused or reordered";
+    prev = d.seq;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bug 3: replay truncation accounting
+// ---------------------------------------------------------------------------
+
+TEST(TimerLifecycle, ReplayReportsEvictionTruncation) {
+  OverlayConfig cfg;
+  cfg.broker.session_history = 4;
+  cfg.broker.virtual_capacity = 4;
+  World w(TopologySpec::chain(3), cfg);
+  Client& consumer = w.add_client(1, 2);
+  Client& producer = w.add_client(2, 0);
+  consumer.subscribe(ticks());
+  w.settle();
+
+  consumer.detach_silently();
+  w.settle(0.05);
+  for (int i = 0; i < 20; ++i) producer.publish(tick(i));
+  w.settle(0.5);
+  w.overlay.connect_client(consumer, 0);
+  w.settle();
+
+  // 20 buffered into capacity 4: seqs 1..16 evicted, 17..20 replayed.
+  ASSERT_EQ(consumer.deliveries().size(), 4u);
+  EXPECT_EQ(consumer.deliveries().front().notification.producer_seq(), 17u);
+  EXPECT_EQ(w.overlay.broker(2).replay_truncated(), 16u);
+}
+
+TEST(TimerLifecycle, CompleteReplayReportsNoTruncation) {
+  World w(TopologySpec::chain(3));
+  Client& consumer = w.add_client(1, 2);
+  Client& producer = w.add_client(2, 0);
+  consumer.subscribe(ticks());
+  w.settle();
+
+  for (int i = 0; i < 5; ++i) producer.publish(tick(i));
+  w.settle(0.1);
+  consumer.detach_silently();
+  w.settle(0.05);
+  for (int i = 5; i < 10; ++i) producer.publish(tick(i));
+  w.settle(0.2);
+  w.overlay.connect_client(consumer, 0);
+  w.settle();
+
+  EXPECT_EQ(delivered_producer_seqs(consumer).size(), 10u);
+  EXPECT_EQ(w.overlay.broker(2).replay_truncated(), 0u);
+}
+
+}  // namespace
+}  // namespace rebeca

@@ -1,0 +1,179 @@
+// ScenarioSweep: multi-seed execution and deterministic aggregation.
+//
+// The contract under test: the aggregate tables are byte-identical
+// regardless of worker-thread count or scheduling, per-run reports come
+// back in seed order, and the statistics match hand-computed values.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/scenario/sweep.hpp"
+
+namespace rebeca {
+namespace {
+
+using scenario::MetricStats;
+using scenario::ScenarioBuilder;
+using scenario::ScenarioSweep;
+using scenario::SweepConfig;
+using scenario::SweepResult;
+using scenario::TopologySpec;
+
+// A stochastic scenario (poisson traffic, jittered link delays, roaming)
+// so different seeds genuinely produce different reports.
+void declare_roaming(ScenarioBuilder& b) {
+  b.topology(TopologySpec::chain(4));
+  b.broker_link_delay(sim::DelayModel::uniform(sim::millis(3), sim::millis(7)));
+  b.client("consumer")
+      .with_id(1)
+      .at_broker(3)
+      .subscribes(filter::Filter().where("sym", filter::Constraint::eq("X")))
+      .roams(scenario::RoamSpec()
+                 .route({1, 3})
+                 .dwelling(sim::millis(400))
+                 .dark_for(sim::millis(100))
+                 .hops(2)
+                 .from_phase("traffic"));
+  b.client("producer")
+      .with_id(2)
+      .at_broker(0)
+      .publishes(scenario::PublishSpec()
+                     .poisson(sim::millis(10))
+                     .body(filter::Notification().set("sym", "X"))
+                     .from_phase("traffic")
+                     .until_phase_end("traffic"));
+  b.phase("settle", sim::millis(500));
+  b.phase("traffic", sim::seconds(1));
+  b.phase("drain", sim::seconds(2));
+}
+
+TEST(ScenarioSweep, AggregateIsThreadCountInvariant) {
+  ScenarioSweep sweep(declare_roaming);
+  SweepConfig serial;
+  serial.base_seed = 3;
+  serial.runs = 6;
+  serial.threads = 1;
+  SweepConfig parallel = serial;
+  parallel.threads = 4;
+
+  const SweepResult a = sweep.run(serial);
+  const SweepResult b = sweep.run(parallel);
+
+  EXPECT_EQ(a.table(), b.table());
+  EXPECT_EQ(a.csv(), b.csv());
+  EXPECT_EQ(a.csv_runs(), b.csv_runs());
+  ASSERT_EQ(a.reports.size(), b.reports.size());
+  for (std::size_t i = 0; i < a.reports.size(); ++i) {
+    EXPECT_EQ(a.reports[i].to_string(), b.reports[i].to_string())
+        << "per-run report " << i << " depends on thread count";
+  }
+}
+
+TEST(ScenarioSweep, SeedsVaryTheRuns) {
+  ScenarioSweep sweep(declare_roaming);
+  SweepConfig cfg;
+  cfg.base_seed = 3;
+  cfg.runs = 4;
+  cfg.threads = 2;
+  const SweepResult r = sweep.run(cfg);
+  ASSERT_EQ(r.reports.size(), 4u);
+  // Reports come back in seed order...
+  EXPECT_EQ(r.seeds(), (std::vector<std::uint64_t>{3, 4, 5, 6}));
+  // ...and the stochastic workload makes seeds actually differ.
+  bool any_differ = false;
+  for (std::size_t i = 1; i < r.reports.size(); ++i) {
+    if (r.reports[i].published != r.reports[0].published) any_differ = true;
+  }
+  EXPECT_TRUE(any_differ) << "poisson workloads should differ across seeds";
+}
+
+TEST(ScenarioSweep, ExplicitSeedListWinsOverBaseSeed) {
+  SweepConfig cfg;
+  cfg.base_seed = 100;
+  cfg.runs = 7;
+  cfg.seeds = {9, 2, 5};
+  EXPECT_EQ(cfg.resolved_seeds(), (std::vector<std::uint64_t>{9, 2, 5}));
+  cfg.seeds.clear();
+  cfg.runs = 3;
+  EXPECT_EQ(cfg.resolved_seeds(), (std::vector<std::uint64_t>{100, 101, 102}));
+}
+
+TEST(ScenarioSweep, ProbeMetricsAndStatsMath) {
+  // Probe injects the run's seed as a metric: seeds {2, 4, 6} have mean
+  // 4, sample stddev 2, ci95 = 1.96 * 2 / sqrt(3).
+  ScenarioSweep sweep([](ScenarioBuilder& b) {
+    b.topology(TopologySpec::chain(2));
+    b.client("lonely").with_id(1).at_broker(0);
+    b.phase("idle", sim::millis(1));
+  });
+  sweep.probe([](scenario::Scenario& s, std::map<std::string, double>& m) {
+    m["seed_value"] = static_cast<double>(s.seed());
+  });
+  SweepConfig cfg;
+  cfg.seeds = {2, 4, 6};
+  cfg.threads = 2;
+  const SweepResult r = sweep.run(cfg);
+
+  const MetricStats s = r.stats("seed_value");
+  EXPECT_EQ(s.n, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);
+  EXPECT_DOUBLE_EQ(s.ci95, 1.96 * 2.0 / std::sqrt(3.0));
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 6.0);
+
+  // The custom metric rides along in both CSV renderings.
+  EXPECT_NE(r.csv().find("seed_value,3,4,2,"), std::string::npos);
+  EXPECT_NE(r.csv_runs().find("seed_value"), std::string::npos);
+}
+
+TEST(ScenarioSweep, AbsentMetricsAreExcludedNotZeroFilled) {
+  // A probe that reports a metric only for some runs: the absent runs
+  // must not enter the statistics as fake zeros.
+  ScenarioSweep sweep([](ScenarioBuilder& b) {
+    b.topology(TopologySpec::chain(2));
+    b.client("lonely").with_id(1).at_broker(0);
+    b.phase("idle", sim::millis(1));
+  });
+  sweep.probe([](scenario::Scenario& s, std::map<std::string, double>& m) {
+    if (s.seed() % 2 == 0) m["even_only"] = static_cast<double>(s.seed());
+  });
+  SweepConfig cfg;
+  cfg.seeds = {2, 3, 4};
+  const SweepResult r = sweep.run(cfg);
+  const MetricStats s = r.stats("even_only");
+  EXPECT_EQ(s.n, 2u) << "absent runs must not count as samples";
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);  // (2 + 4) / 2, not (2 + 0 + 4) / 3
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+}
+
+TEST(ScenarioSweep, EqualConfigsProduceIdenticalResults) {
+  ScenarioSweep sweep(declare_roaming);
+  SweepConfig cfg;
+  cfg.base_seed = 11;
+  cfg.runs = 3;
+  cfg.threads = 3;
+  EXPECT_EQ(sweep.run(cfg).table(), sweep.run(cfg).table());
+}
+
+TEST(ScenarioSweep, SingleSeedMatchesDirectScenarioRun) {
+  // A sweep of one seed is exactly one Scenario run: the report must be
+  // byte-identical to building and running the declaration by hand.
+  ScenarioBuilder b;
+  declare_roaming(b);
+  b.seed(42);
+  auto s = b.build();
+  s->run();
+  const std::string direct = s->report().to_string();
+
+  ScenarioSweep sweep(declare_roaming);
+  SweepConfig cfg;
+  cfg.seeds = {42};
+  const SweepResult r = sweep.run(cfg);
+  ASSERT_EQ(r.reports.size(), 1u);
+  EXPECT_EQ(r.reports.front().to_string(), direct);
+}
+
+}  // namespace
+}  // namespace rebeca
