@@ -70,10 +70,7 @@ scenario::ScenarioSweep::Declare declare(client::RelocationMode mode,
 
 void report_row(const char* label, const scenario::SweepResult& r) {
   const auto cell = [&](const char* metric) {
-    const scenario::MetricStats s = r.stats(metric);
-    std::ostringstream os;
-    os << std::fixed << std::setprecision(1) << s.mean << " ±" << s.ci95;
-    return os.str();
+    return r.stats(metric).mean_ci();
   };
   std::cout << std::left << std::setw(44) << label << std::right
             << std::setw(14) << cell("client.producer.published")

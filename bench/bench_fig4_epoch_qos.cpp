@@ -2,86 +2,116 @@
 // mobility — "on change of location from y to z, all notifications
 // should be delivered to the consumer *as if* flooding were used".
 //
-// The bench runs the identical deterministic workload twice — once with
-// the location-dependent machinery, once with flooding + client-side
-// filtering (the reference semantics) — and diffs the delivered sets,
-// per uncertainty profile and movement speed.
+// Each scenario carries *two* consumers walking identically (same walk
+// seed): one under the uncertainty profile being evaluated, one under
+// flooding + client-side filtering — the reference semantics. A sweep
+// probe diffs their delivered multisets per seed, so the columns are
+// mean ± 95% CI over stochastic seeds, matching fig2/fig3.
+//
+//   bench_fig4_epoch_qos [runs] [threads]
+#include <cstdlib>
 #include <iomanip>
 #include <iostream>
-#include <memory>
+#include <map>
 #include <set>
+#include <sstream>
 
-#include "src/broker/overlay.hpp"
-#include "src/client/client.hpp"
-#include "src/net/topology.hpp"
+#include "src/scenario/sweep.hpp"
 
 using namespace rebeca;
 
 namespace {
 
-std::multiset<std::uint64_t> run(bool ld_mode,
-                                 const location::UncertaintyProfile& profile,
-                                 sim::Duration delta, std::uint64_t seed) {
-  auto graph = location::LocationGraph::grid(5, 5);
-  sim::Simulation sim(seed);
-  broker::OverlayConfig cfg;
-  cfg.broker.locations = &graph;
-  broker::Overlay overlay(sim, net::Topology::chain(4), cfg);
+scenario::ScenarioSweep::Declare declare(
+    const location::UncertaintyProfile& profile, sim::Duration delta) {
+  return [profile, delta](scenario::ScenarioBuilder& b) {
+    b.topology(scenario::TopologySpec::chain(4));
+    b.locations(scenario::LocationSpec::grid(5, 5));
+    b.broker_link_delay(sim::DelayModel::uniform(sim::millis(3), sim::millis(7)));
+    b.client_link_delay(
+        sim::DelayModel::uniform(sim::micros(500), sim::micros(1500)));
 
-  client::ClientConfig cc;
-  cc.id = ClientId(1);
-  cc.locations = &graph;
-  client::Client consumer(sim, cc);
-  overlay.connect_client(consumer, 0);
-  consumer.move_to("g0_0");
+    const auto walker = [&](const char* name, std::uint32_t id,
+                            const location::UncertaintyProfile& p) {
+      location::LdSpec spec;
+      spec.vicinity_radius = 1;
+      spec.profile = p;
+      // Identical walk seeds: the two consumers trace the same route at
+      // the same instants, so their delivered sets are comparable.
+      b.client(name)
+          .with_id(id)
+          .at_broker(0)
+          .starts_at("g0_0")
+          .subscribes(spec)
+          .walks(scenario::WalkSpec()
+                     .residing(delta)
+                     .moves(20)
+                     .with_seed(99)
+                     .from_phase("move"));
+    };
+    walker("ld", 1, profile);
+    walker("ref", 2, location::UncertaintyProfile::flooding());
 
-  location::LdSpec spec;
-  spec.vicinity_radius = 1;
-  spec.profile = ld_mode ? profile : location::UncertaintyProfile::flooding();
-  consumer.subscribe(spec);
+    b.client("producer")
+        .with_id(3)
+        .at_broker(3)
+        .publishes(scenario::PublishSpec()
+                       .every(sim::millis(7))
+                       .body(filter::Notification().set("service", "s"))
+                       .uniform_locations()
+                       .count(600)
+                       .from_phase("move"));
 
-  client::ClientConfig pc;
-  pc.id = ClientId(2);
-  client::Client producer(sim, pc);
-  overlay.connect_client(producer, 3);
+    b.phase("settle", sim::seconds(1));
+    b.phase("move", delta * 25);
+    b.phase("drain", sim::seconds(5));
+  };
+}
 
-  sim.run_until(sim::seconds(1));
-
-  // Deterministic workload (independent of the two modes' RNG usage).
-  util::Rng wl(seed * 7919);
-  LocationId at = graph.id_of("g0_0");
-  for (int m = 1; m <= 20; ++m) {
-    const auto& nbrs = graph.neighbors(at);
-    at = nbrs[wl.index(nbrs.size())];
-    sim.schedule_at(sim::seconds(1) + delta * m,
-                    [&consumer, at] { consumer.move_to(at); });
-  }
-  for (int i = 0; i < 600; ++i) {
-    const auto where =
-        graph.name(LocationId(static_cast<std::uint32_t>(wl.index(graph.size()))));
-    sim.schedule_at(sim::seconds(1) + sim::millis(7.0 * i + 3.0),
-                    [&producer, where] {
-                      producer.publish(filter::Notification()
-                                           .set("service", "s")
-                                           .set("location", where));
-                    });
-  }
-  sim.run_until(sim::seconds(1) + delta * 25 + sim::seconds(5));
-
+/// Delivered-notification multiset of one scenario client.
+std::multiset<std::uint64_t> delivered_ids(scenario::Scenario& s,
+                                           const std::string& name) {
   std::multiset<std::uint64_t> ids;
-  for (const auto& d : consumer.deliveries()) ids.insert(d.notification.id().value());
+  for (const auto& d : s.client(name).deliveries()) {
+    ids.insert(d.notification.id().value());
+  }
   return ids;
+}
+
+void epoch_probe(scenario::Scenario& s, std::map<std::string, double>& m) {
+  const auto ld = delivered_ids(s, "ld");
+  const auto ref = delivered_ids(s, "ref");
+  std::size_t missing = 0;
+  for (auto id : ref) {
+    if (ld.count(id) < ref.count(id)) ++missing;
+  }
+  std::size_t extra = 0;
+  for (auto id : ld) {
+    if (ref.count(id) < ld.count(id)) ++extra;
+  }
+  m["epoch_missing"] = static_cast<double>(missing);
+  m["epoch_extra"] = static_cast<double>(extra);
+}
+
+std::string cell(const scenario::SweepResult& r, const char* metric) {
+  return r.stats(metric).mean_ci();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  scenario::SweepConfig cfg;
+  cfg.base_seed = 3;
+  cfg.runs = argc > 1 ? static_cast<std::size_t>(std::atol(argv[1])) : 5;
+  cfg.threads = argc > 2 ? static_cast<std::size_t>(std::atol(argv[2])) : 0;
+
   std::cout << "Fig. 4: epoch QoS — location-dependent delivery vs. the "
-               "flooding reference on identical workloads\n\n";
+               "flooding reference walking the identical route\n(mean ± 95% CI "
+            << "over " << cfg.runs << " seeds, stochastic link delays)\n\n";
   std::cout << std::left << std::setw(16) << "profile" << std::setw(12)
-            << "delta (ms)" << std::setw(12) << "LD recv" << std::setw(12)
-            << "flood recv" << std::setw(10) << "missing" << std::setw(10)
-            << "extra" << "\n";
+            << "delta (ms)" << std::right << std::setw(16) << "LD recv"
+            << std::setw(16) << "flood recv" << std::setw(14) << "missing"
+            << std::setw(14) << "extra" << "\n";
 
   struct Case {
     const char* name;
@@ -99,26 +129,20 @@ int main() {
   };
 
   for (const auto& c : cases) {
-    const auto delta = sim::millis(c.delta_ms);
-    const auto ld = run(true, c.profile, delta, 3);
-    const auto fl = run(false, c.profile, delta, 3);
-    std::size_t missing = 0, extra = 0;
-    for (auto id : fl) {
-      if (ld.count(id) < fl.count(id)) ++missing;
-    }
-    std::multiset<std::uint64_t> diff;
-    for (auto id : ld) {
-      if (fl.count(id) < ld.count(id)) ++extra;
-    }
+    scenario::ScenarioSweep sweep(declare(c.profile, sim::millis(c.delta_ms)));
+    sweep.probe(epoch_probe);
+    const scenario::SweepResult r = sweep.run(cfg);
     std::cout << std::left << std::setw(16) << c.name << std::setw(12)
-              << c.delta_ms << std::setw(12) << ld.size() << std::setw(12)
-              << fl.size() << std::setw(10) << missing << std::setw(10) << extra
-              << "\n";
+              << c.delta_ms << std::right << std::setw(16)
+              << cell(r, "client.ld.delivered") << std::setw(16)
+              << cell(r, "client.ref.delivered") << std::setw(14)
+              << cell(r, "epoch_missing") << std::setw(14)
+              << cell(r, "epoch_extra") << "\n";
   }
 
   std::cout << "\nexpected shape: with a sufficient uncertainty horizon the "
                "LD run delivers exactly the flooding reference (missing = "
-               "extra = 0); only if the client outruns the horizon do "
+               "extra = 0 ±0); only if the client outruns the horizon do "
                "epochs go missing (the paper's starvation caveat).\n";
   return 0;
 }

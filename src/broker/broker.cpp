@@ -8,7 +8,7 @@
 
 namespace rebeca::broker {
 
-Broker::Broker(sim::Simulation& sim, NodeId id, BrokerConfig config)
+Broker::Broker(sim::Executor& sim, NodeId id, BrokerConfig config)
     : sim_(sim), id_(id), config_(std::move(config)) {}
 
 void Broker::attach_broker_link(net::Link& link) {

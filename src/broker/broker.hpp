@@ -36,7 +36,7 @@
 #include "src/net/link.hpp"
 #include "src/net/message.hpp"
 #include "src/routing/strategy.hpp"
-#include "src/sim/simulation.hpp"
+#include "src/sim/executor.hpp"
 #include "src/util/ring_buffer.hpp"
 
 namespace rebeca::broker {
@@ -77,7 +77,7 @@ struct BrokerConfig {
 
 class Broker final : public net::Endpoint {
  public:
-  Broker(sim::Simulation& sim, NodeId id, BrokerConfig config);
+  Broker(sim::Executor& sim, NodeId id, BrokerConfig config);
 
   [[nodiscard]] NodeId id() const { return id_; }
   [[nodiscard]] const BrokerConfig& config() const { return config_; }
@@ -268,7 +268,7 @@ class Broker final : public net::Endpoint {
 
   void send(net::Link& link, net::Message msg) { link.send(*this, std::move(msg)); }
 
-  sim::Simulation& sim_;
+  sim::Executor& sim_;
   NodeId id_;
   BrokerConfig config_;
 

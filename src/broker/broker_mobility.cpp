@@ -59,7 +59,7 @@ void Broker::on_client_bye(net::Link& from, const net::ClientByeMsg& m) {
   sessions_.erase(it);
   // Server-side close: with the session gone, the link-down handler has
   // nothing left to virtualize.
-  from.set_up(false);
+  from.cut(*this);
 }
 
 void Broker::on_client_subscribe(net::Link& from, const net::ClientSubscribeMsg& m) {

@@ -4,18 +4,18 @@
 
 namespace rebeca::broker {
 
-Overlay::Overlay(sim::Simulation& sim, const net::Topology& topology,
+Overlay::Overlay(sim::Executor& sim, const net::Topology& topology,
                  OverlayConfig config)
-    : sim_(sim), topology_(topology), config_(std::move(config)) {
+    : control_exec_(&sim), topology_(topology), config_(std::move(config)) {
   REBECA_ASSERT(topology_.valid(), "overlay topology must be a connected tree");
   brokers_.reserve(topology_.broker_count());
   for (std::size_t i = 0; i < topology_.broker_count(); ++i) {
     brokers_.push_back(std::make_unique<Broker>(
-        sim_, NodeId(static_cast<std::uint32_t>(i)), config_.broker));
+        sim, NodeId(static_cast<std::uint32_t>(i)), config_.broker));
   }
   for (const auto& [a, b] : topology_.edges()) {
     auto link = std::make_unique<net::Link>(
-        LinkId(next_link_id_++), sim_, *brokers_[a], *brokers_[b],
+        LinkId(next_link_id_++), sim, *brokers_[a], *brokers_[b],
         config_.broker_link_delay, &counters_);
     brokers_[a]->attach_broker_link(*link);
     brokers_[b]->attach_broker_link(*link);
@@ -23,17 +23,85 @@ Overlay::Overlay(sim::Simulation& sim, const net::Topology& topology,
   }
 }
 
+Overlay::Overlay(sim::ShardedSimulation& engine, const net::Topology& topology,
+                 OverlayConfig config, std::vector<std::size_t> broker_shards)
+    : control_exec_(&engine.control()),
+      engine_(&engine),
+      topology_(topology),
+      config_(std::move(config)),
+      broker_shards_(std::move(broker_shards)) {
+  REBECA_ASSERT(topology_.valid(), "overlay topology must be a connected tree");
+  REBECA_ASSERT(broker_shards_.size() == topology_.broker_count(),
+                "need one shard assignment per broker");
+  shard_counters_.resize(engine.shard_count());
+  brokers_.reserve(topology_.broker_count());
+  broker_exec_.reserve(topology_.broker_count());
+  for (std::size_t i = 0; i < topology_.broker_count(); ++i) {
+    REBECA_ASSERT(broker_shards_[i] < engine.shard_count(),
+                  "broker " << i << " assigned to shard " << broker_shards_[i]
+                            << " of " << engine.shard_count());
+    // Lane ids are minted in broker order — part of the determinism
+    // contract (event keys embed the lane id).
+    sim::LaneExecutor& exec = engine.add_lane(broker_shards_[i]);
+    broker_exec_.push_back(&exec);
+    brokers_.push_back(std::make_unique<Broker>(
+        exec, NodeId(static_cast<std::uint32_t>(i)), config_.broker));
+  }
+  for (const auto& [a, b] : topology_.edges()) {
+    auto link = std::make_unique<net::Link>(
+        LinkId(next_link_id_++), *broker_exec_[a], *brokers_[a],
+        &shard_counters_[broker_shards_[a]].c, *broker_exec_[b], *brokers_[b],
+        &shard_counters_[broker_shards_[b]].c, config_.broker_link_delay);
+    brokers_[a]->attach_broker_link(*link);
+    brokers_[b]->attach_broker_link(*link);
+    links_.push_back(std::move(link));
+  }
+}
+
+metrics::MessageCounters Overlay::total_counters() const {
+  metrics::MessageCounters total = counters_;
+  for (const ShardCounters& sc : shard_counters_) {
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(metrics::MessageClass::kCount); ++i) {
+      const auto cls = static_cast<metrics::MessageClass>(i);
+      total.add(cls, sc.c.count(cls));
+    }
+  }
+  return total;
+}
+
 net::Link& Overlay::connect_client(client::Client& client,
                                    std::size_t broker_index) {
   // A client may hold several links at once (make-before-break roaming,
   // used by the naive-overlap baseline of Fig. 2).
   REBECA_ASSERT(broker_index < brokers_.size(), "broker index out of range");
+  if (engine_ == nullptr) {
+    auto link = std::make_unique<net::Link>(
+        LinkId(next_link_id_++), *control_exec_, *brokers_[broker_index],
+        client, config_.client_link_delay, &counters_);
+    net::Link& ref = *link;
+    links_.push_back(std::move(link));
+    brokers_[broker_index]->attach_client_link(ref);
+    client.attach(ref);
+    return ref;
+  }
+
+  // Sharded: the client plane (control lane, shard 0) creates the link;
+  // the broker side registers it on its *own* lane, one minimum client
+  // link delay out — a legal cross-shard event that is guaranteed to
+  // sort before the hello (same sender lane, earlier sequence, and the
+  // hello's sampled delay is never below the minimum).
   auto link = std::make_unique<net::Link>(
-      LinkId(next_link_id_++), sim_, *brokers_[broker_index], client,
-      config_.client_link_delay, &counters_);
+      LinkId(next_link_id_++), *broker_exec_[broker_index],
+      *brokers_[broker_index], &shard_counters_[broker_shards_[broker_index]].c,
+      engine_->control(), client, &shard_counters_[0].c,
+      config_.client_link_delay);
   net::Link& ref = *link;
   links_.push_back(std::move(link));
-  brokers_[broker_index]->attach_client_link(ref);
+  Broker* border = brokers_[broker_index].get();
+  broker_exec_[broker_index]->post_at(
+      control_exec_->now() + config_.client_link_delay.lower_bound(),
+      [border, &ref] { border->attach_client_link(ref); });
   client.attach(ref);
   return ref;
 }

@@ -1,5 +1,18 @@
 // Overlay: instantiates a Topology as live brokers and links, and
 // manages the dynamic client links that roaming creates and cuts.
+//
+// Two execution modes share one class:
+//
+//   classic  — every broker runs on the single Simulation passed in;
+//              links are synchronous-cut, one shared counter set.
+//   sharded  — brokers are partitioned across the shards of a
+//              ShardedSimulation (one lane per broker); the whole client
+//              plane lives on the engine's control lane. Links carry
+//              per-side executors and account to per-shard counter sets
+//              (merged by total_counters()), and a client link's
+//              broker-side registration is deferred by the link's
+//              minimum delay so it happens on the broker's own lane —
+//              just ahead of the client's hello on the same lane.
 #ifndef REBECA_BROKER_OVERLAY_HPP
 #define REBECA_BROKER_OVERLAY_HPP
 
@@ -10,6 +23,7 @@
 #include "src/client/client.hpp"
 #include "src/metrics/counters.hpp"
 #include "src/net/topology.hpp"
+#include "src/sim/sharded.hpp"
 
 namespace rebeca::broker {
 
@@ -21,14 +35,30 @@ struct OverlayConfig {
 
 class Overlay {
  public:
-  Overlay(sim::Simulation& sim, const net::Topology& topology,
+  /// Classic single-threaded construction.
+  Overlay(sim::Executor& sim, const net::Topology& topology,
           OverlayConfig config);
 
-  [[nodiscard]] sim::Simulation& sim() { return sim_; }
+  /// Sharded construction: broker i runs on shard broker_shards[i].
+  Overlay(sim::ShardedSimulation& engine, const net::Topology& topology,
+          OverlayConfig config, std::vector<std::size_t> broker_shards);
+
+  /// The executor of the client plane: the classic Simulation, or the
+  /// sharded engine's control lane.
+  [[nodiscard]] sim::Executor& sim() { return *control_exec_; }
   [[nodiscard]] std::size_t broker_count() const { return brokers_.size(); }
   [[nodiscard]] Broker& broker(std::size_t i) { return *brokers_.at(i); }
-  [[nodiscard]] metrics::MessageCounters& counters() { return counters_; }
   [[nodiscard]] const net::Topology& topology() const { return topology_; }
+  [[nodiscard]] bool sharded() const { return engine_ != nullptr; }
+  [[nodiscard]] const std::vector<std::size_t>& broker_shards() const {
+    return broker_shards_;
+  }
+
+  /// The classic mode's shared counter set (live; benches reset it).
+  [[nodiscard]] metrics::MessageCounters& counters() { return counters_; }
+  /// All message accounting, both modes: the shared set plus every
+  /// shard's set, merged. Quiescent use only in sharded mode.
+  [[nodiscard]] metrics::MessageCounters total_counters() const;
 
   /// Connects a client to a border broker: creates the client link and
   /// triggers the client's hello (which re-issues subscriptions when the
@@ -36,10 +66,19 @@ class Overlay {
   net::Link& connect_client(client::Client& client, std::size_t broker_index);
 
  private:
-  sim::Simulation& sim_;
+  sim::Executor* control_exec_;
+  sim::ShardedSimulation* engine_ = nullptr;
   net::Topology topology_;
   OverlayConfig config_;
   metrics::MessageCounters counters_;
+  /// Sharded mode: one counter set per shard, cache-line separated so
+  /// concurrent shards never write the same line.
+  struct ShardCounters {
+    alignas(64) metrics::MessageCounters c;
+  };
+  std::vector<ShardCounters> shard_counters_;
+  std::vector<std::size_t> broker_shards_;
+  std::vector<sim::LaneExecutor*> broker_exec_;  // sharded mode only
   std::vector<std::unique_ptr<Broker>> brokers_;
   // Links are kept alive for the whole run: in-flight lambdas reference
   // them, and dead client links stay down harmlessly.

@@ -478,6 +478,24 @@ void apply_config(const JsonValue& root, ScenarioBuilder& b) {
     w << "phases[" << i++ << "]";
     apply_phase(p, w.str(), b);
   }
+
+  if (const JsonValue* cp = root.find("checkpoint_every_ms")) {
+    b.checkpoint_every(sim::millis(cp->as_number("checkpoint_every_ms")));
+  }
+  // Declarative QoS expectations, checked by every run's report():
+  //   "expect": {"exactly_once": ["consumer"], "fifo": ["consumer"]}
+  if (const JsonValue* expect = root.find("expect")) {
+    if (const JsonValue* once = expect->find("exactly_once")) {
+      for (const JsonValue& name : once->items()) {
+        b.expect_exactly_once(name.as_string("expect.exactly_once"));
+      }
+    }
+    if (const JsonValue* fifo = expect->find("fifo")) {
+      for (const JsonValue& name : fifo->items()) {
+        b.expect_fifo(name.as_string("expect.fifo"));
+      }
+    }
+  }
 }
 
 scenario::SweepConfig parse_sweep(const JsonValue& root) {
@@ -496,6 +514,12 @@ scenario::SweepConfig parse_sweep(const JsonValue& root) {
   return cfg;
 }
 
+std::size_t parse_shards(const JsonValue& root) {
+  // Root-level: an engine knob of the scenario, applied by the sweep so
+  // the thread budget can account for it.
+  return static_cast<std::size_t>(root.int_or("shards", 0));
+}
+
 }  // namespace
 
 RunSpec parse_config(const std::string& json_text) {
@@ -506,6 +530,8 @@ RunSpec parse_config(const std::string& json_text) {
   RunSpec spec;
   spec.name = root->string_or("name", "");
   spec.sweep = parse_sweep(*root);
+  spec.sweep.shards = parse_shards(*root);
+  spec.has_checkpoints = root->find("checkpoint_every_ms") != nullptr;
   spec.declare = [root](ScenarioBuilder& b) { apply_config(*root, b); };
 
   // Trial application: surface shape errors at load time with their

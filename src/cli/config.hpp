@@ -25,6 +25,9 @@ struct RunSpec {
   std::string name;
   scenario::ScenarioSweep::Declare declare;
   scenario::SweepConfig sweep;
+  /// Config declared "checkpoint_every_ms" (--csv-series needs it or a
+  /// --checkpoint-ms override — checked before the sweep runs).
+  bool has_checkpoints = false;
 };
 
 /// Parses a config document. Throws JsonError on malformed JSON or

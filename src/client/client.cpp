@@ -9,7 +9,7 @@
 
 namespace rebeca::client {
 
-Client::Client(sim::Simulation& sim, ClientConfig config)
+Client::Client(sim::Executor& sim, ClientConfig config)
     : sim_(sim), config_(std::move(config)) {
   REBECA_ASSERT(config_.id.valid(), "client needs a valid id");
 }
@@ -166,9 +166,9 @@ void Client::detach_gracefully() {
 }
 
 void Client::detach_silently() {
-  // Copy: set_up(false) triggers handle_link_down which edits links_.
+  // Copy: cut() triggers handle_link_down which edits links_.
   std::vector<net::Link*> links = links_;
-  for (net::Link* link : links) link->set_up(false);
+  for (net::Link* link : links) link->cut(*this);
 }
 
 void Client::handle_link_down(net::Link& link) {

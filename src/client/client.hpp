@@ -25,6 +25,7 @@
 #include "src/location/ld_spec.hpp"
 #include "src/net/endpoint.hpp"
 #include "src/net/link.hpp"
+#include "src/sim/executor.hpp"
 #include "src/sim/simulation.hpp"
 
 namespace rebeca::client {
@@ -61,7 +62,7 @@ struct Delivery {
 
 class Client final : public net::Endpoint {
  public:
-  Client(sim::Simulation& sim, ClientConfig config);
+  Client(sim::Executor& sim, ClientConfig config);
 
   [[nodiscard]] ClientId id() const { return config_.id; }
   [[nodiscard]] const ClientConfig& config() const { return config_; }
@@ -124,7 +125,7 @@ class Client final : public net::Endpoint {
   [[nodiscard]] bool passes_client_filter(const SubState& sub,
                                           const filter::Notification& n) const;
 
-  sim::Simulation& sim_;
+  sim::Executor& sim_;
   ClientConfig config_;
   std::vector<net::Link*> links_;
   std::map<std::uint32_t, SubState> subs_;

@@ -1,61 +1,115 @@
 #include "src/net/link.hpp"
 
-#include <memory>
 #include <utility>
 
 #include "src/util/assert.hpp"
 
 namespace rebeca::net {
 
-Link::Link(LinkId id, sim::Simulation& sim, Endpoint& a, Endpoint& b,
+Link::Link(LinkId id, sim::Executor& sim, Endpoint& a, Endpoint& b,
            sim::DelayModel delay, metrics::MessageCounters* counters)
-    : id_(id), sim_(sim), a_(&a), b_(&b), delay_(delay), counters_(counters) {
+    : id_(id), delay_(delay) {
   REBECA_ASSERT(&a != &b, "link endpoints must differ");
+  sides_[0] = Side{&a, &sim, counters};
+  sides_[1] = Side{&b, &sim, counters};
+}
+
+Link::Link(LinkId id, sim::Executor& a_exec, Endpoint& a,
+           metrics::MessageCounters* a_counters, sim::Executor& b_exec,
+           Endpoint& b, metrics::MessageCounters* b_counters,
+           sim::DelayModel delay)
+    : id_(id), delay_(delay), deferred_peer_notify_(true) {
+  REBECA_ASSERT(&a != &b, "link endpoints must differ");
+  REBECA_ASSERT(delay_.lower_bound() > 0,
+                "shard-aware links need a strictly positive minimum delay "
+                "(the cross-shard lookahead)");
+  sides_[0] = Side{&a, &a_exec, a_counters};
+  sides_[1] = Side{&b, &b_exec, b_counters};
+}
+
+std::size_t Link::index_of(const Endpoint& e) const {
+  REBECA_ASSERT(connects(e), "endpoint not on this link");
+  return &e == sides_[0].ep ? 0 : 1;
 }
 
 Endpoint& Link::peer_of(const Endpoint& e) const {
-  REBECA_ASSERT(connects(e), "endpoint not on this link");
-  return &e == a_ ? *b_ : *a_;
+  return *sides_[1 - index_of(e)].ep;
 }
 
 void Link::send(const Endpoint& from, Message msg) {
-  REBECA_ASSERT(connects(from), "sender not on this link");
-  if (!up_) {
-    if (counters_ != nullptr) counters_->add(metrics::MessageClass::dropped);
+  const std::size_t si = index_of(from);
+  Side& s = sides_[si];
+  if (!s.up) {
+    if (s.counters != nullptr) s.counters->add(metrics::MessageClass::dropped);
     return;
   }
-  if (counters_ != nullptr) counters_->add(message_class(msg));
+  if (s.counters != nullptr) s.counters->add(message_class(msg));
 
-  const std::size_t dir = (&from == a_) ? 0 : 1;
-  const sim::Duration delay = delay_.sample(sim_.rng());
-  sim::TimePoint arrival = sim_.now() + delay;
-  if (arrival < last_arrival_[dir]) arrival = last_arrival_[dir];  // FIFO
-  last_arrival_[dir] = arrival;
+  // Delay draws come from the *sending* side's executor: the classic
+  // engine's one global stream, or the sender lane's own stream under
+  // sharding (whose draw order is shard-count invariant).
+  const sim::Duration delay = delay_.sample(s.exec->rng());
+  sim::TimePoint arrival = s.exec->now() + delay;
+  if (arrival < s.next_arrival) arrival = s.next_arrival;  // FIFO
+  s.next_arrival = arrival;
 
-  Endpoint* dest = (dir == 0) ? b_ : a_;
-  // Share the payload; delivery copies nothing. The generation check at
-  // delivery time drops messages that were in flight when the link was
-  // cut.
-  auto payload = std::make_shared<Message>(std::move(msg));
-  const std::uint64_t gen = generation_;
-  // Fire-and-forget: delivery events are never cancelled (the generation
-  // check below handles link cuts), so skip the EventHandle allocation.
-  sim_.post_at(arrival, [this, dest, payload, gen] {
-    if (!up_ || gen != generation_) {
-      if (counters_ != nullptr) counters_->add(metrics::MessageClass::dropped);
+  const std::size_t di = 1 - si;
+  // Classic links may be cut and revived; a generation snapshot drops
+  // deliveries that were in flight at a cut. Shard-aware links never
+  // read the peer side here (it belongs to another lane): they are
+  // cut-once, so the destination's up flag alone decides.
+  const std::uint64_t gen = deferred_peer_notify_ ? 0 : sides_[di].gen;
+  // Share the payload; delivery copies nothing. Fire-and-forget: the
+  // delivery event is never cancelled, so no EventHandle either.
+  PayloadRef payload = PayloadRef::make(std::move(msg));
+  sides_[di].exec->post_at(arrival, [this, di, gen,
+                                     payload = std::move(payload)] {
+    Side& d = sides_[di];
+    if (!d.up || (!deferred_peer_notify_ && gen != d.gen)) {
+      if (d.counters != nullptr) d.counters->add(metrics::MessageClass::dropped);
       return;
     }
-    dest->handle_message(*this, *payload);
+    d.ep->handle_message(*this, *payload);
   });
 }
 
+void Link::down_side(std::size_t i) {
+  Side& s = sides_[i];
+  if (!s.up) return;
+  s.up = false;
+  ++s.gen;
+  s.ep->handle_link_down(*this);
+}
+
+void Link::cut(const Endpoint& by) {
+  if (!deferred_peer_notify_) {
+    set_up(false);
+    return;
+  }
+  const std::size_t si = index_of(by);
+  if (!sides_[si].up) return;
+  // The initiator notices instantly (it pulled the plug)...
+  const sim::TimePoint cut_now = sides_[si].exec->now();
+  down_side(si);
+  // ...the peer one minimum link latency later — the same delay a
+  // sign-off message would take, and never less than the lookahead, so
+  // the notification is a legal cross-shard event. Messages the peer
+  // sends in the interim die at the initiator's down side.
+  const std::size_t di = 1 - si;
+  sides_[di].exec->post_at(cut_now + delay_.lower_bound(),
+                           [this, di] { down_side(di); });
+}
+
 void Link::set_up(bool up) {
-  if (up == up_) return;
-  up_ = up;
+  REBECA_ASSERT(!deferred_peer_notify_,
+                "shard-aware links are cut via cut(initiator)");
+  if (up == this->up()) return;
+  sides_[0].up = sides_[1].up = up;
   if (!up) {
-    ++generation_;
-    a_->handle_link_down(*this);
-    b_->handle_link_down(*this);
+    ++sides_[0].gen;
+    ++sides_[1].gen;
+    sides_[0].ep->handle_link_down(*this);
+    sides_[1].ep->handle_link_down(*this);
   }
 }
 

@@ -3,18 +3,31 @@
 // A Link connects two endpoints through the simulator. Per direction it
 // enforces FIFO delivery even under stochastic delays: an arrival time
 // is clamped to be no earlier than the previous arrival in the same
-// direction. Taking a link down drops all in-flight messages (that is
-// what disconnection means for a roaming client) and notifies both
-// endpoints.
+// direction. Cutting a link drops all in-flight messages (that is what
+// disconnection means for a roaming client) and notifies both endpoints.
+//
+// Link state is split per *side* so the two endpoints can live on
+// different shards of the sharded engine: each side owns its executor,
+// RNG-backed delay draws, outgoing FIFO clamp, up/generation view and
+// message counters, and is only ever touched from its own lane. In the
+// classic single-executor construction both sides share one executor
+// and one counter set, and cuts notify both endpoints synchronously —
+// bit-identical to the historical behaviour. In the shard-aware
+// construction the cut initiator's side goes down immediately while the
+// peer learns via a deferred event one minimum link delay later (the
+// same latency a sign-off message would take), which keeps every state
+// touch lane-confined.
 #ifndef REBECA_NET_LINK_HPP
 #define REBECA_NET_LINK_HPP
 
 #include <array>
+#include <cstdint>
 
 #include "src/net/endpoint.hpp"
 #include "src/net/message.hpp"
+#include "src/net/message_pool.hpp"
 #include "src/sim/delay_model.hpp"
-#include "src/sim/simulation.hpp"
+#include "src/sim/executor.hpp"
 #include "src/metrics/counters.hpp"
 #include "src/util/domain_ids.hpp"
 
@@ -22,42 +35,69 @@ namespace rebeca::net {
 
 class Link {
  public:
-  Link(LinkId id, sim::Simulation& sim, Endpoint& a, Endpoint& b,
+  /// Classic construction: both sides run on `sim`, share `counters`,
+  /// and cut() tears both sides down synchronously.
+  Link(LinkId id, sim::Executor& sim, Endpoint& a, Endpoint& b,
        sim::DelayModel delay, metrics::MessageCounters* counters = nullptr);
+
+  /// Shard-aware construction: each side names the executor (lane) that
+  /// runs its endpoint and the counter set it accounts to. Peer
+  /// link-down notification is deferred by the link's minimum delay.
+  Link(LinkId id, sim::Executor& a_exec, Endpoint& a,
+       metrics::MessageCounters* a_counters, sim::Executor& b_exec,
+       Endpoint& b, metrics::MessageCounters* b_counters,
+       sim::DelayModel delay);
 
   Link(const Link&) = delete;
   Link& operator=(const Link&) = delete;
 
   [[nodiscard]] LinkId id() const { return id_; }
-  [[nodiscard]] bool up() const { return up_; }
+  [[nodiscard]] bool up() const { return sides_[0].up && sides_[1].up; }
   [[nodiscard]] const sim::DelayModel& delay_model() const { return delay_; }
 
   [[nodiscard]] Endpoint& peer_of(const Endpoint& e) const;
   [[nodiscard]] bool connects(const Endpoint& e) const {
-    return &e == a_ || &e == b_;
+    return &e == sides_[0].ep || &e == sides_[1].ep;
   }
 
   /// Sends `msg` from endpoint `from` to the peer. If the link is down
   /// the message is dropped (and counted).
   void send(const Endpoint& from, Message msg);
 
-  /// Takes the link down: in-flight messages are lost, both endpoints
-  /// get handle_link_down. Bringing it back up resumes normal delivery.
+  /// Cuts the link, initiated by endpoint `by`: in-flight messages are
+  /// lost, both endpoints get handle_link_down (the peer's notification
+  /// is deferred on shard-aware links). A cut link stays down.
+  void cut(const Endpoint& by);
+
+  /// Classic-only synchronous toggle (kept for the historical API).
+  /// Bringing a link back up resumes normal delivery.
   void set_up(bool up);
 
  private:
+  struct Side {
+    Endpoint* ep = nullptr;
+    sim::Executor* exec = nullptr;
+    metrics::MessageCounters* counters = nullptr;
+    /// FIFO clamp for the direction this side *sends* on: the latest
+    /// arrival already scheduled toward the peer.
+    sim::TimePoint next_arrival = 0;
+    /// This side's view of the link. Only its own lane writes it.
+    bool up = true;
+    /// Increments when this side goes down; classic-mode deliveries
+    /// scheduled under an older generation are discarded (they were in
+    /// flight at the cut).
+    std::uint64_t gen = 0;
+  };
+
+  [[nodiscard]] std::size_t index_of(const Endpoint& e) const;
+  void down_side(std::size_t i);
+
   LinkId id_;
-  sim::Simulation& sim_;
-  Endpoint* a_;
-  Endpoint* b_;
   sim::DelayModel delay_;
-  metrics::MessageCounters* counters_;
-  bool up_ = true;
-  /// Increments when the link goes down; deliveries scheduled under an
-  /// older generation are discarded (they were in flight at the cut).
-  std::uint64_t generation_ = 0;
-  /// Per direction (index 0: a→b, 1: b→a): last scheduled arrival.
-  std::array<sim::TimePoint, 2> last_arrival_{0, 0};
+  /// Shard-aware links defer the peer's link-down notification; classic
+  /// links tear down synchronously (and may come back up).
+  bool deferred_peer_notify_ = false;
+  std::array<Side, 2> sides_;
 };
 
 }  // namespace rebeca::net

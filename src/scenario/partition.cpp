@@ -1,0 +1,83 @@
+#include "src/scenario/partition.hpp"
+
+#include <algorithm>
+
+#include "src/util/assert.hpp"
+
+namespace rebeca::scenario {
+
+std::vector<std::size_t> partition_brokers(const net::Topology& topology,
+                                           std::size_t shards) {
+  const std::size_t n = topology.broker_count();
+  REBECA_ASSERT(shards >= 1, "partition into zero shards");
+  REBECA_ASSERT(shards <= n, "more shards than brokers");
+
+  // Iterative DFS preorder from broker 0. Neighbors are visited in
+  // adjacency order (edge declaration order), so the layout is a pure
+  // function of the topology.
+  std::vector<std::size_t> preorder;
+  preorder.reserve(n);
+  std::vector<bool> seen(n, false);
+  std::vector<std::size_t> stack{0};
+  seen[0] = true;
+  while (!stack.empty()) {
+    const std::size_t at = stack.back();
+    stack.pop_back();
+    preorder.push_back(at);
+    const auto& nbrs = topology.neighbors(at);
+    // Push in reverse so the first-declared neighbor is visited first.
+    for (auto it = nbrs.rbegin(); it != nbrs.rend(); ++it) {
+      if (!seen[*it]) {
+        seen[*it] = true;
+        stack.push_back(*it);
+      }
+    }
+  }
+  REBECA_ASSERT(preorder.size() == n, "topology not connected");
+
+  const std::size_t chunk = (n + shards - 1) / shards;  // ceil
+  std::vector<std::size_t> assignment(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    assignment[preorder[i]] = std::min(i / chunk, shards - 1);
+  }
+  return assignment;
+}
+
+std::size_t cut_edge_count(const net::Topology& topology,
+                           const std::vector<std::size_t>& assignment) {
+  std::size_t cut = 0;
+  for (const auto& [a, b] : topology.edges()) {
+    if (assignment[a] != assignment[b]) ++cut;
+  }
+  return cut;
+}
+
+sim::Duration partition_lookahead(const net::Topology& topology,
+                                  const std::vector<std::size_t>& assignment,
+                                  const sim::DelayModel& broker_link_delay,
+                                  const sim::DelayModel& client_link_delay,
+                                  bool has_clients) {
+  sim::Duration lookahead = 0;  // 0 = nothing crosses shards (unbounded)
+  const auto fold = [&](sim::Duration lb, const char* what) {
+    REBECA_ASSERT(lb > 0,
+                  what << " has a zero minimum delay — sharded execution "
+                          "needs strictly positive link delay lower bounds "
+                          "(they bound the synchronization window)");
+    lookahead = lookahead == 0 ? lb : std::min(lookahead, lb);
+  };
+  for (const auto& [a, b] : topology.edges()) {
+    if (assignment[a] != assignment[b]) {
+      fold(broker_link_delay.lower_bound(), "a cut broker link");
+    }
+  }
+  // The client plane lives on shard 0; any broker elsewhere makes every
+  // client link a potential shard crossing (clients roam freely).
+  if (has_clients &&
+      std::any_of(assignment.begin(), assignment.end(),
+                  [](std::size_t s) { return s != 0; })) {
+    fold(client_link_delay.lower_bound(), "the client link delay");
+  }
+  return lookahead;
+}
+
+}  // namespace rebeca::scenario

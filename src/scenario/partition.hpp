@@ -1,0 +1,40 @@
+// Broker-to-shard partitioning for sharded scenario execution.
+#ifndef REBECA_SCENARIO_PARTITION_HPP
+#define REBECA_SCENARIO_PARTITION_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "src/net/topology.hpp"
+#include "src/sim/delay_model.hpp"
+
+namespace rebeca::scenario {
+
+/// Greedy edge-cut partition of the broker tree into `shards` balanced
+/// blocks: brokers are laid out in DFS preorder from broker 0 and cut
+/// into equal-size runs. Consecutive preorder brokers are tree-adjacent,
+/// so each block is (nearly) a connected subtree and block boundaries
+/// cut few links — the greedy stand-in for a min-edge-cut partition.
+/// Deterministic for a given topology. Returns broker index -> shard.
+[[nodiscard]] std::vector<std::size_t> partition_brokers(
+    const net::Topology& topology, std::size_t shards);
+
+/// Number of topology edges whose endpoints land on different shards
+/// under `assignment` (diagnostics and tests).
+[[nodiscard]] std::size_t cut_edge_count(
+    const net::Topology& topology, const std::vector<std::size_t>& assignment);
+
+/// The conservative lookahead of a partitioned overlay: the smallest
+/// lower-bound delay over broker links that cross shards, combined with
+/// the client link delay whenever any broker runs off the control shard
+/// (shard 0) — clients may roam to any broker, so every client link is
+/// potentially cross-shard. Returns 0 when nothing can cross shards
+/// (single shard); asserts on a zero minimum delay for crossing links.
+[[nodiscard]] sim::Duration partition_lookahead(
+    const net::Topology& topology, const std::vector<std::size_t>& assignment,
+    const sim::DelayModel& broker_link_delay,
+    const sim::DelayModel& client_link_delay, bool has_clients);
+
+}  // namespace rebeca::scenario
+
+#endif  // REBECA_SCENARIO_PARTITION_HPP

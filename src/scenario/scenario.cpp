@@ -4,6 +4,7 @@
 #include <sstream>
 #include <utility>
 
+#include "src/scenario/partition.hpp"
 #include "src/util/assert.hpp"
 
 namespace rebeca::scenario {
@@ -337,25 +338,83 @@ ScenarioBuilder& ScenarioBuilder::phase(std::string name, sim::Duration duration
   return *this;
 }
 
-std::unique_ptr<Scenario> ScenarioBuilder::build() {
-  auto scenario = std::unique_ptr<Scenario>(new Scenario(seed_));
-  Scenario& s = *scenario;
+ScenarioBuilder& ScenarioBuilder::shards(std::size_t n) {
+  shards_ = n;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::shard_assignment(
+    std::vector<std::size_t> assignment) {
+  shard_assignment_ = std::move(assignment);
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::checkpoint_every(sim::Duration interval) {
+  REBECA_ASSERT(interval >= 0, "checkpoint interval must be non-negative");
+  checkpoint_every_ = interval;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::expect_exactly_once(std::string client) {
+  expectations_.push_back(
+      Expectation{Expectation::Kind::exactly_once, std::move(client)});
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::expect_fifo(std::string client) {
+  expectations_.push_back(
+      Expectation{Expectation::Kind::fifo, std::move(client)});
+  return *this;
+}
 
+std::unique_ptr<Scenario> ScenarioBuilder::build() {
   // Seed-derived stream for structural randomness (random topologies and
   // location graphs), independent of the simulation's own RNG so traffic
-  // draws do not shift when the structure changes.
+  // draws do not shift when the structure changes. Draw order (locations
+  // first, then topology) is part of the determinism contract.
   util::Rng structure_rng(util::SplitMix64(seed_ ^ 0x5ce9a1105ULL).next());
+  std::optional<location::LocationGraph> built_locations =
+      locations_.build(structure_rng);
+  net::Topology topo = topology_.build(structure_rng);
 
-  s.owned_locations_ = locations_.build(structure_rng);
+  std::size_t shard_n = std::min(shards_, topo.broker_count());
+  auto scenario = std::unique_ptr<Scenario>(new Scenario(seed_, shard_n));
+  Scenario& s = *scenario;
+
+  s.owned_locations_ = std::move(built_locations);
   s.locations_ = borrowed_locations_ != nullptr
                      ? borrowed_locations_
                      : (s.owned_locations_ ? &*s.owned_locations_ : nullptr);
 
   broker::OverlayConfig overlay_cfg = overlay_;
   if (s.locations_ != nullptr) overlay_cfg.broker.locations = s.locations_;
-  s.overlay_ = std::make_unique<broker::Overlay>(
-      s.sim_, topology_.build(structure_rng), overlay_cfg);
+  if (shard_n == 0) {
+    s.overlay_ =
+        std::make_unique<broker::Overlay>(*s.classic_, topo, overlay_cfg);
+  } else {
+    std::vector<std::size_t> assignment = shard_assignment_;
+    if (assignment.empty()) {
+      assignment = partition_brokers(topo, shard_n);
+    } else {
+      REBECA_ASSERT(assignment.size() == topo.broker_count(),
+                    "shard_assignment needs one entry per broker");
+      for (std::size_t a : assignment) {
+        REBECA_ASSERT(a < shard_n, "shard_assignment entry " << a
+                                                             << " out of range");
+      }
+    }
+    const sim::Duration lookahead = partition_lookahead(
+        topo, assignment, overlay_cfg.broker_link_delay,
+        overlay_cfg.client_link_delay, /*has_clients=*/!clients_.empty());
+    // Nothing crosses shards (single shard / single block): windows can
+    // span whole phases.
+    s.sharded_->set_lookahead(lookahead > 0 ? lookahead : sim::seconds(3600));
+    s.overlay_ = std::make_unique<broker::Overlay>(*s.sharded_, topo,
+                                                   overlay_cfg, assignment);
+  }
+  // Client-plane wiring below (attach, subscribe, flushes) schedules
+  // events; attribute it to the control lane when sharded.
+  Scenario::ControlScope control_scope(s);
 
+  s.expectations_ = expectations_;
+  s.checkpoint_every_ = checkpoint_every_;
+  s.next_checkpoint_ = checkpoint_every_;
   s.phases_ = phases_;
   const std::string first_phase = phases_.empty() ? std::string() : phases_[0].name;
   // A typo'd phase name — or a workload bound to a phase schedule that
@@ -422,7 +481,7 @@ std::unique_ptr<Scenario> ScenarioBuilder::build() {
       pc.max_count = w.max_count;
       pc.seed = driver_seed(w.seed_set, w.seed);
       s.publishers_.push_back(Scenario::BoundPublisher{
-          std::make_unique<workload::Publisher>(s.sim_, c, std::move(pc)),
+          std::make_unique<workload::Publisher>(*s.exec_, c, std::move(pc)),
           w.start_phase.empty() ? first_phase : w.start_phase,
           w.stop_after_phase});
     }
@@ -456,9 +515,24 @@ std::unique_ptr<Scenario> ScenarioBuilder::build() {
       mc.max_moves = w.max_moves;
       mc.seed = driver_seed(w.seed_set, w.seed);
       Scenario::BoundMover m;
-      m.walk = std::make_unique<workload::LogicalMover>(s.sim_, c, std::move(mc));
+      m.walk =
+          std::make_unique<workload::LogicalMover>(*s.exec_, c, std::move(mc));
       m.start_phase = w.start_phase.empty() ? first_phase : w.start_phase;
       s.movers_.push_back(std::move(m));
+    }
+  }
+
+  // Expectations must name declared clients; exactly-once additionally
+  // needs the report's completeness tracking (static filters only).
+  for (const Expectation& e : expectations_) {
+    REBECA_ASSERT(s.member_index_.count(e.client) != 0,
+                  "expectation references unknown client \"" << e.client << "\"");
+    if (e.kind == Expectation::Kind::exactly_once) {
+      REBECA_ASSERT(s.member(e.client).tracked,
+                    "expect_exactly_once(" << e.client
+                                           << ") needs a client whose declared "
+                                              "subscriptions are all static "
+                                              "filters (completeness tracking)");
     }
   }
   return scenario;
@@ -467,6 +541,38 @@ std::unique_ptr<Scenario> ScenarioBuilder::build() {
 // ---------------------------------------------------------------------------
 // Scenario
 // ---------------------------------------------------------------------------
+
+Scenario::Scenario(std::uint64_t seed, std::size_t shards)
+    : seed_(seed), shards_(shards) {
+  if (shards_ == 0) {
+    classic_ = std::make_unique<sim::Simulation>(seed_);
+    exec_ = classic_.get();
+  } else {
+    sharded_ = std::make_unique<sim::ShardedSimulation>(seed_, shards_);
+    exec_ = &sharded_->control();
+  }
+}
+
+void Scenario::engine_run_until(sim::TimePoint t) {
+  if (classic_) {
+    classic_->run_until(t);
+  } else {
+    sharded_->run_until(t);
+  }
+}
+
+void Scenario::advance_to(sim::TimePoint t) {
+  REBECA_ASSERT(t >= now(), "advancing into the past");
+  if (checkpoint_every_ > 0) {
+    while (next_checkpoint_ <= t) {
+      engine_run_until(next_checkpoint_);
+      checkpoints_.push_back(
+          CheckpointRow{next_checkpoint_, overlay_->total_counters()});
+      next_checkpoint_ += checkpoint_every_;
+    }
+  }
+  engine_run_until(t);
+}
 
 Scenario::Member& Scenario::member(const std::string& name) {
   auto it = member_index_.find(name);
@@ -508,7 +614,7 @@ client::Client& Scenario::instantiate(const std::string& name,
   }
   Member m;
   m.name = name;
-  m.client = std::make_unique<client::Client>(sim_, std::move(config));
+  m.client = std::make_unique<client::Client>(*exec_, std::move(config));
   m.client->on_publish = [this](const filter::Notification& n) {
     publications_.push_back(n);
   };
@@ -530,14 +636,17 @@ client::Client& Scenario::add_client(const std::string& name,
     config.id = ClientId(max_id + 1);
   }
   if (config.locations == nullptr) config.locations = locations_;
+  ControlScope scope(*this);
   return instantiate(name, std::move(config), broker_index);
 }
 
 void Scenario::connect(const std::string& name, std::size_t broker_index) {
+  ControlScope scope(*this);
   overlay_->connect_client(client(name), broker_index);
 }
 
 void Scenario::detach(const std::string& name, bool graceful) {
+  ControlScope scope(*this);
   client::Client& c = client(name);
   if (graceful) {
     c.detach_gracefully();
@@ -549,18 +658,27 @@ void Scenario::detach(const std::string& name, bool graceful) {
 bool Scenario::run_next_phase() {
   if (next_phase_ >= phases_.size()) return false;
   const Phase& p = phases_[next_phase_];
-  if (p.on_enter) p.on_enter(*this);
-  for (BoundPublisher& b : publishers_) {
-    if (b.start_phase == p.name) b.driver->start();
+  {
+    // Phase interventions and driver starts act on the client plane
+    // while the engine is quiescent; under sharding they schedule as
+    // the control lane.
+    ControlScope scope(*this);
+    if (p.on_enter) p.on_enter(*this);
+    for (BoundPublisher& b : publishers_) {
+      if (b.start_phase == p.name) b.driver->start();
+    }
+    for (BoundMover& m : movers_) {
+      if (m.start_phase != p.name) continue;
+      if (m.roam) m.roam->start();
+      if (m.walk) m.walk->start();
+    }
   }
-  for (BoundMover& m : movers_) {
-    if (m.start_phase != p.name) continue;
-    if (m.roam) m.roam->start();
-    if (m.walk) m.walk->start();
-  }
-  sim_.run_until(sim_.now() + p.duration);
-  for (BoundPublisher& b : publishers_) {
-    if (b.stop_after_phase == p.name) b.driver->stop();
+  advance_to(now() + p.duration);
+  {
+    ControlScope scope(*this);
+    for (BoundPublisher& b : publishers_) {
+      if (b.stop_after_phase == p.name) b.driver->stop();
+    }
   }
   ++next_phase_;
   return true;
@@ -605,9 +723,10 @@ void print_latency(std::ostream& os, const LatencyStats& l) {
 ScenarioReport Scenario::report() const {
   ScenarioReport r;
   r.seed = seed_;
-  r.finished_at = sim_.now();
+  r.finished_at = now();
   r.published = publications_.size();
-  r.messages = overlay_->counters();
+  r.messages = overlay_->total_counters();
+  r.checkpoints = checkpoints_;
 
   // One pass over the log instead of one scan per client.
   std::map<ClientId, std::uint64_t> published_counts;
@@ -655,6 +774,39 @@ ScenarioReport Scenario::report() const {
     r.clients.push_back(std::move(cr));
   }
   r.latency = latency_of(std::move(all_latencies));
+
+  // Declarative QoS expectations (validated against members at build).
+  for (const ScenarioBuilder::Expectation& e : expectations_) {
+    const Member& m = member(e.client);
+    ClientReport* cr = nullptr;
+    for (ClientReport& c : r.clients) {
+      if (c.name == e.client) cr = &c;
+    }
+    REBECA_ASSERT(cr != nullptr, "expectation client missing from report");
+    switch (e.kind) {
+      case ScenarioBuilder::Expectation::Kind::exactly_once:
+        if (cr->missing != 0 || cr->duplicates != 0) {
+          std::ostringstream os;
+          os << "expect_exactly_once(" << e.client << "): missing "
+             << cr->missing << " duplicates " << cr->duplicates;
+          r.violations.push_back(os.str());
+        }
+        break;
+      case ScenarioBuilder::Expectation::Kind::fifo: {
+        const metrics::FifoReport f =
+            metrics::check_sender_fifo(m.client->deliveries());
+        cr->fifo_checked = true;
+        cr->fifo_violations = f.violations;
+        if (!f.ok()) {
+          std::ostringstream os;
+          os << "expect_fifo(" << e.client << "): " << f.violations << " of "
+             << f.checked << " ordered pairs out of order";
+          r.violations.push_back(os.str());
+        }
+        break;
+      }
+    }
+  }
   return r;
 }
 
@@ -687,9 +839,19 @@ std::ostream& operator<<(std::ostream& os, const ScenarioReport& r) {
     if (c.tracked) {
       os << " expected " << c.expected << " missing " << c.missing;
     }
+    if (c.fifo_checked) {
+      os << " fifo_violations " << c.fifo_violations;
+    }
     os << "\n    latency: ";
     print_latency(os, c.latency);
     os << "\n";
+  }
+  for (const CheckpointRow& cp : r.checkpoints) {
+    os << "  checkpoint " << sim::FormatTime{cp.at} << ": " << cp.counters
+       << "\n";
+  }
+  for (const std::string& v : r.violations) {
+    os << "  expectation FAILED: " << v << "\n";
   }
   return os;
 }

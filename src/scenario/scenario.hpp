@@ -45,6 +45,7 @@
 #include "src/metrics/counters.hpp"
 #include "src/net/topology.hpp"
 #include "src/routing/strategy.hpp"
+#include "src/sim/sharded.hpp"
 #include "src/sim/simulation.hpp"
 #include "src/workload/mover.hpp"
 #include "src/workload/publisher.hpp"
@@ -244,9 +245,19 @@ struct ClientReport {
   bool tracked = false;
   std::uint64_t expected = 0;
   std::uint64_t missing = 0;
+  /// Sender-FIFO check (filled only when expect_fifo was declared).
+  bool fifo_checked = false;
+  std::uint64_t fifo_violations = 0;
   LatencyStats latency;
 
   friend bool operator==(const ClientReport&, const ClientReport&) = default;
+};
+
+/// Cumulative message-counter snapshot at a virtual-time checkpoint
+/// (the Fig. 8/9 time series; enabled by checkpoint_every()).
+struct CheckpointRow {
+  sim::TimePoint at = 0;
+  metrics::MessageCounters counters;
 };
 
 struct ScenarioReport {
@@ -259,7 +270,12 @@ struct ScenarioReport {
   metrics::MessageCounters messages;
   LatencyStats latency;  // pooled over all clients
   std::vector<ClientReport> clients;
+  std::vector<CheckpointRow> checkpoints;
+  /// Declarative QoS expectations that failed, one line each; empty
+  /// means every declared expectation held.
+  std::vector<std::string> violations;
 
+  [[nodiscard]] bool expectations_ok() const { return violations.empty(); }
   [[nodiscard]] const ClientReport& client(const std::string& name) const;
   /// Full, deterministic rendering: equal-seed runs serialize to
   /// byte-identical strings.
@@ -293,6 +309,26 @@ class ScenarioBuilder {
   ScenarioBuilder& phase(std::string name, sim::Duration duration,
                          std::function<void(Scenario&)> on_enter = nullptr);
 
+  /// Sharded execution: partition the broker graph across `n` worker
+  /// shards with the conservative time-window engine (sharded.hpp).
+  /// Equal-seed reports are byte-identical for any n >= 1; n = 0 (the
+  /// default) selects the classic single-threaded kernel, which orders
+  /// and draws differently and is therefore its own (also deterministic)
+  /// sample. n is clamped to the broker count.
+  ScenarioBuilder& shards(std::size_t n);
+  /// Overrides the default greedy edge-cut partition: broker i runs on
+  /// shard assignment[i]. Only meaningful with shards(n >= 1).
+  ScenarioBuilder& shard_assignment(std::vector<std::size_t> assignment);
+  /// Snapshot cumulative message counters every `interval` of virtual
+  /// time (ScenarioReport::checkpoints; the Fig. 8/9 series). 0 = off.
+  ScenarioBuilder& checkpoint_every(sim::Duration interval);
+  /// Declarative QoS expectations, checked by Scenario::report(): the
+  /// named client (whose declared subscriptions must all be static
+  /// filters) misses nothing and sees no duplicates / observes
+  /// per-producer FIFO order. Failures land in report().violations.
+  ScenarioBuilder& expect_exactly_once(std::string client);
+  ScenarioBuilder& expect_fifo(std::string client);
+
   /// Instantiates the runtime: topology, overlay, clients (in
   /// declaration order), initial locations, subscriptions,
   /// advertisements, and the workload drivers — nothing has run yet.
@@ -302,6 +338,13 @@ class ScenarioBuilder {
   [[nodiscard]] std::unique_ptr<Scenario> build();
 
  private:
+  friend class Scenario;
+  struct Expectation {
+    enum class Kind { exactly_once, fifo };
+    Kind kind;
+    std::string client;
+  };
+
   std::uint64_t seed_ = 1;
   TopologySpec topology_ = TopologySpec::chain(2);
   LocationSpec locations_ = LocationSpec::none();
@@ -309,6 +352,10 @@ class ScenarioBuilder {
   broker::OverlayConfig overlay_;
   std::deque<ClientSpec> clients_;  // deque: client() refs never dangle
   std::vector<Phase> phases_;
+  std::size_t shards_ = 0;  // 0 = classic single-threaded kernel
+  std::vector<std::size_t> shard_assignment_;
+  sim::Duration checkpoint_every_ = 0;
+  std::vector<Expectation> expectations_;
 };
 
 // ---------------------------------------------------------------------------
@@ -326,12 +373,35 @@ class Scenario {
   Scenario& operator=(const Scenario&) = delete;
 
   // ---- runtime access ----
-  [[nodiscard]] sim::Simulation& sim() { return sim_; }
+  /// The classic single-threaded kernel. Asserts on sharded scenarios —
+  /// drive those through run()/run_for()/run_until() and schedule
+  /// through exec().
+  [[nodiscard]] sim::Simulation& sim() {
+    REBECA_ASSERT(classic_ != nullptr,
+                  "sim() is the classic kernel; this scenario is sharded — "
+                  "use exec() to schedule and run()/run_for() to advance");
+    return *classic_;
+  }
+  /// The client plane's executor: the classic kernel, or the sharded
+  /// engine's control lane. Valid in both modes.
+  [[nodiscard]] sim::Executor& exec() { return *exec_; }
+  /// Worker shards (0 = classic kernel).
+  [[nodiscard]] std::size_t shard_count() const { return shards_; }
+  [[nodiscard]] sim::TimePoint now() const {
+    return classic_ ? classic_->now() : sharded_->now();
+  }
   [[nodiscard]] broker::Overlay& overlay() { return *overlay_; }
   [[nodiscard]] const net::Topology& topology() const {
     return overlay_->topology();
   }
+  /// Live shared counter set of the classic kernel. Asserts on sharded
+  /// scenarios, where accounting is per shard — read
+  /// overlay().total_counters() (quiescent) or report().messages there.
   [[nodiscard]] metrics::MessageCounters& counters() {
+    REBECA_ASSERT(classic_ != nullptr,
+                  "counters() is the classic kernel's shared set; sharded "
+                  "scenarios account per shard — use "
+                  "overlay().total_counters() or report().messages");
     return overlay_->counters();
   }
   [[nodiscard]] const location::LocationGraph* locations() const {
@@ -356,8 +426,8 @@ class Scenario {
                              client::ClientConfig config = {});
   void connect(const std::string& name, std::size_t broker_index);
   void detach(const std::string& name, bool graceful = false);
-  void run_for(sim::Duration d) { sim_.run_until(sim_.now() + d); }
-  void run_until(sim::TimePoint t) { sim_.run_until(t); }
+  void run_for(sim::Duration d) { advance_to(now() + d); }
+  void run_until(sim::TimePoint t) { advance_to(t); }
 
   // ---- phased schedule ----
   /// Runs the next declared phase to its end; false when none remain.
@@ -392,16 +462,35 @@ class Scenario {
     std::string start_phase;
   };
 
-  explicit Scenario(std::uint64_t seed) : seed_(seed), sim_(seed) {}
+  Scenario(std::uint64_t seed, std::size_t shards);
 
   Member& member(const std::string& name);
   const Member& member(const std::string& name) const;
   client::Client& instantiate(const std::string& name,
                               client::ClientConfig config,
                               std::optional<std::size_t> broker_index);
+  /// Advances the engine to `t`, stopping at checkpoint boundaries to
+  /// snapshot counters (both engines are quiescent there).
+  void advance_to(sim::TimePoint t);
+  void engine_run_until(sim::TimePoint t);
+
+  /// RAII: attributes imperative client-plane work (phase callbacks,
+  /// connect/detach, driver starts) to the sharded engine's control
+  /// lane; no-op on the classic kernel.
+  struct ControlScope {
+    std::optional<sim::ShardedSimulation::Scope> scope;
+    explicit ControlScope(Scenario& s) {
+      if (s.sharded_) scope.emplace(s.sharded_->control());
+    }
+  };
 
   std::uint64_t seed_;
-  sim::Simulation sim_;
+  std::size_t shards_;
+  // Exactly one engine exists; it is declared first so every other
+  // member (overlay links, clients, drivers) dies before it.
+  std::unique_ptr<sim::Simulation> classic_;
+  std::unique_ptr<sim::ShardedSimulation> sharded_;
+  sim::Executor* exec_ = nullptr;  // the client plane's executor
   std::optional<location::LocationGraph> owned_locations_;
   const location::LocationGraph* locations_ = nullptr;
   std::unique_ptr<broker::Overlay> overlay_;
@@ -412,6 +501,10 @@ class Scenario {
   std::vector<Phase> phases_;
   std::size_t next_phase_ = 0;
   std::vector<filter::Notification> publications_;
+  std::vector<ScenarioBuilder::Expectation> expectations_;
+  sim::Duration checkpoint_every_ = 0;
+  sim::TimePoint next_checkpoint_ = 0;
+  std::vector<CheckpointRow> checkpoints_;
 };
 
 }  // namespace rebeca::scenario

@@ -1,10 +1,12 @@
 #include "src/scenario/sweep.hpp"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <exception>
+#include <iomanip>
 #include <limits>
 #include <sstream>
 #include <thread>
@@ -31,6 +33,16 @@ std::vector<std::uint64_t> SweepConfig::resolved_seeds() const {
     out.push_back(base_seed + static_cast<std::uint64_t>(i));
   }
   return out;
+}
+
+std::size_t SweepConfig::resolved_run_workers() const {
+  std::size_t budget = threads;
+  if (budget == 0) {
+    budget = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  // Each sharded run occupies `shards` workers of its own; divide the
+  // budget so runs × shards stays near the requested parallelism.
+  return std::max<std::size_t>(1, budget / std::max<std::size_t>(1, shards));
 }
 
 // ---------------------------------------------------------------------------
@@ -116,6 +128,12 @@ std::string fmt(double v) {
 
 }  // namespace
 
+std::string MetricStats::mean_ci(int precision) const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << mean << " ±" << ci95;
+  return os.str();
+}
+
 MetricStats SweepResult::stats(const std::string& metric) const {
   auto it = series.find(metric);
   REBECA_ASSERT(it != series.end(), "sweep has no metric " << metric);
@@ -176,6 +194,44 @@ std::string SweepResult::csv() const {
   return os.str();
 }
 
+std::string SweepResult::csv_series() const {
+  std::ostringstream os;
+  os << "time_ms";
+  for (std::size_t c = 0;
+       c < static_cast<std::size_t>(metrics::MessageClass::kCount); ++c) {
+    os << "," << metrics::message_class_name(static_cast<metrics::MessageClass>(c));
+  }
+  os << ",total,n\n";
+  // Checkpoint schedules are part of the declaration, so every run has
+  // the same count; tolerate ragged runs anyway and report n per row.
+  std::size_t rows = 0;
+  for (const ScenarioReport& r : reports) {
+    rows = std::max(rows, r.checkpoints.size());
+  }
+  for (std::size_t i = 0; i < rows; ++i) {
+    sim::TimePoint at = 0;
+    std::size_t n = 0;
+    std::array<double, static_cast<std::size_t>(metrics::MessageClass::kCount)>
+        sums{};
+    double total = 0;
+    for (const ScenarioReport& r : reports) {  // seed order: deterministic
+      if (i >= r.checkpoints.size()) continue;
+      const CheckpointRow& cp = r.checkpoints[i];
+      at = cp.at;
+      ++n;
+      for (std::size_t c = 0; c < sums.size(); ++c) {
+        sums[c] += static_cast<double>(
+            cp.counters.count(static_cast<metrics::MessageClass>(c)));
+      }
+      total += static_cast<double>(cp.counters.total());
+    }
+    os << fmt(sim::to_millis(at));
+    for (double s : sums) os << "," << fmt(s / static_cast<double>(n));
+    os << "," << fmt(total / static_cast<double>(n)) << "," << n << "\n";
+  }
+  return os.str();
+}
+
 std::string SweepResult::csv_runs() const {
   std::ostringstream os;
   os << "seed";
@@ -222,6 +278,7 @@ SweepResult ScenarioSweep::run(const SweepConfig& config) const {
       ScenarioBuilder b;
       declare_(b);
       b.seed(seeds[i]);
+      if (config.shards > 0) b.shards(config.shards);
       std::unique_ptr<Scenario> s = b.build();
       s->run();
       slots[i].report = s->report();
@@ -232,11 +289,7 @@ SweepResult ScenarioSweep::run(const SweepConfig& config) const {
     }
   };
 
-  std::size_t threads = config.threads;
-  if (threads == 0) {
-    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  }
-  threads = std::min(threads, seeds.size());
+  std::size_t threads = std::min(config.resolved_run_workers(), seeds.size());
 
   if (threads <= 1) {
     for (std::size_t i = 0; i < seeds.size(); ++i) run_one(i);

@@ -40,10 +40,18 @@ struct SweepConfig {
   std::vector<std::uint64_t> seeds;
   std::uint64_t base_seed = 1;
   std::size_t runs = 1;
-  /// Worker threads; 0 = hardware concurrency (capped at the run count).
+  /// Total worker-thread budget; 0 = hardware concurrency. The budget
+  /// is split between concurrent runs and intra-run shards: with
+  /// shards = s, about threads / s scenarios run at once, each on s
+  /// shard workers.
   std::size_t threads = 0;
+  /// Intra-scenario shards (ScenarioBuilder::shards); 0 leaves the
+  /// declaration's engine choice untouched (classic kernel by default).
+  std::size_t shards = 0;
 
   [[nodiscard]] std::vector<std::uint64_t> resolved_seeds() const;
+  /// Concurrent runs after the shard split.
+  [[nodiscard]] std::size_t resolved_run_workers() const;
 };
 
 /// Aggregate of one metric over the runs that reported it (NaN series
@@ -57,6 +65,10 @@ struct MetricStats {
   double ci95 = 0;
   double min = 0;
   double max = 0;
+
+  /// "mean ±ci95" at fixed precision — the cell format the figure
+  /// benches share.
+  [[nodiscard]] std::string mean_ci(int precision = 1) const;
 };
 
 /// One sweep's outcome: the per-seed reports (in seed order), the metric
@@ -80,6 +92,11 @@ class SweepResult {
   [[nodiscard]] std::string csv() const;
   /// Per-run CSV: seed,<metric...> — one row per seed, in seed order.
   [[nodiscard]] std::string csv_runs() const;
+  /// Checkpoint time series CSV (checkpoint_every / "checkpoint_every_ms"):
+  /// one row per checkpoint with the cumulative per-class message-count
+  /// means across seeds — the Fig. 8/9 series. Empty when the scenario
+  /// declared no checkpoints.
+  [[nodiscard]] std::string csv_series() const;
 };
 
 class ScenarioSweep {

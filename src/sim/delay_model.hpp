@@ -54,6 +54,11 @@ class DelayModel {
     return a_;
   }
 
+  /// Smallest delay the model can produce. The sharded engine's
+  /// lookahead — and its deferred link-down notification — are bounded
+  /// by this, so sharded execution requires it to be strictly positive.
+  [[nodiscard]] Duration lower_bound() const { return a_; }
+
   /// Expected value of the distribution (used by the analytic model and
   /// by the adaptivity rule's δ estimates).
   [[nodiscard]] Duration mean() const {

@@ -1,0 +1,83 @@
+// The scheduling interface entities run against.
+//
+// Brokers, clients, links and workload drivers do not care *which*
+// engine executes them — only that they can read a clock, draw seeded
+// randomness, and schedule work. Executor is that seam: the classic
+// single-threaded Simulation implements it with one global queue and one
+// global RNG; the sharded engine (sharded.hpp) implements it once per
+// lane, with per-lane RNG streams and deterministic cross-shard handoff.
+// Entities hold an Executor& and never know the difference.
+#ifndef REBECA_SIM_EXECUTOR_HPP
+#define REBECA_SIM_EXECUTOR_HPP
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "src/sim/time.hpp"
+#include "src/util/assert.hpp"
+#include "src/util/rng.hpp"
+
+namespace rebeca::sim {
+
+/// Handle to a scheduled event; allows cancellation.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  [[nodiscard]] bool valid() const { return cancelled_ != nullptr; }
+
+  /// Cancels the event if it has not run yet. Safe to call repeatedly.
+  void cancel() {
+    if (cancelled_) *cancelled_ = true;
+  }
+
+ private:
+  friend class Executor;
+  explicit EventHandle(std::shared_ptr<bool> flag) : cancelled_(std::move(flag)) {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+class Executor {
+ public:
+  Executor() = default;
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+  virtual ~Executor() = default;
+
+  /// Current virtual time of the caller's execution context. Only read
+  /// your own executor's clock: in the sharded engine, foreign lanes may
+  /// be elsewhere in the current window.
+  [[nodiscard]] virtual TimePoint now() const = 0;
+
+  /// Seeded random stream of this execution context.
+  [[nodiscard]] virtual util::Rng& rng() = 0;
+
+  /// Schedules `fn` to run at absolute virtual time `when` (>= now).
+  virtual EventHandle schedule_at(TimePoint when, std::function<void()> fn) = 0;
+
+  /// Fire-and-forget scheduling: no EventHandle, no cancellation-flag
+  /// allocation. This is the hot path — link delivery schedules one
+  /// event per message in flight and never cancels it.
+  virtual void post_at(TimePoint when, std::function<void()> fn) = 0;
+
+  /// Schedules `fn` to run `delay` after the current time.
+  EventHandle schedule_after(Duration delay, std::function<void()> fn) {
+    REBECA_ASSERT(delay >= 0, "negative delay " << delay);
+    return schedule_at(now() + delay, std::move(fn));
+  }
+
+  void post_after(Duration delay, std::function<void()> fn) {
+    REBECA_ASSERT(delay >= 0, "negative delay " << delay);
+    post_at(now() + delay, std::move(fn));
+  }
+
+ protected:
+  static EventHandle make_handle(std::shared_ptr<bool> flag) {
+    return EventHandle(std::move(flag));
+  }
+};
+
+}  // namespace rebeca::sim
+
+#endif  // REBECA_SIM_EXECUTOR_HPP

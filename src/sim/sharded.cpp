@@ -1,0 +1,265 @@
+#include "src/sim/sharded.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "src/util/assert.hpp"
+
+namespace rebeca::sim {
+
+namespace {
+/// The lane on whose behalf the current thread schedules: the event's
+/// destination lane while a worker executes it, or whatever a Scope set
+/// between windows. Thread-local, so each worker attributes correctly.
+thread_local LaneExecutor* tls_current_lane = nullptr;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// LaneExecutor
+// ---------------------------------------------------------------------------
+
+TimePoint LaneExecutor::now() const {
+  return engine_->shards_[shard_]->clock;
+}
+
+EventHandle LaneExecutor::schedule_at(TimePoint when, std::function<void()> fn) {
+  auto flag = std::make_shared<bool>(false);
+  engine_->enqueue(*this, when, std::move(fn), flag);
+  return make_handle(std::move(flag));
+}
+
+void LaneExecutor::post_at(TimePoint when, std::function<void()> fn) {
+  engine_->enqueue(*this, when, std::move(fn), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// ShardedSimulation
+// ---------------------------------------------------------------------------
+
+ShardedSimulation::ShardedSimulation(std::uint64_t seed, std::size_t shards)
+    : seed_(seed) {
+  REBECA_ASSERT(shards >= 1, "sharded engine needs at least one shard");
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  add_lane(0);  // lane 0: the control lane (client plane)
+}
+
+ShardedSimulation::~ShardedSimulation() {
+  if (!threads_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      quit_ = true;
+    }
+    cv_go_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+}
+
+LaneExecutor& ShardedSimulation::add_lane(std::size_t shard) {
+  REBECA_ASSERT(shard < shards_.size(), "lane shard " << shard << " out of range");
+  REBECA_ASSERT(threads_.empty(), "add lanes before the first run");
+  const auto lane = static_cast<std::uint32_t>(lanes_.size());
+  // Per-lane RNG stream, derived from the engine seed and the lane id
+  // only — never from shard placement — so draws are shard-count
+  // invariant.
+  const std::uint64_t rng_seed =
+      util::SplitMix64(seed_ ^ (0x51a2de5ea9e5ULL + lane)).next();
+  lanes_.push_back(std::unique_ptr<LaneExecutor>(
+      new LaneExecutor(*this, lane, shard, rng_seed)));
+  return *lanes_.back();
+}
+
+void ShardedSimulation::set_lookahead(Duration w) {
+  REBECA_ASSERT(w > 0, "lookahead must be strictly positive");
+  lookahead_ = w;
+}
+
+void ShardedSimulation::enqueue(LaneExecutor& dest, TimePoint when,
+                                std::function<void()> fn,
+                                std::shared_ptr<bool> flag) {
+  LaneExecutor* src = tls_current_lane;
+  REBECA_ASSERT(src != nullptr && src->engine_ == this,
+                "scheduling outside a lane context — wrap external drivers in "
+                "ShardedSimulation::Scope");
+  REBECA_ASSERT(when >= shards_[src->shard_]->clock,
+                "scheduling into the past: when=" << when << " now="
+                                                  << shards_[src->shard_]->clock);
+  REBECA_ASSERT(
+      !running_.load(std::memory_order_relaxed) ||
+          dest.shard_ == src->shard_ ||
+          when >= shards_[src->shard_]->clock + lookahead_,
+      "cross-shard event below the lookahead window (arrives at "
+          << when << ", window bound " << lookahead_
+          << ") — every cross-shard interaction needs a delay of at least "
+             "the minimum cross-shard link delay");
+  Event ev{when, src->lane_, src->next_seq_++, &dest, std::move(fn),
+           std::move(flag)};
+  Shard& target = *shards_[dest.shard_];
+  if (dest.shard_ == src->shard_) {
+    // Same shard: only this shard's thread (or the quiescent main
+    // thread) touches this queue — no lock needed.
+    target.queue.push(std::move(ev));
+  } else {
+    std::lock_guard<std::mutex> lock(target.mailbox_mutex);
+    target.mailbox.push_back(std::move(ev));
+  }
+}
+
+void ShardedSimulation::run_window(Shard& shard, TimePoint target, bool closing) {
+  {
+    std::lock_guard<std::mutex> lock(shard.mailbox_mutex);
+    for (Event& ev : shard.mailbox) shard.queue.push(std::move(ev));
+    shard.mailbox.clear();
+  }
+  try {
+    while (!shard.queue.empty()) {
+      const Event& top = shard.queue.top();
+      if (closing ? top.when > target : top.when >= target) break;
+      // Move, don't copy: a copy would re-allocate the closure and spin
+      // the payload refcount per executed event. The key fields the heap
+      // comparator reads are trivially-copyable ints, untouched by the
+      // move, so the pop stays well-ordered.
+      Event ev = std::move(const_cast<Event&>(top));
+      shard.queue.pop();
+      shard.clock = ev.when;
+      if (!ev.cancelled || !*ev.cancelled) {
+        LaneExecutor* prev = tls_current_lane;
+        tls_current_lane = ev.dest;
+        ev.fn();
+        tls_current_lane = prev;
+      }
+    }
+  } catch (...) {
+    if (!shard.error) shard.error = std::current_exception();
+  }
+  shard.clock = target;
+}
+
+void ShardedSimulation::worker(std::size_t shard_index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    TimePoint target = 0;
+    bool closing = false;
+    {
+      std::unique_lock<std::mutex> lock(m_);
+      cv_go_.wait(lock, [&] { return quit_ || round_ != seen; });
+      if (quit_) return;
+      seen = round_;
+      target = target_;
+      closing = closing_;
+    }
+    run_window(*shards_[shard_index], target, closing);
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      ++done_;
+    }
+    cv_done_.notify_one();
+  }
+}
+
+void ShardedSimulation::start_threads() {
+  if (!threads_.empty()) return;
+  threads_.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    threads_.emplace_back([this, i] { worker(i); });
+  }
+}
+
+void ShardedSimulation::release_window(TimePoint target, bool closing) {
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    target_ = target;
+    closing_ = closing;
+    done_ = 0;
+    // Before round_ becomes visible: a worker that wakes on the new
+    // round must already see running_ == true, or the lookahead
+    // assertion in enqueue() could be silently skipped.
+    running_.store(true, std::memory_order_relaxed);
+    ++round_;
+  }
+  cv_go_.notify_all();
+}
+
+void ShardedSimulation::wait_window() {
+  std::unique_lock<std::mutex> lock(m_);
+  cv_done_.wait(lock, [&] { return done_ == shards_.size(); });
+  lock.unlock();
+  running_.store(false, std::memory_order_relaxed);
+  // Surface worker failures deterministically: lowest shard index first.
+  for (auto& shard : shards_) {
+    if (shard->error) {
+      std::exception_ptr e = shard->error;
+      shard->error = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+}
+
+void ShardedSimulation::drain_all() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mailbox_mutex);
+    for (Event& ev : shard->mailbox) shard->queue.push(std::move(ev));
+    shard->mailbox.clear();
+  }
+}
+
+TimePoint ShardedSimulation::next_event_time() const {
+  TimePoint next = std::numeric_limits<TimePoint>::max();
+  for (const auto& shard : shards_) {
+    if (!shard->queue.empty()) next = std::min(next, shard->queue.top().when);
+  }
+  return next;
+}
+
+void ShardedSimulation::run_until(TimePoint deadline) {
+  REBECA_ASSERT(deadline >= now_, "deadline in the past");
+  REBECA_ASSERT(lookahead_ > 0, "lookahead unset");
+  start_threads();
+
+  // Lockstep windows, strictly left-closed: a window [T, T+W) executes
+  // events with when < T+W, so events AT a window edge — which other
+  // shards may still be producing (arrival >= T + lookahead == edge) —
+  // wait for the next window.
+  for (;;) {
+    drain_all();
+    const TimePoint next = next_event_time();
+    if (next >= deadline) break;
+    const TimePoint start = std::max(now_, next);  // skip idle stretches
+    const TimePoint target = std::min(deadline, start + lookahead_);
+    release_window(target, /*closing=*/false);
+    wait_window();
+    now_ = target;
+  }
+
+  // Closing pass: events exactly at the deadline run last, matching the
+  // classic engine's run_until(deadline) inclusivity. No cross-shard
+  // event can land at the deadline from inside this pass (that would
+  // need a zero-delay cross-shard hop, which the lookahead forbids).
+  drain_all();
+  release_window(deadline, /*closing=*/true);
+  wait_window();
+  now_ = deadline;
+}
+
+std::size_t ShardedSimulation::pending_events() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    n += shard->queue.size() + shard->mailbox.size();
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Scope
+// ---------------------------------------------------------------------------
+
+ShardedSimulation::Scope::Scope(LaneExecutor& lane) : saved_(tls_current_lane) {
+  tls_current_lane = &lane;
+}
+
+ShardedSimulation::Scope::~Scope() { tls_current_lane = saved_; }
+
+}  // namespace rebeca::sim

@@ -1,0 +1,202 @@
+// Sharded intra-scenario execution: a conservative time-window engine.
+//
+// One scenario's broker graph is partitioned across worker threads
+// ("shards"). Each shard owns a disjoint set of *lanes* — deterministic
+// scheduling domains (one per broker, plus one control lane hosting the
+// whole client plane) — with a private event queue and clock. Shards
+// advance in lockstep windows bounded by the minimum cross-shard link
+// delay (the lookahead): within a window no shard can influence another,
+// so shards execute concurrently; cross-shard events travel through
+// per-shard mailboxes drained at the window barriers.
+//
+// Determinism contract — the reason this engine exists instead of a
+// mutex around the classic queue: equal-seed runs are byte-identical for
+// ANY shard count, including 1. Three rules make that true:
+//
+//   1. Canonical event keys. Every event is ordered by
+//      (time, sender lane, sender sequence number), assigned at
+//      scheduling time from the *sender's* lane-local counter. Keys are
+//      globally unique and never depend on how lanes map to shards.
+//   2. Lane-confined state. An event only touches state owned by its
+//      destination lane (links split their state per side; counters are
+//      per shard and merged after the run). Lanes interact exclusively
+//      through keyed events with strictly positive delay.
+//   3. Per-lane RNG streams. Each lane draws from its own seeded
+//      generator, so draw order depends only on the lane's own
+//      deterministic execution, never on cross-lane interleaving.
+//
+// Consequence: a shard executes its lanes' events in key order, and that
+// order — per lane — is the same whether the lanes share a thread or
+// not. The classic Simulation orders by global scheduling sequence
+// instead and draws delays from one global RNG, so classic and sharded
+// runs of a stochastic scenario are *different (equally valid) samples*;
+// within the sharded engine, the shard count never changes the sample.
+#ifndef REBECA_SIM_SHARDED_HPP
+#define REBECA_SIM_SHARDED_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "src/sim/executor.hpp"
+#include "src/sim/time.hpp"
+#include "src/util/rng.hpp"
+
+namespace rebeca::sim {
+
+class ShardedSimulation;
+
+/// The Executor of one lane. Entities constructed against a lane run all
+/// their events on that lane's shard, in canonical key order, and draw
+/// randomness from the lane's own stream. Obtain via
+/// ShardedSimulation::add_lane / control().
+class LaneExecutor final : public Executor {
+ public:
+  /// This lane's shard clock. Only meaningful from the lane's own
+  /// execution context (or between windows, when all clocks agree).
+  [[nodiscard]] TimePoint now() const override;
+  [[nodiscard]] util::Rng& rng() override { return rng_; }
+  EventHandle schedule_at(TimePoint when, std::function<void()> fn) override;
+  void post_at(TimePoint when, std::function<void()> fn) override;
+
+  [[nodiscard]] std::uint32_t lane() const { return lane_; }
+  [[nodiscard]] std::size_t shard() const { return shard_; }
+
+ private:
+  friend class ShardedSimulation;
+  LaneExecutor(ShardedSimulation& engine, std::uint32_t lane, std::size_t shard,
+               std::uint64_t rng_seed)
+      : engine_(&engine), lane_(lane), shard_(shard), rng_(rng_seed) {}
+
+  ShardedSimulation* engine_;
+  std::uint32_t lane_;
+  std::size_t shard_;
+  /// Key counter for events *scheduled by* this lane (lane-owned, so the
+  /// keys it mints depend only on this lane's own execution history).
+  std::uint64_t next_seq_ = 0;
+  util::Rng rng_;
+};
+
+class ShardedSimulation {
+ public:
+  /// Creates the engine with `shards` worker shards. The control lane
+  /// (lane 0, shard 0) exists from the start; broker lanes are added
+  /// with add_lane before the first run.
+  ShardedSimulation(std::uint64_t seed, std::size_t shards);
+  ~ShardedSimulation();
+
+  ShardedSimulation(const ShardedSimulation&) = delete;
+  ShardedSimulation& operator=(const ShardedSimulation&) = delete;
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] std::size_t lane_count() const { return lanes_.size(); }
+  /// Barrier time: the time every shard has fully executed up to.
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// The control lane: hosts the client plane (clients, workload
+  /// drivers, scenario interventions) on shard 0.
+  [[nodiscard]] LaneExecutor& control() { return *lanes_.front(); }
+
+  /// Adds a lane on `shard`. Lane ids are assigned in call order, so
+  /// construction order is part of the determinism contract. Must happen
+  /// before the first run_until.
+  LaneExecutor& add_lane(std::size_t shard);
+
+  /// Window length bound: the minimum virtual-time delay of any event
+  /// that crosses shards (for an overlay: the smallest lower-bound link
+  /// delay over cut links). Must be > 0 before running.
+  void set_lookahead(Duration w);
+  [[nodiscard]] Duration lookahead() const { return lookahead_; }
+
+  /// Advances every shard to `deadline`, executing events at `deadline`
+  /// itself last (matching Simulation::run_until). On return the engine
+  /// is quiescent: all clocks equal `deadline`, mailboxes are drained.
+  void run_until(TimePoint deadline);
+
+  /// Events waiting across all shards. Quiescent use only.
+  [[nodiscard]] std::size_t pending_events() const;
+
+  /// RAII: attributes scheduling done outside any event — scenario
+  /// construction, phase callbacks, test drivers — to a lane (normally
+  /// the control lane). The engine must be quiescent.
+  class Scope {
+   public:
+    explicit Scope(LaneExecutor& lane);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    LaneExecutor* saved_;
+  };
+
+ private:
+  friend class LaneExecutor;
+
+  struct Event {
+    TimePoint when = 0;
+    std::uint32_t src_lane = 0;
+    std::uint64_t src_seq = 0;
+    LaneExecutor* dest = nullptr;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;  // null for fire-and-forget posts
+  };
+
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      if (a.src_lane != b.src_lane) return a.src_lane > b.src_lane;
+      return a.src_seq > b.src_seq;
+    }
+  };
+
+  struct Shard {
+    std::priority_queue<Event, std::vector<Event>, Later> queue;
+    TimePoint clock = 0;
+    std::mutex mailbox_mutex;
+    std::vector<Event> mailbox;
+    std::exception_ptr error;
+  };
+
+  void enqueue(LaneExecutor& dest, TimePoint when, std::function<void()> fn,
+               std::shared_ptr<bool> flag);
+  void worker(std::size_t shard_index);
+  void run_window(Shard& shard, TimePoint target, bool closing);
+  void start_threads();
+  void release_window(TimePoint target, bool closing);
+  void wait_window();
+  /// Moves mailbox contents into the owning queues. Quiescent use only.
+  void drain_all();
+  [[nodiscard]] TimePoint next_event_time() const;
+
+  std::uint64_t seed_;
+  Duration lookahead_ = kMillisecond;
+  TimePoint now_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<LaneExecutor>> lanes_;
+
+  // ---- window coordination ----
+  std::vector<std::thread> threads_;
+  std::mutex m_;
+  std::condition_variable cv_go_;
+  std::condition_variable cv_done_;
+  std::uint64_t round_ = 0;
+  TimePoint target_ = 0;
+  bool closing_ = false;
+  bool quit_ = false;
+  std::size_t done_ = 0;
+  /// True while a window is executing: cross-shard enqueues must then
+  /// respect the lookahead (asserted), and only workers may touch queues.
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace rebeca::sim
+
+#endif  // REBECA_SIM_SHARDED_HPP

@@ -6,7 +6,9 @@
 // reproducible. The kernel is single-threaded on purpose: determinism is
 // what lets the experiment harness compare a mobility run against a
 // flooding reference run of the *same* workload (paper Fig. 4 epoch
-// semantics).
+// semantics). For multi-threaded execution of one scenario, see the
+// sharded engine in sharded.hpp — entities only depend on the Executor
+// interface and run unchanged on either.
 #ifndef REBECA_SIM_SIMULATION_HPP
 #define REBECA_SIM_SIMULATION_HPP
 
@@ -16,67 +18,36 @@
 #include <queue>
 #include <vector>
 
+#include "src/sim/executor.hpp"
 #include "src/sim/time.hpp"
 #include "src/util/assert.hpp"
 #include "src/util/rng.hpp"
 
 namespace rebeca::sim {
 
-/// Handle to a scheduled event; allows cancellation.
-class EventHandle {
- public:
-  EventHandle() = default;
-
-  [[nodiscard]] bool valid() const { return cancelled_ != nullptr; }
-
-  /// Cancels the event if it has not run yet. Safe to call repeatedly.
-  void cancel() {
-    if (cancelled_) *cancelled_ = true;
-  }
-
- private:
-  friend class Simulation;
-  explicit EventHandle(std::shared_ptr<bool> flag) : cancelled_(std::move(flag)) {}
-  std::shared_ptr<bool> cancelled_;
-};
-
-class Simulation {
+class Simulation final : public Executor {
  public:
   explicit Simulation(std::uint64_t seed = 1) : rng_(seed) {}
 
-  Simulation(const Simulation&) = delete;
-  Simulation& operator=(const Simulation&) = delete;
-
-  [[nodiscard]] TimePoint now() const { return now_; }
-  [[nodiscard]] util::Rng& rng() { return rng_; }
+  [[nodiscard]] TimePoint now() const override { return now_; }
+  [[nodiscard]] util::Rng& rng() override { return rng_; }
 
   /// Schedules `fn` to run at absolute virtual time `when` (>= now).
-  EventHandle schedule_at(TimePoint when, std::function<void()> fn) {
+  EventHandle schedule_at(TimePoint when, std::function<void()> fn) override {
     REBECA_ASSERT(when >= now_, "scheduling into the past: when=" << when
                                                                   << " now=" << now_);
     auto flag = std::make_shared<bool>(false);
     queue_.push(Scheduled{when, next_seq_++, std::move(fn), flag});
-    return EventHandle(flag);
-  }
-
-  /// Schedules `fn` to run `delay` after the current time.
-  EventHandle schedule_after(Duration delay, std::function<void()> fn) {
-    REBECA_ASSERT(delay >= 0, "negative delay " << delay);
-    return schedule_at(now_ + delay, std::move(fn));
+    return make_handle(std::move(flag));
   }
 
   /// Fire-and-forget scheduling: no EventHandle, no cancellation-flag
   /// allocation. This is the hot path — link delivery schedules one
   /// event per message in flight and never cancels it.
-  void post_at(TimePoint when, std::function<void()> fn) {
+  void post_at(TimePoint when, std::function<void()> fn) override {
     REBECA_ASSERT(when >= now_, "scheduling into the past: when=" << when
                                                                   << " now=" << now_);
     queue_.push(Scheduled{when, next_seq_++, std::move(fn), nullptr});
-  }
-
-  void post_after(Duration delay, std::function<void()> fn) {
-    REBECA_ASSERT(delay >= 0, "negative delay " << delay);
-    post_at(now_ + delay, std::move(fn));
   }
 
   /// Runs events until the queue drains or virtual time would pass

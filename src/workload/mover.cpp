@@ -4,7 +4,7 @@
 
 namespace rebeca::workload {
 
-LogicalMover::LogicalMover(sim::Simulation& sim, client::Client& client,
+LogicalMover::LogicalMover(sim::Executor& sim, client::Client& client,
                            LogicalMoverConfig config)
     : sim_(sim), client_(client), config_(std::move(config)),
       rng_(config_.seed) {

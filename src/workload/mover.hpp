@@ -11,7 +11,7 @@
 #include "src/broker/overlay.hpp"
 #include "src/client/client.hpp"
 #include "src/location/location_graph.hpp"
-#include "src/sim/simulation.hpp"
+#include "src/sim/executor.hpp"
 #include "src/util/rng.hpp"
 
 namespace rebeca::workload {
@@ -32,7 +32,7 @@ struct LogicalMoverConfig {
 /// Random walk over the movement graph via Client::move_to.
 class LogicalMover {
  public:
-  LogicalMover(sim::Simulation& sim, client::Client& client,
+  LogicalMover(sim::Executor& sim, client::Client& client,
                LogicalMoverConfig config);
 
   void start();
@@ -42,7 +42,7 @@ class LogicalMover {
  private:
   void step();
 
-  sim::Simulation& sim_;
+  sim::Executor& sim_;
   client::Client& client_;
   LogicalMoverConfig config_;
   util::Rng rng_;

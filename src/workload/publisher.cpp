@@ -2,7 +2,7 @@
 
 namespace rebeca::workload {
 
-Publisher::Publisher(sim::Simulation& sim, client::Client& client,
+Publisher::Publisher(sim::Executor& sim, client::Client& client,
                      PublisherConfig config)
     : sim_(sim), client_(client), config_(std::move(config)),
       rng_(config_.seed) {}

@@ -9,7 +9,7 @@
 
 #include "src/client/client.hpp"
 #include "src/location/location_graph.hpp"
-#include "src/sim/simulation.hpp"
+#include "src/sim/executor.hpp"
 #include "src/util/rng.hpp"
 
 namespace rebeca::workload {
@@ -56,7 +56,7 @@ struct PublisherConfig {
 /// Drives a Client's publish() on the configured schedule.
 class Publisher {
  public:
-  Publisher(sim::Simulation& sim, client::Client& client, PublisherConfig config);
+  Publisher(sim::Executor& sim, client::Client& client, PublisherConfig config);
 
   void start();
   void stop();
@@ -65,7 +65,7 @@ class Publisher {
  private:
   void tick();
 
-  sim::Simulation& sim_;
+  sim::Executor& sim_;
   client::Client& client_;
   PublisherConfig config_;
   util::Rng rng_;

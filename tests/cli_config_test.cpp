@@ -255,5 +255,45 @@ TEST(Config, SweepSettingsRoundTrip) {
   EXPECT_EQ(spec.sweep.threads, 3u);
 }
 
+TEST(Config, ShardsExpectAndCheckpointsRoundTrip) {
+  const cli::RunSpec spec = cli::parse_config(R"({
+    "topology": {"kind": "chain", "size": 4},
+    "shards": 2,
+    "checkpoint_every_ms": 400,
+    "clients": [
+      {"name": "consumer", "id": 1, "broker": 3,
+       "subscribes": [{"sym": {"eq": "X"}}]},
+      {"name": "producer", "id": 2, "broker": 0,
+       "publishes": [{"every_ms": 10, "body": {"sym": "X"},
+                      "from_phase": "traffic",
+                      "until_phase_end": "traffic"}]}
+    ],
+    "phases": [
+      {"name": "settle", "duration_ms": 400},
+      {"name": "traffic", "duration_ms": 800},
+      {"name": "drain", "duration_ms": 800}
+    ],
+    "expect": {"exactly_once": ["consumer"], "fifo": ["consumer"]}
+  })");
+  EXPECT_EQ(spec.sweep.shards, 2u);
+
+  // The declaration carries checkpoints + expectations into every run.
+  scenario::ScenarioBuilder b;
+  spec.declare(b);
+  b.seed(9);
+  b.shards(spec.sweep.shards);
+  auto s = b.build();
+  EXPECT_EQ(s->shard_count(), 2u);
+  s->run();
+  const scenario::ScenarioReport r = s->report();
+  EXPECT_TRUE(r.expectations_ok()) << r.to_string();
+  EXPECT_TRUE(r.client("consumer").fifo_checked);
+  // 2s of phases at 400ms -> checkpoints at 0.4 .. 2.0s.
+  ASSERT_EQ(r.checkpoints.size(), 5u);
+  EXPECT_EQ(r.checkpoints.back().at, sim::millis(2000));
+  EXPECT_GT(r.checkpoints.back().counters.total(),
+            r.checkpoints.front().counters.total());
+}
+
 }  // namespace
 }  // namespace rebeca

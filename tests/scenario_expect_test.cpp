@@ -1,0 +1,102 @@
+// Declarative QoS expectations (ROADMAP "scenario-level assertions"):
+// expect_exactly_once / expect_fifo are declared on the builder, checked
+// by Scenario::report(), and surface as report violations instead of
+// hand-rolled bench assertions.
+#include <gtest/gtest.h>
+
+#include "src/scenario/scenario.hpp"
+#include "src/util/assert.hpp"
+
+namespace rebeca {
+namespace {
+
+using scenario::ScenarioBuilder;
+
+/// Fig. 2's shape: producer at one chain end, consumer roaming from the
+/// other; `mode` decides whether the relocation protocol or the naive
+/// baseline handles the move.
+void declare_roaming(ScenarioBuilder& b, client::RelocationMode mode) {
+  b.topology(scenario::TopologySpec::chain(4));
+  b.client("consumer")
+      .with_id(1)
+      .at_broker(3)
+      .relocation(mode)
+      .dedup(false)
+      .subscribes(filter::Filter().where("sym", filter::Constraint::eq("X")));
+  b.client("producer")
+      .with_id(2)
+      .at_broker(0)
+      .publishes(scenario::PublishSpec()
+                     .every(sim::millis(10))
+                     .body(filter::Notification().set("sym", "X"))
+                     .from_phase("traffic")
+                     .until_phase_end("traffic"));
+  b.phase("settle", sim::seconds(1));
+  b.phase("traffic", sim::seconds(2));
+  b.phase("gap", sim::millis(400),
+          [](scenario::Scenario& s) { s.detach("consumer"); });
+  b.phase("after", sim::seconds(1),
+          [](scenario::Scenario& s) { s.connect("consumer", 1); });
+  b.phase("drain", sim::seconds(2));
+}
+
+TEST(ScenarioExpect, ProtocolRunMeetsExactlyOnceAndFifo) {
+  ScenarioBuilder b;
+  declare_roaming(b, client::RelocationMode::rebeca);
+  b.expect_exactly_once("consumer").expect_fifo("consumer");
+  auto s = b.build();
+  s->run();
+  const scenario::ScenarioReport r = s->report();
+  EXPECT_TRUE(r.expectations_ok()) << r.to_string();
+  EXPECT_TRUE(r.violations.empty());
+  EXPECT_TRUE(r.client("consumer").fifo_checked);
+  EXPECT_EQ(r.client("consumer").fifo_violations, 0u);
+  // The fifo column only appears for clients with the expectation.
+  EXPECT_NE(r.to_string().find("fifo_violations 0"), std::string::npos);
+}
+
+TEST(ScenarioExpect, NaiveRelocationViolatesExactlyOnce) {
+  ScenarioBuilder b;
+  declare_roaming(b, client::RelocationMode::naive);
+  b.expect_exactly_once("consumer");
+  auto s = b.build();
+  s->run();
+  const scenario::ScenarioReport r = s->report();
+  // The naive baseline loses the gap plus the subscription blackout.
+  ASSERT_GT(r.missing, 0u);
+  EXPECT_FALSE(r.expectations_ok());
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_NE(r.violations[0].find("expect_exactly_once(consumer)"),
+            std::string::npos);
+  EXPECT_NE(r.to_string().find("expectation FAILED"), std::string::npos);
+}
+
+TEST(ScenarioExpect, ExpectationsAreValidatedAtBuild) {
+  {
+    ScenarioBuilder b;
+    declare_roaming(b, client::RelocationMode::rebeca);
+    b.expect_exactly_once("nobody");
+    EXPECT_THROW((void)b.build(), util::AssertionError);
+  }
+  {
+    // exactly-once needs completeness tracking: static filters only.
+    ScenarioBuilder b;
+    declare_roaming(b, client::RelocationMode::rebeca);
+    b.expect_exactly_once("producer");  // no subscriptions -> not tracked
+    EXPECT_THROW((void)b.build(), util::AssertionError);
+  }
+}
+
+TEST(ScenarioExpect, ExpectationsRideAlongUnderSharding) {
+  ScenarioBuilder b;
+  declare_roaming(b, client::RelocationMode::rebeca);
+  b.expect_exactly_once("consumer").expect_fifo("consumer").shards(2);
+  auto s = b.build();
+  s->run();
+  const scenario::ScenarioReport r = s->report();
+  EXPECT_TRUE(r.expectations_ok()) << r.to_string();
+  EXPECT_GT(r.delivered, 0u);
+}
+
+}  // namespace
+}  // namespace rebeca

@@ -5,6 +5,7 @@
 // back in seed order, and the statistics match hand-computed values.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/scenario/sweep.hpp"
@@ -155,6 +156,69 @@ TEST(ScenarioSweep, EqualConfigsProduceIdenticalResults) {
   cfg.runs = 3;
   cfg.threads = 3;
   EXPECT_EQ(sweep.run(cfg).table(), sweep.run(cfg).table());
+}
+
+TEST(ScenarioSweep, ShardedSweepIsShardCountInvariant) {
+  // The sweep's shard knob rides the same determinism contract as the
+  // engine: per-seed reports and every aggregate rendering are
+  // byte-identical whether each scenario runs on 1 or 4 shards, and
+  // whatever the thread budget split does.
+  ScenarioSweep sweep(declare_roaming);
+  SweepConfig one;
+  one.base_seed = 5;
+  one.runs = 4;
+  one.threads = 4;
+  one.shards = 1;
+  SweepConfig four = one;
+  four.shards = 4;
+  four.threads = 8;
+
+  const SweepResult a = sweep.run(one);
+  const SweepResult b = sweep.run(four);
+  EXPECT_EQ(a.table(), b.table());
+  EXPECT_EQ(a.csv(), b.csv());
+  EXPECT_EQ(a.csv_runs(), b.csv_runs());
+  ASSERT_EQ(a.reports.size(), b.reports.size());
+  for (std::size_t i = 0; i < a.reports.size(); ++i) {
+    EXPECT_EQ(a.reports[i].to_string(), b.reports[i].to_string())
+        << "per-run report " << i << " depends on shard count";
+  }
+}
+
+TEST(ScenarioSweep, ThreadBudgetSplitsAcrossRunsAndShards) {
+  SweepConfig cfg;
+  cfg.threads = 8;
+  cfg.shards = 4;
+  EXPECT_EQ(cfg.resolved_run_workers(), 2u);
+  cfg.shards = 0;
+  EXPECT_EQ(cfg.resolved_run_workers(), 8u);
+  cfg.shards = 16;  // more shard workers than budget: still one run
+  EXPECT_EQ(cfg.resolved_run_workers(), 1u);
+}
+
+TEST(ScenarioSweep, CheckpointSeriesCsv) {
+  ScenarioSweep sweep([](ScenarioBuilder& b) {
+    declare_roaming(b);
+    b.checkpoint_every(sim::millis(500));
+  });
+  SweepConfig cfg;
+  cfg.base_seed = 3;
+  cfg.runs = 3;
+  cfg.threads = 2;
+  const SweepResult r = sweep.run(cfg);
+  // Phases total 3.5s -> checkpoints at 0.5s .. 3.5s: 7 rows + header.
+  const std::string csv = r.csv_series();
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(csv.begin(), csv.end(), '\n')),
+            8u)
+      << csv;
+  EXPECT_EQ(csv.rfind("time_ms,notification,delivery,", 0), 0u) << csv;
+  // Cumulative counts: every run reported each checkpoint.
+  EXPECT_NE(csv.find(",3\n"), std::string::npos);
+  // Deterministic regardless of threading.
+  SweepConfig serial = cfg;
+  serial.threads = 1;
+  EXPECT_EQ(sweep.run(serial).csv_series(), csv);
 }
 
 TEST(ScenarioSweep, SingleSeedMatchesDirectScenarioRun) {
