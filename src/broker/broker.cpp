@@ -53,6 +53,10 @@ void Broker::handle_message(net::Link& from, const net::Message& msg) {
           on_relocate_sub(from, m);
         } else if constexpr (std::is_same_v<T, net::FetchMsg>) {
           on_fetch(from, m);
+        } else if constexpr (std::is_same_v<T, net::ReExposeMsg>) {
+          on_reexpose(from, m);
+        } else if constexpr (std::is_same_v<T, net::ReExposeAckMsg>) {
+          on_reexpose_ack(from, m);
         } else if constexpr (std::is_same_v<T, net::ReplayMsg>) {
           on_replay(from, m);
         } else if constexpr (std::is_same_v<T, net::LdSubscribeMsg>) {
@@ -124,8 +128,35 @@ bool Broker::adv_allows(LinkId link, const filter::Filter& f) const {
 
 void Broker::refresh_link(net::Link& link) {
   const LinkId lid = link.id();
-  auto target = routing::compute_forward_set(
-      config_.strategy, collect_inputs_excluding(lid));
+  const auto inputs = collect_inputs_excluding(lid);
+  auto target = routing::compute_forward_set(config_.strategy, inputs);
+
+  // Re-expose pins: filters force-exposed on this link by the moveout
+  // protocol stay in the target until the covering conflict resolves —
+  // either the natural target contains them again (the covering input
+  // died and aggregation now elects them itself) or their own backing
+  // inputs are gone (the covered subscriber left too).
+  if (auto pit = reexpose_pins_.find(lid); pit != reexpose_pins_.end()) {
+    auto& pins = pit->second;
+    for (auto it = pins.begin(); it != pins.end();) {
+      if (target.count(*it) != 0) {
+        it = pins.erase(it);
+        continue;
+      }
+      std::set<SubKey> tags;
+      for (const auto& in : inputs) {
+        if (in.f == *it) tags.insert(in.tags.begin(), in.tags.end());
+      }
+      if (tags.empty()) {
+        it = pins.erase(it);
+        continue;
+      }
+      target[*it] = std::move(tags);
+      ++it;
+    }
+    if (pins.empty()) reexpose_pins_.erase(pit);
+  }
+
   if (config_.use_advertisements) {
     for (auto it = target.begin(); it != target.end();) {
       if (!adv_allows(lid, it->first)) {
@@ -135,12 +166,16 @@ void Broker::refresh_link(net::Link& link) {
       }
     }
   }
-  auto diff = routing::diff_forward_sets(sent_[lid], target);
-  for (const auto& f : diff.unsubscribe) {
-    send(link, net::UnsubscribeMsg{f});
-  }
-  for (const auto& [f, tags] : diff.subscribe) {
-    send(link, net::SubscribeMsg{f, tags});
+  // The diff is an ordered program: upserts strictly before prunes, so
+  // on the FIFO link a covered filter is installed at the peer before
+  // its covering representative disappears.
+  auto program = routing::diff_forward_sets(sent_[lid], target);
+  for (auto& step : program.steps) {
+    if (step.kind == routing::DiffStep::Kind::upsert) {
+      send(link, net::SubscribeMsg{std::move(step.f), std::move(step.tags)});
+    } else {
+      send(link, net::UnsubscribeMsg{std::move(step.f)});
+    }
   }
   sent_[lid] = std::move(target);
 }
@@ -293,6 +328,12 @@ std::optional<location::LocationSet> Broker::ld_concrete_set(
 const routing::ForwardSet* Broker::forwarded_to(LinkId link) const {
   auto it = sent_.find(link);
   return it == sent_.end() ? nullptr : &it->second;
+}
+
+std::size_t Broker::pending_moveout_count() const {
+  std::size_t n = 0;
+  for (const auto& [link, pending] : moveouts_) n += pending.size();
+  return n;
 }
 
 // ---------------------------------------------------------------------------

@@ -16,11 +16,13 @@
 //
 // Subscription forwarding is recomputed, not incrementally patched: after
 // any state change the broker recomputes the per-link target forward set
-// under its routing strategy and sends only the diff (see
-// routing/strategy.hpp). This makes covering/merging unsubscription
-// re-exposure automatic and keeps the relocation protocol's path
-// cleanups free: removing a virtual counterpart simply removes its input
-// and the diffs prune the old path.
+// under its routing strategy and sends only the diff — an ordered
+// program whose upserts precede its prunes (see routing/strategy.hpp).
+// Removing a virtual counterpart simply removes its input and the diffs
+// prune the old path; where the relocation protocol itself must prune a
+// covering entry (the fetch path under covering/merging routing), the
+// two-phase uncover-before-prune handshake (ReExposeMsg/ReExposeAckMsg)
+// first re-exposes every covered downstream subscription hop by hop.
 #ifndef REBECA_BROKER_BROKER_HPP
 #define REBECA_BROKER_BROKER_HPP
 
@@ -46,6 +48,12 @@ struct BrokerConfig {
   /// Forward subscriptions only toward overlapping advertisements
   /// (Rebeca's advertisement-based pruning; Fig. 5 junction semantics).
   bool use_advertisements = false;
+  /// Two-phase uncover-before-prune relocation moveouts (aggregating
+  /// strategies): before the mover's filter is pruned from an old-path
+  /// routing entry, the downstream broker re-exposes every subscription
+  /// the filter covers and acks; only then does the entry go. Disable
+  /// only to demonstrate the covered-bystander hazard (tests).
+  bool uncover_before_prune = true;
   /// Delivered-notification history kept per session subscription, so a
   /// silently disconnected client can be replayed from its last received
   /// sequence number even though in-flight deliveries were lost.
@@ -117,6 +125,15 @@ class Broker final : public net::Endpoint {
   }
   /// Filters currently forwarded to the given neighbor (testing).
   [[nodiscard]] const routing::ForwardSet* forwarded_to(LinkId link) const;
+  /// Moveouts whose prune is still awaiting the downstream re-expose ack
+  /// (the intermediate epoch state between "relocation committed" and
+  /// "old path pruned").
+  [[nodiscard]] std::size_t pending_moveout_count() const;
+  /// Cumulative filters this broker force-re-exposed upstream on
+  /// ReExposeMsg requests (the uncover traffic, for benches).
+  [[nodiscard]] std::uint64_t reexposed_filters() const {
+    return reexposed_filters_;
+  }
 
  private:
   // ---------- session-side state ----------
@@ -206,6 +223,30 @@ class Broker final : public net::Endpoint {
     LinkId toward_new;
   };
 
+  /// Uncover-before-prune moveout in flight on one old-path link: the
+  /// mover's key stays tagged in remote_[link] — traffic keeps flowing
+  /// down the old path, protecting covered bystanders — until the
+  /// downstream broker acks that it re-exposed everything the filters
+  /// cover. This is the relocation state machine's intermediate state
+  /// between "relocation committed" (fetch dispatched) and "old path
+  /// pruned".
+  struct PendingMoveout {
+    std::uint64_t epoch = 0;
+    std::vector<filter::Filter> prune;  // entries to drop once acked
+    std::size_t acks_outstanding = 0;
+  };
+
+  /// A ReExposeMsg this broker could not answer yet because its own
+  /// downstream moveout for the key is still pending: the covered
+  /// filters that will surface from below are not in the tables yet.
+  /// Answered when the last downstream ack lands — the ack barrier is
+  /// transitive along the old path.
+  struct DeferredReexpose {
+    LinkId reply;
+    filter::Filter f;
+    std::uint64_t epoch = 0;
+  };
+
   // ---------- message handlers ----------
   void on_publish(net::Link& from, const filter::Notification& n);
   void on_subscribe(net::Link& from, const net::SubscribeMsg& m);
@@ -214,6 +255,8 @@ class Broker final : public net::Endpoint {
   void on_unadvertise(net::Link& from, const net::UnadvertiseMsg& m);
   void on_relocate_sub(net::Link& from, const net::RelocateSubMsg& m);
   void on_fetch(net::Link& from, const net::FetchMsg& m);
+  void on_reexpose(net::Link& from, const net::ReExposeMsg& m);
+  void on_reexpose_ack(net::Link& from, const net::ReExposeAckMsg& m);
   void on_replay(net::Link& from, const net::ReplayMsg& m);
   void on_ld_subscribe(net::Link& from, const net::LdSubscribeMsg& m);
   void on_ld_unsubscribe(net::Link& from, const net::LdUnsubscribeMsg& m);
@@ -249,6 +292,16 @@ class Broker final : public net::Endpoint {
   Junction dispatch_fetch(const SubKey& key, const filter::Filter& f,
                           std::uint64_t epoch, std::uint64_t last_seq,
                           LinkId exclude);
+  /// Runs the planned moveout of `key` from remote_[link]: untags shared
+  /// entries now; for dying entries either primes the two-phase
+  /// re-expose/ack handshake (aggregating strategies with
+  /// uncover_before_prune) or prunes immediately.
+  void begin_moveout(net::Link& link, const SubKey& key, std::uint64_t epoch);
+  /// Executes a moveout's deferred prunes (ack barrier passed).
+  void finish_moveout(net::Link& link, const SubKey& key);
+  /// Computes and sends the re-expose set for `f` toward `to`, then acks.
+  void answer_reexpose(net::Link& to, const SubKey& key,
+                       const filter::Filter& f, std::uint64_t epoch);
   void remove_local_sub(Session& session, std::uint32_t sub_id, bool propagate);
   void virtualize_session(Session& session);
   void emit_replay(VirtualSub& v, net::Link& to, std::uint64_t epoch,
@@ -287,9 +340,20 @@ class Broker final : public net::Endpoint {
   std::map<SubKey, VirtualSub> virtuals_;
   std::map<SubKey, LdTransit> ld_;
   std::map<SubKey, Crumb> crumbs_;
+  /// Per old-path link: moveouts awaiting the downstream re-expose ack.
+  std::map<LinkId, std::map<SubKey, PendingMoveout>> moveouts_;
+  std::map<SubKey, std::vector<DeferredReexpose>> deferred_reexpose_;
+  /// Filters this broker force-re-exposed toward a link on a ReExposeMsg
+  /// request: pinned into that link's target forward set until the
+  /// covering conflict resolves naturally (the pin appears in the
+  /// computed target, or its backing inputs disappear). Without the pin
+  /// the very next refresh would re-aggregate the filter away while the
+  /// mover's covering input is still alive, reopening the hazard.
+  std::map<LinkId, std::set<filter::Filter>> reexpose_pins_;
 
   std::uint64_t replayed_notifications_ = 0;
   std::uint64_t replay_truncated_ = 0;
+  std::uint64_t reexposed_filters_ = 0;
 };
 
 }  // namespace rebeca::broker

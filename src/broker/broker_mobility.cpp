@@ -17,7 +17,15 @@
 //  4. FetchMsg re-points per-key state as it travels (on_fetch) and lays
 //     breadcrumbs; the old border replays its buffer (emit_replay) and
 //     garbage-collects. Removing the virtual removes a forwarding input,
-//     so the diff machinery prunes the old path automatically.
+//     so the diff machinery prunes the old path automatically. Where the
+//     protocol itself must drop a routing entry that dies with the mover
+//     (begin_moveout), aggregating strategies run the two-phase
+//     uncover-before-prune handshake: the entry stays routable while a
+//     ReExposeMsg travels down the old path, each hop re-exposes every
+//     subscription the mover's filter covers (deferring its ack behind
+//     its own downstream barrier), and only the returning ReExposeAckMsg
+//     releases the prune — so a covered bystander's delivery path is
+//     never interrupted.
 //  5. The replay follows the breadcrumbs to the new border, which
 //     delivers replayed notifications before its own buffered live ones
 //     (finish_relocation), deduplicating by notification id.
@@ -420,19 +428,158 @@ Broker::Junction Broker::dispatch_fetch(const SubKey& key,
   }
   if (old_dirs.empty()) return Junction::none;
 
-  // This broker is (a candidate) junction: re-point and fetch.
+  // This broker is (a candidate) junction: fetch first (relocation
+  // latency is unaffected by the uncover handshake, which runs
+  // concurrently), then start the moveout of the key from each old
+  // direction. Entries whose covered downstream filters must be
+  // re-exposed stay routable until the ack barrier passes.
   for (net::Link* link : old_dirs) {
-    auto& fs = remote_[link->id()];
-    for (auto it = fs.begin(); it != fs.end();) {
-      it->second.erase(key);
-      // Entries serving nobody anymore must go, or they would keep
-      // routing traffic down the abandoned path.
-      it = it->second.empty() ? fs.erase(it) : std::next(it);
-    }
     send(*link, net::FetchMsg{key, f, epoch, last_seq});
+    begin_moveout(*link, key, epoch);
   }
   refresh_all_links();
   return kind;
+}
+
+// ---------------------------------------------------------------------------
+// Uncover-before-prune moveouts (the two-phase protocol)
+// ---------------------------------------------------------------------------
+
+void Broker::begin_moveout(net::Link& link, const SubKey& key,
+                           std::uint64_t epoch) {
+  const LinkId lid = link.id();
+  auto& fs = remote_[lid];
+  auto program = routing::plan_moveout(config_.strategy, key, fs);
+  if (program.empty()) return;
+  const bool two_phase =
+      config_.uncover_before_prune && program.ack_barriers > 0;
+  PendingMoveout pending;
+  pending.epoch = epoch;
+  for (auto& step : program.steps) {
+    switch (step.kind) {
+      case routing::MoveoutStep::Kind::untag: {
+        // Other subscriptions keep the entry alive; routing unchanged.
+        auto it = fs.find(step.f);
+        if (it != fs.end()) it->second.erase(key);
+        break;
+      }
+      case routing::MoveoutStep::Kind::reexpose:
+        if (two_phase) {
+          send(link, net::ReExposeMsg{key, step.f, epoch});
+          ++pending.acks_outstanding;
+        }
+        break;
+      case routing::MoveoutStep::Kind::prune:
+        if (two_phase) {
+          // Ack barrier: the entry stays tagged and routable until the
+          // downstream re-exposures are confirmed installed.
+          pending.prune.push_back(step.f);
+        } else {
+          auto it = fs.find(step.f);
+          if (it != fs.end()) {
+            it->second.erase(key);
+            // Entries serving nobody anymore must go, or they would
+            // keep routing traffic down the abandoned path.
+            if (it->second.empty()) fs.erase(it);
+          }
+        }
+        break;
+    }
+  }
+  // A later epoch (the client moved again before the ack) replaces the
+  // pending record; stale acks are epoch-filtered.
+  if (two_phase) moveouts_[lid][key] = std::move(pending);
+}
+
+void Broker::finish_moveout(net::Link& link, const SubKey& key) {
+  auto lit = moveouts_.find(link.id());
+  if (lit == moveouts_.end()) return;
+  auto pit = lit->second.find(key);
+  if (pit == lit->second.end()) return;
+  PendingMoveout pending = std::move(pit->second);
+  lit->second.erase(pit);
+  if (lit->second.empty()) moveouts_.erase(lit);
+
+  auto& fs = remote_[link.id()];
+  for (const auto& f : pending.prune) {
+    auto it = fs.find(f);
+    if (it == fs.end()) continue;
+    it->second.erase(key);
+    if (it->second.empty()) fs.erase(it);
+  }
+  refresh_all_links();
+
+  // Serve re-expose requests that waited on this barrier — unless the
+  // key is still mid-moveout on yet another link.
+  auto dit = deferred_reexpose_.find(key);
+  if (dit == deferred_reexpose_.end()) return;
+  for (const auto& [lid, pend] : moveouts_) {
+    if (pend.count(key) != 0) return;
+  }
+  auto deferred = std::move(dit->second);
+  deferred_reexpose_.erase(dit);
+  for (const auto& d : deferred) {
+    auto l = links_by_id_.find(d.reply);
+    if (l != links_by_id_.end()) answer_reexpose(*l->second, key, d.f, d.epoch);
+  }
+}
+
+void Broker::on_reexpose(net::Link& from, const net::ReExposeMsg& m) {
+  // Transitive ack barrier: while this broker's own downstream moveout
+  // for the key is pending, the covered filters that will surface from
+  // below are not in the tables yet — defer the answer until the last
+  // downstream ack lands (finish_moveout).
+  for (const auto& [lid, pend] : moveouts_) {
+    if (lid != from.id() && pend.count(m.key) != 0) {
+      deferred_reexpose_[m.key].push_back({from.id(), m.f, m.epoch});
+      return;
+    }
+  }
+  answer_reexpose(from, m.key, m.f, m.epoch);
+}
+
+void Broker::answer_reexpose(net::Link& to, const SubKey& key,
+                             const filter::Filter& f, std::uint64_t epoch) {
+  const LinkId lid = to.id();
+  // The re-expose set: every forwarding input toward `to` that f covers
+  // (the covered_by query over this broker's tables — remote hops, local
+  // sessions, virtual counterparts, via the same collect_inputs_excluding
+  // the forward-set computation uses, so the two can never drift) minus
+  // the mover's own tag and whatever is already on the wire.
+  routing::ForwardSet inputs;
+  for (const auto& in : collect_inputs_excluding(lid)) {
+    auto& slot = inputs[in.f];
+    slot.insert(in.tags.begin(), in.tags.end());
+  }
+  routing::ForwardSet expose = routing::covered_by(f, inputs);
+
+  auto& sentfs = sent_[lid];
+  for (auto& [g, tags] : expose) {
+    tags.erase(key);
+    if (tags.empty()) continue;
+    if (config_.use_advertisements && !adv_allows(lid, g)) continue;
+    // Pin the filter into this link's target set: without the pin the
+    // next refresh would re-aggregate it away while the mover's covering
+    // input is still alive, reopening the hazard.
+    reexpose_pins_[lid].insert(g);
+    auto sit = sentfs.find(g);
+    if (sit != sentfs.end() && sit->second == tags) continue;
+    sentfs[g] = tags;
+    ++reexposed_filters_;
+    send(to, net::SubscribeMsg{g, std::move(tags)});
+  }
+  // FIFO puts the re-exposures ahead of the ack: when the requester
+  // prunes, every covered filter is already installed on its side.
+  send(to, net::ReExposeAckMsg{key, epoch});
+}
+
+void Broker::on_reexpose_ack(net::Link& from, const net::ReExposeAckMsg& m) {
+  auto lit = moveouts_.find(from.id());
+  if (lit == moveouts_.end()) return;
+  auto pit = lit->second.find(m.key);
+  if (pit == lit->second.end() || pit->second.epoch != m.epoch) return;
+  if (--pit->second.acks_outstanding > 0) return;
+  finish_moveout(from, m.key);
 }
 
 void Broker::on_fetch(net::Link& from, const net::FetchMsg& m) {
@@ -458,8 +605,8 @@ void Broker::on_fetch(net::Link& from, const net::FetchMsg& m) {
   // The entry flip of Fig. 5 step 5 ("pointing into the direction of
   // B4") happens implicitly: the new border's SubscribeMsg precedes the
   // hunt and the fetch on every FIFO link, so wherever the new path is
-  // needed it is already installed; here we only prune the old
-  // direction and remember the reverse path for the replay.
+  // needed it is already installed; here we only move the key out of the
+  // old direction and remember the reverse path for the replay.
 
   // Continue along the old path: tagged directions first, then LD
   // transit state (keyed exactly; the re-anchor flood trailing the fetch
@@ -467,15 +614,11 @@ void Broker::on_fetch(net::Link& from, const net::FetchMsg& m) {
   std::vector<net::Link*> old_dirs;
   for (auto& [lid, fs] : remote_) {
     if (lid == from.id()) continue;
-    for (auto it = fs.begin(); it != fs.end();) {
-      if (it->second.erase(m.key) != 0) {
+    for (const auto& [entry_f, tags] : fs) {
+      if (tags.count(m.key) != 0) {
         old_dirs.push_back(links_by_id_.at(lid));
-        if (it->second.empty()) {
-          it = fs.erase(it);
-          continue;
-        }
+        break;
       }
-      ++it;
     }
   }
   if (old_dirs.empty()) {
@@ -500,6 +643,7 @@ void Broker::on_fetch(net::Link& from, const net::FetchMsg& m) {
   old_dirs.erase(std::unique(old_dirs.begin(), old_dirs.end()), old_dirs.end());
   for (net::Link* link : old_dirs) {
     send(*link, net::FetchMsg{m});
+    begin_moveout(*link, m.key, m.epoch);
   }
   refresh_all_links();
 }

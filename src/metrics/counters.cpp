@@ -9,6 +9,7 @@ const char* message_class_name(MessageClass c) {
     case MessageClass::subscription_admin: return "sub-admin";
     case MessageClass::advertisement_admin: return "adv-admin";
     case MessageClass::relocation_control: return "relocation";
+    case MessageClass::reexpose: return "reexpose";
     case MessageClass::replay: return "replay";
     case MessageClass::location_update: return "loc-update";
     case MessageClass::client_control: return "client-ctl";

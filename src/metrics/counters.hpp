@@ -20,6 +20,7 @@ enum class MessageClass : std::size_t {
   subscription_admin, // sub/unsub forwarding between brokers
   advertisement_admin,// adv/unadv forwarding between brokers
   relocation_control, // relocation subscriptions + fetch requests
+  reexpose,           // uncover-before-prune re-expose requests + acks
   replay,             // buffered-notification replay batches
   location_update,    // logical-mobility location change propagation
   client_control,     // hello/bye/sub/unsub/move on client links

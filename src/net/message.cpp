@@ -14,6 +14,8 @@ struct ClassVisitor {
   MC operator()(const UnadvertiseMsg&) const { return MC::advertisement_admin; }
   MC operator()(const RelocateSubMsg&) const { return MC::relocation_control; }
   MC operator()(const FetchMsg&) const { return MC::relocation_control; }
+  MC operator()(const ReExposeMsg&) const { return MC::reexpose; }
+  MC operator()(const ReExposeAckMsg&) const { return MC::reexpose; }
   MC operator()(const ReplayMsg&) const { return MC::replay; }
   MC operator()(const LdSubscribeMsg&) const { return MC::location_update; }
   MC operator()(const LdUnsubscribeMsg&) const { return MC::location_update; }
@@ -37,6 +39,8 @@ struct NameVisitor {
   const char* operator()(const UnadvertiseMsg&) const { return "unadvertise"; }
   const char* operator()(const RelocateSubMsg&) const { return "relocate-sub"; }
   const char* operator()(const FetchMsg&) const { return "fetch"; }
+  const char* operator()(const ReExposeMsg&) const { return "re-expose"; }
+  const char* operator()(const ReExposeAckMsg&) const { return "re-expose-ack"; }
   const char* operator()(const ReplayMsg&) const { return "replay"; }
   const char* operator()(const LdSubscribeMsg&) const { return "ld-subscribe"; }
   const char* operator()(const LdUnsubscribeMsg&) const { return "ld-unsubscribe"; }

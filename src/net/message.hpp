@@ -107,6 +107,27 @@ struct FetchMsg {
   std::uint64_t last_seq = 0;
 };
 
+/// Uncover request of the two-phase moveout protocol: the sender is
+/// about to prune the mover's filter `f` (serving `key`) from its
+/// routing-table entry for this link, and the receiver — the next broker
+/// down the old path — must first re-expose every subscription `f`
+/// covers (force-subscribing them back to the sender), then answer with
+/// ReExposeAckMsg. FIFO ordering guarantees the re-exposures are
+/// installed at the sender before the ack arrives, so the prune can
+/// never orphan a covered bystander.
+struct ReExposeMsg {
+  SubKey key;
+  filter::Filter f;
+  std::uint64_t epoch = 0;
+};
+
+/// Ack of a ReExposeMsg: every covered subscription has been re-exposed
+/// (and, by FIFO, installed); the pending prune may execute.
+struct ReExposeAckMsg {
+  SubKey key;
+  std::uint64_t epoch = 0;
+};
+
 /// The virtual counterpart's buffered notifications, routed back along
 /// the breadcrumbs laid by RelocateSubMsg and FetchMsg.
 struct ReplayMsg {
@@ -208,6 +229,7 @@ struct ClientMoveMsg {
 using Message =
     std::variant<PublishMsg, DeliverMsg, SubscribeMsg, UnsubscribeMsg,
                  AdvertiseMsg, UnadvertiseMsg, RelocateSubMsg, FetchMsg,
+                 ReExposeMsg, ReExposeAckMsg,
                  ReplayMsg, LdSubscribeMsg, LdUnsubscribeMsg, LdMoveMsg,
                  ClientHelloMsg, ClientByeMsg, ClientSubscribeMsg,
                  ClientUnsubscribeMsg, ClientPublishMsg, ClientAdvertiseMsg,

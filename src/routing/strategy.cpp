@@ -106,16 +106,71 @@ ForwardSet compute_forward_set(Strategy strategy,
   return {};
 }
 
-ForwardDiff diff_forward_sets(const ForwardSet& sent, const ForwardSet& target) {
-  ForwardDiff diff;
-  for (const auto& [f, tags] : sent) {
-    if (target.find(f) == target.end()) diff.unsubscribe.push_back(f);
-  }
+std::size_t DiffProgram::upserts() const {
+  std::size_t n = 0;
+  for (const auto& s : steps) n += s.kind == DiffStep::Kind::upsert ? 1 : 0;
+  return n;
+}
+
+std::size_t DiffProgram::prunes() const {
+  std::size_t n = 0;
+  for (const auto& s : steps) n += s.kind == DiffStep::Kind::prune ? 1 : 0;
+  return n;
+}
+
+DiffProgram diff_forward_sets(const ForwardSet& sent, const ForwardSet& target) {
+  DiffProgram program;
+  // Upserts first: a target entry may cover a pruned one, and on a FIFO
+  // link the receiver must install the replacement before the covering
+  // entry goes away (uncover-before-prune).
   for (const auto& [f, tags] : target) {
     auto it = sent.find(f);
-    if (it == sent.end() || it->second != tags) diff.subscribe[f] = tags;
+    if (it == sent.end() || it->second != tags) {
+      program.steps.push_back({DiffStep::Kind::upsert, f, tags});
+    }
   }
-  return diff;
+  for (const auto& [f, tags] : sent) {
+    if (target.find(f) == target.end()) {
+      program.steps.push_back({DiffStep::Kind::prune, f, {}});
+    }
+  }
+  return program;
+}
+
+ForwardSet covered_by(const filter::Filter& f, const ForwardSet& hop) {
+  ForwardSet out;
+  for (const auto& [g, tags] : hop) {
+    if (g == f) continue;  // the representative itself
+    if (f.covers(g)) out.emplace(g, tags);
+  }
+  return out;
+}
+
+bool strategy_aggregates(Strategy s) {
+  return s == Strategy::covering || s == Strategy::merging;
+}
+
+MoveoutProgram plan_moveout(Strategy strategy, const SubKey& key,
+                            const ForwardSet& hop) {
+  MoveoutProgram program;
+  for (const auto& [f, tags] : hop) {
+    if (tags.count(key) == 0) continue;
+    if (tags.size() > 1) {
+      // Other subscriptions keep the entry alive; dropping the key is
+      // invisible to routing.
+      program.steps.push_back({MoveoutStep::Kind::untag, f});
+      continue;
+    }
+    // The entry dies with the mover. Under an aggregating strategy it
+    // may be the sole representative of covered downstream filters that
+    // were never forwarded — uncover before pruning.
+    if (strategy_aggregates(strategy)) {
+      program.steps.push_back({MoveoutStep::Kind::reexpose, f});
+      ++program.ack_barriers;
+    }
+    program.steps.push_back({MoveoutStep::Kind::prune, f});
+  }
+  return program;
 }
 
 }  // namespace rebeca::routing

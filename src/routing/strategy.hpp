@@ -50,16 +50,85 @@ using ForwardSet = std::map<filter::Filter, std::set<SubKey>>;
 [[nodiscard]] ForwardSet compute_forward_set(Strategy strategy,
                                              const std::vector<ForwardInput>& inputs);
 
-/// Difference between the previously sent set and the target: entries to
-/// unsubscribe, and entries to (re-)subscribe (new filter or changed
-/// tags — receivers treat subscribe as an upsert).
-struct ForwardDiff {
-  std::vector<filter::Filter> unsubscribe;
-  ForwardSet subscribe;
+/// One step of a forward-set reconciliation program.
+struct DiffStep {
+  enum class Kind { upsert, prune };
+  Kind kind = Kind::upsert;
+  filter::Filter f;
+  std::set<SubKey> tags;  // upsert only
 };
 
-[[nodiscard]] ForwardDiff diff_forward_sets(const ForwardSet& sent,
+/// Ordered reconciliation program between the previously sent set and
+/// the target. Upserts ((re-)subscriptions — new filter or changed tags;
+/// receivers treat subscribe as an upsert) strictly precede prunes
+/// (unsubscriptions): on a FIFO link the receiver installs every
+/// re-exposed filter before any covering entry disappears, so no window
+/// exists in which a covered subscription loses its representative
+/// (uncover-before-prune).
+struct DiffProgram {
+  std::vector<DiffStep> steps;
+
+  [[nodiscard]] bool empty() const { return steps.empty(); }
+  [[nodiscard]] std::size_t upserts() const;
+  [[nodiscard]] std::size_t prunes() const;
+};
+
+[[nodiscard]] DiffProgram diff_forward_sets(const ForwardSet& sent,
                                             const ForwardSet& target);
+
+/// Entries of one hop's routing table strictly covered by `f`: f covers
+/// the entry and the entry is not structurally equal to f. These are the
+/// subscriptions that lose their wire representative if an entry for `f`
+/// is pruned from that hop — the set the relocation protocol must
+/// re-expose along the old path before pruning.
+[[nodiscard]] ForwardSet covered_by(const filter::Filter& f,
+                                    const ForwardSet& hop);
+
+/// True when the strategy aggregates filters away (covering/merging):
+/// pruning a forwarded entry can then orphan covered subscriptions that
+/// were never put on the wire, so moveouts need the two-phase
+/// re-expose/ack protocol. Simple/identity forward every distinct filter
+/// and may prune directly; flooding forwards nothing.
+[[nodiscard]] bool strategy_aggregates(Strategy s);
+
+/// One step of a relocation moveout program for a single hop (one
+/// old-path link's routing table).
+struct MoveoutStep {
+  enum class Kind {
+    /// Remove the departing key from this entry's tag set; the entry
+    /// keeps serving its other subscriptions — no routing change.
+    untag,
+    /// Ask the downstream broker to re-expose every subscription this
+    /// entry covers, and wait for its ack before the matching prune.
+    reexpose,
+    /// Remove the entry (after the ack barrier when preceded by a
+    /// reexpose step).
+    prune,
+  };
+  Kind kind = Kind::untag;
+  filter::Filter f;
+};
+
+/// Ordered moveout program: how a relocated subscription's key leaves
+/// one hop's routing table. Historically this was a bare unsub list
+/// (erase the key everywhere, drop empty entries); under aggregating
+/// strategies that pruned covering representatives before downstream
+/// covered filters were re-exposed, silently dropping bystanders'
+/// notifications. The program makes the required order explicit:
+/// {untag*} then, per dying entry, {reexpose, ack-barrier, prune} — or a
+/// plain {prune} when the strategy cannot have hidden anything.
+struct MoveoutProgram {
+  std::vector<MoveoutStep> steps;
+  /// Number of reexpose steps: the acks the executing broker must await
+  /// before it may run the prune steps.
+  std::size_t ack_barriers = 0;
+
+  [[nodiscard]] bool empty() const { return steps.empty(); }
+};
+
+/// Plans the moveout of `key` from one hop's table under `strategy`.
+[[nodiscard]] MoveoutProgram plan_moveout(Strategy strategy, const SubKey& key,
+                                          const ForwardSet& hop);
 
 }  // namespace rebeca::routing
 

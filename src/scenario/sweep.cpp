@@ -63,11 +63,14 @@ void extract_metrics(const ScenarioReport& report,
   put("latency_p99_ms", sim::to_millis(report.latency.p99));
   put("messages_total", static_cast<double>(report.messages.total()));
   put("messages_admin", static_cast<double>(report.messages.administrative()));
+  put("messages_reexpose",
+      static_cast<double>(report.messages.count(metrics::MessageClass::reexpose)));
   for (const ClientReport& c : report.clients) {
     const std::string prefix = "client." + c.name + ".";
     put(prefix + "published", static_cast<double>(c.published));
     put(prefix + "delivered", static_cast<double>(c.delivered));
     put(prefix + "duplicates", static_cast<double>(c.duplicates));
+    put(prefix + "filtered", static_cast<double>(c.filtered));
     if (c.tracked) {
       put(prefix + "expected", static_cast<double>(c.expected));
       put(prefix + "missing", static_cast<double>(c.missing));
@@ -86,9 +89,7 @@ std::vector<std::uint64_t> SweepResult::seeds() const {
   return out;
 }
 
-namespace {
-
-MetricStats stats_of(const std::vector<double>& xs) {
+MetricStats stats_over(const std::vector<double>& xs) {
   MetricStats s;
   // NaN marks "this run did not report the metric" (conditional probes,
   // no-delivery sentinels): excluded from the statistics rather than
@@ -118,6 +119,8 @@ MetricStats stats_of(const std::vector<double>& xs) {
   return s;
 }
 
+namespace {
+
 /// Fixed-format rendering so tables are byte-stable: %.6g is locale-free
 /// with snprintf and deterministic for identical doubles.
 std::string fmt(double v) {
@@ -137,12 +140,12 @@ std::string MetricStats::mean_ci(int precision) const {
 MetricStats SweepResult::stats(const std::string& metric) const {
   auto it = series.find(metric);
   REBECA_ASSERT(it != series.end(), "sweep has no metric " << metric);
-  return stats_of(it->second);
+  return stats_over(it->second);
 }
 
 std::map<std::string, MetricStats> SweepResult::aggregate() const {
   std::map<std::string, MetricStats> out;
-  for (const auto& [name, xs] : series) out.emplace(name, stats_of(xs));
+  for (const auto& [name, xs] : series) out.emplace(name, stats_over(xs));
   return out;
 }
 
@@ -171,7 +174,7 @@ std::string SweepResult::table() const {
   pad("min", 12);
   os << "max\n";
   for (const auto& [name, xs] : series) {
-    const MetricStats s = stats_of(xs);
+    const MetricStats s = stats_over(xs);
     pad(name, name_w + 2);
     pad(std::to_string(s.n), 5);
     pad(fmt(s.mean), 14);
@@ -187,7 +190,7 @@ std::string SweepResult::csv() const {
   std::ostringstream os;
   os << "metric,n,mean,stddev,ci95,min,max\n";
   for (const auto& [name, xs] : series) {
-    const MetricStats s = stats_of(xs);
+    const MetricStats s = stats_over(xs);
     os << name << "," << s.n << "," << fmt(s.mean) << "," << fmt(s.stddev)
        << "," << fmt(s.ci95) << "," << fmt(s.min) << "," << fmt(s.max) << "\n";
   }
@@ -320,7 +323,7 @@ SweepResult ScenarioSweep::run(const SweepConfig& config) const {
     result.reports.push_back(std::move(slots[i].report));
     for (const auto& [name, value] : slots[i].metrics) {
       auto& xs = result.series[name];
-      // A metric a run did not report is NaN, never 0.0: stats_of
+      // A metric a run did not report is NaN, never 0.0: stats_over
       // excludes NaN (and reports the reduced n) instead of diluting the
       // mean with fake zero samples.
       xs.resize(i, kAbsent);

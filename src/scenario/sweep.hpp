@@ -133,6 +133,13 @@ class ScenarioSweep {
 void extract_metrics(const ScenarioReport& report,
                      std::map<std::string, double>& out);
 
+/// The canonical mean / sample-stddev / 95%-CI aggregate over one
+/// metric's samples — what every SweepResult reduction uses (NaN entries
+/// mean "absent for this run" and are excluded). Exposed so benches that
+/// reduce non-series data (e.g. per-checkpoint totals) share the same
+/// statistics and cell format instead of re-deriving them.
+[[nodiscard]] MetricStats stats_over(const std::vector<double>& samples);
+
 }  // namespace rebeca::scenario
 
 #endif  // REBECA_SCENARIO_SWEEP_HPP

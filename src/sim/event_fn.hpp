@@ -1,0 +1,139 @@
+// Small-buffer-optimized move-only callable for simulator event records.
+//
+// Event queues hold one record per message in flight — millions per run.
+// std::function's inline buffer (16 bytes on libstdc++) forces a heap
+// allocation for the common link-delivery capture (link pointer + side
+// index + generation + payload ref = 32 bytes), one malloc/free pair per
+// simulated message. EventFn stores callables of up to kInlineSize bytes
+// inline and only heap-allocates beyond that. It is move-only (an event
+// is scheduled once and consumed once; nothing ever copies a record), so
+// captured move-only payloads work too.
+//
+// Determinism: this type changes where a closure lives, never when it
+// runs — equal-seed reports are byte-identical across the swap (verified
+// by bench_sharded_scaling's equal-seed report check).
+#ifndef REBECA_SIM_EVENT_FN_HPP
+#define REBECA_SIM_EVENT_FN_HPP
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "src/util/assert.hpp"
+
+namespace rebeca::sim {
+
+class EventFn {
+ public:
+  /// Inline capacity. Sized for the hot-path captures (link delivery,
+  /// broker timers) with headroom; larger closures fall back to the heap.
+  static constexpr std::size_t kInlineSize = 48;
+
+  EventFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventFn(F&& f) {  // NOLINT: implicit by design, mirrors std::function
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_))
+          Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(other.buf_, buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      if (ops_ != nullptr) ops_->destroy(buf_);
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(other.buf_, buf_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() {
+    if (ops_ != nullptr) ops_->destroy(buf_);
+  }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() {
+    REBECA_ASSERT(ops_ != nullptr, "invoking an empty EventFn");
+    ops_->invoke(buf_);
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self);
+    /// Move-constructs `to` from `from` and destroys `from`.
+    void (*relocate)(void* from, void* to) noexcept;
+    void (*destroy)(void* self) noexcept;
+  };
+
+  template <typename Fn>
+  static void inline_invoke(void* self) {
+    (*std::launder(reinterpret_cast<Fn*>(self)))();
+  }
+  template <typename Fn>
+  static void inline_relocate(void* from, void* to) noexcept {
+    Fn* src = std::launder(reinterpret_cast<Fn*>(from));
+    ::new (to) Fn(std::move(*src));
+    src->~Fn();
+  }
+  template <typename Fn>
+  static void inline_destroy(void* self) noexcept {
+    std::launder(reinterpret_cast<Fn*>(self))->~Fn();
+  }
+
+  template <typename Fn>
+  static Fn* heap_slot(void* self) {
+    return *std::launder(reinterpret_cast<Fn**>(self));
+  }
+  template <typename Fn>
+  static void heap_invoke(void* self) {
+    (*heap_slot<Fn>(self))();
+  }
+  template <typename Fn>
+  static void heap_relocate(void* from, void* to) noexcept {
+    ::new (to) Fn*(heap_slot<Fn>(from));
+  }
+  template <typename Fn>
+  static void heap_destroy(void* self) noexcept {
+    delete heap_slot<Fn>(self);
+  }
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps{&inline_invoke<Fn>, &inline_relocate<Fn>,
+                                  &inline_destroy<Fn>};
+  template <typename Fn>
+  static constexpr Ops kHeapOps{&heap_invoke<Fn>, &heap_relocate<Fn>,
+                                &heap_destroy<Fn>};
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace rebeca::sim
+
+#endif  // REBECA_SIM_EVENT_FN_HPP

@@ -10,10 +10,10 @@
 #ifndef REBECA_SIM_EXECUTOR_HPP
 #define REBECA_SIM_EXECUTOR_HPP
 
-#include <functional>
 #include <memory>
 #include <utility>
 
+#include "src/sim/event_fn.hpp"
 #include "src/sim/time.hpp"
 #include "src/util/assert.hpp"
 #include "src/util/rng.hpp"
@@ -54,20 +54,22 @@ class Executor {
   [[nodiscard]] virtual util::Rng& rng() = 0;
 
   /// Schedules `fn` to run at absolute virtual time `when` (>= now).
-  virtual EventHandle schedule_at(TimePoint when, std::function<void()> fn) = 0;
+  /// Event records hold an SBO callable (EventFn), so the typical
+  /// capture fits inline in the queue entry — no per-event allocation.
+  virtual EventHandle schedule_at(TimePoint when, EventFn fn) = 0;
 
   /// Fire-and-forget scheduling: no EventHandle, no cancellation-flag
   /// allocation. This is the hot path — link delivery schedules one
   /// event per message in flight and never cancels it.
-  virtual void post_at(TimePoint when, std::function<void()> fn) = 0;
+  virtual void post_at(TimePoint when, EventFn fn) = 0;
 
   /// Schedules `fn` to run `delay` after the current time.
-  EventHandle schedule_after(Duration delay, std::function<void()> fn) {
+  EventHandle schedule_after(Duration delay, EventFn fn) {
     REBECA_ASSERT(delay >= 0, "negative delay " << delay);
     return schedule_at(now() + delay, std::move(fn));
   }
 
-  void post_after(Duration delay, std::function<void()> fn) {
+  void post_after(Duration delay, EventFn fn) {
     REBECA_ASSERT(delay >= 0, "negative delay " << delay);
     post_at(now() + delay, std::move(fn));
   }

@@ -23,13 +23,13 @@ TimePoint LaneExecutor::now() const {
   return engine_->shards_[shard_]->clock;
 }
 
-EventHandle LaneExecutor::schedule_at(TimePoint when, std::function<void()> fn) {
+EventHandle LaneExecutor::schedule_at(TimePoint when, EventFn fn) {
   auto flag = std::make_shared<bool>(false);
   engine_->enqueue(*this, when, std::move(fn), flag);
   return make_handle(std::move(flag));
 }
 
-void LaneExecutor::post_at(TimePoint when, std::function<void()> fn) {
+void LaneExecutor::post_at(TimePoint when, EventFn fn) {
   engine_->enqueue(*this, when, std::move(fn), nullptr);
 }
 
@@ -78,8 +78,7 @@ void ShardedSimulation::set_lookahead(Duration w) {
 }
 
 void ShardedSimulation::enqueue(LaneExecutor& dest, TimePoint when,
-                                std::function<void()> fn,
-                                std::shared_ptr<bool> flag) {
+                                EventFn fn, std::shared_ptr<bool> flag) {
   LaneExecutor* src = tls_current_lane;
   REBECA_ASSERT(src != nullptr && src->engine_ == this,
                 "scheduling outside a lane context — wrap external drivers in "

@@ -38,7 +38,6 @@
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <queue>
@@ -63,8 +62,8 @@ class LaneExecutor final : public Executor {
   /// execution context (or between windows, when all clocks agree).
   [[nodiscard]] TimePoint now() const override;
   [[nodiscard]] util::Rng& rng() override { return rng_; }
-  EventHandle schedule_at(TimePoint when, std::function<void()> fn) override;
-  void post_at(TimePoint when, std::function<void()> fn) override;
+  EventHandle schedule_at(TimePoint when, EventFn fn) override;
+  void post_at(TimePoint when, EventFn fn) override;
 
   [[nodiscard]] std::uint32_t lane() const { return lane_; }
   [[nodiscard]] std::size_t shard() const { return shard_; }
@@ -145,7 +144,7 @@ class ShardedSimulation {
     std::uint32_t src_lane = 0;
     std::uint64_t src_seq = 0;
     LaneExecutor* dest = nullptr;
-    std::function<void()> fn;
+    EventFn fn;
     std::shared_ptr<bool> cancelled;  // null for fire-and-forget posts
   };
 
@@ -165,7 +164,7 @@ class ShardedSimulation {
     std::exception_ptr error;
   };
 
-  void enqueue(LaneExecutor& dest, TimePoint when, std::function<void()> fn,
+  void enqueue(LaneExecutor& dest, TimePoint when, EventFn fn,
                std::shared_ptr<bool> flag);
   void worker(std::size_t shard_index);
   void run_window(Shard& shard, TimePoint target, bool closing);

@@ -13,9 +13,9 @@
 #define REBECA_SIM_SIMULATION_HPP
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <queue>
+#include <utility>
 #include <vector>
 
 #include "src/sim/executor.hpp"
@@ -33,7 +33,7 @@ class Simulation final : public Executor {
   [[nodiscard]] util::Rng& rng() override { return rng_; }
 
   /// Schedules `fn` to run at absolute virtual time `when` (>= now).
-  EventHandle schedule_at(TimePoint when, std::function<void()> fn) override {
+  EventHandle schedule_at(TimePoint when, EventFn fn) override {
     REBECA_ASSERT(when >= now_, "scheduling into the past: when=" << when
                                                                   << " now=" << now_);
     auto flag = std::make_shared<bool>(false);
@@ -44,7 +44,7 @@ class Simulation final : public Executor {
   /// Fire-and-forget scheduling: no EventHandle, no cancellation-flag
   /// allocation. This is the hot path — link delivery schedules one
   /// event per message in flight and never cancels it.
-  void post_at(TimePoint when, std::function<void()> fn) override {
+  void post_at(TimePoint when, EventFn fn) override {
     REBECA_ASSERT(when >= now_, "scheduling into the past: when=" << when
                                                                   << " now=" << now_);
     queue_.push(Scheduled{when, next_seq_++, std::move(fn), nullptr});
@@ -58,7 +58,11 @@ class Simulation final : public Executor {
     while (!queue_.empty() && !stopped_) {
       const Scheduled& top = queue_.top();
       if (top.when > deadline) break;
-      Scheduled ev = top;
+      // Move, don't copy: records hold a move-only SBO callable, and a
+      // copy would re-allocate the closure per executed event. The key
+      // fields the heap comparator reads (when, seq) are untouched by
+      // the move, so the pop stays well-ordered.
+      Scheduled ev = std::move(const_cast<Scheduled&>(top));
       queue_.pop();
       now_ = ev.when;
       if (!ev.cancelled || !*ev.cancelled) ev.fn();
@@ -73,7 +77,7 @@ class Simulation final : public Executor {
     std::uint64_t executed = 0;
     while (!queue_.empty() && !stopped_) {
       REBECA_ASSERT(executed < max_events, "event cap exceeded — runaway simulation?");
-      Scheduled ev = queue_.top();
+      Scheduled ev = std::move(const_cast<Scheduled&>(queue_.top()));
       queue_.pop();
       now_ = ev.when;
       if (!ev.cancelled || !*ev.cancelled) {
@@ -94,7 +98,7 @@ class Simulation final : public Executor {
   struct Scheduled {
     TimePoint when;
     std::uint64_t seq;
-    std::function<void()> fn;
+    EventFn fn;
     std::shared_ptr<bool> cancelled;  // null for fire-and-forget posts
   };
 

@@ -1,0 +1,156 @@
+// The covering-routing relocation hazard (ISSUE 4 / ROADMAP): a static
+// bystander whose subscription is *covered* by a roaming client's filter
+// must keep receiving every matching notification while the junction and
+// the fetch path move the covering filter out. Before the two-phase
+// uncover-before-prune protocol, every broker on the old path erased the
+// mover's routing entry the instant the fetch passed — leaving the
+// covered bystander without a wire representative for one re-expose
+// round trip per hop, and silently dropping its notifications.
+//
+// The scenario: chain B0..B5, producer at B0, bystander at B5 with a
+// covered filter, roamer starting at B5 with the covering filter and
+// relocating multi-hop B5 -> B3 -> B1. Every broker between the producer
+// and B5 routes the bystander's traffic through the roamer's covering
+// entry, so each relocation hop re-runs the hazard. The test runs on
+// both engines (classic kernel and ShardedSimulation) and fails when the
+// uncover phase is disabled (BrokerConfig::uncover_before_prune = false
+// restores the historical erase-on-fetch behaviour).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/scenario/scenario.hpp"
+
+namespace rebeca {
+namespace {
+
+using filter::Constraint;
+using filter::Filter;
+using filter::Notification;
+
+scenario::ScenarioReport run_tour(std::size_t shards, bool uncover,
+                                  std::uint64_t seed) {
+  scenario::ScenarioBuilder b;
+  b.seed(seed);
+  b.topology(scenario::TopologySpec::chain(6));
+  broker::BrokerConfig bc;
+  bc.strategy = routing::Strategy::covering;
+  bc.uncover_before_prune = uncover;
+  b.broker(bc);
+  if (shards > 0) b.shards(shards);
+
+  // Roamer: the covering filter (all AAA), relocating B5 -> B3 -> B1.
+  auto& roamer = b.client("roamer").with_id(1).at_broker(5).subscribes(
+      Filter().where("sym", Constraint::eq("AAA")));
+  scenario::RoamSpec roam;
+  roam.route({3, 1})
+      .dwelling(sim::millis(500))
+      .dark_for(sim::millis(100))
+      .hops(2)
+      .from_phase("tour");
+  roamer.roams(roam);
+
+  // Bystander: covered by the roamer's filter, never moves.
+  b.client("bystander")
+      .with_id(2)
+      .at_broker(5)
+      .subscribes(Filter()
+                      .where("sym", Constraint::eq("AAA"))
+                      .where("px", Constraint::ge(100)));
+
+  // Producer: a steady tick stream through the whole tour, so every
+  // re-expose window during the two relocations has traffic in flight.
+  scenario::PublishSpec pub;
+  pub.every(sim::millis(10))
+      .body(Notification().set("sym", "AAA").set("px", 100))
+      .from_phase("tour")
+      .until_phase_end("tour");
+  b.client("producer").with_id(3).at_broker(0).publishes(pub);
+
+  b.expect_exactly_once("bystander");
+  b.phase("settle", sim::seconds(1));
+  b.phase("tour", sim::seconds(2));
+  b.phase("drain", sim::seconds(3));
+
+  auto s = b.build();
+  s->run();
+  return s->report();
+}
+
+// ---------------------------------------------------------------------------
+// With the uncover phase: complete on both engines
+// ---------------------------------------------------------------------------
+
+TEST(CoveringRelocation, BystanderCompleteOnClassicKernel) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    auto r = run_tour(/*shards=*/0, /*uncover=*/true, seed);
+    const auto& bystander = r.client("bystander");
+    EXPECT_EQ(bystander.missing, 0u) << "seed " << seed;
+    EXPECT_EQ(bystander.duplicates, 0u) << "seed " << seed;
+    EXPECT_TRUE(r.expectations_ok()) << "seed " << seed << ": "
+                                     << r.violations.front();
+    // The protocol actually ran: re-expose control traffic crossed links.
+    EXPECT_GT(r.messages.count(metrics::MessageClass::reexpose), 0u);
+  }
+}
+
+TEST(CoveringRelocation, BystanderCompleteOnShardedEngine) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    auto r = run_tour(/*shards=*/2, /*uncover=*/true, seed);
+    const auto& bystander = r.client("bystander");
+    EXPECT_EQ(bystander.missing, 0u) << "seed " << seed;
+    EXPECT_EQ(bystander.duplicates, 0u) << "seed " << seed;
+    EXPECT_TRUE(r.expectations_ok()) << "seed " << seed << ": "
+                                     << r.violations.front();
+    EXPECT_GT(r.messages.count(metrics::MessageClass::reexpose), 0u);
+  }
+}
+
+// Equal-seed sharded runs stay byte-identical for any shard count with
+// the re-expose handshake in the mix (its messages ride ordinary links,
+// so they get the same canonical (time, lane, seq) event keys as all
+// cross-shard traffic).
+TEST(CoveringRelocation, ShardCountInvariantReports) {
+  auto r1 = run_tour(/*shards=*/1, /*uncover=*/true, 7);
+  auto r4 = run_tour(/*shards=*/4, /*uncover=*/true, 7);
+  EXPECT_EQ(r1.to_string(), r4.to_string());
+}
+
+// ---------------------------------------------------------------------------
+// Without it: the historical hazard reproduces (the regression guard)
+// ---------------------------------------------------------------------------
+
+TEST(CoveringRelocation, HazardReproducesWithUncoverDisabled) {
+  std::uint64_t missing_classic = 0;
+  std::uint64_t missing_sharded = 0;
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    auto rc = run_tour(/*shards=*/0, /*uncover=*/false, seed);
+    auto rs = run_tour(/*shards=*/2, /*uncover=*/false, seed);
+    missing_classic += rc.client("bystander").missing;
+    missing_sharded += rs.client("bystander").missing;
+    // No uncover phase, no re-expose traffic.
+    EXPECT_EQ(rc.messages.count(metrics::MessageClass::reexpose), 0u);
+    EXPECT_EQ(rs.messages.count(metrics::MessageClass::reexpose), 0u);
+  }
+  EXPECT_GT(missing_classic, 0u)
+      << "the covered-bystander hazard no longer reproduces on the classic "
+         "kernel — the guard lost its baseline";
+  EXPECT_GT(missing_sharded, 0u)
+      << "the covered-bystander hazard no longer reproduces on the sharded "
+         "engine — the guard lost its baseline";
+}
+
+// The roamer itself stays complete in all four configurations: the
+// uncover handshake must not delay or break the mover's own replay.
+TEST(CoveringRelocation, RoamerCompleteRegardlessOfUncover) {
+  for (bool uncover : {true, false}) {
+    for (std::size_t shards : {std::size_t{0}, std::size_t{2}}) {
+      auto r = run_tour(shards, uncover, 5);
+      EXPECT_EQ(r.client("roamer").missing, 0u)
+          << "uncover=" << uncover << " shards=" << shards;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rebeca

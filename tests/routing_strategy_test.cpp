@@ -156,24 +156,23 @@ TEST(StrategyDiff, EmptyToTargetSubscribesAll) {
   target[lt("x", 5)] = {SubKey{ClientId(1), 1}};
   target[lt("y", 5)] = {SubKey{ClientId(2), 1}};
   auto d = diff_forward_sets({}, target);
-  EXPECT_TRUE(d.unsubscribe.empty());
-  EXPECT_EQ(d.subscribe.size(), 2u);
+  EXPECT_EQ(d.prunes(), 0u);
+  EXPECT_EQ(d.upserts(), 2u);
 }
 
 TEST(StrategyDiff, TargetToEmptyUnsubscribesAll) {
   ForwardSet sent;
   sent[lt("x", 5)] = {SubKey{ClientId(1), 1}};
   auto d = diff_forward_sets(sent, {});
-  EXPECT_EQ(d.unsubscribe.size(), 1u);
-  EXPECT_TRUE(d.subscribe.empty());
+  EXPECT_EQ(d.prunes(), 1u);
+  EXPECT_EQ(d.upserts(), 0u);
 }
 
 TEST(StrategyDiff, UnchangedIsSilent) {
   ForwardSet s;
   s[lt("x", 5)] = {SubKey{ClientId(1), 1}};
   auto d = diff_forward_sets(s, s);
-  EXPECT_TRUE(d.unsubscribe.empty());
-  EXPECT_TRUE(d.subscribe.empty());
+  EXPECT_TRUE(d.empty());
 }
 
 TEST(StrategyDiff, TagChangeIsAnUpsert) {
@@ -181,9 +180,9 @@ TEST(StrategyDiff, TagChangeIsAnUpsert) {
   sent[lt("x", 5)] = {SubKey{ClientId(1), 1}};
   target[lt("x", 5)] = {SubKey{ClientId(1), 1}, SubKey{ClientId(2), 1}};
   auto d = diff_forward_sets(sent, target);
-  EXPECT_TRUE(d.unsubscribe.empty());
-  ASSERT_EQ(d.subscribe.size(), 1u);
-  EXPECT_EQ(d.subscribe.begin()->second.size(), 2u);
+  EXPECT_EQ(d.prunes(), 0u);
+  ASSERT_EQ(d.upserts(), 1u);
+  EXPECT_EQ(d.steps.front().tags.size(), 2u);
 }
 
 TEST(StrategyDiff, ReplacementIsUnsubPlusSub) {
@@ -191,8 +190,89 @@ TEST(StrategyDiff, ReplacementIsUnsubPlusSub) {
   sent[lt("x", 5)] = {SubKey{ClientId(1), 1}};
   target[lt("x", 9)] = {SubKey{ClientId(1), 1}};
   auto d = diff_forward_sets(sent, target);
-  EXPECT_EQ(d.unsubscribe.size(), 1u);
-  EXPECT_EQ(d.subscribe.size(), 1u);
+  EXPECT_EQ(d.prunes(), 1u);
+  EXPECT_EQ(d.upserts(), 1u);
+}
+
+// The program is ordered: every upsert precedes every prune, so on a
+// FIFO link a covering replacement is installed before the covered
+// entry disappears (uncover-before-prune).
+TEST(StrategyDiff, UpsertsPrecedePrunes) {
+  ForwardSet sent, target;
+  sent[lt("x", 9)] = {SubKey{ClientId(1), 1}};   // covering rep, leaving
+  target[lt("x", 5)] = {SubKey{ClientId(2), 1}}; // covered, re-exposed
+  target[lt("y", 1)] = {SubKey{ClientId(3), 1}};
+  auto d = diff_forward_sets(sent, target);
+  ASSERT_EQ(d.steps.size(), 3u);
+  bool seen_prune = false;
+  for (const auto& step : d.steps) {
+    if (step.kind == DiffStep::Kind::prune) seen_prune = true;
+    if (step.kind == DiffStep::Kind::upsert) EXPECT_FALSE(seen_prune);
+  }
+  EXPECT_TRUE(seen_prune);
+}
+
+// ---------------------------------------------------------------------------
+// covered_by + moveout planning (the relocation uncover machinery)
+// ---------------------------------------------------------------------------
+
+TEST(StrategyCoveredBy, FindsStrictlyCoveredEntries) {
+  ForwardSet hop;
+  hop[lt("x", 9)] = {SubKey{ClientId(1), 1}};
+  hop[lt("x", 5)] = {SubKey{ClientId(2), 1}};  // covered by x<9
+  hop[lt("y", 5)] = {SubKey{ClientId(3), 1}};  // incomparable
+  auto covered = covered_by(lt("x", 9), hop);
+  ASSERT_EQ(covered.size(), 1u);
+  EXPECT_EQ(covered.begin()->first, lt("x", 5));
+  EXPECT_EQ(covered.begin()->second, (std::set<SubKey>{SubKey{ClientId(2), 1}}));
+}
+
+TEST(StrategyCoveredBy, ExcludesTheRepresentativeItself) {
+  ForwardSet hop;
+  hop[lt("x", 9)] = {SubKey{ClientId(1), 1}};
+  EXPECT_TRUE(covered_by(lt("x", 9), hop).empty());
+}
+
+TEST(StrategyMoveout, SharedEntryIsUntagOnly) {
+  const SubKey mover{ClientId(1), 1};
+  ForwardSet hop;
+  hop[lt("x", 9)] = {mover, SubKey{ClientId(2), 1}};
+  auto p = plan_moveout(Strategy::covering, mover, hop);
+  ASSERT_EQ(p.steps.size(), 1u);
+  EXPECT_EQ(p.steps.front().kind, MoveoutStep::Kind::untag);
+  EXPECT_EQ(p.ack_barriers, 0u);
+}
+
+TEST(StrategyMoveout, DyingEntryUnderCoveringNeedsReexposeBeforePrune) {
+  const SubKey mover{ClientId(1), 1};
+  ForwardSet hop;
+  hop[lt("x", 9)] = {mover};
+  for (auto s : {Strategy::covering, Strategy::merging}) {
+    auto p = plan_moveout(s, mover, hop);
+    ASSERT_EQ(p.steps.size(), 2u) << strategy_name(s);
+    EXPECT_EQ(p.steps[0].kind, MoveoutStep::Kind::reexpose);
+    EXPECT_EQ(p.steps[1].kind, MoveoutStep::Kind::prune);
+    EXPECT_EQ(p.ack_barriers, 1u);
+  }
+}
+
+TEST(StrategyMoveout, NonAggregatingStrategiesPruneDirectly) {
+  const SubKey mover{ClientId(1), 1};
+  ForwardSet hop;
+  hop[lt("x", 9)] = {mover};
+  for (auto s : {Strategy::flooding, Strategy::simple, Strategy::identity}) {
+    auto p = plan_moveout(s, mover, hop);
+    ASSERT_EQ(p.steps.size(), 1u) << strategy_name(s);
+    EXPECT_EQ(p.steps.front().kind, MoveoutStep::Kind::prune);
+    EXPECT_EQ(p.ack_barriers, 0u);
+  }
+}
+
+TEST(StrategyMoveout, UntouchedKeysProduceEmptyProgram) {
+  ForwardSet hop;
+  hop[lt("x", 9)] = {SubKey{ClientId(2), 1}};
+  auto p = plan_moveout(Strategy::covering, SubKey{ClientId(1), 1}, hop);
+  EXPECT_TRUE(p.empty());
 }
 
 }  // namespace

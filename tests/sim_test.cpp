@@ -2,6 +2,10 @@
 // FIFO property of links under stochastic delays.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/net/link.hpp"
@@ -15,6 +19,64 @@ TEST(Simulation, StartsAtTimeZero) {
   sim::Simulation s;
   EXPECT_EQ(s.now(), 0);
   EXPECT_TRUE(s.empty());
+}
+
+// ---------------------------------------------------------------------------
+// EventFn: the SBO callable behind every event record
+// ---------------------------------------------------------------------------
+
+TEST(EventFn, InvokesSmallCaptures) {
+  int hits = 0;
+  sim::EventFn fn([&hits] { ++hits; });
+  ASSERT_TRUE(static_cast<bool>(fn));
+  fn();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(EventFn, MoveTransfersOwnership) {
+  auto flag = std::make_shared<int>(0);
+  sim::EventFn a([flag] { ++*flag; });
+  EXPECT_EQ(flag.use_count(), 2);
+  sim::EventFn b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT: moved-from state on purpose
+  EXPECT_EQ(flag.use_count(), 2);      // exactly one live copy of the closure
+  b();
+  EXPECT_EQ(*flag, 1);
+}
+
+TEST(EventFn, MoveOnlyCapturesWork) {
+  auto owned = std::make_unique<int>(7);
+  int seen = 0;
+  sim::EventFn fn([&seen, p = std::move(owned)] { seen = *p; });
+  sim::EventFn moved = std::move(fn);
+  moved();
+  EXPECT_EQ(seen, 7);
+}
+
+TEST(EventFn, LargeCapturesFallBackToHeap) {
+  struct Big {
+    std::array<std::uint64_t, 16> payload{};  // 128 bytes > kInlineSize
+  };
+  static_assert(sizeof(Big) > sim::EventFn::kInlineSize);
+  Big big;
+  big.payload[3] = 42;
+  std::uint64_t seen = 0;
+  sim::EventFn fn([&seen, big] { seen = big.payload[3]; });
+  sim::EventFn moved = std::move(fn);
+  sim::EventFn assigned;
+  assigned = std::move(moved);
+  assigned();
+  EXPECT_EQ(seen, 42u);
+}
+
+TEST(EventFn, DestroysCaptureExactlyOnce) {
+  auto flag = std::make_shared<int>(0);
+  {
+    sim::EventFn fn([flag] {});
+    sim::EventFn other = std::move(fn);
+    other = sim::EventFn([] {});  // move-assign over a live closure
+  }
+  EXPECT_EQ(flag.use_count(), 1);  // every copy released
 }
 
 TEST(Simulation, ExecutesEventsInTimeOrder) {

@@ -142,6 +142,8 @@ TEST(Message, ClassificationCoversAllPlanes) {
   EXPECT_EQ(net::message_class(net::AdvertiseMsg{}), MC::advertisement_admin);
   EXPECT_EQ(net::message_class(net::RelocateSubMsg{}), MC::relocation_control);
   EXPECT_EQ(net::message_class(net::FetchMsg{}), MC::relocation_control);
+  EXPECT_EQ(net::message_class(net::ReExposeMsg{}), MC::reexpose);
+  EXPECT_EQ(net::message_class(net::ReExposeAckMsg{}), MC::reexpose);
   EXPECT_EQ(net::message_class(net::ReplayMsg{}), MC::replay);
   EXPECT_EQ(net::message_class(net::LdSubscribeMsg{}), MC::location_update);
   EXPECT_EQ(net::message_class(net::LdMoveMsg{}), MC::location_update);
@@ -153,6 +155,7 @@ TEST(Message, ClassificationCoversAllPlanes) {
 TEST(Message, NamesAreDistinctive) {
   EXPECT_EQ(net::message_name(net::PublishMsg{}), "publish");
   EXPECT_EQ(net::message_name(net::FetchMsg{}), "fetch");
+  EXPECT_EQ(net::message_name(net::ReExposeMsg{}), "re-expose");
   EXPECT_EQ(net::message_name(net::ReplayMsg{}), "replay");
   EXPECT_EQ(net::message_name(net::LdMoveMsg{}), "ld-move");
 }
