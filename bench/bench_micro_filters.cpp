@@ -4,8 +4,11 @@
 // (paper Sec. 2.2); these numbers say what that atom costs.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "src/filter/filter.hpp"
 #include "src/location/location_graph.hpp"
+#include "src/routing/match_index.hpp"
 #include "src/util/rng.hpp"
 
 using namespace rebeca;
@@ -116,6 +119,84 @@ void BM_ConstraintForSet(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ConstraintForSet)->Arg(2)->Arg(8);
+
+// ---------------------------------------------------------------------------
+// The per-hop matching decision: linear scans vs. the counting
+// MatchIndex over the same filter population. This is the pair behind
+// BrokerConfig::matcher — the index must win by >= 2x at >= 1k distinct
+// filters per hop.
+// ---------------------------------------------------------------------------
+
+/// A hop's filter population: distinct filters spread over a handful of
+/// attributes, mixing equality, bound, range, and set constraints, split
+/// across four neighbor links like a broker's remote tables.
+std::vector<filter::Filter> make_hop_filters(std::size_t n) {
+  std::vector<filter::Filter> filters;
+  filters.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    filter::Filter f;
+    f.where("service", filter::Constraint::eq("quote"));
+    switch (i % 4) {
+      case 0:
+        f.where("sym", filter::Constraint::eq("S" + std::to_string(i)));
+        break;
+      case 1:
+        f.where("px", filter::Constraint::lt(static_cast<int>(100 + i)));
+        break;
+      case 2:
+        f.where("px", filter::Constraint::range(
+                          filter::Value(static_cast<int>(i)),
+                          filter::Value(static_cast<int>(i + 40))));
+        break;
+      default:
+        f.where("venue", filter::Constraint::in_set(
+                             {filter::Value("X" + std::to_string(i % 8)),
+                              filter::Value("Y" + std::to_string(i % 8))}));
+        break;
+    }
+    filters.push_back(std::move(f));
+  }
+  return filters;
+}
+
+filter::Notification hop_probe() {
+  return filter::Notification()
+      .set("service", "quote")
+      .set("sym", "S3")
+      .set("px", 120)
+      .set("venue", "X1")
+      .set("ts", 123456);
+}
+
+void BM_HopMatchLinear(benchmark::State& state) {
+  const auto filters = make_hop_filters(static_cast<std::size_t>(state.range(0)));
+  const auto n = hop_probe();
+  for (auto _ : state) {
+    std::size_t hits = 0;
+    for (const auto& f : filters) hits += f.matches(n) ? 1 : 0;
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_HopMatchLinear)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_HopMatchIndex(benchmark::State& state) {
+  const auto filters = make_hop_filters(static_cast<std::size_t>(state.range(0)));
+  routing::MatchIndex index;
+  for (std::size_t i = 0; i < filters.size(); ++i) {
+    index.add_remote(LinkId(static_cast<std::uint32_t>(i % 4)), filters[i]);
+  }
+  const auto n = hop_probe();
+  routing::MatchHits hits;
+  for (auto _ : state) {
+    index.collect(n, hits);
+    benchmark::DoNotOptimize(hits.links.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_HopMatchIndex)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
 
 }  // namespace
 

@@ -1,13 +1,16 @@
 // Ablation A5: routing-engine micro-benchmarks (google-benchmark) —
 // forward-set computation per strategy as the subscription population
-// grows, and end-to-end publish cost through a simulated broker chain.
+// grows, the per-hop forwarding decision under both matchers, and
+// end-to-end publish cost through a simulated broker chain.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <memory>
 
 #include "src/broker/overlay.hpp"
 #include "src/client/client.hpp"
 #include "src/net/topology.hpp"
+#include "src/routing/match_index.hpp"
 #include "src/routing/strategy.hpp"
 
 using namespace rebeca;
@@ -53,6 +56,48 @@ BENCHMARK_CAPTURE(BM_ForwardSet, covering, routing::Strategy::covering)
 BENCHMARK_CAPTURE(BM_ForwardSet, merging, routing::Strategy::merging)
     ->Arg(8)->Arg(64);
 
+/// The per-hop forwarding decision — "does any of this link's table
+/// entries match?" — over a table of N distinct filters, as the linear
+/// scan and as a MatchIndex query. The >= 2x index advantage at >= 1k
+/// filters is this redesign's acceptance bar (see also the HopMatch pair
+/// in bench_micro_filters, which isolates the pure matching cost).
+void BM_HopDecisionLinear(benchmark::State& state) {
+  const auto inputs = make_inputs(static_cast<std::size_t>(state.range(0)));
+  const auto fs = routing::compute_forward_set(routing::Strategy::simple, inputs);
+  const auto n = filter::Notification()
+                     .set("service", "quote")
+                     .set("sym", "S7")
+                     .set("px", 1000000);  // matches nothing: full scan
+  for (auto _ : state) {
+    const bool forward = std::any_of(fs.begin(), fs.end(), [&](const auto& e) {
+      return e.first.matches(n);
+    });
+    benchmark::DoNotOptimize(forward);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_HopDecisionLinear)->Arg(64)->Arg(1024)->Arg(4096);
+
+void BM_HopDecisionIndex(benchmark::State& state) {
+  const auto inputs = make_inputs(static_cast<std::size_t>(state.range(0)));
+  const auto fs = routing::compute_forward_set(routing::Strategy::simple, inputs);
+  routing::MatchIndex index;
+  for (const auto& [f, tags] : fs) index.add_remote(LinkId(1), f);
+  const auto n = filter::Notification()
+                     .set("service", "quote")
+                     .set("sym", "S7")
+                     .set("px", 1000000);
+  routing::MatchHits hits;
+  for (auto _ : state) {
+    index.collect(n, hits);
+    benchmark::DoNotOptimize(hits.links.empty());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_HopDecisionIndex)->Arg(64)->Arg(1024)->Arg(4096);
+
 void BM_ForwardDiff(benchmark::State& state) {
   const auto inputs = make_inputs(static_cast<std::size_t>(state.range(0)));
   auto sent = routing::compute_forward_set(routing::Strategy::covering, inputs);
@@ -66,12 +111,13 @@ void BM_ForwardDiff(benchmark::State& state) {
 BENCHMARK(BM_ForwardDiff)->Arg(64)->Arg(256);
 
 /// End-to-end: one publish through an 8-broker chain with 32 consumers,
-/// measured in simulated events per publish.
+/// measured in simulated events per publish, under either matcher.
 void BM_PublishThroughChain(benchmark::State& state) {
   const auto strategy = static_cast<routing::Strategy>(state.range(0));
   sim::Simulation sim(3);
   broker::OverlayConfig cfg;
   cfg.broker.strategy = strategy;
+  cfg.broker.matcher = static_cast<broker::Matcher>(state.range(1));
   broker::Overlay overlay(sim, net::Topology::chain(8), cfg);
 
   std::vector<std::unique_ptr<client::Client>> consumers;
@@ -98,9 +144,11 @@ void BM_PublishThroughChain(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PublishThroughChain)
-    ->Arg(static_cast<int>(routing::Strategy::flooding))
-    ->Arg(static_cast<int>(routing::Strategy::simple))
-    ->Arg(static_cast<int>(routing::Strategy::covering));
+    ->ArgsProduct({{static_cast<long>(routing::Strategy::flooding),
+                    static_cast<long>(routing::Strategy::simple),
+                    static_cast<long>(routing::Strategy::covering)},
+                   {static_cast<long>(broker::Matcher::linear),
+                    static_cast<long>(broker::Matcher::index)}});
 
 }  // namespace
 

@@ -8,6 +8,14 @@
 
 namespace rebeca::broker {
 
+const char* matcher_name(Matcher m) {
+  switch (m) {
+    case Matcher::linear: return "linear";
+    case Matcher::index: return "index";
+  }
+  return "?";
+}
+
 Broker::Broker(sim::Executor& sim, NodeId id, BrokerConfig config)
     : sim_(sim), id_(id), config_(std::move(config)) {}
 
@@ -133,25 +141,43 @@ void Broker::refresh_link(net::Link& link) {
 
   // Re-expose pins: filters force-exposed on this link by the moveout
   // protocol stay in the target until the covering conflict resolves —
-  // either the natural target contains them again (the covering input
-  // died and aggregation now elects them itself) or their own backing
-  // inputs are gone (the covered subscriber left too).
+  // the natural target contains them again (the covering input died and
+  // aggregation now elects them itself), their own backing inputs are
+  // gone (the covered subscriber left too), or — pin decay, the churn
+  // rule — the target holds a covering entry served by subscribers other
+  // than the recorded movers: the covered filter has a live wire
+  // representative again, so the pin would only ride redundantly.
   if (auto pit = reexpose_pins_.find(lid); pit != reexpose_pins_.end()) {
     auto& pins = pit->second;
     for (auto it = pins.begin(); it != pins.end();) {
-      if (target.count(*it) != 0) {
+      const filter::Filter& pin = it->first;
+      const std::set<SubKey>& movers = it->second;
+      if (target.count(pin) != 0) {
         it = pins.erase(it);
         continue;
       }
       std::set<SubKey> tags;
       for (const auto& in : inputs) {
-        if (in.f == *it) tags.insert(in.tags.begin(), in.tags.end());
+        if (in.f == pin) tags.insert(in.tags.begin(), in.tags.end());
       }
       if (tags.empty()) {
         it = pins.erase(it);
         continue;
       }
-      target[*it] = std::move(tags);
+      const bool superseded = std::any_of(
+          target.begin(), target.end(), [&](const auto& entry) {
+            // target.count(pin) == 0 above, so entry.first != pin here.
+            if (!entry.first.covers(pin)) return false;
+            return std::none_of(movers.begin(), movers.end(),
+                                [&](const SubKey& k) {
+                                  return entry.second.count(k) != 0;
+                                });
+          });
+      if (superseded) {
+        it = pins.erase(it);
+        continue;
+      }
+      target[pin] = std::move(tags);
       ++it;
     }
     if (pins.empty()) reexpose_pins_.erase(pit);
@@ -189,12 +215,16 @@ void Broker::refresh_all_links() {
 // ---------------------------------------------------------------------------
 
 void Broker::on_subscribe(net::Link& from, const net::SubscribeMsg& m) {
-  remote_[from.id()][m.f] = m.tags;
+  auto& fs = remote_[from.id()];
+  if (fs.find(m.f) == fs.end()) index_.add_remote(from.id(), m.f);
+  fs[m.f] = m.tags;  // tag-only upserts leave the index untouched
   refresh_all_links();
 }
 
 void Broker::on_unsubscribe(net::Link& from, const net::UnsubscribeMsg& m) {
-  remote_[from.id()].erase(m.f);
+  if (remote_[from.id()].erase(m.f) != 0) {
+    index_.remove_remote(from.id(), m.f);
+  }
   refresh_all_links();
 }
 
@@ -243,6 +273,34 @@ void Broker::route_notification(const filter::Notification& n,
                                 const net::Link* from) {
   const bool flooding = config_.strategy == routing::Strategy::flooding;
 
+  if (config_.matcher == Matcher::index) {
+    // One counting query over all four planes; destinations are applied
+    // in the same canonical order as the linear scans below (links in
+    // attach order, local subs and virtuals in ascending key order), so
+    // the two matchers are byte-identical per seed.
+    index_.collect(n, match_hits_);
+    for (net::Link* link : broker_links_) {
+      if (from != nullptr && link->id() == from->id()) continue;
+      const bool forward =
+          flooding || std::binary_search(match_hits_.links.begin(),
+                                         match_hits_.links.end(), link->id());
+      if (forward) send(*link, net::PublishMsg{n});
+    }
+    for (const SubKey& key : match_hits_.locals) {
+      auto sit = sessions_.find(key.client);
+      if (sit == sessions_.end()) continue;
+      auto it = sit->second.subs.find(key.sub);
+      if (it == sit->second.subs.end()) continue;
+      deliver_to_sub(sit->second, it->second, n);
+    }
+    for (const SubKey& key : match_hits_.virtuals) {
+      auto it = virtuals_.find(key);
+      if (it == virtuals_.end()) continue;
+      buffer_to_virtual(it->second, n);
+    }
+    return;
+  }
+
   // Forward to neighbor brokers.
   for (net::Link* link : broker_links_) {
     if (from != nullptr && link->id() == from->id()) continue;
@@ -274,12 +332,17 @@ void Broker::route_notification(const filter::Notification& n,
 
   // Virtual counterparts buffer what their client would have received.
   for (auto& [key, v] : virtuals_) {
-    if (!v.f.matches(n)) continue;
-    if (v.awaiting_replay) {
-      v.pre_replay.push_back(n);
-    } else {
-      v.buffer.push(net::StampedNotification{n, v.next_seq++});
-    }
+    if (v.f.matches(n)) buffer_to_virtual(v, n);
+  }
+}
+
+void Broker::buffer_to_virtual(VirtualSub& v, const filter::Notification& n) {
+  if (v.awaiting_replay) {
+    // The virtual is itself waiting for an upstream replay (the client
+    // moved twice quickly): hold unstamped arrivals until it lands.
+    v.pre_replay.push_back(n);
+  } else {
+    v.buffer.push(net::StampedNotification{n, v.next_seq++});
   }
 }
 
@@ -333,6 +396,12 @@ const routing::ForwardSet* Broker::forwarded_to(LinkId link) const {
 std::size_t Broker::pending_moveout_count() const {
   std::size_t n = 0;
   for (const auto& [link, pending] : moveouts_) n += pending.size();
+  return n;
+}
+
+std::size_t Broker::reexpose_pin_count() const {
+  std::size_t n = 0;
+  for (const auto& [link, pins] : reexpose_pins_) n += pins.size();
   return n;
 }
 

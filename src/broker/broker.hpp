@@ -37,14 +37,27 @@
 #include "src/net/endpoint.hpp"
 #include "src/net/link.hpp"
 #include "src/net/message.hpp"
+#include "src/routing/match_index.hpp"
 #include "src/routing/strategy.hpp"
 #include "src/sim/executor.hpp"
 #include "src/util/ring_buffer.hpp"
 
 namespace rebeca::broker {
 
+/// Notification data plane: how route_notification finds destinations.
+///   linear — the historical four scans (remote sets, local subs,
+///            virtuals, LD transits), one Filter::matches per entry.
+///   index  — one MatchIndex counting query, maintained incrementally
+///            from the same table changes; destinations applied in the
+///            identical canonical order, so equal-seed runs are
+///            byte-identical under either matcher.
+enum class Matcher { linear, index };
+
+const char* matcher_name(Matcher m);
+
 struct BrokerConfig {
   routing::Strategy strategy = routing::Strategy::covering;
+  Matcher matcher = Matcher::index;
   /// Forward subscriptions only toward overlapping advertisements
   /// (Rebeca's advertisement-based pruning; Fig. 5 junction semantics).
   bool use_advertisements = false;
@@ -133,6 +146,14 @@ class Broker final : public net::Endpoint {
   /// ReExposeMsg requests (the uncover traffic, for benches).
   [[nodiscard]] std::uint64_t reexposed_filters() const {
     return reexposed_filters_;
+  }
+  /// Re-expose pins currently held open across all links (churn
+  /// visibility: each pin is a filter ridden redundantly on the wire
+  /// until its covering conflict resolves or decay evicts it).
+  [[nodiscard]] std::size_t reexpose_pin_count() const;
+  /// Live entries in the notification match index (all four planes).
+  [[nodiscard]] std::size_t match_index_entries() const {
+    return index_.entry_count();
   }
 
  private:
@@ -277,6 +298,9 @@ class Broker final : public net::Endpoint {
   // ---------- notification path ----------
   void route_notification(const filter::Notification& n, const net::Link* from);
   void deliver_to_sub(Session& session, LocalSub& sub, const filter::Notification& n);
+  /// Buffers a matching notification into a virtual counterpart — the
+  /// one sink both matcher paths share, so they cannot drift apart.
+  void buffer_to_virtual(VirtualSub& v, const filter::Notification& n);
 
   // ---------- session/virtual helpers ----------
   Session* session_of_link(LinkId link);
@@ -344,12 +368,21 @@ class Broker final : public net::Endpoint {
   std::map<LinkId, std::map<SubKey, PendingMoveout>> moveouts_;
   std::map<SubKey, std::vector<DeferredReexpose>> deferred_reexpose_;
   /// Filters this broker force-re-exposed toward a link on a ReExposeMsg
-  /// request: pinned into that link's target forward set until the
-  /// covering conflict resolves naturally (the pin appears in the
-  /// computed target, or its backing inputs disappear). Without the pin
-  /// the very next refresh would re-aggregate the filter away while the
-  /// mover's covering input is still alive, reopening the hazard.
-  std::map<LinkId, std::set<filter::Filter>> reexpose_pins_;
+  /// request, each tagged with the mover keys whose moveouts forced it:
+  /// pinned into that link's target forward set until the covering
+  /// conflict resolves — the pin reappears in the computed target, its
+  /// backing inputs disappear, or (pin decay, the churn rule) the target
+  /// holds a covering entry served by someone *other* than the recorded
+  /// movers, so the covered subscriber is represented again. Without the
+  /// pin the very next refresh would re-aggregate the filter away while
+  /// the mover's covering input is still alive, reopening the hazard.
+  std::map<LinkId, std::map<filter::Filter, std::set<SubKey>>> reexpose_pins_;
+
+  /// Incremental notification match index over all four filter planes
+  /// (remote tables, local subs, virtuals, LD transits); queried by
+  /// route_notification when config_.matcher == Matcher::index.
+  routing::MatchIndex index_;
+  mutable routing::MatchHits match_hits_;  // query scratch
 
   std::uint64_t replayed_notifications_ = 0;
   std::uint64_t replay_truncated_ = 0;

@@ -112,6 +112,7 @@ void Broker::install_sub(Session& session, const SubKey& key,
     sub.concrete_set = ld.concrete_set(locations(), loc, 1);
     sub.concrete = ld.concrete_filter(locations(), loc, 1);
     sub.next_seq = last_seq + 1;
+    index_.upsert_local(key, sub.concrete);
 
     if (vit != virtuals_.end()) {
       // Same-broker reconnect: replay the buffered backlog locally (the
@@ -126,6 +127,7 @@ void Broker::install_sub(Session& session, const SubKey& key,
       }
       v.widen_timer.cancel();
       v.ttl_timer.cancel();
+      index_.remove_virtual(key);
       virtuals_.erase(vit);
       refresh_all_links();
     } else if (config_.ld_presubscribe && relocate && epoch > 0) {
@@ -148,7 +150,7 @@ void Broker::install_sub(Session& session, const SubKey& key,
 
     // (Re-)anchor: this border is hop 1 now; the flood upserts transit
     // state everywhere toward the new consumer direction.
-    ld_.erase(key);
+    if (ld_.erase(key) != 0) index_.remove_transit(key);
     sub.ld_forwarded.clear();
     for (net::Link* link : broker_links_) {
       send(*link, net::LdSubscribeMsg{key, ld, loc, /*hop=*/2});
@@ -158,6 +160,7 @@ void Broker::install_sub(Session& session, const SubKey& key,
   }
 
   sub.concrete = std::get<filter::Filter>(spec);
+  index_.upsert_local(key, sub.concrete);
 
   if (vit != virtuals_.end()) {
     // Same-broker reconnect (paper: "reconnects at the same or a
@@ -234,6 +237,7 @@ void Broker::remove_local_sub(Session& session, std::uint32_t sub_id,
   if (it == session.subs.end()) return;
   LocalSub& sub = it->second;
   sub.relocation_timer.cancel();
+  index_.remove_local(sub.key);
   if (sub.is_ld()) {
     for (LinkId lid : sub.ld_forwarded) {
       auto lit = links_by_id_.find(lid);
@@ -292,6 +296,8 @@ void Broker::virtualize_session(Session& session) {
       v.ld_move_seq = sub.move_seq;
     }
     auto [it, inserted] = virtuals_.insert_or_assign(sub.key, std::move(v));
+    index_.remove_local(sub.key);
+    index_.upsert_virtual(sub.key, it->second.f);
     schedule_virtual_ttl(it->second);
     schedule_ld_widen(it->second);
   }
@@ -326,6 +332,7 @@ void Broker::drop_virtual(const SubKey& key) {
       }
     }
   }
+  index_.remove_virtual(key);
   virtuals_.erase(it);
   refresh_all_links();
 }
@@ -480,7 +487,10 @@ void Broker::begin_moveout(net::Link& link, const SubKey& key,
             it->second.erase(key);
             // Entries serving nobody anymore must go, or they would
             // keep routing traffic down the abandoned path.
-            if (it->second.empty()) fs.erase(it);
+            if (it->second.empty()) {
+              fs.erase(it);
+              index_.remove_remote(lid, step.f);
+            }
           }
         }
         break;
@@ -505,7 +515,10 @@ void Broker::finish_moveout(net::Link& link, const SubKey& key) {
     auto it = fs.find(f);
     if (it == fs.end()) continue;
     it->second.erase(key);
-    if (it->second.empty()) fs.erase(it);
+    if (it->second.empty()) {
+      fs.erase(it);
+      index_.remove_remote(link.id(), f);
+    }
   }
   refresh_all_links();
 
@@ -560,8 +573,10 @@ void Broker::answer_reexpose(net::Link& to, const SubKey& key,
     if (config_.use_advertisements && !adv_allows(lid, g)) continue;
     // Pin the filter into this link's target set: without the pin the
     // next refresh would re-aggregate it away while the mover's covering
-    // input is still alive, reopening the hazard.
-    reexpose_pins_[lid].insert(g);
+    // input is still alive, reopening the hazard. The mover key rides
+    // along so pin decay can tell the mover's covering entry apart from
+    // a later independent subscriber's.
+    reexpose_pins_[lid][g].insert(key);
     auto sit = sentfs.find(g);
     if (sit != sentfs.end() && sit->second == tags) continue;
     sentfs[g] = tags;
@@ -571,6 +586,14 @@ void Broker::answer_reexpose(net::Link& to, const SubKey& key,
   // FIFO puts the re-exposures ahead of the ack: when the requester
   // prunes, every covered filter is already installed on its side.
   send(to, net::ReExposeAckMsg{key, epoch});
+  // Immediately re-evaluate the pins on this link: a pin whose covering
+  // conflict is already over (the mover's input died before we answered,
+  // or another subscriber's covering entry represents it) decays now
+  // instead of riding the wire until some unrelated admin event happens
+  // to refresh this link. The eviction's prune trails the subscriptions
+  // and the ack on the FIFO link, so the requester always installs the
+  // re-exposed filters (and their covering representative) first.
+  refresh_link(to);
 }
 
 void Broker::on_reexpose_ack(net::Link& from, const net::ReExposeAckMsg& m) {

@@ -153,6 +153,12 @@ routing::Strategy parse_strategy(const std::string& name) {
   fail("routing", "unknown strategy \"" + name + "\"");
 }
 
+broker::Matcher parse_matcher(const std::string& name) {
+  if (name == "linear") return broker::Matcher::linear;
+  if (name == "index") return broker::Matcher::index;
+  fail("matcher", "unknown matcher \"" + name + "\"");
+}
+
 sim::DelayModel parse_delay(const JsonValue& v, const std::string& where) {
   // Shorthand: a bare number is a fixed delay in milliseconds.
   if (v.is_number()) return sim::DelayModel::fixed(sim::millis(v.as_number(where)));
@@ -457,6 +463,9 @@ void apply_config(const JsonValue& root, ScenarioBuilder& b) {
   }
   if (const JsonValue* routing = root.find("routing")) {
     overlay.broker.strategy = parse_strategy(routing->as_string("routing"));
+  }
+  if (const JsonValue* matcher = root.find("matcher")) {
+    overlay.broker.matcher = parse_matcher(matcher->as_string("matcher"));
   }
   if (const JsonValue* d = root.find("broker_link_delay")) {
     overlay.broker_link_delay = parse_delay(*d, "broker_link_delay");

@@ -1,0 +1,57 @@
+#include "src/filter/attr.hpp"
+
+#include <mutex>
+
+#include "src/util/assert.hpp"
+
+namespace rebeca::filter {
+
+AttrTable& AttrTable::global() {
+  static AttrTable table;
+  return table;
+}
+
+AttrId AttrTable::intern(std::string_view name) {
+  return intern_ref(name).first;
+}
+
+std::pair<AttrId, const std::string*> AttrTable::intern_ref(
+    std::string_view name) {
+  {
+    std::shared_lock lock(mutex_);
+    auto it = ids_.find(name);
+    if (it != ids_.end()) return {it->second, &names_[it->second.value()]};
+  }
+  std::unique_lock lock(mutex_);
+  auto it = ids_.find(name);  // lost the race to another interner?
+  if (it != ids_.end()) return {it->second, &names_[it->second.value()]};
+  const AttrId id(static_cast<std::uint32_t>(names_.size()));
+  names_.emplace_back(name);
+  ids_.emplace(std::string_view(names_.back()), id);
+  return {id, &names_.back()};
+}
+
+AttrId AttrTable::find(std::string_view name) const {
+  std::shared_lock lock(mutex_);
+  auto it = ids_.find(name);
+  return it == ids_.end() ? AttrId{} : it->second;
+}
+
+const std::string& AttrTable::name(AttrId id) const {
+  const std::string* p = name_ptr(id);
+  REBECA_ASSERT(p != nullptr, "unknown attr id " << id.value());
+  return *p;
+}
+
+const std::string* AttrTable::name_ptr(AttrId id) const {
+  std::shared_lock lock(mutex_);
+  if (!id.valid() || id.value() >= names_.size()) return nullptr;
+  return &names_[id.value()];
+}
+
+std::size_t AttrTable::size() const {
+  std::shared_lock lock(mutex_);
+  return names_.size();
+}
+
+}  // namespace rebeca::filter

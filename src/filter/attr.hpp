@@ -1,0 +1,82 @@
+// Interned attribute schema: the names notifications and filters speak.
+//
+// Every attribute name ("service", "cost", "location", …) is interned
+// once into the process-wide AttrTable and referenced everywhere else by
+// a dense 32-bit AttrId. The content model stores id-keyed sorted flat
+// vectors instead of string-keyed maps, so the per-hop matching work —
+// Filter::matches / covers / overlaps and the MatchIndex probe — runs on
+// integer comparisons; strings appear only at the API boundary (the
+// fluent set()/where() builders) and in diagnostics.
+//
+// Determinism: ids are minted in first-use order, which is fixed by the
+// declaration/config text for any given run — but nothing *ordered* is
+// allowed to depend on mint order anyway. Filter::operator< (the
+// routing-table key order, hence the admin wire order) and every
+// to_string iterate in attribute-*name* order, exactly the ordering the
+// old std::map<std::string, …> storage induced, so equal-seed reports
+// stay byte-identical no matter which thread interned a name first.
+#ifndef REBECA_FILTER_ATTR_HPP
+#define REBECA_FILTER_ATTR_HPP
+
+#include <cstdint>
+#include <deque>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace rebeca::filter {
+
+/// Dense interned attribute id. Default-constructed ids are invalid
+/// ("no such attribute"); valid ids index the AttrTable.
+class AttrId {
+ public:
+  constexpr AttrId() = default;
+  explicit constexpr AttrId(std::uint32_t v) : value_(v) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr auto operator<=>(AttrId, AttrId) = default;
+
+ private:
+  static constexpr std::uint32_t kInvalid = 0xFFFFFFFFu;
+  std::uint32_t value_ = kInvalid;
+};
+
+/// Process-wide attribute interner. Thread-safe: scenario sweeps intern
+/// from worker threads concurrently. Names live in a deque, so the
+/// `const std::string*` handles handed out stay valid for the process
+/// lifetime — holders (Filter terms) compare and print without locking.
+class AttrTable {
+ public:
+  static AttrTable& global();
+
+  /// Interns `name`, minting an id on first use.
+  AttrId intern(std::string_view name);
+  /// Interns and also returns the stable name storage.
+  std::pair<AttrId, const std::string*> intern_ref(std::string_view name);
+  /// Lookup without interning; invalid id when the name was never seen.
+  [[nodiscard]] AttrId find(std::string_view name) const;
+  /// Name of a minted id (stable storage, process lifetime).
+  [[nodiscard]] const std::string& name(AttrId id) const;
+  [[nodiscard]] const std::string* name_ptr(AttrId id) const;
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::deque<std::string> names_;  // deque: push_back never moves elements
+  std::unordered_map<std::string_view, AttrId> ids_;  // views into names_
+};
+
+/// Shorthands for the global table.
+inline AttrId attr_of(std::string_view name) {
+  return AttrTable::global().intern(name);
+}
+inline const std::string& attr_name(AttrId id) {
+  return AttrTable::global().name(id);
+}
+
+}  // namespace rebeca::filter
+
+#endif  // REBECA_FILTER_ATTR_HPP

@@ -1,13 +1,103 @@
 #include "src/filter/filter.hpp"
 
+#include <algorithm>
 #include <sstream>
+
+#include "src/util/assert.hpp"
 
 namespace rebeca::filter {
 
+namespace {
+
+/// Indices of `terms` reordered so attribute names ascend (cold paths:
+/// printing).
+void name_order(const std::vector<Filter::Term>& terms,
+                std::vector<std::uint32_t>& idx) {
+  idx.resize(terms.size());
+  for (std::uint32_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::sort(idx.begin(), idx.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return *terms[a].name < *terms[b].name;
+  });
+}
+
+/// Allocation-free variant for operator< — the comparator behind every
+/// Filter-keyed map, so it must not heap-allocate per comparison.
+/// Filters beyond kInlineTerms terms fall back to the heap.
+constexpr std::size_t kInlineTerms = 16;
+
+const std::uint32_t* name_order_buf(const std::vector<Filter::Term>& terms,
+                                    std::uint32_t* inline_buf,
+                                    std::vector<std::uint32_t>& fallback) {
+  std::uint32_t* idx = inline_buf;
+  if (terms.size() > kInlineTerms) {
+    fallback.resize(terms.size());
+    idx = fallback.data();
+  }
+  for (std::uint32_t i = 0; i < terms.size(); ++i) idx[i] = i;
+  std::sort(idx, idx + terms.size(), [&](std::uint32_t a, std::uint32_t b) {
+    return *terms[a].name < *terms[b].name;
+  });
+  return idx;
+}
+
+}  // namespace
+
+Filter& Filter::where(std::string_view attr, Constraint c) {
+  auto [id, name] = AttrTable::global().intern_ref(attr);
+  auto it = std::lower_bound(
+      terms_.begin(), terms_.end(), id,
+      [](const Term& t, AttrId key) { return t.attr < key; });
+  if (it != terms_.end() && it->attr == id) {
+    it->c = std::move(c);
+  } else {
+    terms_.insert(it, Term{id, name, std::move(c)});
+  }
+  return *this;
+}
+
+Filter& Filter::where(AttrId attr, Constraint c) {
+  const std::string* name = AttrTable::global().name_ptr(attr);
+  REBECA_ASSERT(name != nullptr, "where() with unminted attr id");
+  auto it = std::lower_bound(
+      terms_.begin(), terms_.end(), attr,
+      [](const Term& t, AttrId key) { return t.attr < key; });
+  if (it != terms_.end() && it->attr == attr) {
+    it->c = std::move(c);
+  } else {
+    terms_.insert(it, Term{attr, name, std::move(c)});
+  }
+  return *this;
+}
+
+const Constraint* Filter::find(std::string_view attr) const {
+  return find(AttrTable::global().find(attr));
+}
+
+const Constraint* Filter::find(AttrId attr) const {
+  if (!attr.valid()) return nullptr;
+  auto it = std::lower_bound(
+      terms_.begin(), terms_.end(), attr,
+      [](const Term& t, AttrId key) { return t.attr < key; });
+  return it != terms_.end() && it->attr == attr ? &it->c : nullptr;
+}
+
+void Filter::erase(std::string_view attr) {
+  const AttrId id = AttrTable::global().find(attr);
+  if (!id.valid()) return;
+  auto it = std::lower_bound(
+      terms_.begin(), terms_.end(), id,
+      [](const Term& t, AttrId key) { return t.attr < key; });
+  if (it != terms_.end() && it->attr == id) terms_.erase(it);
+}
+
 bool Filter::matches(const Notification& n) const {
-  for (const auto& [attr, c] : constraints_) {
-    auto v = n.get(attr);
-    if (!v.has_value() || !c.matches(*v)) return false;
+  // Linear merge: both sides sorted by AttrId.
+  auto ait = n.attrs().begin();
+  const auto aend = n.attrs().end();
+  for (const Term& t : terms_) {
+    while (ait != aend && ait->id < t.attr) ++ait;
+    if (ait == aend || ait->id != t.attr) return false;  // attr absent
+    if (!t.c.matches(ait->value)) return false;
   }
   return true;
 }
@@ -17,17 +107,29 @@ bool Filter::covers(const Filter& other) const {
   // constraint of `other` on the same attribute. An attribute this
   // filter constrains but `other` leaves free makes covering impossible:
   // `other` accepts notifications with arbitrary values there.
-  for (const auto& [attr, c] : constraints_) {
-    const Constraint* oc = other.find(attr);
-    if (oc == nullptr || !c.covers(*oc)) return false;
+  auto oit = other.terms_.begin();
+  const auto oend = other.terms_.end();
+  for (const Term& t : terms_) {
+    while (oit != oend && oit->attr < t.attr) ++oit;
+    if (oit == oend || oit->attr != t.attr) return false;
+    if (!t.c.covers(oit->c)) return false;
   }
   return true;
 }
 
 bool Filter::overlaps(const Filter& other) const {
-  for (const auto& [attr, c] : constraints_) {
-    const Constraint* oc = other.find(attr);
-    if (oc != nullptr && !c.overlaps(*oc)) return false;
+  auto a = terms_.begin();
+  auto b = other.terms_.begin();
+  while (a != terms_.end() && b != other.terms_.end()) {
+    if (a->attr < b->attr) {
+      ++a;
+    } else if (b->attr < a->attr) {
+      ++b;
+    } else {
+      if (!a->c.overlaps(b->c)) return false;
+      ++a;
+      ++b;
+    }
   }
   return true;
 }
@@ -39,35 +141,49 @@ std::optional<Filter> Filter::try_merge(const Filter& other) const {
   // Exact merging needs identical attribute sets differing in exactly
   // one constraint whose union is representable; anything else would
   // change the accepted set (conjunctions don't distribute over union).
-  if (constraints_.size() != other.constraints_.size()) return std::nullopt;
+  if (terms_.size() != other.terms_.size()) return std::nullopt;
 
-  const std::string* diff_attr = nullptr;
-  for (const auto& [attr, c] : constraints_) {
-    const Constraint* oc = other.find(attr);
-    if (oc == nullptr) return std::nullopt;
-    if (c == *oc) continue;
-    if (diff_attr != nullptr) return std::nullopt;  // more than one differs
-    diff_attr = &attr;
+  std::size_t diff = terms_.size();  // sentinel: none
+  for (std::size_t i = 0; i < terms_.size(); ++i) {
+    if (terms_[i].attr != other.terms_[i].attr) return std::nullopt;
+    if (terms_[i].c == other.terms_[i].c) continue;
+    if (diff != terms_.size()) return std::nullopt;  // more than one differs
+    diff = i;
   }
-  if (diff_attr == nullptr) return *this;  // structurally identical
+  if (diff == terms_.size()) return *this;  // structurally identical
 
-  const Constraint& a = constraints_.at(*diff_attr);
-  const Constraint& b = *other.find(*diff_attr);
-  auto merged_c = a.try_merge(b);
+  auto merged_c = terms_[diff].c.try_merge(other.terms_[diff].c);
   if (!merged_c.has_value()) return std::nullopt;
 
   Filter merged = *this;
-  merged.where(*diff_attr, std::move(*merged_c));
+  merged.terms_[diff].c = std::move(*merged_c);
   return merged;
 }
 
+bool operator<(const Filter& a, const Filter& b) {
+  std::uint32_t abuf[kInlineTerms], bbuf[kInlineTerms];
+  std::vector<std::uint32_t> aheap, bheap;
+  const std::uint32_t* ai = name_order_buf(a.terms_, abuf, aheap);
+  const std::uint32_t* bi = name_order_buf(b.terms_, bbuf, bheap);
+  const std::size_t n = std::min(a.terms_.size(), b.terms_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const Filter::Term& ta = a.terms_[ai[i]];
+    const Filter::Term& tb = b.terms_[bi[i]];
+    if (*ta.name != *tb.name) return *ta.name < *tb.name;
+    if (!(ta.c == tb.c)) return ta.c < tb.c;
+  }
+  return a.terms_.size() < b.terms_.size();
+}
+
 std::string Filter::to_string() const {
-  if (constraints_.empty()) return "(true)";
+  if (terms_.empty()) return "(true)";
+  std::vector<std::uint32_t> idx;
+  name_order(terms_, idx);
   std::ostringstream os;
   bool first = true;
-  for (const auto& [attr, c] : constraints_) {
+  for (std::uint32_t i : idx) {
     if (!first) os << " and ";
-    os << "(" << attr << " " << c << ")";
+    os << "(" << *terms_[i].name << " " << terms_[i].c << ")";
     first = false;
   }
   return os.str();
@@ -76,10 +192,16 @@ std::string Filter::to_string() const {
 std::string Notification::to_string() const {
   std::ostringstream os;
   os << "n" << id_ << "{";
+  // Name order, so logs are independent of attr-id mint order.
+  std::vector<std::uint32_t> idx(attrs_.size());
+  for (std::uint32_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::sort(idx.begin(), idx.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return attr_name(attrs_[a].id) < attr_name(attrs_[b].id);
+  });
   bool first = true;
-  for (const auto& [attr, v] : attrs_) {
+  for (std::uint32_t i : idx) {
     if (!first) os << ", ";
-    os << attr << "=" << v;
+    os << attr_name(attrs_[i].id) << "=" << attrs_[i].value;
     first = false;
   }
   os << "}";

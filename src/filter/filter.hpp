@@ -5,13 +5,21 @@
 // constraint; unconstrained attributes are unrestricted — hence fewer
 // constraints means a broader filter, and the empty filter matches
 // everything.
+//
+// Storage is a flat vector of terms sorted by interned AttrId, so
+// matches/covers/overlaps/try_merge are linear sorted merges over
+// integer keys. Ordering (operator<, the routing-table key order) and
+// printing iterate in attribute-*name* order — the ordering the old
+// string-keyed map induced — so nothing observable depends on the order
+// in which attribute ids happened to be minted.
 #ifndef REBECA_FILTER_FILTER_HPP
 #define REBECA_FILTER_FILTER_HPP
 
-#include <map>
 #include <optional>
-#include <string>
+#include <string_view>
+#include <vector>
 
+#include "src/filter/attr.hpp"
 #include "src/filter/constraint.hpp"
 #include "src/filter/notification.hpp"
 
@@ -19,27 +27,28 @@ namespace rebeca::filter {
 
 class Filter {
  public:
+  struct Term {
+    AttrId attr;
+    const std::string* name;  // interned storage, stable for the process
+    Constraint c;
+  };
+
   Filter() = default;
 
   /// Fluent builder: Filter().where("service", Constraint::eq("parking")).
-  Filter& where(std::string attr, Constraint c) {
-    constraints_.insert_or_assign(std::move(attr), std::move(c));
-    return *this;
-  }
+  Filter& where(std::string_view attr, Constraint c);
+  Filter& where(AttrId attr, Constraint c);
 
-  [[nodiscard]] bool empty() const { return constraints_.empty(); }
-  [[nodiscard]] std::size_t size() const { return constraints_.size(); }
-  [[nodiscard]] const std::map<std::string, Constraint>& constraints() const {
-    return constraints_;
-  }
+  [[nodiscard]] bool empty() const { return terms_.empty(); }
+  [[nodiscard]] std::size_t size() const { return terms_.size(); }
+  /// Terms in ascending AttrId order.
+  [[nodiscard]] const std::vector<Term>& terms() const { return terms_; }
 
-  [[nodiscard]] const Constraint* find(const std::string& attr) const {
-    auto it = constraints_.find(attr);
-    return it == constraints_.end() ? nullptr : &it->second;
-  }
+  [[nodiscard]] const Constraint* find(std::string_view attr) const;
+  [[nodiscard]] const Constraint* find(AttrId attr) const;
 
   /// Removes the constraint on `attr` (no-op if absent).
-  void erase(const std::string& attr) { constraints_.erase(attr); }
+  void erase(std::string_view attr);
 
   [[nodiscard]] bool matches(const Notification& n) const;
 
@@ -57,13 +66,23 @@ class Filter {
   /// constraints merge exactly (paper Sec. 2.2 "merging").
   [[nodiscard]] std::optional<Filter> try_merge(const Filter& other) const;
 
-  /// Structural identity — used as a routing-table key.
+  /// Structural identity — used as a routing-table key. Equal attribute
+  /// sets have equal id-sorted term vectors, so this is mint-order-free.
   friend bool operator==(const Filter& a, const Filter& b) {
-    return a.constraints_ == b.constraints_;
+    if (a.terms_.size() != b.terms_.size()) return false;
+    for (std::size_t i = 0; i < a.terms_.size(); ++i) {
+      if (a.terms_[i].attr != b.terms_[i].attr ||
+          !(a.terms_[i].c == b.terms_[i].c)) {
+        return false;
+      }
+    }
+    return true;
   }
-  friend bool operator<(const Filter& a, const Filter& b) {
-    return a.constraints_ < b.constraints_;
-  }
+  /// Lexicographic over name-ordered (name, constraint) pairs: the exact
+  /// strict weak order the old std::map<std::string, Constraint> storage
+  /// induced, independent of attr-id mint order (which may vary with
+  /// sweep-thread scheduling and must never leak into wire order).
+  friend bool operator<(const Filter& a, const Filter& b);
 
   [[nodiscard]] std::string to_string() const;
   friend std::ostream& operator<<(std::ostream& os, const Filter& f) {
@@ -71,7 +90,7 @@ class Filter {
   }
 
  private:
-  std::map<std::string, Constraint> constraints_;
+  std::vector<Term> terms_;  // sorted by AttrId
 };
 
 }  // namespace rebeca::filter

@@ -1,6 +1,11 @@
 // Event notifications: name/value-pair messages that reify occurred
 // events (paper Sec. 2.1).
 //
+// Attributes are stored as a flat vector sorted by interned AttrId, so
+// the matching hot path (Filter::matches, MatchIndex::collect) walks
+// both sides with integer key comparisons — no string-map lookups per
+// probe. The fluent set() builder keeps its shape and interns on entry.
+//
 // Besides its attributes, a notification carries identity metadata the
 // mobility machinery depends on: a globally unique id (duplicate
 // suppression during relocation), its producer and producer-local
@@ -9,10 +14,12 @@
 #ifndef REBECA_FILTER_NOTIFICATION_HPP
 #define REBECA_FILTER_NOTIFICATION_HPP
 
-#include <map>
-#include <optional>
+#include <algorithm>
 #include <string>
+#include <string_view>
+#include <vector>
 
+#include "src/filter/attr.hpp"
 #include "src/filter/value.hpp"
 #include "src/sim/time.hpp"
 #include "src/util/domain_ids.hpp"
@@ -21,25 +28,52 @@ namespace rebeca::filter {
 
 class Notification {
  public:
+  struct Attr {
+    AttrId id;
+    Value value;
+
+    friend bool operator==(const Attr&, const Attr&) = default;
+  };
+
   Notification() = default;
 
   /// Fluent attribute setter: Notification().set("service", "parking").
-  Notification& set(std::string name, Value value) {
-    attrs_.insert_or_assign(std::move(name), std::move(value));
+  Notification& set(std::string_view name, Value value) {
+    return set(AttrTable::global().intern(name), std::move(value));
+  }
+
+  Notification& set(AttrId id, Value value) {
+    auto it = lower_bound(id);
+    if (it != attrs_.end() && it->id == id) {
+      it->value = std::move(value);
+    } else {
+      attrs_.insert(it, Attr{id, std::move(value)});
+    }
     return *this;
   }
 
-  [[nodiscard]] bool has(const std::string& name) const {
-    return attrs_.count(name) != 0;
+  [[nodiscard]] bool has(std::string_view name) const {
+    return get(name) != nullptr;
+  }
+  [[nodiscard]] bool has(AttrId id) const { return get(id) != nullptr; }
+
+  /// Attribute value, or nullptr when absent — a borrowed pointer into
+  /// this notification, valid until the next mutation. (Returning the
+  /// Value by value copied the string payload on every hot-path probe.)
+  [[nodiscard]] const Value* get(std::string_view name) const {
+    return get(AttrTable::global().find(name));
   }
 
-  [[nodiscard]] std::optional<Value> get(const std::string& name) const {
-    auto it = attrs_.find(name);
-    if (it == attrs_.end()) return std::nullopt;
-    return it->second;
+  [[nodiscard]] const Value* get(AttrId id) const {
+    if (!id.valid()) return nullptr;
+    auto it = lower_bound(id);
+    return it != attrs_.end() && it->id == id ? &it->value : nullptr;
   }
 
-  [[nodiscard]] const std::map<std::string, Value>& attrs() const { return attrs_; }
+  /// Attributes in ascending AttrId order.
+  [[nodiscard]] const std::vector<Attr>& attrs() const { return attrs_; }
+  [[nodiscard]] std::size_t size() const { return attrs_.size(); }
+  [[nodiscard]] bool empty() const { return attrs_.empty(); }
 
   // --- identity metadata (stamped by the client library on publish) ---
 
@@ -59,7 +93,18 @@ class Notification {
   [[nodiscard]] std::string to_string() const;
 
  private:
-  std::map<std::string, Value> attrs_;
+  [[nodiscard]] std::vector<Attr>::const_iterator lower_bound(AttrId id) const {
+    return std::lower_bound(
+        attrs_.begin(), attrs_.end(), id,
+        [](const Attr& a, AttrId key) { return a.id < key; });
+  }
+  [[nodiscard]] std::vector<Attr>::iterator lower_bound(AttrId id) {
+    return std::lower_bound(
+        attrs_.begin(), attrs_.end(), id,
+        [](const Attr& a, AttrId key) { return a.id < key; });
+  }
+
+  std::vector<Attr> attrs_;  // sorted by AttrId
   NotificationId id_;
   ClientId producer_;
   std::uint64_t producer_seq_ = 0;

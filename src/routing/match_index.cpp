@@ -1,0 +1,425 @@
+#include "src/routing/match_index.hpp"
+
+#include <algorithm>
+
+#include "src/util/assert.hpp"
+
+namespace rebeca::routing {
+
+namespace {
+
+using filter::Constraint;
+using filter::Op;
+using filter::Value;
+
+int value_class(const Value& v) {
+  if (v.is_numeric()) return 0;
+  if (v.is_string()) return 1;
+  return 2;  // bool
+}
+
+/// Within one interval list every bound is of one ordered class, so the
+/// comparison always decides.
+bool bound_less(const Value& a, const Value& b) {
+  return a.compare(b).value_or(0) < 0;
+}
+
+/// True when the value's normalized double equality key is lossless, so
+/// key equality coincides with Value::equals.
+bool eq_key_exact(const Value& v) {
+  if (!v.is_int()) return true;
+  const std::int64_t i = v.as_int();
+  return i >= -(std::int64_t{1} << 53) && i <= (std::int64_t{1} << 53);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Entry lifecycle
+// ---------------------------------------------------------------------------
+
+std::uint32_t MatchIndex::add_entry(Entry entry) {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    entries_[slot] = std::move(entry);
+  } else {
+    slot = static_cast<std::uint32_t>(entries_.size());
+    entries_.push_back(std::move(entry));
+    hits_.push_back(Hit{});
+    term_counts_.push_back(0);
+  }
+  Entry& e = entries_[slot];
+  e.alive = true;
+  term_counts_[slot] = static_cast<std::uint32_t>(e.f.size());
+  ++live_entries_;
+  if (e.f.empty()) {
+    empty_filter_slots_.push_back(slot);
+  } else {
+    for (const auto& term : e.f.terms()) index_term(term, slot);
+  }
+  return slot;
+}
+
+void MatchIndex::remove_entry(std::uint32_t slot) {
+  Entry& e = entries_[slot];
+  REBECA_ASSERT(e.alive, "match index: double remove of slot " << slot);
+  if (e.f.empty()) {
+    std::erase(empty_filter_slots_, slot);
+  } else {
+    for (const auto& term : e.f.terms()) unindex_term(term, slot);
+  }
+  e.alive = false;
+  e.f = filter::Filter{};
+  --live_entries_;
+  free_slots_.push_back(slot);
+}
+
+void MatchIndex::index_term(const filter::Filter::Term& term,
+                            std::uint32_t slot) {
+  const std::uint32_t attr = term.attr.value();
+  if (attr >= buckets_.size()) buckets_.resize(attr + 1);
+  Bucket& b = buckets_[attr];
+  const Constraint& c = term.c;
+
+  switch (c.op()) {
+    case Op::eq: {
+      EqKey key;
+      key.cls = value_class(c.operand());
+      switch (key.cls) {
+        case 0: key.num = *c.operand().numeric(); break;
+        case 1: key.str = c.operand().as_string(); break;
+        default: key.b = c.operand().as_bool(); break;
+      }
+      EqBucket& bucket = b.eq[key];
+      if (eq_key_exact(c.operand())) {
+        bucket.exact_slots.push_back(slot);
+        bucket.exact_operands.push_back(c.operand());
+      } else {
+        bucket.inexact.push_back(EqItem{c.operand(), slot});
+      }
+      return;
+    }
+    case Op::lt:
+    case Op::le:
+    case Op::gt:
+    case Op::ge:
+    case Op::range: {
+      const int cls = value_class(c.operand());
+      if (cls == 2) break;  // ordered ops on bools: catch-all below
+      Interval iv;
+      iv.slot = slot;
+      switch (c.op()) {
+        case Op::lt:
+        case Op::le:
+          iv.has_hi = true;
+          iv.hi = c.operand();
+          iv.hi_strict = c.op() == Op::lt;
+          break;
+        case Op::gt:
+        case Op::ge:
+          iv.has_lo = true;
+          iv.lo = c.operand();
+          iv.lo_strict = c.op() == Op::gt;
+          break;
+        default:  // range (ctor asserts lo <= hi, so one ordered class)
+          iv.has_lo = true;
+          iv.lo = c.operand();
+          iv.has_hi = true;
+          iv.hi = c.hi();
+          break;
+      }
+      if (iv.has_lo) {
+        auto& list = cls == 0 ? b.num_lo : b.str_lo;
+        const auto pos = std::lower_bound(
+            list.begin(), list.end(), iv,
+            [](const Interval& a, const Interval& x) {
+              return bound_less(a.lo, x.lo);
+            });
+        list.insert(pos, std::move(iv));
+      } else {
+        // Upper-only: descending by hi, non-strict before strict on
+        // ties, so the probe's prefix scan can stop at the first bound
+        // that excludes the value.
+        auto& list = cls == 0 ? b.num_hi : b.str_hi;
+        const auto pos = std::lower_bound(
+            list.begin(), list.end(), iv,
+            [](const Interval& a, const Interval& x) {
+              if (bound_less(x.hi, a.hi)) return true;
+              if (bound_less(a.hi, x.hi)) return false;
+              return !a.hi_strict && x.hi_strict;
+            });
+        list.insert(pos, std::move(iv));
+      }
+      return;
+    }
+    default:
+      break;
+  }
+  // any / ne / prefix / in_set (and ordered-on-bool): exact evaluation.
+  b.general.push_back(GeneralItem{c, slot});
+}
+
+void MatchIndex::unindex_term(const filter::Filter::Term& term,
+                              std::uint32_t slot) {
+  REBECA_ASSERT(term.attr.value() < buckets_.size(),
+                "match index: unindex of unknown attr");
+  Bucket& b = buckets_[term.attr.value()];
+  const Constraint& c = term.c;
+
+  const auto erase_slot = [slot](auto& list) {
+    auto it = std::find_if(list.begin(), list.end(),
+                           [slot](const auto& item) { return item.slot == slot; });
+    REBECA_ASSERT(it != list.end(), "match index: missing record for slot");
+    list.erase(it);
+  };
+
+  switch (c.op()) {
+    case Op::eq: {
+      EqKey key;
+      key.cls = value_class(c.operand());
+      switch (key.cls) {
+        case 0: key.num = *c.operand().numeric(); break;
+        case 1: key.str = c.operand().as_string(); break;
+        default: key.b = c.operand().as_bool(); break;
+      }
+      auto it = b.eq.find(key);
+      REBECA_ASSERT(it != b.eq.end(), "match index: missing eq bucket");
+      EqBucket& bucket = it->second;
+      if (eq_key_exact(c.operand())) {
+        auto sit = std::find(bucket.exact_slots.begin(),
+                             bucket.exact_slots.end(), slot);
+        REBECA_ASSERT(sit != bucket.exact_slots.end(),
+                      "match index: missing eq record for slot");
+        const auto i = sit - bucket.exact_slots.begin();
+        bucket.exact_slots.erase(sit);
+        bucket.exact_operands.erase(bucket.exact_operands.begin() + i);
+      } else {
+        erase_slot(bucket.inexact);
+      }
+      if (bucket.exact_slots.empty() && bucket.inexact.empty()) {
+        b.eq.erase(it);
+      }
+      return;
+    }
+    case Op::lt:
+    case Op::le: {
+      const int cls = value_class(c.operand());
+      if (cls == 2) break;
+      erase_slot(cls == 0 ? b.num_hi : b.str_hi);
+      return;
+    }
+    case Op::gt:
+    case Op::ge:
+    case Op::range: {
+      const int cls = value_class(c.operand());
+      if (cls == 2) break;
+      erase_slot(cls == 0 ? b.num_lo : b.str_lo);
+      return;
+    }
+    default:
+      break;
+  }
+  erase_slot(b.general);
+}
+
+// ---------------------------------------------------------------------------
+// Plane maintenance
+// ---------------------------------------------------------------------------
+
+void MatchIndex::add_remote(LinkId link, const filter::Filter& f) {
+  auto& slots = remote_slots_[link];
+  if (slots.count(f) != 0) return;  // tag-only upsert: filter unchanged
+  Entry e;
+  e.source = Source::remote;
+  e.link = link;
+  e.f = f;
+  slots.emplace(f, add_entry(std::move(e)));
+}
+
+void MatchIndex::remove_remote(LinkId link, const filter::Filter& f) {
+  auto lit = remote_slots_.find(link);
+  if (lit == remote_slots_.end()) return;
+  auto it = lit->second.find(f);
+  if (it == lit->second.end()) return;
+  remove_entry(it->second);
+  lit->second.erase(it);
+  if (lit->second.empty()) remote_slots_.erase(lit);
+}
+
+void MatchIndex::upsert_keyed(std::map<SubKey, std::uint32_t>& slots,
+                              Entry entry) {
+  const SubKey key = entry.key;
+  auto it = slots.find(key);
+  if (it != slots.end()) remove_entry(it->second);
+  slots[key] = add_entry(std::move(entry));
+}
+
+void MatchIndex::remove_keyed(std::map<SubKey, std::uint32_t>& slots,
+                              const SubKey& key) {
+  auto it = slots.find(key);
+  if (it == slots.end()) return;
+  remove_entry(it->second);
+  slots.erase(it);
+}
+
+void MatchIndex::upsert_local(const SubKey& key, const filter::Filter& f) {
+  Entry e;
+  e.source = Source::local;
+  e.key = key;
+  e.f = f;
+  upsert_keyed(local_slots_, std::move(e));
+}
+
+void MatchIndex::remove_local(const SubKey& key) {
+  remove_keyed(local_slots_, key);
+}
+
+void MatchIndex::upsert_virtual(const SubKey& key, const filter::Filter& f) {
+  Entry e;
+  e.source = Source::virt;
+  e.key = key;
+  e.f = f;
+  upsert_keyed(virtual_slots_, std::move(e));
+}
+
+void MatchIndex::remove_virtual(const SubKey& key) {
+  remove_keyed(virtual_slots_, key);
+}
+
+void MatchIndex::upsert_transit(const SubKey& key, LinkId toward,
+                                const filter::Filter& f) {
+  Entry e;
+  e.source = Source::transit;
+  e.link = toward;
+  e.key = key;
+  e.f = f;
+  upsert_keyed(transit_slots_, std::move(e));
+}
+
+void MatchIndex::remove_transit(const SubKey& key) {
+  remove_keyed(transit_slots_, key);
+}
+
+// ---------------------------------------------------------------------------
+// Query
+// ---------------------------------------------------------------------------
+
+void MatchIndex::bump(std::uint32_t slot) const {
+  Hit& h = hits_[slot];
+  if (h.stamp != query_stamp_) {
+    h.stamp = query_stamp_;
+    h.count = 0;
+    touched_.push_back(slot);
+  }
+  ++h.count;
+}
+
+bool MatchIndex::interval_admits(const Interval& iv, const Value& v) {
+  if (iv.has_hi) {
+    const auto c = v.compare(iv.hi);
+    if (!c.has_value() || *c > 0 || (*c == 0 && iv.hi_strict)) return false;
+  }
+  return true;
+}
+
+void MatchIndex::collect(const filter::Notification& n, MatchHits& out) const {
+  out.clear();
+  ++query_stamp_;
+  touched_.clear();
+
+  for (const auto& attr : n.attrs()) {
+    const std::uint32_t id = attr.id.value();
+    if (id >= buckets_.size()) continue;
+    const Bucket& b = buckets_[id];
+    const Value& v = attr.value;
+    const int cls = value_class(v);
+
+    // Equality buckets: one normalized probe (borrowing the string, no
+    // copy), exact re-check per item only where the key is lossy.
+    if (!b.eq.empty()) {
+      EqProbe key;
+      key.cls = cls;
+      switch (cls) {
+        case 0: key.num = *v.numeric(); break;
+        case 1: key.str = v.as_string(); break;
+        default: key.b = v.as_bool(); break;
+      }
+      auto it = b.eq.find(key);
+      if (it != b.eq.end()) {
+        const EqBucket& bucket = it->second;
+        if (eq_key_exact(v)) {
+          // Key equality is exact on both sides: sweep the dense list.
+          for (const std::uint32_t slot : bucket.exact_slots) bump(slot);
+        } else {
+          for (std::size_t i = 0; i < bucket.exact_slots.size(); ++i) {
+            if (v.equals(bucket.exact_operands[i])) {
+              bump(bucket.exact_slots[i]);
+            }
+          }
+        }
+        for (const EqItem& item : bucket.inexact) {
+          if (v.equals(item.operand)) bump(item.slot);
+        }
+      }
+    }
+
+    // Ordered bound lists: each is a prefix scan that stops at the first
+    // bound excluding v.
+    if (cls == 0 || cls == 1) {
+      const auto& lo_list = cls == 0 ? b.num_lo : b.str_lo;
+      for (const Interval& iv : lo_list) {
+        const auto c = v.compare(iv.lo);
+        if (!c.has_value()) break;  // cross-domain bound: cannot happen
+        if (*c < 0) break;          // ascending: every later lo is larger
+        if (*c == 0 && iv.lo_strict) continue;
+        if (interval_admits(iv, v)) bump(iv.slot);
+      }
+      const auto& hi_list = cls == 0 ? b.num_hi : b.str_hi;
+      for (const Interval& iv : hi_list) {
+        const auto c = v.compare(iv.hi);
+        if (!c.has_value()) break;
+        if (*c > 0 || (*c == 0 && iv.hi_strict)) break;  // descending his
+        bump(iv.slot);
+      }
+    }
+
+    // Catch-all: exact constraint evaluation.
+    for (const GeneralItem& item : b.general) {
+      if (item.c.matches(v)) bump(item.slot);
+    }
+  }
+
+  const auto emit = [&](std::uint32_t slot) {
+    const Entry& e = entries_[slot];
+    switch (e.source) {
+      case Source::remote:
+      case Source::transit:
+        out.links.push_back(e.link);
+        break;
+      case Source::local:
+        out.locals.push_back(e.key);
+        break;
+      case Source::virt:
+        out.virtuals.push_back(e.key);
+        break;
+    }
+  };
+
+  for (std::uint32_t slot : touched_) {
+    if (hits_[slot].count == term_counts_[slot]) emit(slot);
+  }
+  for (std::uint32_t slot : empty_filter_slots_) emit(slot);
+
+  // Canonical order per plane; the broker applies links in attach order
+  // via membership tests, locals/virtuals in ascending key order —
+  // exactly the iteration order of the linear scans.
+  std::sort(out.links.begin(), out.links.end());
+  out.links.erase(std::unique(out.links.begin(), out.links.end()),
+                  out.links.end());
+  std::sort(out.locals.begin(), out.locals.end());
+  std::sort(out.virtuals.begin(), out.virtuals.end());
+}
+
+}  // namespace rebeca::routing

@@ -1,0 +1,203 @@
+// Incremental counting match index: the broker's notification data plane.
+//
+// route_notification historically matched every notification by four
+// linear scans — remote forward sets (per neighbor link), local client
+// subscriptions, virtual counterparts, and LD transit state — O(filters)
+// Filter::matches calls per hop. The MatchIndex replaces all four with
+// one counting query:
+//
+//   * every filter in any of the four planes is one *entry*, registered
+//     incrementally as the broker's tables change (the DiffProgram
+//     upsert/prune stream feeds the remote plane; session/virtual/LD
+//     lifecycle feeds the rest);
+//   * each entry's constraints are decomposed into per-attribute buckets:
+//     equality buckets keyed by (normalized) operand value, ordered
+//     bound lists for interval-shaped constraints (sorted by lower
+//     bound, probed by prefix), and a catch-all list for the rest
+//     (any/ne/prefix/in_set), evaluated by Constraint::matches;
+//   * a query walks the notification's attributes once, bumps a
+//     per-entry hit counter for every satisfied constraint (epoch
+//     stamps, so no O(entries) clear per query), and emits the entries
+//     whose count equals their constraint count — plus the empty
+//     filters, which match everything.
+//
+// The result is a MatchHits of destination handles per plane; the broker
+// orders them canonically (links in attach order, local subs and
+// virtuals in key order), so the index-driven route is byte-identical to
+// the linear scans it replaces.
+#ifndef REBECA_ROUTING_MATCH_INDEX_HPP
+#define REBECA_ROUTING_MATCH_INDEX_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/filter/filter.hpp"
+#include "src/util/domain_ids.hpp"
+
+namespace rebeca::routing {
+
+/// One query's matches, by destination plane. links carries remote and
+/// LD-transit matches (the per-link forward decision); locals and
+/// virtuals carry subscription keys. All three are sorted and deduped.
+struct MatchHits {
+  std::vector<LinkId> links;
+  std::vector<SubKey> locals;
+  std::vector<SubKey> virtuals;
+
+  void clear() {
+    links.clear();
+    locals.clear();
+    virtuals.clear();
+  }
+};
+
+class MatchIndex {
+ public:
+  // --- remote plane: routing-table entries, keyed (link, filter) ---
+  void add_remote(LinkId link, const filter::Filter& f);
+  void remove_remote(LinkId link, const filter::Filter& f);
+
+  // --- exactly-keyed planes: upsert replaces the key's previous filter ---
+  void upsert_local(const SubKey& key, const filter::Filter& f);
+  void remove_local(const SubKey& key);
+  void upsert_virtual(const SubKey& key, const filter::Filter& f);
+  void remove_virtual(const SubKey& key);
+  void upsert_transit(const SubKey& key, LinkId toward,
+                      const filter::Filter& f);
+  void remove_transit(const SubKey& key);
+
+  /// Counting query: fills `out` (cleared first) with every matching
+  /// destination, sorted and deduped per plane.
+  void collect(const filter::Notification& n, MatchHits& out) const;
+
+  [[nodiscard]] std::size_t entry_count() const { return live_entries_; }
+
+ private:
+  enum class Source : std::uint8_t { remote, transit, local, virt };
+
+  struct Entry {
+    Source source = Source::remote;
+    LinkId link;  // remote: the table's link; transit: toward
+    SubKey key;   // local / virt / transit
+    filter::Filter f;
+    bool alive = false;
+  };
+
+  /// Normalized equality-bucket key. Cross-type numeric equality
+  /// (1 == 1.0) must land int and double operands in the same bucket,
+  /// so numerics normalize to double; the bucket items keep the exact
+  /// operand Value and re-verify with Value::equals on probe (huge
+  /// int64s can collide after the double cast).
+  struct EqKey {
+    int cls = 0;  // 0 numeric, 1 string, 2 bool
+    double num = 0;
+    std::string str;
+    bool b = false;
+  };
+
+  /// Borrowed probe key: a collect() lookup must not copy the
+  /// notification's string attribute per probe.
+  struct EqProbe {
+    int cls = 0;
+    double num = 0;
+    std::string_view str;
+    bool b = false;
+  };
+
+  struct EqKeyLess {
+    using is_transparent = void;
+
+    template <typename A, typename B>
+    bool operator()(const A& a, const B& b) const {
+      if (a.cls != b.cls) return a.cls < b.cls;
+      switch (a.cls) {
+        case 0: return a.num < b.num;
+        case 1: return std::string_view(a.str) < std::string_view(b.str);
+        default: return a.b < b.b;
+      }
+    }
+  };
+
+  struct EqItem {
+    filter::Value operand;
+    std::uint32_t slot;
+  };
+
+  /// One equality bucket. Operands whose normalized key decides equality
+  /// exactly (strings, bools, doubles, int64s within ±2^53) live in a
+  /// dense slot list swept without per-item verification; only huge
+  /// int64s — where the double key is lossy — pay a Value::equals each.
+  struct EqBucket {
+    std::vector<std::uint32_t> exact_slots;
+    std::vector<filter::Value> exact_operands;  // parallel; lossy-probe path
+    std::vector<EqItem> inexact;
+  };
+
+  /// Interval-shaped constraint (lt/le/gt/ge/range) over one ordered
+  /// domain. Lower-bounded intervals live in a list sorted ascending by
+  /// lo; upper-only intervals (lt/le) in a list sorted descending by hi.
+  /// Either way a probe scans exactly the prefix its value admits and
+  /// stops at the first bound that excludes it.
+  struct Interval {
+    bool has_lo = false, has_hi = false;
+    bool lo_strict = false, hi_strict = false;
+    filter::Value lo, hi;
+    std::uint32_t slot = 0;
+  };
+
+  struct GeneralItem {
+    filter::Constraint c;
+    std::uint32_t slot;
+  };
+
+  struct Bucket {
+    std::map<EqKey, EqBucket, EqKeyLess> eq;
+    std::vector<Interval> num_lo;  // has_lo, ascending by lo
+    std::vector<Interval> num_hi;  // upper-only, descending by hi
+    std::vector<Interval> str_lo;
+    std::vector<Interval> str_hi;
+    std::vector<GeneralItem> general;
+  };
+
+  std::uint32_t add_entry(Entry entry);
+  void remove_entry(std::uint32_t slot);
+  void index_term(const filter::Filter::Term& term, std::uint32_t slot);
+  void unindex_term(const filter::Filter::Term& term, std::uint32_t slot);
+  void upsert_keyed(std::map<SubKey, std::uint32_t>& slots, Entry entry);
+  void remove_keyed(std::map<SubKey, std::uint32_t>& slots, const SubKey& key);
+  void bump(std::uint32_t slot) const;
+  static bool interval_admits(const Interval& iv, const filter::Value& v);
+
+  std::vector<Entry> entries_;
+  /// Per-slot constraint counts, compact so the match pass over touched
+  /// slots stays off the fat Entry records.
+  std::vector<std::uint32_t> term_counts_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_entries_ = 0;
+  std::vector<std::uint32_t> empty_filter_slots_;  // always-match entries
+
+  std::map<LinkId, std::map<filter::Filter, std::uint32_t>> remote_slots_;
+  std::map<SubKey, std::uint32_t> local_slots_;
+  std::map<SubKey, std::uint32_t> virtual_slots_;
+  std::map<SubKey, std::uint32_t> transit_slots_;
+
+  std::vector<Bucket> buckets_;  // indexed by AttrId value
+
+  // Query scratch: epoch-stamped per-entry counters (fused into one
+  // record per entry — a bump touches a single cache line), so a query
+  // touches only the entries its notification's attributes reach.
+  struct Hit {
+    std::uint64_t stamp = 0;
+    std::uint32_t count = 0;
+  };
+  mutable std::vector<Hit> hits_;
+  mutable std::vector<std::uint32_t> touched_;
+  mutable std::uint64_t query_stamp_ = 0;
+};
+
+}  // namespace rebeca::routing
+
+#endif  // REBECA_ROUTING_MATCH_INDEX_HPP

@@ -312,6 +312,10 @@ ScenarioBuilder& ScenarioBuilder::routing(routing::Strategy strategy) {
   overlay_.broker.strategy = strategy;
   return *this;
 }
+ScenarioBuilder& ScenarioBuilder::matcher(broker::Matcher matcher) {
+  overlay_.broker.matcher = matcher;
+  return *this;
+}
 ScenarioBuilder& ScenarioBuilder::broker_link_delay(sim::DelayModel delay) {
   overlay_.broker_link_delay = delay;
   return *this;
@@ -727,6 +731,9 @@ ScenarioReport Scenario::report() const {
   r.published = publications_.size();
   r.messages = overlay_->total_counters();
   r.checkpoints = checkpoints_;
+  for (std::size_t i = 0; i < overlay_->broker_count(); ++i) {
+    r.pins_active += overlay_->broker(i).reexpose_pin_count();
+  }
 
   // One pass over the log instead of one scan per client.
   std::map<ClientId, std::uint64_t> published_counts;
@@ -828,7 +835,8 @@ std::ostream& operator<<(std::ostream& os, const ScenarioReport& r) {
   os << "scenario report (seed " << r.seed << ", finished at "
      << sim::FormatTime{r.finished_at} << ")\n";
   os << "  published " << r.published << " delivered " << r.delivered
-     << " missing " << r.missing << " duplicates " << r.duplicates << "\n";
+     << " missing " << r.missing << " duplicates " << r.duplicates
+     << " pins_active " << r.pins_active << "\n";
   os << "  latency: ";
   print_latency(os, r.latency);
   os << "\n  messages: " << r.messages << "\n";

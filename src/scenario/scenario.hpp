@@ -267,6 +267,10 @@ struct ScenarioReport {
   std::uint64_t delivered = 0;
   std::uint64_t missing = 0;     // summed over tracked clients
   std::uint64_t duplicates = 0;
+  /// Re-expose pins still held open across all brokers at run end (the
+  /// moveout protocol's redundant wire entries; decay should keep this
+  /// near zero under churn).
+  std::uint64_t pins_active = 0;
   metrics::MessageCounters messages;
   LatencyStats latency;  // pooled over all clients
   std::vector<ClientReport> clients;
@@ -300,6 +304,10 @@ class ScenarioBuilder {
   ScenarioBuilder& overlay(broker::OverlayConfig config);
   ScenarioBuilder& broker(broker::BrokerConfig config);
   ScenarioBuilder& routing(routing::Strategy strategy);
+  /// Notification data plane: Matcher::index (default, the counting
+  /// MatchIndex) or Matcher::linear (the four reference scans). Equal
+  /// seeds produce byte-identical reports under either.
+  ScenarioBuilder& matcher(broker::Matcher matcher);
   ScenarioBuilder& broker_link_delay(sim::DelayModel delay);
   ScenarioBuilder& client_link_delay(sim::DelayModel delay);
   /// Declares a client — or, when the name is already declared, returns

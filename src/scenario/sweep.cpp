@@ -65,6 +65,7 @@ void extract_metrics(const ScenarioReport& report,
   put("messages_admin", static_cast<double>(report.messages.administrative()));
   put("messages_reexpose",
       static_cast<double>(report.messages.count(metrics::MessageClass::reexpose)));
+  put("pins_active", static_cast<double>(report.pins_active));
   for (const ClientReport& c : report.clients) {
     const std::string prefix = "client." + c.name + ".";
     put(prefix + "published", static_cast<double>(c.published));

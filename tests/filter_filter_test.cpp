@@ -237,9 +237,34 @@ TEST(Notification, GetAndHas) {
   auto n = Notification().set("k", 5);
   EXPECT_TRUE(n.has("k"));
   EXPECT_FALSE(n.has("j"));
-  EXPECT_TRUE(n.get("k").has_value());
-  EXPECT_FALSE(n.get("j").has_value());
+  // get() hands out a borrowed pointer — no string copy per probe.
+  ASSERT_NE(n.get("k"), nullptr);
+  EXPECT_EQ(n.get("j"), nullptr);
   EXPECT_EQ(n.get("k")->as_int(), 5);
+}
+
+TEST(Notification, AttrsSortedByInternedId) {
+  auto n = Notification().set("zzz", 1).set("aaa", 2).set("zzz", 3);
+  EXPECT_EQ(n.size(), 2u);  // set() replaces per attribute
+  EXPECT_EQ(n.get("zzz")->as_int(), 3);
+  for (std::size_t i = 1; i < n.attrs().size(); ++i) {
+    EXPECT_LT(n.attrs()[i - 1].id, n.attrs()[i].id);
+  }
+}
+
+TEST(Filter, OrderingIsNameLexicographic) {
+  // operator< must order by attribute *name*, not by AttrId mint order:
+  // intern "b2" before "a2" and check the a-filter still sorts first.
+  Filter fb;
+  fb.where("b2", Constraint::eq(1));
+  Filter fa;
+  fa.where("a2", Constraint::eq(1));
+  EXPECT_LT(fa, fb);
+  EXPECT_FALSE(fb < fa);
+  // Prefix rule: fewer constraints with equal prefix sorts first.
+  Filter fa2 = fa;
+  fa2.where("c2", Constraint::eq(2));
+  EXPECT_LT(fa, fa2);
 }
 
 }  // namespace

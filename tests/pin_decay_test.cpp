@@ -1,0 +1,119 @@
+// Re-expose pin decay (the ROADMAP churn item): a pin force-exposes a
+// covered filter while a mover's covering entry leaves the old path.
+// Historically the pin persisted whenever a *different* covering
+// subscriber arrived before the mover's input died — the natural target
+// then aggregates the pinned filter under the newcomer, so the "target
+// contains the pin" eviction never fires, the pinned filter keeps riding
+// the wire, and its presence keeps downstream pins' backing inputs alive
+// in a self-sustaining chain. The decay rule evicts a pin as soon as the
+// refresh target holds a covering entry served by subscribers other than
+// the recorded movers; the eviction cascades down the old path and
+// pins_active returns to zero — without ever opening the covered-
+// bystander loss window.
+#include <gtest/gtest.h>
+
+#include "src/scenario/scenario.hpp"
+
+namespace rebeca {
+namespace {
+
+using filter::Constraint;
+using filter::Filter;
+using filter::Notification;
+
+scenario::ScenarioReport run_churn(std::size_t shards, std::uint64_t seed,
+                                   std::uint64_t* reexposed_total) {
+  scenario::ScenarioBuilder b;
+  b.seed(seed);
+  b.topology(scenario::TopologySpec::chain(6));
+  b.routing(routing::Strategy::covering);
+  if (shards > 0) b.shards(shards);
+
+  // Roamer: the covering filter, relocating B5 -> B1. Its moveout pins
+  // every filter it covers along the old path.
+  auto& roamer = b.client("roamer").with_id(1).at_broker(5).subscribes(
+      Filter().where("sym", Constraint::eq("AAA")));
+  scenario::RoamSpec roam;
+  roam.route({1})
+      .dwelling(sim::millis(500))
+      .dark_for(sim::millis(100))
+      .hops(1)
+      .from_phase("tour");
+  roamer.roams(roam);
+
+  // Bystander: covered by the roamer AND by the newcover below. After
+  // the mover leaves, the newcover's entry represents it on the wire, so
+  // pre-decay its pin would ride forever.
+  b.client("bystander")
+      .with_id(2)
+      .at_broker(5)
+      .subscribes(Filter()
+                      .where("sym", Constraint::eq("AAA"))
+                      .where("px", Constraint::ge(100)));
+
+  // The "new covering subscriber" of the churn scenario: structurally
+  // distinct from the roamer's filter (so moveouts never just untag a
+  // shared entry) but still covering the bystander.
+  b.client("newcover")
+      .with_id(4)
+      .at_broker(5)
+      .subscribes(Filter()
+                      .where("sym", Constraint::eq("AAA"))
+                      .where("px", Constraint::ge(50)));
+
+  scenario::PublishSpec pub;
+  pub.every(sim::millis(10))
+      .body(Notification().set("sym", "AAA").set("px", 100))
+      .from_phase("tour")
+      .until_phase_end("tour");
+  b.client("producer").with_id(3).at_broker(0).publishes(pub);
+
+  b.expect_exactly_once("bystander");
+  b.expect_exactly_once("newcover");
+  b.phase("settle", sim::seconds(1));
+  b.phase("tour", sim::seconds(2));
+  b.phase("drain", sim::seconds(3));
+
+  auto s = b.build();
+  s->run();
+  if (reexposed_total != nullptr) {
+    *reexposed_total = 0;
+    for (std::size_t i = 0; i < s->overlay().broker_count(); ++i) {
+      *reexposed_total += s->overlay().broker(i).reexposed_filters();
+    }
+  }
+  return s->report();
+}
+
+TEST(PinDecay, PinsEvictedUnderCoveringChurnOnClassicKernel) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    std::uint64_t reexposed = 0;
+    auto r = run_churn(/*shards=*/0, seed, &reexposed);
+    // The uncover protocol ran and created pins…
+    EXPECT_GT(reexposed, 0u) << "seed " << seed;
+    // …and decay drained them all once the newcover represented the
+    // covered filters, despite every pinned filter's backing input (the
+    // bystander) staying alive.
+    EXPECT_EQ(r.pins_active, 0u) << "seed " << seed;
+    // Safety: eviction never opened a delivery gap.
+    EXPECT_TRUE(r.expectations_ok())
+        << "seed " << seed << ": " << r.violations.front();
+  }
+}
+
+TEST(PinDecay, PinsEvictedUnderCoveringChurnOnShardedEngine) {
+  std::uint64_t reexposed = 0;
+  auto r = run_churn(/*shards=*/2, 1, &reexposed);
+  EXPECT_GT(reexposed, 0u);
+  EXPECT_EQ(r.pins_active, 0u);
+  EXPECT_TRUE(r.expectations_ok()) << r.violations.front();
+}
+
+TEST(PinDecay, ShardCountInvariantReports) {
+  auto r1 = run_churn(/*shards=*/1, 9, nullptr);
+  auto r4 = run_churn(/*shards=*/4, 9, nullptr);
+  EXPECT_EQ(r1.to_string(), r4.to_string());
+}
+
+}  // namespace
+}  // namespace rebeca
