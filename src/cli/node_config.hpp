@@ -1,0 +1,41 @@
+// Config loader for `rebeca-node`: the same JSON document that drives
+// `rebeca-run`, reduced to the subset a transport process needs and
+// resolved into a transport::NodeSpec.
+//
+// A node config is the scenario config plus one stanza:
+//
+//   "transport": {
+//     "host": "127.0.0.1",       // optional, IPv4 only
+//     "port_base": 4700,         // broker i listens on port_base + i
+//     "rendezvous_dir": "/tmp/r" // or: ephemeral ports + port files
+//     "time_scale": 1.0          // wall seconds per virtual second
+//   }
+//
+// Every broker process and the client bundle parse the same file, so
+// structural facts the protocol depends on being identical everywhere
+// (topology, broker tuning, the location graph implied by config text)
+// are identical by construction.
+//
+// Phase references in drives ("from_phase", "until_phase_end") are
+// resolved to absolute virtual times at load; the sum of the phase
+// durations becomes NodeSpec::total_duration.
+#ifndef REBECA_CLI_NODE_CONFIG_HPP
+#define REBECA_CLI_NODE_CONFIG_HPP
+
+#include <string>
+
+#include "src/transport/node.hpp"
+
+namespace rebeca::cli {
+
+/// Parses a node config document. Throws JsonError on malformed JSON or
+/// config shape errors (same error surface as parse_config).
+[[nodiscard]] transport::NodeSpec parse_node_config(
+    const std::string& json_text);
+
+/// Reads and parses a config file. Throws JsonError (also for I/O).
+[[nodiscard]] transport::NodeSpec load_node_config(const std::string& path);
+
+}  // namespace rebeca::cli
+
+#endif  // REBECA_CLI_NODE_CONFIG_HPP

@@ -61,6 +61,16 @@ class UncertaintyProfile {
   enum class Kind { adaptive, global_resub, flooding, explicit_steps };
   [[nodiscard]] Kind kind() const { return kind_; }
 
+  // Raw parameters, exposed so the wire codec can serialize a profile
+  // and rebuild it through the factories on the receiving process.
+  [[nodiscard]] sim::Duration delta() const { return delta_; }
+  [[nodiscard]] const std::vector<sim::Duration>& hop_delays() const {
+    return hop_delays_;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& explicit_q() const {
+    return explicit_q_;
+  }
+
   [[nodiscard]] std::string to_string() const;
 
   friend bool operator==(const UncertaintyProfile&, const UncertaintyProfile&) = default;

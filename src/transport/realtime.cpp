@@ -1,0 +1,98 @@
+#include "src/transport/realtime.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/util/assert.hpp"
+
+namespace rebeca::transport {
+
+RealtimeExecutor::RealtimeExecutor(std::uint64_t seed, double time_scale)
+    : time_scale_(time_scale), start_(WallClock::now()), rng_(seed) {
+  REBECA_ASSERT(time_scale > 0.0, "time_scale must be positive, got "
+                                      << time_scale);
+}
+
+RealtimeExecutor::~RealtimeExecutor() { stop(); }
+
+sim::TimePoint RealtimeExecutor::now() const {
+  const auto wall =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(WallClock::now() -
+                                                           start_)
+          .count();
+  return static_cast<sim::TimePoint>(
+      std::llround(static_cast<double>(wall) / time_scale_));
+}
+
+RealtimeExecutor::WallClock::time_point RealtimeExecutor::wall_of(
+    sim::TimePoint when) const {
+  return start_ + std::chrono::nanoseconds(std::llround(
+                      static_cast<double>(when) * time_scale_));
+}
+
+void RealtimeExecutor::enqueue(sim::TimePoint when, sim::EventFn fn,
+                               std::shared_ptr<bool> cancelled) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    heap_.push_back(Scheduled{when, next_seq_++, std::move(fn),
+                              std::move(cancelled)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+  cv_.notify_one();
+}
+
+sim::EventHandle RealtimeExecutor::schedule_at(sim::TimePoint when,
+                                               sim::EventFn fn) {
+  auto flag = std::make_shared<bool>(false);
+  enqueue(when, std::move(fn), flag);
+  return make_handle(std::move(flag));
+}
+
+void RealtimeExecutor::post_at(sim::TimePoint when, sim::EventFn fn) {
+  enqueue(when, std::move(fn), nullptr);
+}
+
+void RealtimeExecutor::post(sim::EventFn fn) {
+  // `when = now()` keeps heap order sane; run() fires anything due.
+  enqueue(now(), std::move(fn), nullptr);
+}
+
+void RealtimeExecutor::run() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_) {
+    if (heap_.empty()) {
+      cv_.wait(lock, [this] { return stop_ || !heap_.empty(); });
+      continue;
+    }
+    const auto deadline = wall_of(heap_.front().when);
+    if (WallClock::now() < deadline) {
+      // Sleep until due or until a new (possibly earlier) event or a
+      // stop() wakes us — then re-evaluate from the top.
+      cv_.wait_until(lock, deadline);
+      continue;
+    }
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Scheduled ev = std::move(heap_.back());
+    heap_.pop_back();
+    if (ev.cancelled && *ev.cancelled) continue;
+    lock.unlock();
+    ev.fn();
+    lock.lock();
+  }
+}
+
+void RealtimeExecutor::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool RealtimeExecutor::stopped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stop_;
+}
+
+}  // namespace rebeca::transport

@@ -1,0 +1,97 @@
+// Wall-clock Executor: the simulators' scheduling seam, driven by real
+// time.
+//
+// RealtimeExecutor implements sim::Executor over std::chrono::steady_clock
+// and a mutex-protected timer heap, so Broker/Client/Link — which only
+// ever talk to an Executor& — run unmodified inside a real process. One
+// thread calls run() and becomes the *executor thread*: every scheduled
+// event fires there, one at a time, exactly like the single-threaded
+// simulation loop. Other threads (socket readers, signal waiters) may
+// inject work with post()/post_at()/schedule_at(), which are
+// thread-safe; the work still executes on the executor thread. This
+// keeps all entity state single-threaded — the transport layer's
+// concurrency ends at the queue boundary.
+//
+// Virtual time starts at 0 on construction and advances with the wall
+// clock divided by `time_scale`: scale 1.0 is real time, scale 0.01 runs
+// a scenario's virtual seconds in wall hundredths (CI smoke tests use
+// this to finish in tens of milliseconds). Cancellation via EventHandle
+// is supported but — as in the simulators — must happen on the executor
+// thread (entities only cancel their own timers from their own events).
+#ifndef REBECA_TRANSPORT_REALTIME_HPP
+#define REBECA_TRANSPORT_REALTIME_HPP
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/sim/executor.hpp"
+#include "src/util/rng.hpp"
+
+namespace rebeca::transport {
+
+class RealtimeExecutor final : public sim::Executor {
+ public:
+  /// `time_scale` = wall seconds per virtual second (must be > 0).
+  explicit RealtimeExecutor(std::uint64_t seed = 1, double time_scale = 1.0);
+  ~RealtimeExecutor() override;
+
+  // --- sim::Executor ---
+  [[nodiscard]] sim::TimePoint now() const override;
+  [[nodiscard]] util::Rng& rng() override { return rng_; }
+  sim::EventHandle schedule_at(sim::TimePoint when, sim::EventFn fn) override;
+  void post_at(sim::TimePoint when, sim::EventFn fn) override;
+
+  /// Thread-safe: run `fn` on the executor thread as soon as possible.
+  /// This is how socket reader threads hand decoded frames to the
+  /// single-threaded entity world.
+  void post(sim::EventFn fn);
+
+  /// Runs the event loop on the calling thread until stop(). Events fire
+  /// when their virtual time is due on the scaled wall clock.
+  void run();
+
+  /// Thread-safe: wakes run() and makes it return after the in-flight
+  /// event (if any) finishes. Pending events are discarded.
+  void stop();
+
+  [[nodiscard]] bool stopped() const;
+
+  [[nodiscard]] double time_scale() const { return time_scale_; }
+
+ private:
+  struct Scheduled {
+    sim::TimePoint when;
+    std::uint64_t seq;  // FIFO tiebreak at equal times
+    sim::EventFn fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Scheduled& a, const Scheduled& b) const {
+      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    }
+  };
+
+  using WallClock = std::chrono::steady_clock;
+
+  [[nodiscard]] WallClock::time_point wall_of(sim::TimePoint when) const;
+  void enqueue(sim::TimePoint when, sim::EventFn fn,
+               std::shared_ptr<bool> cancelled);
+
+  const double time_scale_;
+  const WallClock::time_point start_;
+  util::Rng rng_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<Scheduled> heap_;  // min-heap via Later
+  std::uint64_t next_seq_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace rebeca::transport
+
+#endif  // REBECA_TRANSPORT_REALTIME_HPP

@@ -1,0 +1,334 @@
+#include "src/transport/session.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+#include "src/transport/wire.hpp"
+
+namespace rebeca::transport {
+
+namespace {
+
+/// Full blocking send; handles partial writes and EINTR.
+bool send_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Full blocking receive; false on EOF, error, or timeout.
+bool recv_all(int fd, char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::recv(fd, data, len, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // orderly EOF
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string ip = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("transport: bad IPv4 address '" + host + "'");
+  }
+  return addr;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Handshake codecs
+// ---------------------------------------------------------------------------
+
+std::string encode_hello(const SessionHello& h) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(h.kind));
+  w.u32(h.node);
+  w.u32(h.client);
+  w.u64(h.session);
+  w.u32(h.attempt);
+  return w.take();
+}
+
+SessionHello decode_hello(std::string_view bytes) {
+  WireReader r(bytes);
+  SessionHello h;
+  const std::uint8_t kind = r.u8();
+  if (kind > 1) throw WireError("session: unknown hello kind");
+  h.kind = static_cast<SessionHello::Kind>(kind);
+  h.node = r.u32();
+  h.client = r.u32();
+  h.session = r.u64();
+  h.attempt = r.u32();
+  if (!r.done()) throw WireError("session: trailing bytes in hello");
+  return h;
+}
+
+std::string encode_welcome(const SessionWelcome& w) {
+  WireWriter wr;
+  wr.u64(w.session);
+  wr.u32(w.node);
+  return wr.take();
+}
+
+SessionWelcome decode_welcome(std::string_view bytes) {
+  WireReader r(bytes);
+  SessionWelcome w;
+  w.session = r.u64();
+  w.node = r.u32();
+  if (!r.done()) throw WireError("session: trailing bytes in welcome");
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// Conn
+// ---------------------------------------------------------------------------
+
+Conn& Conn::operator=(Conn&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Conn::~Conn() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::optional<Conn> Conn::connect(const std::string& host,
+                                  std::uint16_t port) {
+  const sockaddr_in addr = make_addr(host, port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Conn(fd);
+}
+
+bool Conn::write_frame(std::uint8_t type, std::string_view payload) {
+  if (fd_ < 0) return false;
+  const auto len = static_cast<std::uint32_t>(payload.size() + 1);
+  // One contiguous buffer → one send() for the typical small frame.
+  std::string buf;
+  buf.reserve(4 + len);
+  for (int i = 0; i < 4; ++i) {
+    buf.push_back(static_cast<char>((len >> (8 * i)) & 0xFF));
+  }
+  buf.push_back(static_cast<char>(type));
+  buf.append(payload.data(), payload.size());
+  return send_all(fd_, buf.data(), buf.size());
+}
+
+bool Conn::read_frame(std::uint8_t& type, std::string& payload) {
+  if (fd_ < 0) return false;
+  char head[4];
+  if (!recv_all(fd_, head, sizeof(head))) return false;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(static_cast<unsigned char>(head[i]))
+           << (8 * i);
+  }
+  if (len == 0 || len > kMaxFrameBytes) return false;
+  std::string body(len, '\0');
+  if (!recv_all(fd_, body.data(), body.size())) return false;
+  type = static_cast<std::uint8_t>(body[0]);
+  payload.assign(body, 1, body.size() - 1);
+  return true;
+}
+
+void Conn::shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Conn::set_recv_timeout(std::chrono::milliseconds timeout) {
+  if (fd_ < 0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+// ---------------------------------------------------------------------------
+// PeerSession
+// ---------------------------------------------------------------------------
+
+PeerSession::PeerSession(RealtimeExecutor& exec, Conn conn,
+                         MessageFn on_message, ClosedFn on_closed)
+    : exec_(exec), conn_(std::move(conn)),
+      control_(std::make_shared<Control>()) {
+  control_->on_message = std::move(on_message);
+  control_->on_closed = std::move(on_closed);
+  reader_ = std::thread([this] { reader_loop(); });
+}
+
+PeerSession::~PeerSession() { close(); }
+
+void PeerSession::reader_loop() {
+  std::uint8_t type = 0;
+  std::string payload;
+  while (conn_.read_frame(type, payload)) {
+    if (type == kFrameMsg) {
+      // Hand the payload to the single-threaded entity world. The event
+      // co-owns the control block: a session torn down with events still
+      // queued silences them instead of dangling.
+      exec_.post([ctl = control_, bytes = std::move(payload)] {
+        if (!ctl->dead.load(std::memory_order_acquire)) ctl->on_message(bytes);
+      });
+      payload.clear();
+    }
+    // Unexpected handshake frames mid-session are ignored.
+  }
+  exec_.post([ctl = control_] {
+    if (!ctl->dead.exchange(true, std::memory_order_acq_rel)) {
+      ctl->on_closed();
+    }
+  });
+}
+
+bool PeerSession::send_message(const net::Message& m) {
+  return send_frame(kFrameMsg, encode_message(m));
+}
+
+bool PeerSession::send_frame(std::uint8_t type, std::string_view payload) {
+  return conn_.write_frame(type, payload);
+}
+
+void PeerSession::close() {
+  // Silence first: a deliberate local close must not fire on_closed.
+  control_->dead.store(true, std::memory_order_release);
+  conn_.shutdown();
+  if (reader_.joinable()) reader_.join();
+}
+
+// ---------------------------------------------------------------------------
+// Acceptor
+// ---------------------------------------------------------------------------
+
+Acceptor::Acceptor(RealtimeExecutor& exec, const std::string& host,
+                   std::uint16_t port, HelloFn on_hello)
+    : exec_(exec), on_hello_(std::move(on_hello)) {
+  const sockaddr_in addr = make_addr(host, port);
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("transport: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("transport: cannot listen on " + host + ":" +
+                             std::to_string(port) + " (" +
+                             std::strerror(err) + ")");
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  port_ = ntohs(bound.sin_port);
+  accept_ = std::thread([this] { accept_loop(); });
+}
+
+Acceptor::~Acceptor() { close(); }
+
+void Acceptor::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listen socket shut down
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    Conn conn(fd);
+    // Handshake read happens here on the accept thread, bounded so a
+    // stalled dialer cannot wedge the loop.
+    conn.set_recv_timeout(std::chrono::milliseconds(5000));
+    std::uint8_t type = 0;
+    std::string payload;
+    if (!conn.read_frame(type, payload) || type != kFrameHello) continue;
+    SessionHello hello;
+    try {
+      hello = decode_hello(payload);
+    } catch (const WireError&) {
+      continue;  // garbage on the port; drop it
+    }
+    conn.set_recv_timeout(std::chrono::milliseconds(0));
+    exec_.post([fn = &on_hello_, c = std::move(conn), hello]() mutable {
+      (*fn)(std::move(c), hello);
+    });
+  }
+}
+
+void Acceptor::close() {
+  if (listen_fd_ < 0) return;
+  // shutdown() (not close()) reliably unblocks a concurrent accept().
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_.joinable()) accept_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+// ---------------------------------------------------------------------------
+// dial
+// ---------------------------------------------------------------------------
+
+std::optional<std::pair<Conn, SessionWelcome>> dial(
+    const std::string& host, std::uint16_t port, const SessionHello& hello,
+    std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    auto conn = Conn::connect(host, port);
+    if (conn) {
+      if (!conn->write_frame(kFrameHello, encode_hello(hello))) {
+        return std::nullopt;
+      }
+      conn->set_recv_timeout(std::chrono::milliseconds(5000));
+      std::uint8_t type = 0;
+      std::string payload;
+      if (!conn->read_frame(type, payload) || type != kFrameWelcome) {
+        return std::nullopt;
+      }
+      conn->set_recv_timeout(std::chrono::milliseconds(0));
+      try {
+        return std::make_pair(std::move(*conn), decode_welcome(payload));
+      } catch (const WireError&) {
+        return std::nullopt;
+      }
+    }
+    if (std::chrono::steady_clock::now() >= deadline) return std::nullopt;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+}  // namespace rebeca::transport

@@ -1,0 +1,215 @@
+// TCP peer layer with a mobility-aware session handshake.
+//
+// Three pieces bind the simulator's Link abstraction onto real sockets:
+//
+//   Conn         RAII socket with the frame codec: every frame is
+//                [u32 length][u8 type][payload], length counting type +
+//                payload. Three frame types exist — HELLO and WELCOME
+//                (the session handshake) and MSG (one encoded
+//                net::Message, see wire.hpp).
+//   PeerSession  A connected conn plus its reader thread. Incoming MSG
+//                payloads and the close notification are posted onto a
+//                RealtimeExecutor, so everything above this class is
+//                single-threaded; send_message() encodes and writes from
+//                the executor thread.
+//   Acceptor     Listening socket plus accept thread. Performs the
+//                server side of the handshake (reads HELLO) and posts
+//                the accepted conn + hello to the executor.
+//
+// The handshake carries the *session identity*, which is what makes
+// mobility work over real sockets (the FSP idea: session IDs live above
+// addresses). A client mints its session ID once, at first attach; every
+// later reconnect — in particular a moveto() to a *different* broker
+// process — presents the same session ID with a bumped attempt counter.
+// The socket is the transient thing; the session (and the client's
+// epochs/last_seq carried in its ClientHelloMsg) is what resumes, which
+// is exactly the state the existing fetch/replay recovery keys on.
+#ifndef REBECA_TRANSPORT_SESSION_HPP
+#define REBECA_TRANSPORT_SESSION_HPP
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+
+#include "src/net/message.hpp"
+#include "src/transport/realtime.hpp"
+
+namespace rebeca::transport {
+
+/// Frame types on the wire.
+enum : std::uint8_t {
+  kFrameHello = 1,
+  kFrameWelcome = 2,
+  kFrameMsg = 3,
+};
+
+/// Upper bound on a frame body; a length prefix beyond this is treated
+/// as a protocol error (protects against garbage on the port).
+inline constexpr std::uint32_t kMaxFrameBytes = 64u * 1024u * 1024u;
+
+/// First frame on every connection, sent by the dialing side.
+struct SessionHello {
+  enum class Kind : std::uint8_t { broker = 0, client = 1 };
+  Kind kind = Kind::client;
+  /// Dialing broker's node index (kind == broker).
+  std::uint32_t node = 0;
+  /// Client id (kind == client).
+  std::uint32_t client = 0;
+  /// Stable session id, minted once at first attach; survives every
+  /// reconnect (that is the point).
+  std::uint64_t session = 0;
+  /// Reconnect counter: 0 on first attach, bumped per re-dial.
+  std::uint32_t attempt = 0;
+};
+
+/// Handshake reply from the accepting side.
+struct SessionWelcome {
+  std::uint64_t session = 0;
+  /// Accepting broker's node index.
+  std::uint32_t node = 0;
+};
+
+[[nodiscard]] std::string encode_hello(const SessionHello& h);
+[[nodiscard]] SessionHello decode_hello(std::string_view bytes);
+[[nodiscard]] std::string encode_welcome(const SessionWelcome& w);
+[[nodiscard]] SessionWelcome decode_welcome(std::string_view bytes);
+
+/// Movable RAII socket with the length-prefixed frame codec. Blocking
+/// I/O; writers and the reader may run on different threads (one each).
+class Conn {
+ public:
+  Conn() = default;
+  explicit Conn(int fd) : fd_(fd) {}
+  Conn(Conn&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Conn& operator=(Conn&& other) noexcept;
+  Conn(const Conn&) = delete;
+  Conn& operator=(const Conn&) = delete;
+  ~Conn();
+
+  /// Blocking TCP connect; nullopt on failure. `host` is an IPv4
+  /// literal or "localhost".
+  static std::optional<Conn> connect(const std::string& host,
+                                     std::uint16_t port);
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+  /// Writes one complete frame; false on any socket error.
+  bool write_frame(std::uint8_t type, std::string_view payload);
+
+  /// Blocks for the next frame. False on orderly EOF, error, or a
+  /// malformed length prefix (caller should drop the connection).
+  bool read_frame(std::uint8_t& type, std::string& payload);
+
+  /// Half-close both directions: unblocks a reader stuck in
+  /// read_frame() on another thread. The fd stays owned until
+  /// destruction.
+  void shutdown();
+
+  /// Sets a receive timeout (used during the server-side handshake so a
+  /// stalled dialer cannot wedge the accept loop). 0 = no timeout.
+  void set_recv_timeout(std::chrono::milliseconds timeout);
+
+ private:
+  int fd_ = -1;
+};
+
+/// A connected session: conn + reader thread, bridged onto an executor.
+/// All callbacks run on the executor thread. The callbacks live in a
+/// shared control block that posted events co-own, so an event still in
+/// the executor queue when the session is destroyed fires into a
+/// silenced block instead of freed memory.
+class PeerSession {
+ public:
+  using MessageFn = std::function<void(std::string payload)>;
+  using ClosedFn = std::function<void()>;
+
+  /// Starts the reader thread. `on_message` receives each MSG payload;
+  /// `on_closed` fires at most once, when the conn dies *remotely* (EOF
+  /// or error). A local close() silences both callbacks first — the
+  /// closer already knows.
+  PeerSession(RealtimeExecutor& exec, Conn conn, MessageFn on_message,
+              ClosedFn on_closed);
+  ~PeerSession();
+
+  PeerSession(const PeerSession&) = delete;
+  PeerSession& operator=(const PeerSession&) = delete;
+
+  /// Encodes `m` (wire.hpp) and writes it as one MSG frame. Executor
+  /// thread only. False once the conn is dead.
+  bool send_message(const net::Message& m);
+
+  bool send_frame(std::uint8_t type, std::string_view payload);
+
+  /// Silences the callbacks, tears the socket down and joins the reader
+  /// thread. Idempotent. Safe to call from inside on_closed itself (the
+  /// reader has already posted its last event by then).
+  void close();
+
+ private:
+  /// Callbacks + liveness flag, co-owned by every posted event.
+  struct Control {
+    MessageFn on_message;
+    ClosedFn on_closed;
+    std::atomic<bool> dead{false};
+  };
+
+  void reader_loop();
+
+  RealtimeExecutor& exec_;
+  Conn conn_;
+  std::shared_ptr<Control> control_;
+  std::thread reader_;
+};
+
+/// Listening socket + accept thread. For each inbound connection the
+/// accept thread completes the handshake read (HELLO) and posts
+/// (conn, hello) to the executor; replying WELCOME is the callback's
+/// job (it decides the session id to confirm).
+class Acceptor {
+ public:
+  using HelloFn = std::function<void(Conn conn, SessionHello hello)>;
+
+  /// Binds and listens. `port` 0 picks an ephemeral port — read it back
+  /// with port(). Throws std::runtime_error when the bind fails.
+  Acceptor(RealtimeExecutor& exec, const std::string& host,
+           std::uint16_t port, HelloFn on_hello);
+  ~Acceptor();
+
+  Acceptor(const Acceptor&) = delete;
+  Acceptor& operator=(const Acceptor&) = delete;
+
+  /// Bound port (the ephemeral one when constructed with port 0).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Stops accepting and joins the accept thread. Idempotent.
+  void close();
+
+ private:
+  void accept_loop();
+
+  RealtimeExecutor& exec_;
+  HelloFn on_hello_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread accept_;
+};
+
+/// Client side of the handshake: connect, send HELLO, await WELCOME.
+/// Retries the connect until `deadline` wall time passes (the peer's
+/// process may not have bound yet); nullopt on timeout or a handshake
+/// that fails after connecting.
+[[nodiscard]] std::optional<std::pair<Conn, SessionWelcome>> dial(
+    const std::string& host, std::uint16_t port, const SessionHello& hello,
+    std::chrono::milliseconds timeout);
+
+}  // namespace rebeca::transport
+
+#endif  // REBECA_TRANSPORT_SESSION_HPP

@@ -1,0 +1,706 @@
+#include "src/transport/wire.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <vector>
+
+#include "src/filter/attr.hpp"
+
+namespace rebeca::transport {
+
+namespace {
+
+/// Frozen message tags. Append only — never renumber: these are the wire
+/// contract between independently built/restarted processes.
+enum : std::uint8_t {
+  kTagPublish = 1,
+  kTagDeliver = 2,
+  kTagSubscribe = 3,
+  kTagUnsubscribe = 4,
+  kTagAdvertise = 5,
+  kTagUnadvertise = 6,
+  kTagRelocateSub = 7,
+  kTagFetch = 8,
+  kTagReExpose = 9,
+  kTagReExposeAck = 10,
+  kTagReplay = 11,
+  kTagLdSubscribe = 12,
+  kTagLdUnsubscribe = 13,
+  kTagLdMove = 14,
+  kTagClientHello = 15,
+  kTagClientBye = 16,
+  kTagClientSubscribe = 17,
+  kTagClientUnsubscribe = 18,
+  kTagClientPublish = 19,
+  kTagClientAdvertise = 20,
+  kTagClientUnadvertise = 21,
+  kTagClientMove = 22,
+};
+
+enum : std::uint8_t {
+  kValInt = 0,
+  kValDouble = 1,
+  kValString = 2,
+  kValBool = 3,
+};
+
+/// Guard against absurd counts from a corrupt or hostile peer: a count
+/// prefix may never claim more elements than bytes remaining.
+void check_count(const WireReader& r, std::uint32_t count,
+                 std::size_t min_elem_bytes, const char* what) {
+  if (min_elem_bytes * static_cast<std::size_t>(count) > r.remaining()) {
+    throw WireError(std::string("wire: ") + what + " count " +
+                    std::to_string(count) + " exceeds remaining payload");
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------------
+
+void WireWriter::u16(std::uint16_t v) {
+  u8(static_cast<std::uint8_t>(v & 0xFF));
+  u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void WireWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void WireWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void WireWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void WireWriter::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.append(s.data(), s.size());
+}
+
+void WireReader::need(std::size_t n) const {
+  if (pos_ + n > data_.size()) {
+    throw WireError("wire: truncated payload (need " + std::to_string(n) +
+                    " bytes at offset " + std::to_string(pos_) + " of " +
+                    std::to_string(data_.size()) + ")");
+  }
+}
+
+std::uint8_t WireReader::u8() {
+  need(1);
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint16_t WireReader::u16() {
+  std::uint16_t v = u8();
+  v |= static_cast<std::uint16_t>(u8()) << 8;
+  return v;
+}
+
+std::uint32_t WireReader::u32() {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(u8()) << (8 * i);
+  return v;
+}
+
+std::uint64_t WireReader::u64() {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(u8()) << (8 * i);
+  return v;
+}
+
+double WireReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string WireReader::str() {
+  const std::uint32_t len = u32();
+  need(len);
+  std::string s(data_.substr(pos_, len));
+  pos_ += len;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Content model
+// ---------------------------------------------------------------------------
+
+void encode_value(WireWriter& w, const filter::Value& v) {
+  if (v.is_int()) {
+    w.u8(kValInt);
+    w.i64(v.as_int());
+  } else if (v.is_double()) {
+    w.u8(kValDouble);
+    w.f64(v.as_double());
+  } else if (v.is_string()) {
+    w.u8(kValString);
+    w.str(v.as_string());
+  } else {
+    w.u8(kValBool);
+    w.u8(v.as_bool() ? 1 : 0);
+  }
+}
+
+filter::Value decode_value(WireReader& r) {
+  switch (r.u8()) {
+    case kValInt:
+      return filter::Value(r.i64());
+    case kValDouble:
+      return filter::Value(r.f64());
+    case kValString:
+      return filter::Value(r.str());
+    case kValBool:
+      return filter::Value(r.u8() != 0);
+    default:
+      throw WireError("wire: unknown value kind");
+  }
+}
+
+void encode_constraint(WireWriter& w, const filter::Constraint& c) {
+  w.u8(static_cast<std::uint8_t>(c.op()));
+  switch (c.op()) {
+    case filter::Op::any:
+      break;
+    case filter::Op::eq:
+    case filter::Op::ne:
+    case filter::Op::lt:
+    case filter::Op::le:
+    case filter::Op::gt:
+    case filter::Op::ge:
+      encode_value(w, c.operand());
+      break;
+    case filter::Op::prefix:
+      w.str(c.operand().as_string());
+      break;
+    case filter::Op::range:
+      encode_value(w, c.operand());
+      encode_value(w, c.hi());
+      break;
+    case filter::Op::in_set: {
+      w.u32(static_cast<std::uint32_t>(c.values().size()));
+      // std::set<Value> iterates in structural (type, value) order —
+      // compile-time-fixed, so the byte order is process-independent.
+      for (const filter::Value& v : c.values()) encode_value(w, v);
+      break;
+    }
+  }
+}
+
+filter::Constraint decode_constraint(WireReader& r) {
+  const auto op = static_cast<filter::Op>(r.u8());
+  switch (op) {
+    case filter::Op::any:
+      return filter::Constraint::any();
+    case filter::Op::eq:
+      return filter::Constraint::eq(decode_value(r));
+    case filter::Op::ne:
+      return filter::Constraint::ne(decode_value(r));
+    case filter::Op::lt:
+      return filter::Constraint::lt(decode_value(r));
+    case filter::Op::le:
+      return filter::Constraint::le(decode_value(r));
+    case filter::Op::gt:
+      return filter::Constraint::gt(decode_value(r));
+    case filter::Op::ge:
+      return filter::Constraint::ge(decode_value(r));
+    case filter::Op::prefix:
+      return filter::Constraint::prefix(r.str());
+    case filter::Op::range: {
+      filter::Value lo = decode_value(r);
+      filter::Value hi = decode_value(r);
+      return filter::Constraint::range(std::move(lo), std::move(hi));
+    }
+    case filter::Op::in_set: {
+      const std::uint32_t count = r.u32();
+      check_count(r, count, 2, "in_set");
+      std::set<filter::Value> values;
+      for (std::uint32_t i = 0; i < count; ++i) values.insert(decode_value(r));
+      return filter::Constraint::in_set(std::move(values));
+    }
+  }
+  throw WireError("wire: unknown constraint op");
+}
+
+void encode_filter(WireWriter& w, const filter::Filter& f) {
+  // Terms are stored id-sorted; serialize in NAME order so the bytes
+  // never depend on process-local mint order.
+  std::vector<const filter::Filter::Term*> terms;
+  terms.reserve(f.terms().size());
+  for (const auto& t : f.terms()) terms.push_back(&t);
+  std::sort(terms.begin(), terms.end(),
+            [](const filter::Filter::Term* a, const filter::Filter::Term* b) {
+              return *a->name < *b->name;
+            });
+  w.u32(static_cast<std::uint32_t>(terms.size()));
+  for (const auto* t : terms) {
+    w.str(*t->name);
+    encode_constraint(w, t->c);
+  }
+}
+
+filter::Filter decode_filter(WireReader& r) {
+  const std::uint32_t count = r.u32();
+  check_count(r, count, 5, "filter term");
+  filter::Filter f;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::string name = r.str();
+    f.where(name, decode_constraint(r));  // interns into the local table
+  }
+  return f;
+}
+
+void encode_notification(WireWriter& w, const filter::Notification& n) {
+  const auto& table = filter::AttrTable::global();
+  std::vector<const filter::Notification::Attr*> attrs;
+  attrs.reserve(n.attrs().size());
+  for (const auto& a : n.attrs()) attrs.push_back(&a);
+  std::sort(attrs.begin(), attrs.end(),
+            [&](const filter::Notification::Attr* a,
+                const filter::Notification::Attr* b) {
+              return table.name(a->id) < table.name(b->id);
+            });
+  w.u32(static_cast<std::uint32_t>(attrs.size()));
+  for (const auto* a : attrs) {
+    w.str(table.name(a->id));
+    encode_value(w, a->value);
+  }
+  w.u64(n.id().value());
+  w.u32(n.producer().value());
+  w.u64(n.producer_seq());
+  w.i64(n.publish_time());
+}
+
+filter::Notification decode_notification(WireReader& r) {
+  const std::uint32_t count = r.u32();
+  check_count(r, count, 5, "notification attribute");
+  filter::Notification n;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::string name = r.str();
+    n.set(name, decode_value(r));
+  }
+  const NotificationId id(r.u64());
+  const ClientId producer(r.u32());
+  const std::uint64_t seq = r.u64();
+  const sim::TimePoint t = r.i64();
+  n.stamp(id, producer, seq, t);
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Protocol pieces
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void encode_subkey(WireWriter& w, const SubKey& k) {
+  w.u32(k.client.value());
+  w.u32(k.sub);
+}
+
+SubKey decode_subkey(WireReader& r) {
+  SubKey k;
+  k.client = ClientId(r.u32());
+  k.sub = r.u32();
+  return k;
+}
+
+void encode_stamped(WireWriter& w, const net::StampedNotification& sn) {
+  encode_notification(w, sn.notification);
+  w.u64(sn.seq);
+}
+
+net::StampedNotification decode_stamped(WireReader& r) {
+  net::StampedNotification sn;
+  sn.notification = decode_notification(r);
+  sn.seq = r.u64();
+  return sn;
+}
+
+void encode_profile(WireWriter& w, const location::UncertaintyProfile& p) {
+  using Kind = location::UncertaintyProfile::Kind;
+  w.u8(static_cast<std::uint8_t>(p.kind()));
+  switch (p.kind()) {
+    case Kind::global_resub:
+    case Kind::flooding:
+      break;
+    case Kind::adaptive: {
+      w.i64(p.delta());
+      w.u32(static_cast<std::uint32_t>(p.hop_delays().size()));
+      for (sim::Duration d : p.hop_delays()) w.i64(d);
+      break;
+    }
+    case Kind::explicit_steps: {
+      w.u32(static_cast<std::uint32_t>(p.explicit_q().size()));
+      for (std::size_t q : p.explicit_q()) w.u64(q);
+      break;
+    }
+  }
+}
+
+location::UncertaintyProfile decode_profile(WireReader& r) {
+  using Kind = location::UncertaintyProfile::Kind;
+  switch (static_cast<Kind>(r.u8())) {
+    case Kind::global_resub:
+      return location::UncertaintyProfile::global_resub();
+    case Kind::flooding:
+      return location::UncertaintyProfile::flooding();
+    case Kind::adaptive: {
+      const sim::Duration delta = r.i64();
+      const std::uint32_t count = r.u32();
+      check_count(r, count, 8, "profile hop delay");
+      std::vector<sim::Duration> hops;
+      hops.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) hops.push_back(r.i64());
+      return location::UncertaintyProfile::adaptive(delta, std::move(hops));
+    }
+    case Kind::explicit_steps: {
+      const std::uint32_t count = r.u32();
+      check_count(r, count, 8, "profile step");
+      std::vector<std::size_t> steps;
+      steps.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        steps.push_back(static_cast<std::size_t>(r.u64()));
+      }
+      return location::UncertaintyProfile::explicit_steps(std::move(steps));
+    }
+  }
+  throw WireError("wire: unknown uncertainty profile kind");
+}
+
+void encode_ld_spec(WireWriter& w, const location::LdSpec& s) {
+  encode_filter(w, s.base);
+  w.str(s.location_attr);
+  w.u32(s.vicinity_radius);
+  encode_profile(w, s.profile);
+}
+
+location::LdSpec decode_ld_spec(WireReader& r) {
+  location::LdSpec s;
+  s.base = decode_filter(r);
+  s.location_attr = r.str();
+  s.vicinity_radius = r.u32();
+  s.profile = decode_profile(r);
+  return s;
+}
+
+void encode_spec(WireWriter& w, const net::SubscriptionSpec& s) {
+  if (const auto* f = std::get_if<filter::Filter>(&s)) {
+    w.u8(0);
+    encode_filter(w, *f);
+  } else {
+    w.u8(1);
+    encode_ld_spec(w, std::get<location::LdSpec>(s));
+  }
+}
+
+net::SubscriptionSpec decode_spec(WireReader& r) {
+  switch (r.u8()) {
+    case 0:
+      return decode_filter(r);
+    case 1:
+      return decode_ld_spec(r);
+    default:
+      throw WireError("wire: unknown subscription spec kind");
+  }
+}
+
+/// LocationIds are minted by LocationGraph construction, which is
+/// single-threaded and fixed by the (shared) config text — unlike
+/// AttrIds they are identical in every process of a deployment, so the
+/// raw value (including the invalid sentinel) is wire-safe.
+void encode_loc(WireWriter& w, LocationId loc) { w.u32(loc.value()); }
+
+LocationId decode_loc(WireReader& r) { return LocationId(r.u32()); }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------------
+
+std::string encode_message(const net::Message& m) {
+  WireWriter w;
+  std::visit(
+      [&w](const auto& msg) {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, net::PublishMsg>) {
+          w.u8(kTagPublish);
+          encode_notification(w, msg.n);
+        } else if constexpr (std::is_same_v<T, net::DeliverMsg>) {
+          w.u8(kTagDeliver);
+          encode_subkey(w, msg.key);
+          encode_stamped(w, msg.sn);
+        } else if constexpr (std::is_same_v<T, net::SubscribeMsg>) {
+          w.u8(kTagSubscribe);
+          encode_filter(w, msg.f);
+          w.u32(static_cast<std::uint32_t>(msg.tags.size()));
+          for (const SubKey& k : msg.tags) encode_subkey(w, k);
+        } else if constexpr (std::is_same_v<T, net::UnsubscribeMsg>) {
+          w.u8(kTagUnsubscribe);
+          encode_filter(w, msg.f);
+        } else if constexpr (std::is_same_v<T, net::AdvertiseMsg>) {
+          w.u8(kTagAdvertise);
+          w.u64(msg.id.value());
+          encode_filter(w, msg.f);
+        } else if constexpr (std::is_same_v<T, net::UnadvertiseMsg>) {
+          w.u8(kTagUnadvertise);
+          w.u64(msg.id.value());
+        } else if constexpr (std::is_same_v<T, net::RelocateSubMsg>) {
+          w.u8(kTagRelocateSub);
+          encode_subkey(w, msg.key);
+          encode_filter(w, msg.f);
+          w.u64(msg.epoch);
+          w.u64(msg.last_seq);
+        } else if constexpr (std::is_same_v<T, net::FetchMsg>) {
+          w.u8(kTagFetch);
+          encode_subkey(w, msg.key);
+          encode_filter(w, msg.f);
+          w.u64(msg.epoch);
+          w.u64(msg.last_seq);
+        } else if constexpr (std::is_same_v<T, net::ReExposeMsg>) {
+          w.u8(kTagReExpose);
+          encode_subkey(w, msg.key);
+          encode_filter(w, msg.f);
+          w.u64(msg.epoch);
+        } else if constexpr (std::is_same_v<T, net::ReExposeAckMsg>) {
+          w.u8(kTagReExposeAck);
+          encode_subkey(w, msg.key);
+          w.u64(msg.epoch);
+        } else if constexpr (std::is_same_v<T, net::ReplayMsg>) {
+          w.u8(kTagReplay);
+          encode_subkey(w, msg.key);
+          w.u64(msg.epoch);
+          w.u32(static_cast<std::uint32_t>(msg.batch.size()));
+          for (const auto& sn : msg.batch) encode_stamped(w, sn);
+          w.u64(msg.truncated);
+          w.u64(msg.next_seq);
+        } else if constexpr (std::is_same_v<T, net::LdSubscribeMsg>) {
+          w.u8(kTagLdSubscribe);
+          encode_subkey(w, msg.key);
+          encode_ld_spec(w, msg.spec);
+          encode_loc(w, msg.loc);
+          w.u32(msg.hop);
+        } else if constexpr (std::is_same_v<T, net::LdUnsubscribeMsg>) {
+          w.u8(kTagLdUnsubscribe);
+          encode_subkey(w, msg.key);
+        } else if constexpr (std::is_same_v<T, net::LdMoveMsg>) {
+          w.u8(kTagLdMove);
+          encode_subkey(w, msg.key);
+          encode_loc(w, msg.loc);
+          w.u32(msg.hop);
+          w.u64(msg.move_seq);
+          w.u32(msg.extra_steps);
+        } else if constexpr (std::is_same_v<T, net::ClientHelloMsg>) {
+          w.u8(kTagClientHello);
+          w.u32(msg.client.value());
+          w.u32(static_cast<std::uint32_t>(msg.resubs.size()));
+          for (const auto& r : msg.resubs) {
+            encode_subkey(w, r.key);
+            encode_spec(w, r.spec);
+            w.u64(r.epoch);
+            w.u64(r.last_seq);
+            encode_loc(w, r.loc);
+          }
+        } else if constexpr (std::is_same_v<T, net::ClientByeMsg>) {
+          w.u8(kTagClientBye);
+          w.u32(msg.client.value());
+        } else if constexpr (std::is_same_v<T, net::ClientSubscribeMsg>) {
+          w.u8(kTagClientSubscribe);
+          encode_subkey(w, msg.key);
+          encode_spec(w, msg.spec);
+          encode_loc(w, msg.loc);
+        } else if constexpr (std::is_same_v<T, net::ClientUnsubscribeMsg>) {
+          w.u8(kTagClientUnsubscribe);
+          encode_subkey(w, msg.key);
+        } else if constexpr (std::is_same_v<T, net::ClientPublishMsg>) {
+          w.u8(kTagClientPublish);
+          encode_notification(w, msg.n);
+        } else if constexpr (std::is_same_v<T, net::ClientAdvertiseMsg>) {
+          w.u8(kTagClientAdvertise);
+          w.u64(msg.id.value());
+          encode_filter(w, msg.f);
+        } else if constexpr (std::is_same_v<T, net::ClientUnadvertiseMsg>) {
+          w.u8(kTagClientUnadvertise);
+          w.u64(msg.id.value());
+        } else if constexpr (std::is_same_v<T, net::ClientMoveMsg>) {
+          w.u8(kTagClientMove);
+          w.u32(msg.client.value());
+          encode_loc(w, msg.loc);
+        } else {
+          static_assert(sizeof(T) == 0, "unhandled message alternative");
+        }
+      },
+      m);
+  return w.take();
+}
+
+net::Message decode_message(std::string_view bytes) {
+  WireReader r(bytes);
+  const std::uint8_t tag = r.u8();
+  net::Message m;
+  switch (tag) {
+    case kTagPublish:
+      m = net::PublishMsg{decode_notification(r)};
+      break;
+    case kTagDeliver: {
+      net::DeliverMsg msg;
+      msg.key = decode_subkey(r);
+      msg.sn = decode_stamped(r);
+      m = std::move(msg);
+      break;
+    }
+    case kTagSubscribe: {
+      net::SubscribeMsg msg;
+      msg.f = decode_filter(r);
+      const std::uint32_t count = r.u32();
+      check_count(r, count, 8, "subscribe tag");
+      for (std::uint32_t i = 0; i < count; ++i) msg.tags.insert(decode_subkey(r));
+      m = std::move(msg);
+      break;
+    }
+    case kTagUnsubscribe:
+      m = net::UnsubscribeMsg{decode_filter(r)};
+      break;
+    case kTagAdvertise: {
+      net::AdvertiseMsg msg;
+      msg.id = AdvId(r.u64());
+      msg.f = decode_filter(r);
+      m = std::move(msg);
+      break;
+    }
+    case kTagUnadvertise:
+      m = net::UnadvertiseMsg{AdvId(r.u64())};
+      break;
+    case kTagRelocateSub: {
+      net::RelocateSubMsg msg;
+      msg.key = decode_subkey(r);
+      msg.f = decode_filter(r);
+      msg.epoch = r.u64();
+      msg.last_seq = r.u64();
+      m = std::move(msg);
+      break;
+    }
+    case kTagFetch: {
+      net::FetchMsg msg;
+      msg.key = decode_subkey(r);
+      msg.f = decode_filter(r);
+      msg.epoch = r.u64();
+      msg.last_seq = r.u64();
+      m = std::move(msg);
+      break;
+    }
+    case kTagReExpose: {
+      net::ReExposeMsg msg;
+      msg.key = decode_subkey(r);
+      msg.f = decode_filter(r);
+      msg.epoch = r.u64();
+      m = std::move(msg);
+      break;
+    }
+    case kTagReExposeAck: {
+      net::ReExposeAckMsg msg;
+      msg.key = decode_subkey(r);
+      msg.epoch = r.u64();
+      m = std::move(msg);
+      break;
+    }
+    case kTagReplay: {
+      net::ReplayMsg msg;
+      msg.key = decode_subkey(r);
+      msg.epoch = r.u64();
+      const std::uint32_t count = r.u32();
+      check_count(r, count, 8, "replay batch entry");
+      msg.batch.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        msg.batch.push_back(decode_stamped(r));
+      }
+      msg.truncated = r.u64();
+      msg.next_seq = r.u64();
+      m = std::move(msg);
+      break;
+    }
+    case kTagLdSubscribe: {
+      net::LdSubscribeMsg msg;
+      msg.key = decode_subkey(r);
+      msg.spec = decode_ld_spec(r);
+      msg.loc = decode_loc(r);
+      msg.hop = r.u32();
+      m = std::move(msg);
+      break;
+    }
+    case kTagLdUnsubscribe:
+      m = net::LdUnsubscribeMsg{decode_subkey(r)};
+      break;
+    case kTagLdMove: {
+      net::LdMoveMsg msg;
+      msg.key = decode_subkey(r);
+      msg.loc = decode_loc(r);
+      msg.hop = r.u32();
+      msg.move_seq = r.u64();
+      msg.extra_steps = r.u32();
+      m = std::move(msg);
+      break;
+    }
+    case kTagClientHello: {
+      net::ClientHelloMsg msg;
+      msg.client = ClientId(r.u32());
+      const std::uint32_t count = r.u32();
+      check_count(r, count, 8, "hello resub");
+      msg.resubs.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        net::ClientHelloMsg::Resub resub;
+        resub.key = decode_subkey(r);
+        resub.spec = decode_spec(r);
+        resub.epoch = r.u64();
+        resub.last_seq = r.u64();
+        resub.loc = decode_loc(r);
+        msg.resubs.push_back(std::move(resub));
+      }
+      m = std::move(msg);
+      break;
+    }
+    case kTagClientBye:
+      m = net::ClientByeMsg{ClientId(r.u32())};
+      break;
+    case kTagClientSubscribe: {
+      net::ClientSubscribeMsg msg;
+      msg.key = decode_subkey(r);
+      msg.spec = decode_spec(r);
+      msg.loc = decode_loc(r);
+      m = std::move(msg);
+      break;
+    }
+    case kTagClientUnsubscribe:
+      m = net::ClientUnsubscribeMsg{decode_subkey(r)};
+      break;
+    case kTagClientPublish:
+      m = net::ClientPublishMsg{decode_notification(r)};
+      break;
+    case kTagClientAdvertise: {
+      net::ClientAdvertiseMsg msg;
+      msg.id = AdvId(r.u64());
+      msg.f = decode_filter(r);
+      m = std::move(msg);
+      break;
+    }
+    case kTagClientUnadvertise:
+      m = net::ClientUnadvertiseMsg{AdvId(r.u64())};
+      break;
+    case kTagClientMove: {
+      net::ClientMoveMsg msg;
+      msg.client = ClientId(r.u32());
+      msg.loc = decode_loc(r);
+      m = std::move(msg);
+      break;
+    }
+    default:
+      throw WireError("wire: unknown message tag " + std::to_string(tag));
+  }
+  if (!r.done()) {
+    throw WireError("wire: trailing bytes after " + net::message_name(m));
+  }
+  return m;
+}
+
+}  // namespace rebeca::transport

@@ -1,0 +1,114 @@
+// Length-prefixed wire codec for the broker message plane.
+//
+// Everything a Link carries in the simulators — the full net::Message
+// variant, data/admin/relocation/location/client planes — encodes into a
+// flat byte string and decodes back on another process. Two invariants
+// make the format deployment-safe:
+//
+//   name-keyed     Attributes serialize by *name*, never by AttrId:
+//                  attribute ids are minted in process-local first-use
+//                  order (which varies with thread scheduling), so an id
+//                  on the wire would mean a different attribute at the
+//                  receiver. Filters and notifications also iterate in
+//                  attribute-NAME order while encoding, so the bytes are
+//                  identical no matter which order a process happened to
+//                  intern names in (tests/wire_codec_test proves this by
+//                  diffing dumps from processes with scrambled interners).
+//   tag-stable     Every message alternative has an explicit, frozen tag
+//                  (kTag* below) — never the std::variant index, which
+//                  silently renumbers when the variant grows.
+//
+// Integers are little-endian fixed width; strings and vectors carry a
+// u32 length/count prefix. Decoding is bounds-checked and throws
+// WireError on truncated or malformed input (a remote peer is untrusted
+// input even on loopback).
+#ifndef REBECA_TRANSPORT_WIRE_HPP
+#define REBECA_TRANSPORT_WIRE_HPP
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "src/net/message.hpp"
+
+namespace rebeca::transport {
+
+/// Malformed or truncated wire input.
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Append-only byte sink with primitive writers.
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+  void str(std::string_view s);
+
+  [[nodiscard]] const std::string& bytes() const { return buf_; }
+  [[nodiscard]] std::string take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked cursor over received bytes. Throws WireError on any
+/// read past the end.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint16_t u16();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  [[nodiscard]] double f64();
+  [[nodiscard]] std::string str();
+
+  [[nodiscard]] bool done() const { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  void need(std::size_t n) const;
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+// ---- content-model pieces (exposed for tests and the session layer) ----
+
+void encode_value(WireWriter& w, const filter::Value& v);
+[[nodiscard]] filter::Value decode_value(WireReader& r);
+
+void encode_constraint(WireWriter& w, const filter::Constraint& c);
+[[nodiscard]] filter::Constraint decode_constraint(WireReader& r);
+
+/// Terms travel as (name, constraint) pairs in attribute-name order.
+void encode_filter(WireWriter& w, const filter::Filter& f);
+[[nodiscard]] filter::Filter decode_filter(WireReader& r);
+
+/// Attributes travel as (name, value) pairs in attribute-name order,
+/// followed by the identity metadata (id, producer, seq, publish time).
+void encode_notification(WireWriter& w, const filter::Notification& n);
+[[nodiscard]] filter::Notification decode_notification(WireReader& r);
+
+// ---- the full message plane ----
+
+/// Encodes one net::Message as [tag u8][payload]. Stable across
+/// processes regardless of attribute-interning order.
+[[nodiscard]] std::string encode_message(const net::Message& m);
+
+/// Inverse of encode_message. Throws WireError on malformed input or
+/// trailing garbage.
+[[nodiscard]] net::Message decode_message(std::string_view bytes);
+
+}  // namespace rebeca::transport
+
+#endif  // REBECA_TRANSPORT_WIRE_HPP

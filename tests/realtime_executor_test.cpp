@@ -1,0 +1,132 @@
+// RealtimeExecutor: the wall-clock sim::Executor the transport runs
+// entities on. Ordering, cancellation, cross-thread injection, and the
+// virtual/wall time mapping.
+#include "src/transport/realtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace rebeca {
+namespace {
+
+using transport::RealtimeExecutor;
+
+TEST(RealtimeExecutor, FiresInTimeOrder) {
+  RealtimeExecutor exec;
+  std::vector<int> order;
+  // Scheduled out of order; must fire in virtual-time order.
+  exec.schedule_at(sim::millis(30), [&] {
+    order.push_back(3);
+    exec.stop();
+  });
+  exec.schedule_at(sim::millis(10), [&] { order.push_back(1); });
+  exec.schedule_at(sim::millis(20), [&] { order.push_back(2); });
+  exec.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(RealtimeExecutor, SameInstantKeepsFifoOrder) {
+  RealtimeExecutor exec;
+  std::vector<int> order;
+  const sim::TimePoint t = sim::millis(5);
+  for (int i = 0; i < 8; ++i) {
+    exec.schedule_at(t, [&order, i] { order.push_back(i); });
+  }
+  exec.schedule_at(sim::millis(6), [&] { exec.stop(); });
+  exec.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(RealtimeExecutor, CancellationSuppressesEvent) {
+  RealtimeExecutor exec;
+  bool fired = false;
+  sim::EventHandle handle =
+      exec.schedule_at(sim::millis(10), [&] { fired = true; });
+  handle.cancel();
+  exec.schedule_at(sim::millis(20), [&] { exec.stop(); });
+  exec.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(RealtimeExecutor, CrossThreadPostWakesTheLoop) {
+  RealtimeExecutor exec;
+  bool fired = false;
+  // Nothing scheduled: run() parks on the condition variable until the
+  // foreign thread posts (this is the socket-reader injection path).
+  std::thread injector([&exec, &fired] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    exec.post([&exec, &fired] {
+      fired = true;
+      exec.stop();
+    });
+  });
+  exec.run();
+  injector.join();
+  EXPECT_TRUE(fired);
+}
+
+TEST(RealtimeExecutor, EarlierEventInsertedWhileSleepingPreempts) {
+  RealtimeExecutor exec;
+  std::vector<int> order;
+  exec.schedule_at(sim::millis(200), [&] {
+    order.push_back(2);
+    exec.stop();
+  });
+  std::thread injector([&exec, &order] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    // run() is asleep until t=200ms; this must wake it early.
+    exec.post([&order] { order.push_back(1); });
+  });
+  exec.run();
+  injector.join();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(RealtimeExecutor, TimeScaleCompressesWallTime) {
+  // 0.2 wall seconds per virtual second: virtual 500ms ≈ wall 100ms.
+  RealtimeExecutor exec(/*seed=*/1, /*time_scale=*/0.2);
+  const auto wall_start = std::chrono::steady_clock::now();
+  exec.schedule_at(sim::millis(500), [&] { exec.stop(); });
+  exec.run();
+  const auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - wall_start)
+                           .count();
+  EXPECT_GE(wall_ms, 60);
+  EXPECT_LT(wall_ms, 450);  // generous: CI boxes stall
+  EXPECT_GE(exec.now(), sim::millis(500));
+}
+
+TEST(RealtimeExecutor, NowAdvancesWithWallClock) {
+  RealtimeExecutor exec;
+  const sim::TimePoint before = exec.now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(exec.now() - before, sim::millis(10));
+}
+
+TEST(RealtimeExecutor, StopDiscardsPendingWork) {
+  RealtimeExecutor exec;
+  bool late_fired = false;
+  exec.schedule_at(sim::millis(5), [&] { exec.stop(); });
+  exec.schedule_at(sim::seconds(60), [&] { late_fired = true; });
+  exec.run();  // must return promptly, not wait a minute
+  EXPECT_FALSE(late_fired);
+  EXPECT_TRUE(exec.stopped());
+}
+
+TEST(RealtimeExecutor, MoveOnlyCaptures) {
+  RealtimeExecutor exec;
+  auto payload = std::make_unique<int>(41);
+  int got = 0;
+  exec.schedule_at(sim::millis(1), [&exec, &got, p = std::move(payload)] {
+    got = *p + 1;
+    exec.stop();
+  });
+  exec.run();
+  EXPECT_EQ(got, 42);
+}
+
+}  // namespace
+}  // namespace rebeca

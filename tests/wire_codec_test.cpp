@@ -1,0 +1,364 @@
+// Wire codec: round-trips for every MessageClass, hostile-input
+// rejection, and the central invariant — the bytes never depend on
+// AttrId mint order. AttrIds are process-local (minted in first-use
+// order), so the mint-order test runs the only honest way: this test
+// re-executes itself as two child processes whose global AttrTables
+// intern the same dictionary in opposite orders, and their encodings of
+// the same message suite must match byte for byte.
+#include "src/transport/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "src/net/message.hpp"
+#include "src/util/rng.hpp"
+
+namespace rebeca {
+namespace {
+
+using filter::Constraint;
+using filter::Filter;
+using filter::Notification;
+using filter::Value;
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+/// Round-trip: decoding and re-encoding must reproduce the bytes
+/// (within one process the name order is stable, so byte equality is a
+/// complete structural-equality check).
+std::string roundtrip(const net::Message& m) {
+  const std::string bytes = transport::encode_message(m);
+  const net::Message decoded = transport::decode_message(bytes);
+  const std::string again = transport::encode_message(decoded);
+  EXPECT_EQ(bytes, again) << "re-encode mismatch for "
+                          << net::message_name(m);
+  return bytes;
+}
+
+Filter rich_filter() {
+  return Filter()
+      .where("service", Constraint::eq(Value(std::string("printer"))))
+      .where("cost", Constraint::range(Value(std::int64_t(5)),
+                                       Value(std::int64_t(90))))
+      .where("building", Constraint::prefix("main-"))
+      .where("floor", Constraint::in_set({Value(std::int64_t(1)),
+                                          Value(std::int64_t(2)),
+                                          Value(std::int64_t(4))}))
+      .where("load", Constraint::lt(Value(0.75)))
+      .where("public", Constraint::ne(Value(false)))
+      .where("anything", Constraint::any());
+}
+
+Notification rich_notification() {
+  Notification n;
+  n.set("service", std::string("printer"));
+  n.set("cost", std::int64_t(42));
+  n.set("building", std::string("main-3"));
+  n.set("floor", std::int64_t(2));
+  n.set("load", 0.25);
+  n.set("public", true);
+  n.stamp(NotificationId(77), ClientId(3), 9, sim::millis(1250));
+  return n;
+}
+
+location::LdSpec rich_ld_spec() {
+  location::LdSpec spec;
+  spec.base = Filter().where("topic", Constraint::eq(Value(std::string("parking"))));
+  spec.location_attr = "zone";
+  spec.vicinity_radius = 2;
+  spec.profile = location::UncertaintyProfile::adaptive(
+      sim::millis(100),
+      {sim::millis(120), sim::millis(50), sim::millis(50), sim::millis(20)});
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Per-class round trips
+// ---------------------------------------------------------------------------
+
+TEST(WireCodec, DataPlane) {
+  roundtrip(net::PublishMsg{rich_notification()});
+  roundtrip(net::DeliverMsg{SubKey{ClientId(3), 1},
+                            net::StampedNotification{rich_notification(), 12}});
+}
+
+TEST(WireCodec, AdminPlane) {
+  roundtrip(net::SubscribeMsg{
+      rich_filter(), {SubKey{ClientId(1), 1}, SubKey{ClientId(2), 5}}});
+  roundtrip(net::UnsubscribeMsg{rich_filter()});
+  roundtrip(net::AdvertiseMsg{AdvId(8), rich_filter()});
+  roundtrip(net::UnadvertiseMsg{AdvId(8)});
+}
+
+TEST(WireCodec, RelocationPlane) {
+  const SubKey key{ClientId(7), 2};
+  roundtrip(net::RelocateSubMsg{key, rich_filter(), 3, 120});
+  roundtrip(net::FetchMsg{key, rich_filter(), 3, 120});
+  roundtrip(net::ReExposeMsg{key, rich_filter(), 3});
+  roundtrip(net::ReExposeAckMsg{key, 3});
+  roundtrip(net::ReplayMsg{
+      key, 3,
+      {net::StampedNotification{rich_notification(), 121},
+       net::StampedNotification{rich_notification(), 122}},
+      /*truncated=*/1, /*next_seq=*/123});
+}
+
+TEST(WireCodec, LocationPlane) {
+  const SubKey key{ClientId(7), 2};
+  roundtrip(net::LdSubscribeMsg{key, rich_ld_spec(), LocationId(4), 2});
+  roundtrip(net::LdUnsubscribeMsg{key});
+  roundtrip(net::LdMoveMsg{key, LocationId(9), 1, 17, 3});
+  // Invalid (sentinel) locations cross the wire too: a disconnected
+  // LD consumer's hello carries one.
+  roundtrip(net::LdMoveMsg{key, LocationId(), 1, 18, 0});
+}
+
+TEST(WireCodec, ClientPlane) {
+  net::ClientHelloMsg hello;
+  hello.client = ClientId(5);
+  hello.resubs.push_back(net::ClientHelloMsg::Resub{
+      SubKey{ClientId(5), 1}, rich_filter(), 2, 314, LocationId()});
+  hello.resubs.push_back(net::ClientHelloMsg::Resub{
+      SubKey{ClientId(5), 2}, rich_ld_spec(), 1, 0, LocationId(3)});
+  roundtrip(net::Message{hello});
+  roundtrip(net::ClientByeMsg{ClientId(5)});
+  roundtrip(net::ClientSubscribeMsg{SubKey{ClientId(5), 3}, rich_filter(),
+                                    LocationId()});
+  roundtrip(net::ClientSubscribeMsg{SubKey{ClientId(5), 4}, rich_ld_spec(),
+                                    LocationId(2)});
+  roundtrip(net::ClientUnsubscribeMsg{SubKey{ClientId(5), 3}});
+  roundtrip(net::ClientPublishMsg{rich_notification()});
+  roundtrip(net::ClientAdvertiseMsg{AdvId(1), rich_filter()});
+  roundtrip(net::ClientUnadvertiseMsg{AdvId(1)});
+  roundtrip(net::ClientMoveMsg{ClientId(5), LocationId(6)});
+}
+
+TEST(WireCodec, ProfileKinds) {
+  location::LdSpec spec = rich_ld_spec();
+  spec.profile = location::UncertaintyProfile::global_resub();
+  roundtrip(net::LdSubscribeMsg{SubKey{ClientId(1), 1}, spec, LocationId(0), 1});
+  spec.profile = location::UncertaintyProfile::flooding();
+  roundtrip(net::LdSubscribeMsg{SubKey{ClientId(1), 1}, spec, LocationId(0), 1});
+  spec.profile = location::UncertaintyProfile::explicit_steps({0, 1, 1, 2, 2});
+  roundtrip(net::LdSubscribeMsg{SubKey{ClientId(1), 1}, spec, LocationId(0), 1});
+}
+
+// ---------------------------------------------------------------------------
+// Decoded structure (spot checks beyond byte equality)
+// ---------------------------------------------------------------------------
+
+TEST(WireCodec, DecodedNotificationMatchesOriginalFilters) {
+  const Notification n = rich_notification();
+  const auto decoded = std::get<net::PublishMsg>(
+      transport::decode_message(transport::encode_message(net::PublishMsg{n})));
+  // matches() must agree before and after the trip (rich_filter does
+  // not match outright: it constrains "anything", which n omits).
+  EXPECT_EQ(rich_filter().matches(decoded.n), rich_filter().matches(n));
+  Filter sub = Filter()
+      .where("service", Constraint::eq(Value(std::string("printer"))))
+      .where("cost", Constraint::range(Value(std::int64_t(5)),
+                                       Value(std::int64_t(90))));
+  EXPECT_TRUE(sub.matches(decoded.n));
+  EXPECT_EQ(decoded.n.id(), n.id());
+  EXPECT_EQ(decoded.n.producer(), n.producer());
+  EXPECT_EQ(decoded.n.producer_seq(), n.producer_seq());
+  EXPECT_EQ(decoded.n.publish_time(), n.publish_time());
+}
+
+TEST(WireCodec, DecodedSubscribeKeepsTags) {
+  const auto decoded = std::get<net::SubscribeMsg>(transport::decode_message(
+      transport::encode_message(net::SubscribeMsg{
+          rich_filter(), {SubKey{ClientId(1), 1}, SubKey{ClientId(2), 5}}})));
+  EXPECT_EQ(decoded.tags.size(), 2u);
+  EXPECT_TRUE(decoded.f.covers(rich_filter()));
+  EXPECT_TRUE(rich_filter().covers(decoded.f));
+}
+
+// ---------------------------------------------------------------------------
+// Hostile input
+// ---------------------------------------------------------------------------
+
+TEST(WireCodec, RejectsTruncation) {
+  const std::string bytes =
+      transport::encode_message(net::PublishMsg{rich_notification()});
+  // Every proper prefix must throw, never crash or mis-decode.
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_THROW(transport::decode_message(std::string_view(bytes.data(), len)),
+                 transport::WireError)
+        << "prefix length " << len;
+  }
+}
+
+TEST(WireCodec, RejectsTrailingBytes) {
+  std::string bytes = transport::encode_message(net::ClientByeMsg{ClientId(1)});
+  bytes.push_back('\0');
+  EXPECT_THROW(transport::decode_message(bytes), transport::WireError);
+}
+
+TEST(WireCodec, RejectsUnknownTag) {
+  std::string bytes = transport::encode_message(net::ClientByeMsg{ClientId(1)});
+  bytes[0] = '\x7F';
+  EXPECT_THROW(transport::decode_message(bytes), transport::WireError);
+}
+
+TEST(WireCodec, RejectsAbsurdCounts) {
+  // A SubscribeMsg whose filter claims 2^32-1 terms in a 10-byte body
+  // must be rejected by the count guard, not attempt the allocation.
+  transport::WireWriter w;
+  w.u8(3);  // Subscribe tag
+  w.u32(0xFFFFFFFFu);
+  EXPECT_THROW(transport::decode_message(w.bytes()), transport::WireError);
+}
+
+// ---------------------------------------------------------------------------
+// Property test: random content round-trips
+// ---------------------------------------------------------------------------
+
+Value random_value(util::Rng& rng) {
+  switch (rng.index(4)) {
+    case 0: return Value(static_cast<std::int64_t>(rng.next() >> 16));
+    case 1: return Value(rng.uniform01() * 1e6 - 5e5);
+    case 2: return Value("s" + std::to_string(rng.index(1000)));
+    default: return Value(rng.index(2) == 0);
+  }
+}
+
+Constraint random_constraint(util::Rng& rng) {
+  switch (rng.index(8)) {
+    case 0: return Constraint::any();
+    case 1: return Constraint::eq(random_value(rng));
+    case 2: return Constraint::ne(random_value(rng));
+    case 3: return Constraint::lt(random_value(rng));
+    case 4: return Constraint::ge(random_value(rng));
+    case 5: return Constraint::prefix("p" + std::to_string(rng.index(50)));
+    case 6: {
+      const auto lo = static_cast<std::int64_t>(rng.index(1000));
+      return Constraint::range(Value(lo),
+                               Value(lo + static_cast<std::int64_t>(
+                                              rng.index(1000))));
+    }
+    default: {
+      std::set<Value> values;
+      const std::size_t count = 1 + rng.index(5);
+      for (std::size_t i = 0; i < count; ++i) values.insert(random_value(rng));
+      return Constraint::in_set(std::move(values));
+    }
+  }
+}
+
+TEST(WireCodec, RandomRoundTrips) {
+  util::Rng rng(0xC0DEC);
+  for (int iter = 0; iter < 300; ++iter) {
+    Filter f;
+    const std::size_t terms = rng.index(6);
+    for (std::size_t t = 0; t < terms; ++t) {
+      f.where("attr" + std::to_string(rng.index(12)), random_constraint(rng));
+    }
+    Notification n;
+    const std::size_t attrs = 1 + rng.index(6);
+    for (std::size_t a = 0; a < attrs; ++a) {
+      n.set("attr" + std::to_string(rng.index(12)), random_value(rng));
+    }
+    n.stamp(NotificationId(rng.next()),
+            ClientId(static_cast<std::uint32_t>(rng.index(100))),
+            rng.next() >> 32,
+            static_cast<sim::TimePoint>(rng.next() >> 20));
+    roundtrip(net::SubscribeMsg{f, {SubKey{ClientId(1), 1}}});
+    roundtrip(net::PublishMsg{n});
+    roundtrip(net::RelocateSubMsg{SubKey{ClientId(2), 3}, f,
+                                  rng.next() >> 40,
+                                  rng.next() >> 40});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mint-order independence (two independently-minted AttrTables)
+// ---------------------------------------------------------------------------
+
+/// The dictionary both child processes intern — in opposite orders, so
+/// the same name gets a *different* AttrId in each process.
+const char* const kDictionary[] = {"service", "cost", "building", "floor",
+                                   "load",    "public", "topic",   "zone",
+                                   "anything"};
+
+/// Child mode: intern the dictionary in $WIRE_ORDER, encode the fixed
+/// message suite, hex-dump to $WIRE_DUMP_OUT. Skipped in a normal run.
+TEST(WireDump, EmitOnly) {
+  const char* out_path = std::getenv("WIRE_DUMP_OUT");
+  if (out_path == nullptr) GTEST_SKIP() << "child-process mode only";
+  const char* order = std::getenv("WIRE_ORDER");
+  const std::size_t n = std::size(kDictionary);
+  for (std::size_t i = 0; i < n; ++i) {
+    const char* name = (order != nullptr && std::string(order) == "reverse")
+                           ? kDictionary[n - 1 - i]
+                           : kDictionary[i];
+    filter::AttrTable::global().intern(name);
+  }
+  std::ostringstream hex;
+  const net::Message suite[] = {
+      net::SubscribeMsg{rich_filter(), {SubKey{ClientId(1), 1}}},
+      net::PublishMsg{rich_notification()},
+      net::LdSubscribeMsg{SubKey{ClientId(7), 2}, rich_ld_spec(),
+                          LocationId(4), 2},
+      net::ReplayMsg{SubKey{ClientId(7), 2},
+                     3,
+                     {net::StampedNotification{rich_notification(), 121}},
+                     0,
+                     122},
+  };
+  for (const net::Message& m : suite) {
+    for (const unsigned char c : transport::encode_message(m)) {
+      hex << std::hex << (c >> 4) << (c & 0xF);
+    }
+    hex << "\n";
+  }
+  std::ofstream out(out_path, std::ios::trunc);
+  out << hex.str();
+}
+
+TEST(WireCodec, BytesIndependentOfAttrIdMintOrder) {
+  // Resolve the symlink here: inside system()'s shell, /proc/self/exe
+  // would name the shell, not this binary.
+  char self_buf[4096];
+  const ssize_t self_len =
+      ::readlink("/proc/self/exe", self_buf, sizeof(self_buf) - 1);
+  ASSERT_GT(self_len, 0);
+  const std::string self(self_buf, static_cast<std::size_t>(self_len));
+  const std::string fwd = ::testing::TempDir() + "wire_fwd.hex";
+  const std::string rev = ::testing::TempDir() + "wire_rev.hex";
+  const std::string base = self + " --gtest_filter=WireDump.EmitOnly";
+  ASSERT_EQ(std::system(("WIRE_DUMP_OUT=" + fwd + " WIRE_ORDER=forward " +
+                         base + " >/dev/null 2>&1")
+                            .c_str()),
+            0);
+  ASSERT_EQ(std::system(("WIRE_DUMP_OUT=" + rev + " WIRE_ORDER=reverse " +
+                         base + " >/dev/null 2>&1")
+                            .c_str()),
+            0);
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  };
+  const std::string forward_bytes = slurp(fwd);
+  const std::string reverse_bytes = slurp(rev);
+  ASSERT_FALSE(forward_bytes.empty());
+  // The whole point of name-keyed encoding: two processes whose
+  // interners minted AttrIds in opposite orders produce identical wire
+  // bytes for identical content.
+  EXPECT_EQ(forward_bytes, reverse_bytes);
+  std::remove(fwd.c_str());
+  std::remove(rev.c_str());
+}
+
+}  // namespace
+}  // namespace rebeca
