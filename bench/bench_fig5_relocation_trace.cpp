@@ -32,11 +32,11 @@ filter::Notification stock(int px) {
 
 scenario::ScenarioSweep::Declare declare(bool two_producers) {
   return [two_producers](scenario::ScenarioBuilder& b) {
-    // Tree:      0
-    //          /   \
-    //         1     2
-    //        / \   / \
-    //       3   4 5   6
+    // Tree:       0
+    //            __|__
+    //           1     2
+    //          _|_   _|_
+    //         3   4 5   6
     // Client starts at leaf 3, moves to leaf 4; producers publish from 5
     // (and 6). The junction for the move is broker 1.
     b.topology(scenario::TopologySpec::balanced_tree(2, 2));

@@ -17,9 +17,12 @@ const char* matcher_name(Matcher m) {
 }
 
 Broker::Broker(sim::Executor& sim, NodeId id, BrokerConfig config)
-    : sim_(sim), id_(id), config_(std::move(config)) {}
+    : sim_(sim), id_(id), config_(std::move(config)) {
+  lane_affinity_.bind(&sim_);
+}
 
 void Broker::attach_broker_link(net::Link& link) {
+  REBECA_LANE_ASSERT(lane_affinity_, "Broker", "attach_broker_link");
   REBECA_ASSERT(link.connects(*this), "link does not connect this broker");
   broker_links_.push_back(&link);
   links_by_id_.emplace(link.id(), &link);
@@ -28,6 +31,7 @@ void Broker::attach_broker_link(net::Link& link) {
 }
 
 void Broker::attach_client_link(net::Link& link) {
+  REBECA_LANE_ASSERT(lane_affinity_, "Broker", "attach_client_link");
   REBECA_ASSERT(link.connects(*this), "link does not connect this broker");
   client_links_.insert(link.id());
   client_links_by_id_.emplace(link.id(), &link);
@@ -44,6 +48,7 @@ std::string Broker::endpoint_name() const {
 // ---------------------------------------------------------------------------
 
 void Broker::handle_message(net::Link& from, const net::Message& msg) {
+  REBECA_LANE_ASSERT(lane_affinity_, "Broker", "handle_message");
   std::visit(
       [&](const auto& m) {
         using T = std::decay_t<decltype(m)>;

@@ -40,6 +40,7 @@
 #include "src/routing/match_index.hpp"
 #include "src/routing/strategy.hpp"
 #include "src/sim/executor.hpp"
+#include "src/sim/lane_check.hpp"
 #include "src/util/ring_buffer.hpp"
 
 namespace rebeca::broker {
@@ -346,6 +347,8 @@ class Broker final : public net::Endpoint {
   void send(net::Link& link, net::Message msg) { link.send(*this, std::move(msg)); }
 
   sim::Executor& sim_;
+  /// Debug-only: the lane that owns this broker (lane_check.hpp).
+  sim::LaneAffinity lane_affinity_;
   NodeId id_;
   BrokerConfig config_;
 

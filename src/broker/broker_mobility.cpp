@@ -253,6 +253,7 @@ void Broker::remove_local_sub(Session& session, std::uint32_t sub_id,
 }
 
 void Broker::handle_link_down(net::Link& link) {
+  REBECA_LANE_ASSERT(lane_affinity_, "Broker", "handle_link_down");
   if (client_links_.count(link.id()) != 0) {
     Session* session = session_of_link(link.id());
     if (session != nullptr) {

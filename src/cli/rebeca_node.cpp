@@ -4,11 +4,12 @@
 //   rebeca-node --config cfg.json --broker 0 --rendezvous /tmp/r &
 //   rebeca-node --config cfg.json --broker 1 --rendezvous /tmp/r &
 //   rebeca-node --config cfg.json --broker 2 --rendezvous /tmp/r &
-//   rebeca-node --config cfg.json --clients --rendezvous /tmp/r \
+//   rebeca-node --config cfg.json --clients --rendezvous /tmp/r
 //       --expect-complete
 //
 // The client-bundle process runs the config's phase schedule and exits;
 // broker processes serve until --duration-ms elapses or SIGTERM/SIGINT.
+#include <atomic>
 #include <csignal>
 #include <cstring>
 #include <iostream>
@@ -20,9 +21,15 @@
 
 namespace {
 
-volatile std::sig_atomic_t g_signalled = 0;
+// Written by the signal handler AND the main thread, read by the
+// watcher thread: needs to be both async-signal-safe (lock-free
+// atomic) and a synchronization point (volatile sig_atomic_t alone is
+// a cross-thread data race).
+std::atomic<int> g_signalled{0};
+static_assert(std::atomic<int>::is_always_lock_free,
+              "signal handler needs a lock-free atomic");
 
-void on_signal(int) { g_signalled = 1; }
+void on_signal(int) { g_signalled.store(1); }
 
 void usage() {
   std::cerr <<
@@ -126,11 +133,13 @@ int main(int argc, char** argv) {
     }
 
     rebeca::transport::BrokerNode node(spec, *broker_index);
+    // rebeca-lint: allow(DET-CLOCK, wall-clock process driver; bounds the real runtime of a deployment)
     const auto started = std::chrono::steady_clock::now();
     std::thread watcher([&node, started, duration_ms] {
       for (;;) {
         if (g_signalled != 0) break;
         if (duration_ms > 0 &&
+            // rebeca-lint: allow(DET-CLOCK, wall-clock process driver; bounds the real runtime of a deployment)
             std::chrono::steady_clock::now() - started >=
                 std::chrono::milliseconds(duration_ms)) {
           break;

@@ -12,6 +12,7 @@ namespace rebeca::client {
 Client::Client(sim::Executor& sim, ClientConfig config)
     : sim_(sim), config_(std::move(config)) {
   REBECA_ASSERT(config_.id.valid(), "client needs a valid id");
+  lane_affinity_.bind(&sim_);
 }
 
 std::string Client::endpoint_name() const {
@@ -25,6 +26,7 @@ std::string Client::endpoint_name() const {
 // ---------------------------------------------------------------------------
 
 std::uint32_t Client::subscribe(filter::Filter f) {
+  REBECA_LANE_ASSERT(lane_affinity_, "Client", "subscribe");
   const std::uint32_t sub_id = next_sub_++;
   SubState& s = subs_[sub_id];
   s.spec = std::move(f);
@@ -36,6 +38,7 @@ std::uint32_t Client::subscribe(filter::Filter f) {
 }
 
 std::uint32_t Client::subscribe(location::LdSpec spec) {
+  REBECA_LANE_ASSERT(lane_affinity_, "Client", "subscribe");
   REBECA_ASSERT(config_.locations != nullptr,
                 "location-dependent subscription without a location graph");
   REBECA_ASSERT(loc_.valid(), "subscribe(LdSpec) before move_to(initial location)");
@@ -50,6 +53,7 @@ std::uint32_t Client::subscribe(location::LdSpec spec) {
 }
 
 void Client::unsubscribe(std::uint32_t sub) {
+  REBECA_LANE_ASSERT(lane_affinity_, "Client", "unsubscribe");
   auto it = subs_.find(sub);
   if (it == subs_.end()) return;
   if (connected()) {
@@ -59,6 +63,7 @@ void Client::unsubscribe(std::uint32_t sub) {
 }
 
 AdvId Client::advertise(filter::Filter f) {
+  REBECA_LANE_ASSERT(lane_affinity_, "Client", "advertise");
   const AdvId id((static_cast<std::uint64_t>(config_.id.value()) << 32) |
                  next_adv_++);
   advs_[id] = f;
@@ -69,6 +74,7 @@ AdvId Client::advertise(filter::Filter f) {
 }
 
 void Client::unadvertise(AdvId id) {
+  REBECA_LANE_ASSERT(lane_affinity_, "Client", "unadvertise");
   if (advs_.erase(id) == 0) return;
   if (connected()) {
     send_all_links(net::ClientUnadvertiseMsg{id});
@@ -76,6 +82,7 @@ void Client::unadvertise(AdvId id) {
 }
 
 void Client::publish(filter::Notification n) {
+  REBECA_LANE_ASSERT(lane_affinity_, "Client", "publish");
   n.stamp(NotificationId((static_cast<std::uint64_t>(config_.id.value()) << 32) |
                          next_pub_),
           config_.id, next_pub_, sim_.now());
@@ -95,6 +102,7 @@ void Client::publish(filter::Notification n) {
 // ---------------------------------------------------------------------------
 
 void Client::move_to(LocationId loc) {
+  REBECA_LANE_ASSERT(lane_affinity_, "Client", "move_to");
   loc_ = loc;
   // The client-side filter F_0 updates locally for free; the border only
   // needs to hear about moves when a location-dependent subscription
@@ -134,6 +142,7 @@ net::ClientHelloMsg Client::hello() {
 }
 
 void Client::attach(net::Link& link) {
+  REBECA_LANE_ASSERT(lane_affinity_, "Client", "attach");
   REBECA_ASSERT(link.connects(*this), "attach: link does not reach this client");
   links_.push_back(&link);
 
@@ -158,6 +167,7 @@ void Client::attach(net::Link& link) {
 }
 
 void Client::detach_gracefully() {
+  REBECA_LANE_ASSERT(lane_affinity_, "Client", "detach_gracefully");
   // The broker closes the link after processing the bye; cutting it here
   // would race the bye itself (in-flight messages die with the link).
   for (net::Link* link : links_) {
@@ -166,12 +176,14 @@ void Client::detach_gracefully() {
 }
 
 void Client::detach_silently() {
+  REBECA_LANE_ASSERT(lane_affinity_, "Client", "detach_silently");
   // Copy: cut() triggers handle_link_down which edits links_.
   std::vector<net::Link*> links = links_;
   for (net::Link* link : links) link->cut(*this);
 }
 
 void Client::handle_link_down(net::Link& link) {
+  REBECA_LANE_ASSERT(lane_affinity_, "Client", "handle_link_down");
   std::erase(links_, &link);
 }
 
@@ -192,6 +204,7 @@ bool Client::passes_client_filter(const SubState& sub,
 }
 
 void Client::handle_message(net::Link& from, const net::Message& msg) {
+  REBECA_LANE_ASSERT(lane_affinity_, "Client", "handle_message");
   const auto* deliver = std::get_if<net::DeliverMsg>(&msg);
   if (deliver == nullptr) {
     REBECA_WARN("client " << config_.id << ": unexpected "

@@ -26,6 +26,7 @@
 #include "src/net/endpoint.hpp"
 #include "src/net/link.hpp"
 #include "src/sim/executor.hpp"
+#include "src/sim/lane_check.hpp"
 #include "src/sim/simulation.hpp"
 
 namespace rebeca::client {
@@ -126,6 +127,8 @@ class Client final : public net::Endpoint {
                                           const filter::Notification& n) const;
 
   sim::Executor& sim_;
+  /// Debug-only: the lane that owns this client (lane_check.hpp).
+  sim::LaneAffinity lane_affinity_;
   ClientConfig config_;
   std::vector<net::Link*> links_;
   std::map<std::uint32_t, SubState> subs_;

@@ -66,6 +66,7 @@ class AttrTable {
  private:
   mutable std::shared_mutex mutex_;
   std::deque<std::string> names_;  // deque: push_back never moves elements
+  // rebeca-lint: allow(DET-CONTAINER, lookup-only interner index; never iterated, so hash order is unobservable)
   std::unordered_map<std::string_view, AttrId> ids_;  // views into names_
 };
 

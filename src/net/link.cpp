@@ -10,8 +10,10 @@ Link::Link(LinkId id, sim::Executor& sim, Endpoint& a, Endpoint& b,
            sim::DelayModel delay, metrics::MessageCounters* counters)
     : id_(id), delay_(delay) {
   REBECA_ASSERT(&a != &b, "link endpoints must differ");
-  sides_[0] = Side{&a, &sim, counters};
-  sides_[1] = Side{&b, &sim, counters};
+  sides_[0] = Side{.ep = &a, .exec = &sim, .counters = counters};
+  sides_[1] = Side{.ep = &b, .exec = &sim, .counters = counters};
+  sides_[0].affinity.bind(&sim);
+  sides_[1].affinity.bind(&sim);
 }
 
 Link::Link(LinkId id, sim::Executor& a_exec, Endpoint& a,
@@ -23,8 +25,10 @@ Link::Link(LinkId id, sim::Executor& a_exec, Endpoint& a,
   REBECA_ASSERT(delay_.lower_bound() > 0,
                 "shard-aware links need a strictly positive minimum delay "
                 "(the cross-shard lookahead)");
-  sides_[0] = Side{&a, &a_exec, a_counters};
-  sides_[1] = Side{&b, &b_exec, b_counters};
+  sides_[0] = Side{.ep = &a, .exec = &a_exec, .counters = a_counters};
+  sides_[1] = Side{.ep = &b, .exec = &b_exec, .counters = b_counters};
+  sides_[0].affinity.bind(&a_exec);
+  sides_[1].affinity.bind(&b_exec);
 }
 
 std::size_t Link::index_of(const Endpoint& e) const {
@@ -39,6 +43,7 @@ Endpoint& Link::peer_of(const Endpoint& e) const {
 void Link::send(const Endpoint& from, Message msg) {
   const std::size_t si = index_of(from);
   Side& s = sides_[si];
+  REBECA_LANE_ASSERT(s.affinity, "Link", "send");
   if (!s.up) {
     if (s.counters != nullptr) s.counters->add(metrics::MessageClass::dropped);
     return;
@@ -65,6 +70,7 @@ void Link::send(const Endpoint& from, Message msg) {
   sides_[di].exec->post_at(arrival, [this, di, gen,
                                      payload = std::move(payload)] {
     Side& d = sides_[di];
+    REBECA_LANE_ASSERT(d.affinity, "Link", "deliver");
     if (!d.up || (!deferred_peer_notify_ && gen != d.gen)) {
       if (d.counters != nullptr) d.counters->add(metrics::MessageClass::dropped);
       return;
@@ -75,6 +81,7 @@ void Link::send(const Endpoint& from, Message msg) {
 
 void Link::down_side(std::size_t i) {
   Side& s = sides_[i];
+  REBECA_LANE_ASSERT(s.affinity, "Link", "down_side");
   if (!s.up) return;
   s.up = false;
   ++s.gen;

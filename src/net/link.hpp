@@ -28,6 +28,7 @@
 #include "src/net/message_pool.hpp"
 #include "src/sim/delay_model.hpp"
 #include "src/sim/executor.hpp"
+#include "src/sim/lane_check.hpp"
 #include "src/metrics/counters.hpp"
 #include "src/util/domain_ids.hpp"
 
@@ -87,6 +88,8 @@ class Link {
     /// scheduled under an older generation are discarded (they were in
     /// flight at the cut).
     std::uint64_t gen = 0;
+    /// Debug-only: the lane that owns this side (lane_check.hpp).
+    sim::LaneAffinity affinity{};
   };
 
   [[nodiscard]] std::size_t index_of(const Endpoint& e) const;

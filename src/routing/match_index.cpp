@@ -97,7 +97,7 @@ void MatchIndex::index_term(const filter::Filter::Term& term,
         bucket.exact_slots.push_back(slot);
         bucket.exact_operands.push_back(c.operand());
       } else {
-        bucket.inexact.push_back(EqItem{c.operand(), slot});
+        bucket.inexact.emplace_back(c.operand(), slot);
       }
       return;
     }

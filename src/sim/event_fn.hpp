@@ -93,21 +93,25 @@ class EventFn {
 
   template <typename Fn>
   static void inline_invoke(void* self) {
+    // rebeca-lint: allow(CAST-AUDIT, SBO type erasure; self points at a laundered placement-new Fn)
     (*std::launder(reinterpret_cast<Fn*>(self)))();
   }
   template <typename Fn>
   static void inline_relocate(void* from, void* to) noexcept {
+    // rebeca-lint: allow(CAST-AUDIT, SBO type erasure; from points at a laundered placement-new Fn)
     Fn* src = std::launder(reinterpret_cast<Fn*>(from));
     ::new (to) Fn(std::move(*src));
     src->~Fn();
   }
   template <typename Fn>
   static void inline_destroy(void* self) noexcept {
+    // rebeca-lint: allow(CAST-AUDIT, SBO type erasure; self points at a laundered placement-new Fn)
     std::launder(reinterpret_cast<Fn*>(self))->~Fn();
   }
 
   template <typename Fn>
   static Fn* heap_slot(void* self) {
+    // rebeca-lint: allow(CAST-AUDIT, heap-mode slot; self stores the Fn* written by the ctor)
     return *std::launder(reinterpret_cast<Fn**>(self));
   }
   template <typename Fn>

@@ -1,0 +1,107 @@
+// Debug-only lane-affinity checking.
+//
+// Under the sharded engine every entity (Broker, Client, Link side) is
+// owned by exactly one executor lane, and all of its mutations must run
+// on that lane — rule 2 of the determinism contract (sharded.hpp). A
+// violation is a cross-shard race: TSan only reports it when the thread
+// schedule happens to interleave the touch, and a single-shard run
+// never misbehaves at all. This checker catches the same bug
+// *deterministically*: each engine marks which executor is running the
+// current event in a thread-local, entities record their owning
+// executor at construction, and REBECA_LANE_ASSERT on every mutating
+// entry point compares the two — on any shard count, any seed, every
+// run.
+//
+// Enabled when REBECA_LANE_CHECKS is defined to 1 (the CMake option of
+// the same name turns it on automatically for Debug and sanitizer
+// builds); otherwise every hook compiles to nothing. Calls that happen
+// outside any executing event — scenario construction, test drivers
+// poking entities directly — see a null current lane and always pass:
+// the check constrains event execution, not setup code.
+#ifndef REBECA_SIM_LANE_CHECK_HPP
+#define REBECA_SIM_LANE_CHECK_HPP
+
+#include "src/util/assert.hpp"
+
+#ifndef REBECA_LANE_CHECKS
+#define REBECA_LANE_CHECKS 0
+#endif
+
+namespace rebeca::sim {
+
+class Executor;
+
+namespace lane_check {
+
+#if REBECA_LANE_CHECKS
+
+inline thread_local const Executor* tls_executing_lane = nullptr;
+
+/// RAII marker the engines wrap event execution in: "this thread is now
+/// running an event on behalf of lane `e`".
+class ExecutingLane {
+ public:
+  explicit ExecutingLane(const Executor* e) : saved_(tls_executing_lane) {
+    tls_executing_lane = e;
+  }
+  ~ExecutingLane() { tls_executing_lane = saved_; }
+  ExecutingLane(const ExecutingLane&) = delete;
+  ExecutingLane& operator=(const ExecutingLane&) = delete;
+
+ private:
+  const Executor* saved_;
+};
+
+[[nodiscard]] inline const Executor* current() { return tls_executing_lane; }
+
+#else  // REBECA_LANE_CHECKS
+
+class ExecutingLane {
+ public:
+  explicit ExecutingLane(const Executor*) {}
+};
+
+[[nodiscard]] inline const Executor* current() { return nullptr; }
+
+#endif  // REBECA_LANE_CHECKS
+
+}  // namespace lane_check
+
+/// Records the executor lane that owns an entity. bind() at
+/// construction; check() (via REBECA_LANE_ASSERT) at every mutating
+/// entry point. Zero-size no-op when checks are compiled out.
+class LaneAffinity {
+ public:
+#if REBECA_LANE_CHECKS
+  void bind(const Executor* owner) { owner_ = owner; }
+
+  void check(const char* entity, const char* entry) const {
+    const Executor* cur = lane_check::current();
+    if (cur == nullptr || owner_ == nullptr || cur == owner_) return;
+    ::rebeca::util::assertion_failure(
+        "lane affinity", __FILE__, __LINE__,
+        std::string(entity) + "::" + entry +
+            " executed on a foreign lane — entities are lane-owned; "
+            "cross-lane interaction must travel through keyed events "
+            "with positive delay (sharded.hpp rule 2)");
+  }
+#else
+  void bind(const Executor*) {}
+  void check(const char*, const char*) const {}
+#endif
+
+ private:
+#if REBECA_LANE_CHECKS
+  const Executor* owner_ = nullptr;
+#endif
+};
+
+}  // namespace rebeca::sim
+
+/// Asserts that the current event executes on the lane that owns
+/// `affinity`'s entity. No-op outside event execution and in builds
+/// without REBECA_LANE_CHECKS.
+#define REBECA_LANE_ASSERT(affinity, entity, entry) \
+  ((affinity).check(entity, entry))
+
+#endif  // REBECA_SIM_LANE_CHECK_HPP

@@ -4,6 +4,7 @@
 #include <limits>
 #include <utility>
 
+#include "src/sim/lane_check.hpp"
 #include "src/util/assert.hpp"
 
 namespace rebeca::sim {
@@ -121,12 +122,14 @@ void ShardedSimulation::run_window(Shard& shard, TimePoint target, bool closing)
       // the payload refcount per executed event. The key fields the heap
       // comparator reads are trivially-copyable ints, untouched by the
       // move, so the pop stays well-ordered.
+      // rebeca-lint: allow(CAST-AUDIT, move-from-top keeps the heap key fields (when lane seq) intact; see comment above)
       Event ev = std::move(const_cast<Event&>(top));
       shard.queue.pop();
       shard.clock = ev.when;
       if (!ev.cancelled || !*ev.cancelled) {
         LaneExecutor* prev = tls_current_lane;
         tls_current_lane = ev.dest;
+        lane_check::ExecutingLane mark(ev.dest);
         ev.fn();
         tls_current_lane = prev;
       }

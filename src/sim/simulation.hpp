@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/sim/executor.hpp"
+#include "src/sim/lane_check.hpp"
 #include "src/sim/time.hpp"
 #include "src/util/assert.hpp"
 #include "src/util/rng.hpp"
@@ -62,10 +63,14 @@ class Simulation final : public Executor {
       // copy would re-allocate the closure per executed event. The key
       // fields the heap comparator reads (when, seq) are untouched by
       // the move, so the pop stays well-ordered.
+      // rebeca-lint: allow(CAST-AUDIT, move-from-top keeps the heap key fields (when seq) intact; see comment above)
       Scheduled ev = std::move(const_cast<Scheduled&>(top));
       queue_.pop();
       now_ = ev.when;
-      if (!ev.cancelled || !*ev.cancelled) ev.fn();
+      if (!ev.cancelled || !*ev.cancelled) {
+        lane_check::ExecutingLane mark(this);
+        ev.fn();
+      }
     }
     if (!stopped_) now_ = deadline;
   }
@@ -77,10 +82,12 @@ class Simulation final : public Executor {
     std::uint64_t executed = 0;
     while (!queue_.empty() && !stopped_) {
       REBECA_ASSERT(executed < max_events, "event cap exceeded — runaway simulation?");
+      // rebeca-lint: allow(CAST-AUDIT, move-from-top keeps the heap key fields (when seq) intact)
       Scheduled ev = std::move(const_cast<Scheduled&>(queue_.top()));
       queue_.pop();
       now_ = ev.when;
       if (!ev.cancelled || !*ev.cancelled) {
+        lane_check::ExecutingLane mark(this);
         ev.fn();
         ++executed;
       }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "src/sim/lane_check.hpp"
 #include "src/util/assert.hpp"
 
 namespace rebeca::transport {
@@ -77,7 +78,10 @@ void RealtimeExecutor::run() {
     heap_.pop_back();
     if (ev.cancelled && *ev.cancelled) continue;
     lock.unlock();
-    ev.fn();
+    {
+      sim::lane_check::ExecutingLane mark(this);
+      ev.fn();
+    }
     lock.lock();
   }
 }

@@ -125,6 +125,7 @@ std::optional<Conn> Conn::connect(const std::string& host,
   const sockaddr_in addr = make_addr(host, port);
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return std::nullopt;
+  // rebeca-lint: allow(CAST-AUDIT, sockaddr_in -> sockaddr is the POSIX sockets API contract)
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
       0) {
     ::close(fd);
@@ -242,6 +243,7 @@ Acceptor::Acceptor(RealtimeExecutor& exec, const std::string& host,
   if (listen_fd_ < 0) throw std::runtime_error("transport: socket() failed");
   const int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  // rebeca-lint: allow(CAST-AUDIT, sockaddr_in -> sockaddr is the POSIX sockets API contract)
   if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
              sizeof(addr)) != 0 ||
       ::listen(listen_fd_, 64) != 0) {
@@ -254,6 +256,7 @@ Acceptor::Acceptor(RealtimeExecutor& exec, const std::string& host,
   }
   sockaddr_in bound{};
   socklen_t bound_len = sizeof(bound);
+  // rebeca-lint: allow(CAST-AUDIT, sockaddr_in -> sockaddr is the POSIX sockets API contract)
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
   port_ = ntohs(bound.sin_port);
   accept_ = std::thread([this] { accept_loop(); });

@@ -209,6 +209,11 @@ filter::Constraint decode_constraint(WireReader& r) {
     case filter::Op::range: {
       filter::Value lo = decode_value(r);
       filter::Value hi = decode_value(r);
+      // Constraint::range asserts well-formed bounds; from the wire
+      // that must be a rejection, not a process abort.
+      if (lo.compare(hi).value_or(1) > 0) {
+        throw WireError("wire: range bounds inverted or incomparable");
+      }
       return filter::Constraint::range(std::move(lo), std::move(hi));
     }
     case filter::Op::in_set: {
@@ -347,11 +352,16 @@ location::UncertaintyProfile decode_profile(WireReader& r) {
       return location::UncertaintyProfile::flooding();
     case Kind::adaptive: {
       const sim::Duration delta = r.i64();
+      if (delta <= 0) throw WireError("wire: non-positive profile delta");
       const std::uint32_t count = r.u32();
       check_count(r, count, 8, "profile hop delay");
       std::vector<sim::Duration> hops;
       hops.reserve(count);
-      for (std::uint32_t i = 0; i < count; ++i) hops.push_back(r.i64());
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const sim::Duration hop = r.i64();
+        if (hop < 0) throw WireError("wire: negative profile hop delay");
+        hops.push_back(hop);
+      }
       return location::UncertaintyProfile::adaptive(delta, std::move(hops));
     }
     case Kind::explicit_steps: {
@@ -441,11 +451,11 @@ std::string encode_message(const net::Message& m) {
           encode_filter(w, msg.f);
         } else if constexpr (std::is_same_v<T, net::AdvertiseMsg>) {
           w.u8(kTagAdvertise);
-          w.u64(msg.id.value());
+          w.u64(msg.id.value());  // rebeca-lint: allow(WIRE-NAME, AdvId is a process-stable domain id, not an interned AttrId)
           encode_filter(w, msg.f);
         } else if constexpr (std::is_same_v<T, net::UnadvertiseMsg>) {
           w.u8(kTagUnadvertise);
-          w.u64(msg.id.value());
+          w.u64(msg.id.value());  // rebeca-lint: allow(WIRE-NAME, AdvId is a process-stable domain id, not an interned AttrId)
         } else if constexpr (std::is_same_v<T, net::RelocateSubMsg>) {
           w.u8(kTagRelocateSub);
           encode_subkey(w, msg.key);
@@ -518,11 +528,11 @@ std::string encode_message(const net::Message& m) {
           encode_notification(w, msg.n);
         } else if constexpr (std::is_same_v<T, net::ClientAdvertiseMsg>) {
           w.u8(kTagClientAdvertise);
-          w.u64(msg.id.value());
+          w.u64(msg.id.value());  // rebeca-lint: allow(WIRE-NAME, AdvId is a process-stable domain id, not an interned AttrId)
           encode_filter(w, msg.f);
         } else if constexpr (std::is_same_v<T, net::ClientUnadvertiseMsg>) {
           w.u8(kTagClientUnadvertise);
-          w.u64(msg.id.value());
+          w.u64(msg.id.value());  // rebeca-lint: allow(WIRE-NAME, AdvId is a process-stable domain id, not an interned AttrId)
         } else if constexpr (std::is_same_v<T, net::ClientMoveMsg>) {
           w.u8(kTagClientMove);
           w.u32(msg.client.value());

@@ -176,7 +176,7 @@ TEST(LdPresubscribe, WideningStopsAtSaturation) {
   // from l0 with the 1-step profile): bounded, not one per interval
   // forever.
   EXPECT_LE(updates, 4u * 3u);
-  w.overlay.broker(0);  // silence unused warnings
+  (void)w.overlay.broker(0);  // silence unused warnings
 }
 
 TEST(LdPresubscribe, SequenceNumbersContinueAcrossLdRelocation) {

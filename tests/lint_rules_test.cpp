@@ -1,0 +1,222 @@
+// rebeca-lint rule tests: every rule has a fixture that must trigger
+// it and a clean twin that must not, plus scoping, pragma, and
+// tokenizer-robustness checks. Fixtures live in tools/lint/fixtures/
+// and are linted under *virtual* paths, so path-scoped rules (the
+// deterministic path, the wire codec, the session exemption) are
+// exercised without planting files around the tree.
+#include "tools/lint/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace rebeca::lint {
+namespace {
+
+std::string fixture(const std::string& name) {
+  const std::string path =
+      std::string(REBECA_SOURCE_DIR) + "/tools/lint/fixtures/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+bool all_rule(const std::vector<Finding>& findings, const std::string& rule) {
+  return std::all_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+// ---- DET-CONTAINER ----
+
+TEST(LintDetContainer, BadFixtureTriggersInDeterministicPath) {
+  const auto f = lint_source("src/routing/fixture.cpp",
+                             fixture("det_container_bad.cpp"));
+  ASSERT_GE(f.size(), 2u) << "unordered_map and unordered_set must both fire";
+  EXPECT_TRUE(all_rule(f, "DET-CONTAINER"));
+}
+
+TEST(LintDetContainer, CleanTwinPasses) {
+  EXPECT_TRUE(lint_source("src/routing/fixture.cpp",
+                          fixture("det_container_clean.cpp"))
+                  .empty());
+}
+
+TEST(LintDetContainer, TransportAndTestsAreOutOfScope) {
+  const std::string bad = fixture("det_container_bad.cpp");
+  EXPECT_TRUE(lint_source("src/transport/node.cpp", bad).empty());
+  EXPECT_TRUE(lint_source("tests/some_test.cpp", bad).empty());
+  EXPECT_TRUE(lint_source("bench/bench_x.cpp", bad).empty());
+}
+
+// ---- DET-CLOCK ----
+
+TEST(LintDetClock, BadFixtureTriggersInDeterministicPath) {
+  const auto f =
+      lint_source("src/sim/fixture.cpp", fixture("det_clock_bad.cpp"));
+  ASSERT_GE(f.size(), 4u)
+      << "system_clock, time(), rand(), random_device must all fire";
+  EXPECT_TRUE(all_rule(f, "DET-CLOCK"));
+}
+
+TEST(LintDetClock, CleanTwinPasses) {
+  // Member functions *named* time() and declarations are not calls.
+  EXPECT_TRUE(
+      lint_source("src/sim/fixture.cpp", fixture("det_clock_clean.cpp"))
+          .empty());
+}
+
+TEST(LintDetClock, TransportOwnsRealTime) {
+  EXPECT_TRUE(lint_source("src/transport/realtime.cpp",
+                          fixture("det_clock_bad.cpp"))
+                  .empty());
+}
+
+// ---- WIRE-NAME ----
+
+TEST(LintWireName, BadFixtureTriggersInWireCodec) {
+  const auto f = lint_source("src/transport/wire.cpp",
+                             fixture("wire_name_bad.cpp"));
+  ASSERT_GE(f.size(), 3u) << "AttrId, id.value() write, attr_of must fire";
+  EXPECT_TRUE(all_rule(f, "WIRE-NAME"));
+}
+
+TEST(LintWireName, CleanTwinPasses) {
+  EXPECT_TRUE(lint_source("src/transport/wire.cpp",
+                          fixture("wire_name_clean.cpp"))
+                  .empty());
+}
+
+TEST(LintWireName, OnlyTheCodecIsInScope) {
+  EXPECT_TRUE(lint_source("src/transport/session.cpp",
+                          fixture("wire_name_bad.cpp"))
+                  .empty());
+}
+
+// ---- EXEC-BLOCK ----
+
+TEST(LintExecBlock, BadFixtureTriggersEverywhere) {
+  const auto f = lint_source("src/broker/broker.cpp",
+                             fixture("exec_block_bad.cpp"));
+  ASSERT_EQ(f.size(), 4u) << "::send ::write ::recv ::accept must all fire";
+  EXPECT_TRUE(all_rule(f, "EXEC-BLOCK"));
+}
+
+TEST(LintExecBlock, CleanTwinPasses) {
+  // Link::send / Graph::connect style member calls are not socket calls.
+  EXPECT_TRUE(lint_source("src/broker/broker.cpp",
+                          fixture("exec_block_clean.cpp"))
+                  .empty());
+}
+
+TEST(LintExecBlock, SessionLayerIsExempt) {
+  EXPECT_TRUE(lint_source("src/transport/session.cpp",
+                          fixture("exec_block_bad.cpp"))
+                  .empty());
+}
+
+// ---- CAST-AUDIT ----
+
+TEST(LintCastAudit, BadFixtureTriggers) {
+  const auto f = lint_source("src/util/fixture.hpp",
+                             fixture("cast_audit_bad.cpp"));
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_TRUE(all_rule(f, "CAST-AUDIT"));
+}
+
+TEST(LintCastAudit, CleanTwinPasses) {
+  // Pragma on the same line and pragma on the line above both count.
+  EXPECT_TRUE(lint_source("src/util/fixture.hpp",
+                          fixture("cast_audit_clean.cpp"))
+                  .empty());
+}
+
+// ---- pragmas ----
+
+TEST(LintPragma, MalformedPragmasAreFindings) {
+  const auto f = lint_source("src/util/fixture.hpp", fixture("bad_pragma.cpp"));
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_TRUE(all_rule(f, "BAD-PRAGMA"));
+}
+
+TEST(LintPragma, SuppressionIsPerRule) {
+  // A CAST-AUDIT pragma must not silence a DET-CONTAINER finding on the
+  // same line.
+  const std::string src =
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, int> m;  "
+      "// rebeca-lint: allow(CAST-AUDIT, wrong rule on purpose)\n";
+  const auto f = lint_source("src/routing/x.cpp", src);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "DET-CONTAINER");
+}
+
+// ---- tokenizer robustness ----
+
+TEST(LintTokenizer, StringsAndCommentsAreNotCode) {
+  const std::string src =
+      "// reinterpret_cast in a comment\n"
+      "/* const_cast in a block comment\n   spanning lines */\n"
+      "const char* a = \"reinterpret_cast<char*>(x)\";\n"
+      "const char* b = R\"(const_cast and ::recv( and unordered_map)\";\n"
+      "char c = 'r';\n";
+  EXPECT_TRUE(lint_source("src/routing/x.cpp", src).empty());
+}
+
+TEST(LintTokenizer, FindingsCarryLineNumbers) {
+  const std::string src =
+      "int a;\n"
+      "int b;\n"
+      "void* p = reinterpret_cast<void*>(&a);\n";
+  const auto f = lint_source("src/routing/x.cpp", src);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].line, 3);
+}
+
+TEST(LintOptions, RuleFilterRestrictsScanning) {
+  Options only_casts;
+  only_casts.only_rules = {"CAST-AUDIT"};
+  const std::string src =
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, int> m;\n"
+      "void* p = reinterpret_cast<void*>(&m);\n";
+  const auto f = lint_source("src/routing/x.cpp", src, only_casts);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "CAST-AUDIT");
+}
+
+// ---- the repository itself ----
+
+TEST(LintRepo, TreeIsClean) {
+  namespace fs = std::filesystem;
+  const std::set<std::string> kExts = {".cpp", ".hpp", ".h", ".cc", ".hh"};
+  std::size_t files = 0;
+  std::vector<Finding> findings;
+  for (const char* dir : {"/src", "/tests", "/bench", "/examples"}) {
+    for (const auto& entry : fs::recursive_directory_iterator(
+             std::string(REBECA_SOURCE_DIR) + dir)) {
+      if (!entry.is_regular_file() ||
+          !kExts.count(entry.path().extension().string())) {
+        continue;
+      }
+      ++files;
+      const auto f = lint_file(entry.path().string());
+      findings.insert(findings.end(), f.begin(), f.end());
+    }
+  }
+  EXPECT_GT(files, 100u);
+  for (const Finding& f : findings) {
+    ADD_FAILURE() << f.path << ":" << f.line << ": [" << f.rule << "] "
+                  << f.message;
+  }
+}
+
+}  // namespace
+}  // namespace rebeca::lint

@@ -33,7 +33,7 @@ TEST(LocationGraph, InternsNames) {
 
 TEST(LocationGraph, UnknownLocationThrows) {
   LocationGraph g;
-  EXPECT_THROW(g.id_of("nowhere"), util::AssertionError);
+  EXPECT_THROW((void)g.id_of("nowhere"), util::AssertionError);
 }
 
 TEST(LocationGraph, SelfLoopRejected) {
@@ -188,7 +188,7 @@ TEST(LocationGraph, DisconnectedGraphSaturationThrows) {
   LocationGraph g;
   g.add("x");
   g.add("y");  // never connected
-  EXPECT_THROW(g.saturation_steps(g.id_of("x")), util::AssertionError);
+  EXPECT_THROW((void)g.saturation_steps(g.id_of("x")), util::AssertionError);
 }
 
 }  // namespace

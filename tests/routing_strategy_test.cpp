@@ -207,7 +207,9 @@ TEST(StrategyDiff, UpsertsPrecedePrunes) {
   bool seen_prune = false;
   for (const auto& step : d.steps) {
     if (step.kind == DiffStep::Kind::prune) seen_prune = true;
-    if (step.kind == DiffStep::Kind::upsert) EXPECT_FALSE(seen_prune);
+    if (step.kind == DiffStep::Kind::upsert) {
+      EXPECT_FALSE(seen_prune);
+    }
   }
   EXPECT_TRUE(seen_prune);
 }

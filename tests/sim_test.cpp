@@ -286,7 +286,9 @@ TEST(Link, FifoUnderRandomDelays) {
   ASSERT_EQ(b.arrivals.size(), 200u);
   for (std::uint64_t i = 0; i < 200; ++i) {
     EXPECT_EQ(b.arrivals[i].second, i) << "FIFO violated at " << i;
-    if (i > 0) EXPECT_GE(b.arrivals[i].first, b.arrivals[i - 1].first);
+    if (i > 0) {
+      EXPECT_GE(b.arrivals[i].first, b.arrivals[i - 1].first);
+    }
   }
 }
 

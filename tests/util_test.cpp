@@ -95,7 +95,7 @@ TEST(RingBuffer, PopIsFifo) {
 TEST(RingBuffer, PopEmptyThrows) {
   util::RingBuffer<int> rb(2);
   EXPECT_THROW(rb.pop(), util::AssertionError);
-  EXPECT_THROW(rb.front(), util::AssertionError);
+  EXPECT_THROW((void)rb.front(), util::AssertionError);
 }
 
 TEST(RingBuffer, ClearKeepsDropCount) {

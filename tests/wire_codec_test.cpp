@@ -209,6 +209,57 @@ TEST(WireCodec, RejectsUnknownTag) {
   EXPECT_THROW(transport::decode_message(bytes), transport::WireError);
 }
 
+// Semantically malformed input must be a WireError, never a tripped
+// internal assertion (a remote peer can ship any bytes; an abort would
+// be a remote denial of service). Found by the fuzz_wire harness.
+TEST(WireCodec, RejectsInvertedRangeBounds) {
+  transport::WireWriter w;
+  w.u8(static_cast<std::uint8_t>(filter::Op::range));
+  transport::encode_value(w, Value(std::int64_t(133)));
+  transport::encode_value(w, Value(std::int64_t(90)));
+  transport::WireReader r(w.bytes());
+  EXPECT_THROW((void)transport::decode_constraint(r), transport::WireError);
+}
+
+TEST(WireCodec, RejectsIncomparableRangeBounds) {
+  transport::WireWriter w;
+  w.u8(static_cast<std::uint8_t>(filter::Op::range));
+  transport::encode_value(w, Value(std::string("low")));
+  transport::encode_value(w, Value(std::int64_t(90)));
+  transport::WireReader r(w.bytes());
+  EXPECT_THROW((void)transport::decode_constraint(r), transport::WireError);
+}
+
+TEST(WireCodec, RejectsNegativeProfileDelta) {
+  // Encode a valid adaptive-profile subscription, then patch the
+  // profile's delta to a negative value in the raw bytes. The delta is
+  // chosen to have a byte pattern unique in the frame.
+  location::LdSpec spec = rich_ld_spec();
+  const sim::Duration delta = sim::millis(123);
+  spec.profile = location::UncertaintyProfile::adaptive(
+      delta, {sim::millis(10), sim::millis(20)});
+  std::string bytes = transport::encode_message(
+      net::LdSubscribeMsg{SubKey{ClientId(1), 1}, spec, LocationId(0), 1});
+
+  std::string needle(8, '\0');
+  std::uint64_t u = static_cast<std::uint64_t>(delta);
+  for (int i = 0; i < 8; ++i) {
+    needle[i] = static_cast<char>((u >> (8 * i)) & 0xFF);
+  }
+  const std::size_t pos = bytes.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  EXPECT_EQ(bytes.find(needle, pos + 1), std::string::npos)
+      << "delta byte pattern not unique; pick a different delta";
+
+  const std::int64_t patched = -5;
+  u = static_cast<std::uint64_t>(patched);
+  for (int i = 0; i < 8; ++i) {
+    bytes[pos + static_cast<std::size_t>(i)] =
+        static_cast<char>((u >> (8 * i)) & 0xFF);
+  }
+  EXPECT_THROW(transport::decode_message(bytes), transport::WireError);
+}
+
 TEST(WireCodec, RejectsAbsurdCounts) {
   // A SubscribeMsg whose filter claims 2^32-1 terms in a 10-byte body
   // must be rejected by the count guard, not attempt the allocation.

@@ -1,0 +1,11 @@
+// Fixture: MUST trigger BAD-PRAGMA twice — a reasonless suppression
+// and one naming an unknown rule. Never compiled.
+namespace fixture {
+
+// rebeca-lint: allow(CAST-AUDIT)
+inline int no_reason(int* p) { return *p; }
+
+// rebeca-lint: allow(NOT-A-RULE, misspelled rule ids must not silently suppress)
+inline int unknown_rule(int* p) { return *p; }
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: MUST trigger CAST-AUDIT — reinterpret_cast / const_cast
+// without a justification pragma. Never compiled.
+namespace fixture {
+
+struct Blob {
+  unsigned char bytes[8] = {};
+};
+
+inline unsigned long long raw(const Blob& b) {
+  return *reinterpret_cast<const unsigned long long*>(b.bytes);  // finding
+}
+
+inline void scribble(const Blob& b) {
+  const_cast<Blob&>(b).bytes[0] = 1;  // finding
+}
+
+}  // namespace fixture

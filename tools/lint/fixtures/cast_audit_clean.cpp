@@ -1,0 +1,19 @@
+// Fixture: clean twin of cast_audit_bad.cpp — every cast carries a
+// justification pragma (same line or the line above). MUST produce
+// zero findings.
+namespace fixture {
+
+struct Blob {
+  unsigned char bytes[8] = {};
+};
+
+inline unsigned long long raw(const Blob& b) {
+  // rebeca-lint: allow(CAST-AUDIT, byte buffer is 8-aligned and holds a u64 by construction)
+  return *reinterpret_cast<const unsigned long long*>(b.bytes);
+}
+
+inline void scribble(const Blob& b) {
+  const_cast<Blob&>(b).bytes[0] = 1;  // rebeca-lint: allow(CAST-AUDIT, object is never constructed const)
+}
+
+}  // namespace fixture

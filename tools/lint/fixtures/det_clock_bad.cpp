@@ -1,0 +1,25 @@
+// Fixture: MUST trigger DET-CLOCK when linted under a virtual src/
+// path. Never compiled.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+namespace fixture {
+
+inline long stamp() {
+  auto t = std::chrono::system_clock::now();        // finding (system_clock)
+  (void)t;
+  long w = time(nullptr);                           // finding (time())
+  return w + std::rand();                           // finding (rand())
+}
+
+inline unsigned seed_from_hardware() {
+  return 7;  // the declaration below is the finding
+}
+// std::random_device rd;  -- commented text is not scanned; this is:
+inline unsigned hw() {
+  std::random_device rd;                            // finding (random_device)
+  return rd();
+}
+
+}  // namespace fixture

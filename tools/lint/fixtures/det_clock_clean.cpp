@@ -1,0 +1,18 @@
+// Fixture: clean twin of det_clock_bad.cpp. Virtual time and seeded
+// RNG only; member functions *named* time()/rand() are not flagged.
+// MUST produce zero findings.
+namespace fixture {
+
+struct Probe {
+  long now = 0;
+  [[nodiscard]] long time() const { return now; }  // declaration, not a call
+};
+
+struct Lane {
+  Probe probe;
+  unsigned state = 1;
+  unsigned next() { return state = state * 1664525u + 1013904223u; }
+  long sample() { return probe.time() + static_cast<long>(next()); }
+};
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Fixture: MUST trigger DET-CONTAINER when linted under a virtual path
+// inside src/ (lint_rules_test feeds it as src/routing/fixture.cpp).
+// Never compiled — exercised by tests/lint_rules_test.cpp only.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct RoutingTable {
+  // Hash iteration order would leak into the routing decision order.
+  std::unordered_map<std::string, int> entries;   // finding
+  std::unordered_set<int> seen;                   // finding
+};
+
+inline int total(const RoutingTable& t) {
+  int n = 0;
+  for (const auto& [k, v] : t.entries) n += v;
+  return n;
+}
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Fixture: clean twin of det_container_bad.cpp — ordered containers
+// plus one justified lookup-only table. MUST produce zero findings.
+#include <map>
+#include <string>
+#include <unordered_map>  // rebeca-lint: allow(DET-CONTAINER, lookup-only interner table, never iterated)
+
+namespace fixture {
+
+struct RoutingTable {
+  std::map<std::string, int> entries;
+  // rebeca-lint: allow(DET-CONTAINER, lookup-only cache, iteration order never observed)
+  std::unordered_map<std::string, int> cache;
+};
+
+inline int total(const RoutingTable& t) {
+  int n = 0;
+  for (const auto& [k, v] : t.entries) n += v;
+  return n;
+}
+
+}  // namespace fixture

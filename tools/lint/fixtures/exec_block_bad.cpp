@@ -1,0 +1,19 @@
+// Fixture: MUST trigger EXEC-BLOCK (global-scope blocking socket calls
+// outside src/transport/session.cpp). Never compiled.
+namespace fixture {
+
+inline long push_bytes(int fd, const char* data, unsigned len) {
+  long n = ::send(fd, data, len, 0);        // finding
+  if (n < 0) n = ::write(fd, data, len);    // finding
+  return n;
+}
+
+inline long pull_bytes(int fd, char* data, unsigned len) {
+  return ::recv(fd, data, len, 0);          // finding
+}
+
+inline int wait_for_peer(int fd) {
+  return ::accept(fd, nullptr, nullptr);    // finding
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Fixture: clean twin of exec_block_bad.cpp. Method calls *named*
+// send/recv/connect (the Link/Broker API) are fine — only global-scope
+// ::socket calls block a lane. MUST produce zero findings.
+namespace fixture {
+
+struct Link {
+  void send(int) {}
+  int recv() { return 0; }
+};
+
+struct Graph {
+  void connect(int a, int b) { (void)a; (void)b; }
+};
+
+inline void drive(Link& link, Graph& g) {
+  link.send(1);
+  (void)link.recv();
+  g.connect(0, 1);
+  Link* p = &link;
+  p->send(2);
+}
+
+}  // namespace fixture

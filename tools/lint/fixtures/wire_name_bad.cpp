@@ -1,0 +1,29 @@
+// Fixture: MUST trigger WIRE-NAME when linted under the virtual path
+// src/transport/wire.cpp. Never compiled.
+namespace fixture {
+
+struct AttrId {
+  unsigned v = 0;
+  [[nodiscard]] unsigned value() const { return v; }
+};
+
+struct Term {
+  AttrId id;  // finding: AttrId type named in the codec
+};
+
+struct Writer {
+  void u32(unsigned) {}
+};
+
+inline void encode_term(Writer& w, const Term& t) {
+  w.u32(t.id.value());  // finding: raw id.value() written to the wire
+}
+
+inline void encode_interned(Writer& w, unsigned table) {
+  w.u32(attr_of("price").value());  // finding: attr_of in the codec
+  (void)table;
+}
+
+inline unsigned attr_of(const char*) { return 0; }
+
+}  // namespace fixture

@@ -1,0 +1,32 @@
+// Fixture: clean twin of wire_name_bad.cpp — serializes by attribute
+// name, and the one raw domain-id write is pragma-certified. MUST
+// produce zero findings under the virtual path src/transport/wire.cpp.
+#include <string>
+
+namespace fixture {
+
+struct Term {
+  const std::string* name = nullptr;
+};
+
+struct Writer {
+  void str(const std::string&) {}
+  void u64(unsigned long long) {}
+};
+
+struct Msg {
+  struct {
+    [[nodiscard]] unsigned long long value() const { return 0; }
+  } id;
+};
+
+inline void encode_term(Writer& w, const Term& t) {
+  w.str(*t.name);
+}
+
+inline void encode_msg(Writer& w, const Msg& m) {
+  // rebeca-lint: allow(WIRE-NAME, AdvId is a process-stable domain id, not an AttrId)
+  w.u64(m.id.value());
+}
+
+}  // namespace fixture

@@ -1,0 +1,472 @@
+#include "tools/lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace rebeca::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rule registry
+// ---------------------------------------------------------------------------
+
+constexpr std::string_view kDetContainer = "DET-CONTAINER";
+constexpr std::string_view kDetClock = "DET-CLOCK";
+constexpr std::string_view kWireName = "WIRE-NAME";
+constexpr std::string_view kExecBlock = "EXEC-BLOCK";
+constexpr std::string_view kCastAudit = "CAST-AUDIT";
+/// Meta-rule for malformed suppressions; always on.
+constexpr std::string_view kBadPragma = "BAD-PRAGMA";
+
+// ---------------------------------------------------------------------------
+// Tokenizer. Comments and string/char literals never reach the rule
+// matchers; comments are mined for allow pragmas instead. #include
+// lines are skipped wholesale (header names look like identifiers);
+// other preprocessor lines are tokenized like code so macro bodies are
+// still scanned.
+// ---------------------------------------------------------------------------
+
+enum class Kind { ident, punct, number, eof };
+
+struct Token {
+  Kind kind = Kind::eof;
+  std::string text;
+  int line = 0;
+};
+
+struct Pragma {
+  int line = 0;
+  std::string rule;
+  bool has_reason = false;
+  bool known_rule = false;
+};
+
+struct Scan {
+  std::vector<Token> tokens;
+  std::vector<Pragma> pragmas;
+};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Extracts `rebeca-lint: allow(RULE, reason)` markers from one
+/// comment's text.
+void mine_pragmas(std::string_view comment, int line, std::vector<Pragma>& out) {
+  std::size_t pos = 0;
+  constexpr std::string_view kMarker = "rebeca-lint:";
+  while ((pos = comment.find(kMarker, pos)) != std::string_view::npos) {
+    std::size_t p = pos + kMarker.size();
+    pos = p;
+    while (p < comment.size() &&
+           std::isspace(static_cast<unsigned char>(comment[p]))) {
+      ++p;
+    }
+    if (comment.substr(p, 6) != "allow(") continue;
+    p += 6;
+    Pragma pr;
+    pr.line = line;
+    while (p < comment.size() && comment[p] != ',' && comment[p] != ')') {
+      pr.rule.push_back(comment[p++]);
+    }
+    while (!pr.rule.empty() &&
+           std::isspace(static_cast<unsigned char>(pr.rule.back()))) {
+      pr.rule.pop_back();
+    }
+    if (p < comment.size() && comment[p] == ',') {
+      ++p;
+      std::string reason;
+      while (p < comment.size() && comment[p] != ')') reason.push_back(comment[p++]);
+      pr.has_reason = std::any_of(reason.begin(), reason.end(), [](char c) {
+        return !std::isspace(static_cast<unsigned char>(c));
+      });
+    }
+    for (const RuleInfo& r : rules()) {
+      if (r.id == pr.rule) pr.known_rule = true;
+    }
+    out.push_back(std::move(pr));
+  }
+}
+
+Scan tokenize(std::string_view src) {
+  Scan scan;
+  std::size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;
+
+  auto peek = [&](std::size_t off = 0) -> char {
+    return i + off < src.size() ? src[i + off] : '\0';
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && peek(1) == '/') {
+      const std::size_t start = i;
+      while (i < src.size() && src[i] != '\n') ++i;
+      mine_pragmas(src.substr(start, i - start), line, scan.pragmas);
+      continue;
+    }
+    // Block comment; a pragma inside registers on the comment's *last*
+    // line, so a comment directly above code covers that code line.
+    if (c == '/' && peek(1) == '*') {
+      const std::size_t start = i;
+      i += 2;
+      while (i + 1 < src.size() && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      i = std::min(src.size(), i + 2);
+      mine_pragmas(src.substr(start, i - start), line, scan.pragmas);
+      at_line_start = false;
+      continue;
+    }
+    // Preprocessor directive: skip #include lines entirely (the header
+    // name reads as identifiers); scan everything else as code.
+    if (c == '#' && at_line_start) {
+      std::size_t p = i + 1;
+      while (p < src.size() && (src[p] == ' ' || src[p] == '\t')) ++p;
+      if (src.substr(p, 7) == "include") {
+        while (i < src.size() && src[i] != '\n') ++i;
+        continue;
+      }
+      ++i;
+      at_line_start = false;
+      continue;
+    }
+    at_line_start = false;
+    // Identifier — possibly a literal prefix (R"…", u8"…", L'…').
+    if (ident_start(c)) {
+      std::size_t p = i;
+      while (p < src.size() && ident_char(src[p])) ++p;
+      std::string word(src.substr(i, p - i));
+      const char after = p < src.size() ? src[p] : '\0';
+      const bool raw = (after == '"') && (word == "R" || word == "u8R" ||
+                                          word == "uR" || word == "UR" ||
+                                          word == "LR");
+      const bool prefixed = (after == '"' || after == '\'') &&
+                            (word == "u8" || word == "u" || word == "U" ||
+                             word == "L");
+      if (raw) {
+        // R"delim( … )delim"
+        std::size_t q = p + 1;
+        std::string delim;
+        while (q < src.size() && src[q] != '(') delim.push_back(src[q++]);
+        const std::string closer = ")" + delim + "\"";
+        std::size_t end = src.find(closer, q);
+        if (end == std::string_view::npos) end = src.size();
+        for (std::size_t k = p; k < std::min(end + closer.size(), src.size()); ++k) {
+          if (src[k] == '\n') ++line;
+        }
+        i = std::min(end + closer.size(), src.size());
+        continue;
+      }
+      if (prefixed) {
+        i = p;  // fall through to the literal scanners below
+        continue;
+      }
+      scan.tokens.push_back({Kind::ident, std::move(word), line});
+      i = p;
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++i;
+      while (i < src.size() && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < src.size()) ++i;
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      if (i < src.size()) ++i;  // closing quote
+      continue;
+    }
+    // Number (digit separators and suffixes folded in).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      std::size_t p = i;
+      while (p < src.size() &&
+             (std::isalnum(static_cast<unsigned char>(src[p])) ||
+              src[p] == '.' ||
+              (src[p] == '\'' && p + 1 < src.size() &&
+               std::isalnum(static_cast<unsigned char>(src[p + 1]))))) {
+        ++p;
+      }
+      scan.tokens.push_back({Kind::number, std::string(src.substr(i, p - i)), line});
+      i = p;
+      continue;
+    }
+    // Punctuation; '::' and '->' matter to the rules, keep them fused.
+    if (c == ':' && peek(1) == ':') {
+      scan.tokens.push_back({Kind::punct, "::", line});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && peek(1) == '>') {
+      scan.tokens.push_back({Kind::punct, "->", line});
+      i += 2;
+      continue;
+    }
+    scan.tokens.push_back({Kind::punct, std::string(1, c), line});
+    ++i;
+  }
+  return scan;
+}
+
+// ---------------------------------------------------------------------------
+// Path scoping
+// ---------------------------------------------------------------------------
+
+std::string normalize(std::string_view path) {
+  std::string p(path);
+  std::replace(p.begin(), p.end(), '\\', '/');
+  return p;
+}
+
+bool contains(const std::string& path, std::string_view needle) {
+  return path.find(needle) != std::string::npos;
+}
+
+bool ends_with(const std::string& path, std::string_view suffix) {
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// The deterministic path: engine/runtime sources, excluding the
+/// wall-clock transport backend (which owns real time and real sockets
+/// by design).
+bool deterministic_scope(const std::string& path) {
+  const bool in_src = contains(path, "src/");
+  return in_src && !contains(path, "src/transport/");
+}
+
+bool wire_scope(const std::string& path) {
+  return ends_with(path, "src/transport/wire.cpp") ||
+         ends_with(path, "src/transport/wire.hpp");
+}
+
+bool session_exempt(const std::string& path) {
+  return ends_with(path, "src/transport/session.cpp");
+}
+
+// ---------------------------------------------------------------------------
+// Rule matching over the token stream
+// ---------------------------------------------------------------------------
+
+const std::set<std::string_view> kUnorderedContainers = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+
+/// Identifiers that are nondeterministic by their mere presence.
+const std::set<std::string_view> kClockIdents = {
+    "system_clock", "steady_clock", "high_resolution_clock", "srand",
+    "random_device", "gettimeofday", "clock_gettime", "timespec_get",
+    "drand48", "lrand48"};
+
+/// Flagged only when called (identifier directly followed by '(' and
+/// not reached through a member access): these names are common member
+/// spellings elsewhere.
+const std::set<std::string_view> kClockCalls = {"rand", "time", "clock"};
+
+const std::set<std::string_view> kBlockingSocketCalls = {
+    "send", "recv", "connect", "accept", "read", "write", "poll",
+    "select", "sendto", "recvfrom", "sendmsg", "recvmsg"};
+
+/// Statement keywords: an identifier from this set before `::` still
+/// means the `::` opens a *global* qualification (`return ::recv(…)`).
+const std::set<std::string_view> kStmtKeywords = {
+    "return",    "throw",    "case",   "else",   "do",    "new",
+    "delete",    "sizeof",   "co_return", "co_await", "co_yield", "goto"};
+
+struct Matcher {
+  const std::string& path;
+  const std::vector<Token>& toks;
+  std::vector<Finding>& out;
+
+  [[nodiscard]] const Token* at(std::size_t i) const {
+    return i < toks.size() ? &toks[i] : nullptr;
+  }
+  [[nodiscard]] bool punct_at(std::size_t i, std::string_view p) const {
+    const Token* t = at(i);
+    return t && t->kind == Kind::punct && t->text == p;
+  }
+
+  void add(int line, std::string_view rule, std::string message) const {
+    out.push_back({path, line, std::string(rule), std::move(message)});
+  }
+
+  /// True when `name(` at index i reads as a declaration (preceded by a
+  /// type name) or a member call (preceded by . or ->) rather than a
+  /// free call. `std::time(0)` still flags: '::' is neither.
+  [[nodiscard]] bool declaration_or_member(std::size_t i) const {
+    if (i == 0) return false;
+    const Token& p = toks[i - 1];
+    if (p.kind == Kind::ident) {
+      return p.text != "return" && p.text != "co_return" && p.text != "case";
+    }
+    return p.text == "." || p.text == "->" || p.text == "*" || p.text == "&";
+  }
+
+  void run(const std::set<std::string, std::less<>>& active) const {
+    const bool det = deterministic_scope(path);
+    const bool wire = wire_scope(path);
+    const bool exec = !session_exempt(path);
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != Kind::ident) continue;
+
+      if (active.count(kCastAudit) &&
+          (t.text == "reinterpret_cast" || t.text == "const_cast")) {
+        add(t.line, kCastAudit,
+            t.text + " requires a justification pragma: // rebeca-lint: "
+                     "allow(CAST-AUDIT, why this is sound)");
+      }
+
+      if (det && active.count(kDetContainer) &&
+          kUnorderedContainers.count(t.text)) {
+        add(t.line, kDetContainer,
+            "std::" + t.text +
+                " in the deterministic path: hash iteration order leaks "
+                "into reports — use std::map / sorted vectors, or justify "
+                "that it is never iterated");
+      }
+
+      if (det && active.count(kDetClock)) {
+        if (kClockIdents.count(t.text)) {
+          add(t.line, kDetClock,
+              t.text +
+                  " outside src/transport/: wall clocks and ambient "
+                  "randomness break equal-seed reproducibility — draw from "
+                  "the lane's Executor::rng() / virtual clock");
+        } else if (kClockCalls.count(t.text) && punct_at(i + 1, "(") &&
+                   !declaration_or_member(i)) {
+          add(t.line, kDetClock,
+              t.text + "() outside src/transport/: use the lane's seeded "
+                       "RNG stream / virtual clock instead");
+        }
+      }
+
+      if (wire && active.count(kWireName)) {
+        if (t.text == "AttrId" || t.text == "attr_of" || t.text == "intern") {
+          add(t.line, kWireName,
+              t.text + " in the wire codec: attributes must serialize by "
+                       "NAME — interned ids are process-local mint order");
+        } else if (t.text == "id" &&
+                   (punct_at(i + 1, ".") || punct_at(i + 1, "->")) &&
+                   at(i + 2) && at(i + 2)->text == "value") {
+          add(t.line, kWireName,
+              "raw `.id.value()` written to the wire: certify via pragma "
+              "that this is a process-stable domain id, never an AttrId");
+        }
+      }
+
+      const bool qualifies_global =
+          i > 0 && punct_at(i - 1, "::") &&
+          !(i > 1 &&
+            ((toks[i - 2].kind == Kind::ident &&
+              !kStmtKeywords.count(toks[i - 2].text)) ||
+             toks[i - 2].text == ">" || toks[i - 2].text == ")"));
+      if (exec && active.count(kExecBlock) &&
+          kBlockingSocketCalls.count(t.text) && punct_at(i + 1, "(") &&
+          qualifies_global) {
+        add(t.line, kExecBlock,
+            "::" + t.text +
+                "() outside src/transport/session.cpp: blocking socket "
+                "calls stall the executor lane — route I/O through the "
+                "session layer");
+      }
+    }
+  }
+};
+
+}  // namespace
+
+const std::vector<RuleInfo>& rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {kDetContainer,
+       "no unordered containers in the deterministic path (src/ outside "
+       "src/transport/)"},
+      {kDetClock,
+       "no wall clocks / ambient randomness outside src/transport/"},
+      {kWireName, "wire codec serializes attributes by name, never AttrId"},
+      {kExecBlock,
+       "no blocking socket calls outside src/transport/session.cpp"},
+      {kCastAudit,
+       "every reinterpret_cast / const_cast carries a justification pragma"},
+      {kBadPragma, "allow pragmas must name a known rule and give a reason"},
+  };
+  return kRules;
+}
+
+std::vector<Finding> lint_source(std::string_view path, std::string_view content,
+                                 const Options& options) {
+  const std::string npath = normalize(path);
+  std::set<std::string, std::less<>> active;
+  if (options.only_rules.empty()) {
+    for (const RuleInfo& r : rules()) active.insert(std::string(r.id));
+  } else {
+    for (const std::string& r : options.only_rules) active.insert(r);
+  }
+
+  const Scan scan = tokenize(content);
+  std::vector<Finding> findings;
+  Matcher{npath, scan.tokens, findings}.run(active);
+
+  // Suppression: an allow(RULE, reason) pragma covers its own line and
+  // the next. Malformed pragmas are findings themselves.
+  std::map<std::pair<int, std::string>, bool> allowed;
+  for (const Pragma& p : scan.pragmas) {
+    if (!p.known_rule || !p.has_reason) {
+      if (active.count(kBadPragma)) {
+        findings.push_back(
+            {npath, p.line, std::string(kBadPragma),
+             !p.known_rule
+                 ? "allow pragma names unknown rule '" + p.rule + "'"
+                 : "allow(" + p.rule +
+                       ") without a reason — suppressions must say why"});
+      }
+      continue;
+    }
+    allowed[{p.line, p.rule}] = true;
+    allowed[{p.line + 1, p.rule}] = true;
+  }
+  std::vector<Finding> kept;
+  for (Finding& f : findings) {
+    if (allowed.count({f.line, f.rule})) continue;
+    kept.push_back(std::move(f));
+  }
+  std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return kept;
+}
+
+std::vector<Finding> lint_file(const std::string& path, const Options& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("rebeca-lint: cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return lint_source(path, buf.str(), options);
+}
+
+}  // namespace rebeca::lint

@@ -1,0 +1,80 @@
+// rebeca-lint: repo-specific static analysis.
+//
+// A lightweight C++ source scanner (hand-rolled tokenizer, no compiler
+// dependency) that mechanically enforces invariants the codebase's
+// determinism, wire, and threading contracts rest on — rules a generic
+// linter cannot know. Each rule can be suppressed per line with a
+// justification pragma:
+//
+//   // rebeca-lint: allow(RULE-ID, why this site is safe)
+//
+// The pragma applies to its own line and the line directly below it, so
+// both trailing comments and a standalone comment line above work. A
+// pragma without a reason, or naming an unknown rule, is itself a
+// finding — suppressions must say *why*.
+//
+// Rules (scoping is path-based, so the scanner can lint fixture content
+// under a virtual path):
+//
+//   DET-CONTAINER  No std::unordered_map/set in the deterministic path
+//                  (src/ outside src/transport/): hash iteration order
+//                  leaks into reports and breaks equal-seed byte
+//                  identity across shard counts and matcher modes.
+//   DET-CLOCK      No wall clocks or ambient randomness (system_clock,
+//                  steady_clock, rand, random_device, time(), …)
+//                  outside src/transport/: all stochastic behaviour
+//                  must flow from per-lane seeded RNG streams.
+//   WIRE-NAME      The wire codec (src/transport/wire.*) serializes
+//                  attributes by NAME, never by interned AttrId —
+//                  AttrIds are minted in process-local first-use order
+//                  and mean a different attribute at the receiver.
+//   EXEC-BLOCK     No global-scope blocking socket calls (::send,
+//                  ::recv, ::connect, ::accept, ::poll, …) outside
+//                  src/transport/session.cpp — blocking anywhere else
+//                  stalls an executor lane.
+//   CAST-AUDIT     Every reinterpret_cast / const_cast needs an allow
+//                  pragma explaining why it is sound.
+#ifndef REBECA_TOOLS_LINT_HPP
+#define REBECA_TOOLS_LINT_HPP
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rebeca::lint {
+
+struct Finding {
+  std::string path;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct RuleInfo {
+  std::string_view id;
+  std::string_view summary;
+};
+
+/// The rules the scanner knows, in report order.
+[[nodiscard]] const std::vector<RuleInfo>& rules();
+
+struct Options {
+  /// Rule ids to run; empty means all.
+  std::vector<std::string> only_rules;
+};
+
+/// Lints `content` as if it lived at `path`. Rule applicability is
+/// decided from the path string (e.g. "src/transport/wire.cpp"), which
+/// lets tests feed fixture files under any virtual path.
+[[nodiscard]] std::vector<Finding> lint_source(std::string_view path,
+                                               std::string_view content,
+                                               const Options& options = {});
+
+/// Reads `path` from disk and lints it. Throws std::runtime_error when
+/// the file cannot be read.
+[[nodiscard]] std::vector<Finding> lint_file(const std::string& path,
+                                             const Options& options = {});
+
+}  // namespace rebeca::lint
+
+#endif  // REBECA_TOOLS_LINT_HPP

@@ -1,0 +1,105 @@
+// rebeca-lint CLI: scan files or directories, print findings, exit
+// nonzero when any survive. CI runs this over src/, tests/ and bench/.
+//
+//   rebeca-lint [--rules A,B] [--list-rules] <file-or-dir>...
+#include <algorithm>
+#include <filesystem>
+#include <iostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool lintable(const fs::path& p) {
+  static const std::set<std::string> kExts = {".cpp", ".hpp", ".h", ".cc",
+                                              ".hh", ".cxx"};
+  return kExts.count(p.extension().string()) != 0;
+}
+
+void collect(const fs::path& p, std::vector<std::string>& out) {
+  if (fs::is_directory(p)) {
+    for (const auto& entry : fs::recursive_directory_iterator(p)) {
+      if (entry.is_regular_file() && lintable(entry.path())) {
+        out.push_back(entry.path().string());
+      }
+    }
+  } else {
+    out.push_back(p.string());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rebeca::lint::Options options;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const auto& r : rebeca::lint::rules()) {
+        std::cout << r.id << "  " << r.summary << "\n";
+      }
+      return 0;
+    }
+    if (arg == "--rules") {
+      if (++i >= argc) {
+        std::cerr << "rebeca-lint: --rules needs a comma-separated list\n";
+        return 2;
+      }
+      std::string list = argv[i];
+      std::size_t start = 0;
+      while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::string rule =
+            list.substr(start, comma == std::string::npos ? std::string::npos
+                                                          : comma - start);
+        if (!rule.empty()) options.only_rules.push_back(rule);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+      continue;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: rebeca-lint [--rules A,B] [--list-rules] "
+                   "<file-or-dir>...\n";
+      return 0;
+    }
+    paths.push_back(arg);
+  }
+  if (paths.empty()) {
+    std::cerr << "rebeca-lint: no paths given (try --help)\n";
+    return 2;
+  }
+
+  std::vector<std::string> files;
+  for (const std::string& p : paths) {
+    if (!fs::exists(p)) {
+      std::cerr << "rebeca-lint: no such path: " << p << "\n";
+      return 2;
+    }
+    collect(p, files);
+  }
+  std::sort(files.begin(), files.end());
+
+  std::size_t findings = 0;
+  for (const std::string& file : files) {
+    try {
+      for (const auto& f : rebeca::lint::lint_file(file, options)) {
+        std::cout << f.path << ":" << f.line << ": [" << f.rule << "] "
+                  << f.message << "\n";
+        ++findings;
+      }
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << "\n";
+      return 2;
+    }
+  }
+  std::cout << "rebeca-lint: " << files.size() << " files, " << findings
+            << " finding" << (findings == 1 ? "" : "s") << "\n";
+  return findings == 0 ? 0 : 1;
+}
