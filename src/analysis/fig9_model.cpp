@@ -69,14 +69,17 @@ MessageModel build_message_model(const Fig9Config& cfg) {
         bool reached_border = (k == 0);
         for (std::size_t d = k; d-- > 0;) {
           if (!location::set_contains(sets[d + 1], LocationId(note_loc))) break;
+          // rebeca-lint: allow(FLOAT-ORDER, hop counts are exact small integers in double; addition is exact, order moot)
           hops += 1.0;
           if (d == 0) reached_border = true;
         }
         // Delivery over the client link: the border's F_1 decides.
         if (reached_border &&
             location::set_contains(sets[0], LocationId(note_loc))) {
+          // rebeca-lint: allow(FLOAT-ORDER, hop counts are exact small integers in double; addition is exact, order moot)
           hops += 1.0;
         }
+        // rebeca-lint: allow(FLOAT-ORDER, sums exact integer-valued hop counts over the fixed note_loc index loop)
         hop_sum += hops;
       }
     }
@@ -113,9 +116,11 @@ MessageModel build_message_model(const Fig9Config& cfg) {
         // The update crosses every link whose consumer-side endpoint is
         // at distance <= d_max (LD state floods along all branches).
         for (const auto& [a, b] : topo.edges()) {
+          // rebeca-lint: allow(FLOAT-ORDER, message counts are exact small integers in double; addition is exact, order moot)
           if (std::min(dist[a], dist[b]) <= d_max) msgs += 1.0;
         }
       }
+      // rebeca-lint: allow(FLOAT-ORDER, sums exact integer-valued counts over the fixed movement-edge loop)
       admin_sum += msgs;
     }
   }

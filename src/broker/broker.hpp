@@ -352,7 +352,10 @@ class Broker final : public net::Endpoint {
   NodeId id_;
   BrokerConfig config_;
 
-  std::vector<net::Link*> broker_links_;
+  std::vector<net::Link*> broker_links_;  // attach order (canonical scan order)
+  // Pointer-VALUED maps are deliberate and PTR-ORDER-clean: iteration
+  // follows the LinkId key, so link addresses never reach event, message
+  // or report order. Only pointer-KEYED ordered containers are hazards.
   std::map<LinkId, net::Link*> links_by_id_;  // broker links only
   std::set<LinkId> client_links_;
   std::map<LinkId, net::Link*> client_links_by_id_;

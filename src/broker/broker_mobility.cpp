@@ -663,8 +663,11 @@ void Broker::on_fetch(net::Link& from, const net::FetchMsg& m) {
       }
     }
   }
-  std::sort(old_dirs.begin(), old_dirs.end());
-  old_dirs.erase(std::unique(old_dirs.begin(), old_dirs.end()), old_dirs.end());
+  // No dedup pass needed: the three blocks above are mutually exclusive
+  // and each pushes at most once per link while walking a LinkId-keyed
+  // map, so old_dirs is already unique and in LinkId order. (An address
+  // sort here would let allocator layout pick the FetchMsg emission
+  // order — rebeca-lint PTR-ORDER.)
   for (net::Link* link : old_dirs) {
     send(*link, net::FetchMsg{m});
     begin_moveout(*link, m.key, m.epoch);

@@ -101,6 +101,7 @@ net::Link& Overlay::connect_client(client::Client& client,
   Broker* border = brokers_[broker_index].get();
   broker_exec_[broker_index]->post_at(
       control_exec_->now() + config_.client_link_delay.lower_bound(),
+      // rebeca-lint: allow(LANE-ESCAPE, ref is owned by links_ and outlives the run; attach runs on the border broker's own lane, which owns the link registry)
       [border, &ref] { border->attach_client_link(ref); });
   client.attach(ref);
   return ref;

@@ -159,20 +159,41 @@ broker::Matcher parse_matcher(const std::string& name) {
   fail("matcher", "unknown matcher \"" + name + "\"");
 }
 
+/// Validated millisecond field: the DelayModel factories REBECA_ASSERT
+/// their ranges and sim::millis casts double -> int64, so hostile
+/// configs (negative, lo > hi, 1e308, NaN) must be rejected HERE with a
+/// JsonError, not crash in the engine. 1e12 ms ~ 31 sim-years, far above
+/// any real config and far below int64 tick overflow.
+double delay_ms(double ms, const std::string& where) {
+  if (!(ms >= 0 && ms <= 1e12)) {  // NaN fails both comparisons
+    fail(where, "delay must be in [0, 1e12] milliseconds");
+  }
+  return ms;
+}
+
 sim::DelayModel parse_delay(const JsonValue& v, const std::string& where) {
   // Shorthand: a bare number is a fixed delay in milliseconds.
-  if (v.is_number()) return sim::DelayModel::fixed(sim::millis(v.as_number(where)));
+  if (v.is_number()) {
+    return sim::DelayModel::fixed(
+        sim::millis(delay_ms(v.as_number(where), where)));
+  }
   const std::string kind = v.string_or("kind", "fixed");
   if (kind == "fixed") {
-    return sim::DelayModel::fixed(sim::millis(v.number_or("ms", 1)));
+    return sim::DelayModel::fixed(
+        sim::millis(delay_ms(v.number_or("ms", 1), where + ".ms")));
   }
   if (kind == "uniform") {
-    return sim::DelayModel::uniform(sim::millis(v.number_or("lo_ms", 0)),
-                                    sim::millis(v.number_or("hi_ms", 1)));
+    const double lo = delay_ms(v.number_or("lo_ms", 0), where + ".lo_ms");
+    const double hi = delay_ms(v.number_or("hi_ms", 1), where + ".hi_ms");
+    if (lo > hi) fail(where, "lo_ms must be <= hi_ms");
+    return sim::DelayModel::uniform(sim::millis(lo), sim::millis(hi));
   }
   if (kind == "exponential") {
-    return sim::DelayModel::exponential(sim::millis(v.number_or("floor_ms", 0)),
-                                        sim::millis(v.number_or("mean_ms", 1)));
+    const double floor =
+        delay_ms(v.number_or("floor_ms", 0), where + ".floor_ms");
+    const double mean = delay_ms(v.number_or("mean_ms", 1), where + ".mean_ms");
+    if (mean <= 0) fail(where + ".mean_ms", "mean_ms must be > 0");
+    return sim::DelayModel::exponential(sim::millis(floor), sim::millis(mean));
   }
   fail(where + ".kind", "unknown delay model \"" + kind + "\"");
 }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/location/ld_spec.hpp"
+#include "src/metrics/delivery.hpp"
 #include "src/net/endpoint.hpp"
 #include "src/net/link.hpp"
 #include "src/sim/executor.hpp"
@@ -53,13 +54,10 @@ struct ClientConfig {
   bool client_side_filtering = true;
 };
 
-/// A delivered notification as the application sees it.
-struct Delivery {
-  std::uint32_t sub = 0;
-  filter::Notification notification;
-  std::uint64_t seq = 0;
-  sim::TimePoint delivered_at = 0;
-};
+/// A delivered notification as the application sees it. The record type
+/// lives in metrics/ (the checkers consume delivery logs); this alias is
+/// the application-facing name.
+using Delivery = metrics::Delivery;
 
 class Client final : public net::Endpoint {
  public:

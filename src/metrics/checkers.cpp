@@ -5,7 +5,7 @@
 namespace rebeca::metrics {
 
 CompletenessReport check_exactly_once(
-    const std::vector<client::Delivery>& deliveries,
+    const std::vector<Delivery>& deliveries,
     const std::vector<NotificationId>& expected_ids) {
   CompletenessReport report;
   report.expected = expected_ids.size();
@@ -25,7 +25,7 @@ CompletenessReport check_exactly_once(
   return report;
 }
 
-FifoReport check_sender_fifo(const std::vector<client::Delivery>& deliveries) {
+FifoReport check_sender_fifo(const std::vector<Delivery>& deliveries) {
   FifoReport report;
   std::map<ClientId, std::uint64_t> last;
   for (const auto& d : deliveries) {
@@ -37,10 +37,10 @@ FifoReport check_sender_fifo(const std::vector<client::Delivery>& deliveries) {
   return report;
 }
 
-BlackoutReport analyze_blackout(const std::vector<client::Delivery>& deliveries,
+BlackoutReport analyze_blackout(const std::vector<Delivery>& deliveries,
                                 sim::TimePoint reference) {
   BlackoutReport report;
-  const client::Delivery* first = nullptr;
+  const Delivery* first = nullptr;
   for (const auto& d : deliveries) {
     if (d.notification.publish_time() < reference) continue;
     if (first == nullptr ||

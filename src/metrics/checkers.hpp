@@ -8,7 +8,7 @@
 #include <set>
 #include <vector>
 
-#include "src/client/client.hpp"
+#include "src/metrics/delivery.hpp"
 #include "src/util/domain_ids.hpp"
 
 namespace rebeca::metrics {
@@ -30,7 +30,7 @@ struct CompletenessReport {
 /// Exactly-once check: `expected_ids` is what the workload published (and
 /// matched the subscription); deliveries are the client's log.
 [[nodiscard]] CompletenessReport check_exactly_once(
-    const std::vector<client::Delivery>& deliveries,
+    const std::vector<Delivery>& deliveries,
     const std::vector<NotificationId>& expected_ids);
 
 struct FifoReport {
@@ -44,7 +44,7 @@ struct FifoReport {
 /// increasing order in the delivery log (gaps allowed — that is
 /// completeness' business).
 [[nodiscard]] FifoReport check_sender_fifo(
-    const std::vector<client::Delivery>& deliveries);
+    const std::vector<Delivery>& deliveries);
 
 /// Blackout analysis for Fig. 3: how long after a reference instant did
 /// the first delivery (publish-stamped later than the instant) arrive?
@@ -58,7 +58,7 @@ struct BlackoutReport {
 };
 
 [[nodiscard]] BlackoutReport analyze_blackout(
-    const std::vector<client::Delivery>& deliveries, sim::TimePoint reference);
+    const std::vector<Delivery>& deliveries, sim::TimePoint reference);
 
 }  // namespace rebeca::metrics
 

@@ -1,0 +1,28 @@
+// The delivery record: one notification as a consumer received it.
+//
+// Lives in metrics/ (not client/) because it is the unit the delivery-log
+// checkers and report aggregation consume — the QoS definitions of
+// Sec. 3.2/3.3 are statements about sequences of these records, not about
+// the client class. Keeping it below client/ in the layering also keeps
+// checkers.hpp from reaching up the module DAG (rebeca-lint LAYER-DAG).
+#ifndef REBECA_METRICS_DELIVERY_HPP
+#define REBECA_METRICS_DELIVERY_HPP
+
+#include <cstdint>
+
+#include "src/filter/notification.hpp"
+#include "src/sim/time.hpp"
+
+namespace rebeca::metrics {
+
+/// A delivered notification as the application sees it.
+struct Delivery {
+  std::uint32_t sub = 0;
+  filter::Notification notification;
+  std::uint64_t seq = 0;
+  sim::TimePoint delivered_at = 0;
+};
+
+}  // namespace rebeca::metrics
+
+#endif  // REBECA_METRICS_DELIVERY_HPP

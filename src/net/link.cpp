@@ -67,6 +67,7 @@ void Link::send(const Endpoint& from, Message msg) {
   // Share the payload; delivery copies nothing. Fire-and-forget: the
   // delivery event is never cancelled, so no EventHandle either.
   PayloadRef payload = PayloadRef::make(std::move(msg));
+  // rebeca-lint: allow(LANE-ESCAPE, the Link outlives all in-flight events; the handler touches only sides_[di], owned by the destination lane and guarded by REBECA_LANE_ASSERT)
   sides_[di].exec->post_at(arrival, [this, di, gen,
                                      payload = std::move(payload)] {
     Side& d = sides_[di];
@@ -103,8 +104,10 @@ void Link::cut(const Endpoint& by) {
   // the notification is a legal cross-shard event. Messages the peer
   // sends in the interim die at the initiator's down side.
   const std::size_t di = 1 - si;
-  sides_[di].exec->post_at(cut_now + delay_.lower_bound(),
-                           [this, di] { down_side(di); });
+  sides_[di].exec->post_at(
+      cut_now + delay_.lower_bound(),
+      // rebeca-lint: allow(LANE-ESCAPE, the Link outlives all in-flight events; down_side(di) touches only the destination side's state, owned by the target lane)
+      [this, di] { down_side(di); });
 }
 
 void Link::set_up(bool up) {

@@ -100,6 +100,7 @@ MetricStats stats_over(const std::vector<double>& xs) {
   for (double x : xs) {  // seed order: deterministic summation
     if (std::isnan(x)) continue;
     ++s.n;
+    // rebeca-lint: allow(FLOAT-ORDER, xs is indexed by seed; the loop order is the seed order, fixed across shard counts)
     sum += x;
     s.min = first ? x : std::min(s.min, x);
     s.max = first ? x : std::max(s.max, x);
@@ -111,6 +112,7 @@ MetricStats stats_over(const std::vector<double>& xs) {
     double sq = 0;
     for (double x : xs) {
       if (std::isnan(x)) continue;
+      // rebeca-lint: allow(FLOAT-ORDER, same seed-indexed order as the mean pass above)
       sq += (x - s.mean) * (x - s.mean);
     }
     s.stddev = std::sqrt(sq / static_cast<double>(s.n - 1));
@@ -224,9 +226,11 @@ std::string SweepResult::csv_series() const {
       at = cp.at;
       ++n;
       for (std::size_t c = 0; c < sums.size(); ++c) {
+        // rebeca-lint: allow(FLOAT-ORDER, exact integer counters summed in seed order of the reports vector)
         sums[c] += static_cast<double>(
             cp.counters.count(static_cast<metrics::MessageClass>(c)));
       }
+      // rebeca-lint: allow(FLOAT-ORDER, exact integer counters summed in seed order of the reports vector)
       total += static_cast<double>(cp.counters.total());
     }
     os << fmt(sim::to_millis(at));

@@ -167,6 +167,7 @@ void BrokerNode::run() {
         exec_.stop();
         return;
       }
+      // rebeca-lint: allow(LANE-ESCAPE, posts onto this node's own executor; the node outlives exec_.run() so `this` is valid for every drained event)
       exec_.post([this, neighbor, conn = std::move(dialed->first)]() mutable {
         bind_peer(neighbor, std::move(conn), /*echo_session=*/0);
       });
@@ -270,6 +271,7 @@ void BrokerNode::client_gone(std::uint64_t conn_id) {
   // Deferred reclamation: the session object may still have events in
   // flight this turn. Link and port must outlive the broker's Link*
   // registration, so they retire instead of dying.
+  // rebeca-lint: allow(LANE-ESCAPE, posts onto this node's own executor; the node outlives exec_.run() so `this` is valid for every drained event)
   exec_.post([this, conn_id] {
     auto node = clients_.extract(conn_id);
     if (node.empty()) return;
@@ -367,6 +369,7 @@ void ClientBundle::connect_client(std::size_t ci, std::size_t broker_index) {
       exec_.stop();
       return;
     }
+    // rebeca-lint: allow(LANE-ESCAPE, posts onto this node's own executor; the node outlives exec_.run() so `this` is valid for every drained event)
     exec_.post([this, ci, conn = std::move(dialed->first)]() mutable {
       attach_with(ci, std::move(conn));
     });

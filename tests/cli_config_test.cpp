@@ -143,6 +143,33 @@ TEST(Config, MistypedSectionIsRejectedNotDefaulted) {
                JsonError);
 }
 
+TEST(Config, HostileDelaysAreCleanErrorsNotAsserts) {
+  // Regressions from fuzz_config (tools/fuzz/corpus_config/): delay
+  // fields used to flow unchecked into the DelayModel factories, whose
+  // REBECA_ASSERT aborts the process, and into sim::millis, whose
+  // double->int64 cast is UB for huge values. All must reject as
+  // JsonError at the config boundary.
+  EXPECT_THROW((void)cli::parse_config(
+                   R"({"broker_link_delay":
+                       {"kind": "uniform", "lo_ms": 5, "hi_ms": 1}})"),
+               JsonError);
+  EXPECT_THROW(
+      (void)cli::parse_config(R"({"broker_link_delay": {"ms": -3}})"),
+      JsonError);
+  EXPECT_THROW((void)cli::parse_config(R"({"broker_link_delay": 1e308})"),
+               JsonError);
+  EXPECT_THROW((void)cli::parse_config(
+                   R"({"client_link_delay":
+                       {"kind": "exponential", "mean_ms": 0}})"),
+               JsonError);
+  // In-range delays still parse.
+  EXPECT_NO_THROW((void)cli::parse_config(R"({
+    "broker_link_delay": {"kind": "uniform", "lo_ms": 1, "hi_ms": 5},
+    "clients": [{"name": "c", "id": 1, "broker": 0}],
+    "phases": [{"name": "p", "duration_ms": 1}]
+  })"));
+}
+
 // ---------------------------------------------------------------------------
 // Whole-config equivalence with a hand-built declaration
 // ---------------------------------------------------------------------------

@@ -2,8 +2,11 @@
 // it and a clean twin that must not, plus scoping, pragma, and
 // tokenizer-robustness checks. Fixtures live in tools/lint/fixtures/
 // and are linted under *virtual* paths, so path-scoped rules (the
-// deterministic path, the wire codec, the session exemption) are
-// exercised without planting files around the tree.
+// deterministic path, the wire codec, the session exemption) and the
+// whole-program rules (LAYER-DAG over a virtual include graph) are
+// exercised without planting files around the tree. The repo itself is
+// linted whole-program at the end, and the allow-pragma population is
+// pinned to tools/lint/pragma_budget.txt.
 #include "tools/lint/lint.hpp"
 
 #include <gtest/gtest.h>
@@ -11,10 +14,13 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "src/cli/json.hpp"
 
 namespace rebeca::lint {
 namespace {
@@ -192,30 +198,263 @@ TEST(LintOptions, RuleFilterRestrictsScanning) {
   EXPECT_EQ(f[0].rule, "CAST-AUDIT");
 }
 
+// ---- PTR-ORDER ----
+
+TEST(LintPtrOrder, BadFixtureTriggersInDeterministicPath) {
+  const auto f =
+      lint_source("src/broker/fixture.cpp", fixture("ptr_order_bad.cpp"));
+  ASSERT_EQ(f.size(), 4u)
+      << "map<T*,>, set<T*>, comparator-free sort, raw < must all fire";
+  EXPECT_TRUE(all_rule(f, "PTR-ORDER"));
+}
+
+TEST(LintPtrOrder, CleanTwinPasses) {
+  // Pointer VALUES, id-keyed containers, and sorts with comparators are
+  // all fine — only address ORDER is the hazard.
+  EXPECT_TRUE(
+      lint_source("src/broker/fixture.cpp", fixture("ptr_order_clean.cpp"))
+          .empty());
+}
+
+TEST(LintPtrOrder, TransportAndTestsAreOutOfScope) {
+  const std::string bad = fixture("ptr_order_bad.cpp");
+  EXPECT_TRUE(lint_source("src/transport/node.cpp", bad).empty());
+  EXPECT_TRUE(lint_source("tests/some_test.cpp", bad).empty());
+}
+
+// ---- LANE-ESCAPE ----
+
+TEST(LintLaneEscape, BadFixtureTriggers) {
+  const auto f =
+      lint_source("src/net/fixture.cpp", fixture("lane_escape_bad.cpp"));
+  ASSERT_EQ(f.size(), 3u)
+      << "[this], [&local], and [&] posts must all fire";
+  EXPECT_TRUE(all_rule(f, "LANE-ESCAPE"));
+}
+
+TEST(LintLaneEscape, CleanTwinPasses) {
+  // By-value captures, audited pragma sites, init-capture address-of,
+  // and `post` declarations are all clean.
+  EXPECT_TRUE(
+      lint_source("src/net/fixture.cpp", fixture("lane_escape_clean.cpp"))
+          .empty());
+}
+
+TEST(LintLaneEscape, TestsAreOutOfScope) {
+  EXPECT_TRUE(
+      lint_source("tests/some_test.cpp", fixture("lane_escape_bad.cpp"))
+          .empty());
+}
+
+// ---- FLOAT-ORDER ----
+
+TEST(LintFloatOrder, BadFixtureTriggersInReportCode) {
+  const auto f =
+      lint_source("src/metrics/fixture.cpp", fixture("float_order_bad.cpp"));
+  ASSERT_EQ(f.size(), 2u) << "braced and brace-less loop bodies must fire";
+  EXPECT_TRUE(all_rule(f, "FLOAT-ORDER"));
+}
+
+TEST(LintFloatOrder, CleanTwinPasses) {
+  EXPECT_TRUE(
+      lint_source("src/metrics/fixture.cpp", fixture("float_order_clean.cpp"))
+          .empty());
+}
+
+TEST(LintFloatOrder, OnlyReportCodeIsInScope) {
+  // The engine sums floats too (latency bounds, positions); the rule
+  // guards the report surface only.
+  EXPECT_TRUE(
+      lint_source("src/broker/fixture.cpp", fixture("float_order_bad.cpp"))
+          .empty());
+}
+
+// ---- LAYER-DAG (whole-program) ----
+
+TEST(LintLayerDag, BackEdgeIsAFinding) {
+  const std::vector<SourceFile> files = {
+      {"src/filter/match.cpp", fixture("layer_dag_back_edge.cpp")},
+      {"src/broker/node.hpp", fixture("layer_dag_header.hpp")},
+  };
+  const auto f = lint_project(files);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "LAYER-DAG");
+  EXPECT_EQ(f[0].path, "src/filter/match.cpp");
+  EXPECT_NE(f[0].message.find("filter"), std::string::npos);
+  EXPECT_NE(f[0].message.find("broker"), std::string::npos);
+}
+
+TEST(LintLayerDag, DownEdgeIsClean) {
+  const std::vector<SourceFile> files = {
+      {"src/broker/engine.cpp", fixture("layer_dag_down_edge.cpp")},
+      {"src/filter/match.hpp", fixture("layer_dag_header.hpp")},
+  };
+  EXPECT_TRUE(lint_project(files).empty());
+}
+
+TEST(LintLayerDag, IncludeCycleReportsTheChain) {
+  const std::vector<SourceFile> files = {
+      {"src/sim/cycle_a.hpp", fixture("layer_dag_cycle_a.hpp")},
+      {"src/sim/cycle_b.hpp", fixture("layer_dag_cycle_b.hpp")},
+  };
+  const auto f = lint_project(files);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "LAYER-DAG");
+  EXPECT_NE(f[0].message.find("include cycle"), std::string::npos);
+  // The full chain names both files.
+  EXPECT_NE(f[0].message.find("cycle_a.hpp"), std::string::npos);
+  EXPECT_NE(f[0].message.find("cycle_b.hpp"), std::string::npos);
+}
+
+TEST(LintLayerDag, UnregisteredModuleIsAFinding) {
+  const std::vector<SourceFile> files = {
+      {"src/mystery/thing.hpp", fixture("layer_dag_header.hpp")},
+  };
+  const auto f = lint_project(files);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "LAYER-DAG");
+  EXPECT_NE(f[0].message.find("mystery"), std::string::npos);
+}
+
+TEST(LintLayerDag, PragmaSuppressesABackEdge) {
+  const std::vector<SourceFile> files = {
+      {"src/filter/match.cpp",
+       "// rebeca-lint: allow(LAYER-DAG, fixture: deliberate exception)\n"
+       "#include \"src/broker/node.hpp\"\n"},
+      {"src/broker/node.hpp", fixture("layer_dag_header.hpp")},
+  };
+  EXPECT_TRUE(lint_project(files).empty());
+}
+
+TEST(LintLayerDag, FilesOutsideSrcAreUnlayered) {
+  // Tests and tools may include anything; only src/ modules are ranked.
+  const std::vector<SourceFile> files = {
+      {"tests/broker_test.cpp", fixture("layer_dag_back_edge.cpp")},
+      {"src/broker/node.hpp", fixture("layer_dag_header.hpp")},
+  };
+  EXPECT_TRUE(lint_project(files).empty());
+}
+
+// ---- rule registry ----
+
+TEST(LintRules, RegistryListsAllTenRules) {
+  std::set<std::string> ids;
+  for (const RuleInfo& r : rules()) ids.insert(std::string(r.id));
+  const std::set<std::string> expected = {
+      "DET-CONTAINER", "DET-CLOCK",   "WIRE-NAME",  "EXEC-BLOCK",
+      "CAST-AUDIT",    "LAYER-DAG",   "PTR-ORDER",  "LANE-ESCAPE",
+      "FLOAT-ORDER",   "BAD-PRAGMA"};
+  EXPECT_EQ(ids, expected);
+}
+
+// ---- SARIF ----
+
+TEST(LintSarif, EmitsParsableSarif21) {
+  std::vector<Finding> findings;
+  findings.push_back(
+      {"src/routing/x.cpp", 7, "DET-CONTAINER", "hash \"order\" leaks\n"});
+  const std::string sarif = to_sarif(findings);
+  // The repo's own JSON parser is the validity oracle: escaping bugs in
+  // the emitter fail here before GitHub's uploader would reject them.
+  const cli::JsonValue doc = cli::JsonValue::parse(sarif);
+  EXPECT_EQ(doc.get("version").as_string(), "2.1.0");
+  const cli::JsonValue& run = doc.get("runs").at(0);
+  const cli::JsonValue& driver = run.get("tool").get("driver");
+  EXPECT_EQ(driver.get("name").as_string(), "rebeca-lint");
+  EXPECT_EQ(driver.get("rules").size(), rules().size());
+  const cli::JsonValue& result = run.get("results").at(0);
+  EXPECT_EQ(result.get("ruleId").as_string(), "DET-CONTAINER");
+  EXPECT_EQ(result.get("message").get("text").as_string(),
+            "hash \"order\" leaks\n");
+  const cli::JsonValue& loc =
+      result.get("locations").at(0).get("physicalLocation");
+  EXPECT_EQ(loc.get("artifactLocation").get("uri").as_string(),
+            "src/routing/x.cpp");
+  EXPECT_EQ(loc.get("region").get("startLine").as_int(), 7);
+}
+
+TEST(LintSarif, CleanRunStillDeclaresRules) {
+  const cli::JsonValue doc = cli::JsonValue::parse(to_sarif({}));
+  const cli::JsonValue& run = doc.get("runs").at(0);
+  EXPECT_EQ(run.get("results").size(), 0u);
+  EXPECT_EQ(run.get("tool").get("driver").get("rules").size(), rules().size());
+}
+
 // ---- the repository itself ----
 
-TEST(LintRepo, TreeIsClean) {
-  namespace fs = std::filesystem;
+namespace fs = std::filesystem;
+
+std::vector<SourceFile> load_tree() {
   const std::set<std::string> kExts = {".cpp", ".hpp", ".h", ".cc", ".hh"};
-  std::size_t files = 0;
-  std::vector<Finding> findings;
-  for (const char* dir : {"/src", "/tests", "/bench", "/examples"}) {
+  std::vector<SourceFile> sources;
+  for (const char* dir :
+       {"/src", "/tests", "/bench", "/examples", "/tools/fuzz"}) {
     for (const auto& entry : fs::recursive_directory_iterator(
              std::string(REBECA_SOURCE_DIR) + dir)) {
       if (!entry.is_regular_file() ||
           !kExts.count(entry.path().extension().string())) {
         continue;
       }
-      ++files;
-      const auto f = lint_file(entry.path().string());
-      findings.insert(findings.end(), f.begin(), f.end());
+      std::ifstream in(entry.path(), std::ios::binary);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      // Repo-relative paths, as the lint target and CI invoke it.
+      std::string rel = entry.path().string();
+      const std::string root = std::string(REBECA_SOURCE_DIR) + "/";
+      if (rel.rfind(root, 0) == 0) rel = rel.substr(root.size());
+      sources.push_back({std::move(rel), buf.str()});
     }
   }
-  EXPECT_GT(files, 100u);
-  for (const Finding& f : findings) {
+  std::sort(sources.begin(), sources.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.path < b.path;
+            });
+  return sources;
+}
+
+TEST(LintRepo, TreeIsCleanWholeProgram) {
+  const std::vector<SourceFile> sources = load_tree();
+  EXPECT_GT(sources.size(), 100u);
+  for (const Finding& f : lint_project(sources)) {
     ADD_FAILURE() << f.path << ":" << f.line << ": [" << f.rule << "] "
                   << f.message;
   }
+}
+
+TEST(LintRepo, PragmaPopulationMatchesBudget) {
+  // Every allow site counts against tools/lint/pragma_budget.txt, and
+  // the match is EQUALITY: a new suppression (or a removed one) must
+  // update the budget in the same diff.
+  std::map<std::string, std::size_t> budget;
+  {
+    std::ifstream in(std::string(REBECA_SOURCE_DIR) +
+                     "/tools/lint/pragma_budget.txt");
+    ASSERT_TRUE(in.good()) << "missing tools/lint/pragma_budget.txt";
+    std::string line;
+    while (std::getline(in, line)) {
+      const std::size_t hash = line.find('#');
+      if (hash != std::string::npos) line.resize(hash);
+      std::istringstream row(line);
+      std::string rule;
+      std::size_t count = 0;
+      if (row >> rule >> count) budget[rule] = count;
+    }
+  }
+  for (const RuleInfo& r : rules()) {
+    EXPECT_TRUE(budget.count(std::string(r.id)))
+        << "budget file has no row for " << r.id;
+  }
+
+  std::map<std::string, std::size_t> actual;
+  for (const RuleInfo& r : rules()) actual[std::string(r.id)] = 0;
+  for (const SourceFile& src : load_tree()) {
+    for (const PragmaSite& site : collect_pragmas(src.path, src.content)) {
+      ++actual[site.rule];
+    }
+  }
+  EXPECT_EQ(actual, budget)
+      << "allow-pragma population drifted from tools/lint/pragma_budget.txt "
+         "— audit the new/removed suppressions and update the budget";
 }
 
 }  // namespace

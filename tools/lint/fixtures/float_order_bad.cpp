@@ -1,0 +1,22 @@
+// Fixture: MUST trigger FLOAT-ORDER when linted under a virtual path in
+// report/metrics code (lint_rules_test feeds it as src/metrics/fixture.cpp).
+// Never compiled — exercised by tests/lint_rules_test.cpp only.
+#include <vector>
+
+namespace fixture {
+
+inline double mean(const std::vector<double>& xs) {
+  double sum = 0.0;
+  for (double x : xs) {
+    sum += x;  // finding: FP accumulation in a loop
+  }
+  return sum / static_cast<double>(xs.size());
+}
+
+inline double braceless(const std::vector<double>& xs) {
+  double total = 0.0;
+  for (double x : xs) total += x;  // finding: brace-less loop body
+  return total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,37 @@
+// Fixture: MUST stay clean under FLOAT-ORDER: integer accumulation,
+// FP accumulation outside any loop, an audited pragma site, and FP
+// `+=` in a loop but outside the report scope is the caller's test.
+// Never compiled — exercised by tests/lint_rules_test.cpp only.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+inline std::uint64_t total(const std::vector<std::uint64_t>& xs) {
+  // Named distinctly from the doubles below: float-typed identifiers
+  // are collected per file, so an integer reusing a float's name would
+  // (conservatively) flag.
+  std::uint64_t acc = 0;
+  for (std::uint64_t x : xs) {
+    acc += x;  // integer accumulation: exact, order-free
+  }
+  return acc;
+}
+
+inline double pair_sum(double a, double b) {
+  double sum = 0.0;
+  sum += a;  // not in a loop
+  sum += b;
+  return sum;
+}
+
+inline double audited(const std::vector<double>& xs) {
+  double sum = 0.0;
+  for (double x : xs) {
+    // rebeca-lint: allow(FLOAT-ORDER, fixture: xs arrives in seed order, fixed across shard counts)
+    sum += x;
+  }
+  return sum;
+}
+
+}  // namespace fixture

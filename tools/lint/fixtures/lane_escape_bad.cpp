@@ -1,0 +1,26 @@
+// Fixture: MUST trigger LANE-ESCAPE when linted under a virtual path
+// inside src/ (lint_rules_test feeds it as src/net/fixture.cpp).
+// Never compiled — exercised by tests/lint_rules_test.cpp only.
+#include <functional>
+
+namespace fixture {
+
+struct Executor {
+  void post(std::function<void()> fn);
+  void post_at(long when, std::function<void()> fn);
+  void post_after(long delay, std::function<void()> fn);
+};
+
+struct Peer {
+  Executor* exec = nullptr;
+  int inbox = 0;
+
+  void flood() {
+    int local = 0;
+    exec->post([this] { ++inbox; });             // finding: `this` escapes
+    exec->post_at(5, [&local] { ++local; });     // finding: by-reference
+    exec->post_after(5, [&] { ++inbox; });       // finding: capture-default &
+  }
+};
+
+}  // namespace fixture

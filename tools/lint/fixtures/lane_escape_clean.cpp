@@ -1,0 +1,32 @@
+// Fixture: MUST stay clean under LANE-ESCAPE. Same post sites as
+// lane_escape_bad.cpp with by-value captures, one audited pragma site,
+// and an init-capture taking an address (address-of is not a
+// by-reference capture).
+// Never compiled — exercised by tests/lint_rules_test.cpp only.
+#include <functional>
+
+namespace fixture {
+
+struct Executor {
+  void post(std::function<void()> fn);
+  void post_at(long when, std::function<void()> fn);
+  void post_after(long delay, std::function<void()> fn);
+};
+
+struct Peer {
+  Executor* exec = nullptr;
+  int inbox = 0;
+
+  void flood() {
+    int local = 7;
+    exec->post([local] { (void)local; });  // by value: clean
+    // rebeca-lint: allow(LANE-ESCAPE, fixture: the target lane owns this Peer for its whole lifetime)
+    exec->post_at(5, [this] { ++inbox; });
+    exec->post_after(5, [n = &inbox] { ++*n; });  // init-capture address-of
+  }
+
+  // A declaration of a member named post is not a call site.
+  void post(std::function<void()> fn);
+};
+
+}  // namespace fixture

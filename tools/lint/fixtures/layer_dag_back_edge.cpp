@@ -1,0 +1,9 @@
+// Fixture: MUST trigger LAYER-DAG when fed as src/filter/match.cpp
+// alongside layer_dag_header.hpp fed as src/broker/node.hpp — filter
+// (layer 2) must not reach up into broker (layer 6).
+// Never compiled — exercised by tests/lint_rules_test.cpp only.
+#include "src/broker/node.hpp"
+
+namespace fixture {
+inline int use() { return answer(); }
+}  // namespace fixture

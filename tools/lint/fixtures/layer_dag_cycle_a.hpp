@@ -1,0 +1,6 @@
+// Fixture: half of an include cycle. Fed as src/sim/cycle_a.hpp with
+// layer_dag_cycle_b.hpp as src/sim/cycle_b.hpp: same module, so no
+// layering violation — only the cycle detector MUST fire, reporting the
+// full chain.
+// Never compiled — exercised by tests/lint_rules_test.cpp only.
+#include "src/sim/cycle_b.hpp"

@@ -1,0 +1,4 @@
+// Fixture: the other half of the include cycle (see
+// layer_dag_cycle_a.hpp).
+// Never compiled — exercised by tests/lint_rules_test.cpp only.
+#include "src/sim/cycle_a.hpp"

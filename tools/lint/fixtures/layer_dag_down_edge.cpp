@@ -1,0 +1,10 @@
+// Fixture: MUST stay clean under LAYER-DAG when fed as
+// src/broker/engine.cpp alongside layer_dag_header.hpp fed as
+// src/filter/match.hpp — broker (layer 6) including filter (layer 2)
+// is a legal down-edge.
+// Never compiled — exercised by tests/lint_rules_test.cpp only.
+#include "src/filter/match.hpp"
+
+namespace fixture {
+inline int use() { return answer(); }
+}  // namespace fixture

@@ -1,0 +1,6 @@
+// Fixture: a plain header with no repo includes. lint_rules_test feeds
+// it under various virtual src/ paths to build include-graph models.
+// Never compiled — exercised by tests/lint_rules_test.cpp only.
+namespace fixture {
+inline int answer() { return 42; }
+}  // namespace fixture

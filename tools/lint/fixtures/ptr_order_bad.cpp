@@ -1,0 +1,30 @@
+// Fixture: MUST trigger PTR-ORDER when linted under a virtual path
+// inside src/ (lint_rules_test feeds it as src/broker/fixture.cpp).
+// Never compiled — exercised by tests/lint_rules_test.cpp only.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace fixture {
+
+struct Link {
+  int id = 0;
+};
+
+struct Registry {
+  // Iteration over a pointer-keyed ordered container follows address
+  // order — allocator layout would decide emission order.
+  std::map<Link*, int> weights;   // finding
+  std::set<Link*> active;         // finding
+};
+
+inline void emit_in_order(std::vector<Link*>& links) {
+  std::sort(links.begin(), links.end());  // finding: sorts by address
+}
+
+inline bool before(Link* a, Link* b) {
+  return a < b;  // finding: raw pointer comparison
+}
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// Fixture: MUST stay clean under PTR-ORDER. Same shapes as
+// ptr_order_bad.cpp with address order replaced by domain-id order,
+// pointer VALUES (not keys), and a comparator.
+// Never compiled — exercised by tests/lint_rules_test.cpp only.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace fixture {
+
+struct Link {
+  int id = 0;
+};
+
+struct Registry {
+  // Keyed by the domain id; pointer-VALUED maps iterate in key order.
+  std::map<int, Link*> by_id;
+  std::set<int> active_ids;
+};
+
+inline void emit_in_order(std::vector<Link*>& links) {
+  std::sort(links.begin(), links.end(),
+            [](const Link* a, const Link* b) { return a->id < b->id; });
+}
+
+inline bool before(const Link* a, const Link* b) {
+  return a->id < b->id;
+}
+
+}  // namespace fixture

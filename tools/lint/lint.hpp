@@ -1,20 +1,25 @@
-// rebeca-lint: repo-specific static analysis.
+// rebeca-lint: repo-specific whole-program static analysis.
 //
-// A lightweight C++ source scanner (hand-rolled tokenizer, no compiler
-// dependency) that mechanically enforces invariants the codebase's
-// determinism, wire, and threading contracts rest on — rules a generic
-// linter cannot know. Each rule can be suppressed per line with a
-// justification pragma:
+// A dependency-free C++ source analyzer (hand-rolled tokenizer, no
+// compiler) that mechanically enforces invariants the codebase's
+// determinism, wire, threading, and architecture contracts rest on —
+// rules a generic linter cannot know. Per-file rules run over a single
+// token stream; whole-program rules run over a repo model built from
+// every file's tokens plus the resolved local include graph. Each rule
+// can be suppressed per line with a justification pragma:
 //
 //   // rebeca-lint: allow(RULE-ID, why this site is safe)
 //
 // The pragma applies to its own line and the line directly below it, so
 // both trailing comments and a standalone comment line above work. A
 // pragma without a reason, or naming an unknown rule, is itself a
-// finding — suppressions must say *why*.
+// finding — suppressions must say *why*. The number of allow sites per
+// rule is budgeted (tools/lint/pragma_budget.txt, enforced by
+// lint_rules_test): new suppressions require an explicit budget bump in
+// the same diff.
 //
-// Rules (scoping is path-based, so the scanner can lint fixture content
-// under a virtual path):
+// Per-file rules (scoping is path-based, so the scanner can lint
+// fixture content under a virtual path):
 //
 //   DET-CONTAINER  No std::unordered_map/set in the deterministic path
 //                  (src/ outside src/transport/): hash iteration order
@@ -34,6 +39,42 @@
 //                  stalls an executor lane.
 //   CAST-AUDIT     Every reinterpret_cast / const_cast needs an allow
 //                  pragma explaining why it is sound.
+//   PTR-ORDER      No address order in the deterministic path: ordered
+//                  containers keyed by pointers (std::map<T*, …>,
+//                  std::set<T*>), comparator-free std::sort over
+//                  pointer vectors, and raw pointer '<' comparisons all
+//                  let allocator layout decide iteration/emission
+//                  order. Key by domain ids (LinkId, ClientId) instead.
+//   LANE-ESCAPE    Lambdas handed to post/post_at/post_after that
+//                  capture `this` or by reference escape onto another
+//                  lane's (or thread's) executor: every such capture is
+//                  a potential cross-lane race no test schedule
+//                  exercises and must carry an audited pragma. The
+//                  static complement of the runtime lane_check.hpp
+//                  asserts.
+//   FLOAT-ORDER    Floating-point `+=` accumulation inside loops in
+//                  report/metrics code (src/scenario/sweep.*,
+//                  src/metrics/, src/analysis/): FP addition is not
+//                  associative, so summation order reaching report
+//                  bytes breaks the equal-seed byte-identity guarantee.
+//                  Audited sites must state why their iteration order
+//                  is deterministic.
+//
+// Whole-program rules (lint_project):
+//
+//   LAYER-DAG      Module layering firewall over the src/ include
+//                  graph, from a declarative table:
+//                    util → sim → filter → {metrics, location, routing}
+//                    → net → client → broker → {workload, analysis}
+//                    → scenario → transport → cli
+//                  A module may include only strictly lower layers (and
+//                  itself). Back-edges, includes between same-layer
+//                  modules, include cycles (reported with the full
+//                  include chain), and modules missing from the table
+//                  are findings — new modules join the table
+//                  deliberately, not by accident.
+//   BAD-PRAGMA     Malformed suppressions (unknown rule / no reason);
+//                  always on.
 #ifndef REBECA_TOOLS_LINT_HPP
 #define REBECA_TOOLS_LINT_HPP
 
@@ -55,7 +96,7 @@ struct RuleInfo {
   std::string_view summary;
 };
 
-/// The rules the scanner knows, in report order.
+/// The rules the analyzer knows, in report order.
 [[nodiscard]] const std::vector<RuleInfo>& rules();
 
 struct Options {
@@ -63,17 +104,47 @@ struct Options {
   std::vector<std::string> only_rules;
 };
 
-/// Lints `content` as if it lived at `path`. Rule applicability is
-/// decided from the path string (e.g. "src/transport/wire.cpp"), which
-/// lets tests feed fixture files under any virtual path.
+/// One file of the program model: content plus the path it (virtually)
+/// lives at. Rule applicability and include resolution are decided from
+/// the path string, which lets tests feed fixtures under any layout.
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+/// Lints `content` as if it lived at `path` — per-file rules only.
 [[nodiscard]] std::vector<Finding> lint_source(std::string_view path,
                                                std::string_view content,
                                                const Options& options = {});
 
-/// Reads `path` from disk and lints it. Throws std::runtime_error when
-/// the file cannot be read.
+/// Reads `path` from disk and lints it (per-file rules). Throws
+/// std::runtime_error when the file cannot be read.
 [[nodiscard]] std::vector<Finding> lint_file(const std::string& path,
                                              const Options& options = {});
+
+/// Whole-program analysis: per-file rules over every file, plus
+/// LAYER-DAG over the resolved local include graph (back-edges, layer
+/// violations, include cycles with the full chain). Findings are
+/// ordered by file path, then line, then rule.
+[[nodiscard]] std::vector<Finding> lint_project(
+    const std::vector<SourceFile>& files, const Options& options = {});
+
+/// A well-formed allow pragma (known rule, with a reason). Exposed for
+/// the suppression budget (lint_rules_test asserts the per-rule count
+/// against tools/lint/pragma_budget.txt) and the CLI summary table.
+struct PragmaSite {
+  std::string path;
+  int line = 0;
+  std::string rule;
+};
+
+[[nodiscard]] std::vector<PragmaSite> collect_pragmas(std::string_view path,
+                                                      std::string_view content);
+
+/// Renders findings as a SARIF 2.1.0 log (one run, driver rebeca-lint)
+/// suitable for GitHub code scanning upload. Paths are emitted as-is;
+/// invoke the CLI with repo-relative paths for PR annotations to land.
+[[nodiscard]] std::string to_sarif(const std::vector<Finding>& findings);
 
 }  // namespace rebeca::lint
 

@@ -1,11 +1,16 @@
-// rebeca-lint CLI: scan files or directories, print findings, exit
-// nonzero when any survive. CI runs this over src/, tests/ and bench/.
+// rebeca-lint CLI: whole-program scan over files or directories, print
+// findings, exit nonzero when any survive. CI runs this over src/,
+// tests/, bench/, examples/ and tools/fuzz/ and uploads the SARIF log.
 //
-//   rebeca-lint [--rules A,B] [--list-rules] <file-or-dir>...
+//   rebeca-lint [--rule=NAME]... [--rules A,B] [--list-rules]
+//               [--sarif out.sarif] [--summary] <file-or-dir>...
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <map>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -33,11 +38,20 @@ void collect(const fs::path& p, std::vector<std::string>& out) {
   }
 }
 
+int usage(std::ostream& out, int code) {
+  out << "usage: rebeca-lint [--rule=NAME]... [--rules A,B] [--list-rules]\n"
+         "                   [--sarif out.sarif] [--summary] "
+         "<file-or-dir>...\n";
+  return code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   rebeca::lint::Options options;
   std::vector<std::string> paths;
+  std::string sarif_path;
+  bool summary = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list-rules") {
@@ -45,6 +59,12 @@ int main(int argc, char** argv) {
         std::cout << r.id << "  " << r.summary << "\n";
       }
       return 0;
+    }
+    if (arg.rfind("--rule=", 0) == 0) {
+      const std::string rule = arg.substr(7);
+      if (rule.empty()) return usage(std::cerr, 2);
+      options.only_rules.push_back(rule);
+      continue;
     }
     if (arg == "--rules") {
       if (++i >= argc) {
@@ -64,16 +84,35 @@ int main(int argc, char** argv) {
       }
       continue;
     }
-    if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: rebeca-lint [--rules A,B] [--list-rules] "
-                   "<file-or-dir>...\n";
-      return 0;
+    if (arg == "--sarif") {
+      if (++i >= argc) {
+        std::cerr << "rebeca-lint: --sarif needs an output path\n";
+        return 2;
+      }
+      sarif_path = argv[i];
+      continue;
     }
+    if (arg == "--summary") {
+      summary = true;
+      continue;
+    }
+    if (arg == "--help" || arg == "-h") return usage(std::cout, 0);
     paths.push_back(arg);
   }
   if (paths.empty()) {
     std::cerr << "rebeca-lint: no paths given (try --help)\n";
     return 2;
+  }
+
+  // Unknown rule names would silently disable everything they mistyped.
+  for (const std::string& r : options.only_rules) {
+    const auto& known = rebeca::lint::rules();
+    if (std::none_of(known.begin(), known.end(),
+                     [&](const auto& k) { return k.id == r; })) {
+      std::cerr << "rebeca-lint: unknown rule '" << r
+                << "' (see --list-rules)\n";
+      return 2;
+    }
   }
 
   std::vector<std::string> files;
@@ -85,21 +124,59 @@ int main(int argc, char** argv) {
     collect(p, files);
   }
   std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
 
-  std::size_t findings = 0;
+  // Load everything up front: LAYER-DAG needs the whole include graph.
+  std::vector<rebeca::lint::SourceFile> sources;
+  sources.reserve(files.size());
   for (const std::string& file : files) {
-    try {
-      for (const auto& f : rebeca::lint::lint_file(file, options)) {
-        std::cout << f.path << ":" << f.line << ": [" << f.rule << "] "
-                  << f.message << "\n";
-        ++findings;
-      }
-    } catch (const std::exception& e) {
-      std::cerr << e.what() << "\n";
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::cerr << "rebeca-lint: cannot read " << file << "\n";
       return 2;
     }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    sources.push_back({file, buf.str()});
   }
-  std::cout << "rebeca-lint: " << files.size() << " files, " << findings
-            << " finding" << (findings == 1 ? "" : "s") << "\n";
-  return findings == 0 ? 0 : 1;
+
+  const std::vector<rebeca::lint::Finding> findings =
+      rebeca::lint::lint_project(sources, options);
+  for (const auto& f : findings) {
+    std::cout << f.path << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  }
+
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "rebeca-lint: cannot write " << sarif_path << "\n";
+      return 2;
+    }
+    out << rebeca::lint::to_sarif(findings);
+  }
+
+  if (summary) {
+    // One line per rule: findings and audited allow sites.
+    std::map<std::string, std::size_t> by_rule;
+    for (const auto& f : findings) ++by_rule[f.rule];
+    std::map<std::string, std::size_t> allows;
+    for (const auto& src : sources) {
+      for (const auto& site :
+           rebeca::lint::collect_pragmas(src.path, src.content)) {
+        ++allows[site.rule];
+      }
+    }
+    std::cout << "rule            findings  allows\n";
+    for (const auto& r : rebeca::lint::rules()) {
+      const std::string id(r.id);
+      std::cout << id << std::string(id.size() < 16 ? 16 - id.size() : 1, ' ')
+                << by_rule[id] << "         " << allows[id] << "\n";
+    }
+  }
+
+  std::cout << "rebeca-lint: " << files.size() << " files, "
+            << findings.size() << " finding"
+            << (findings.size() == 1 ? "" : "s") << "\n";
+  return findings.empty() ? 0 : 1;
 }

@@ -1,0 +1,192 @@
+// Whole-program pass of rebeca-lint: builds the repo model (every file's
+// scan plus the resolved local include graph) and runs LAYER-DAG over
+// it, then folds in the per-file findings so one call lints the tree.
+#include <algorithm>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tools/lint/scan.hpp"
+
+namespace rebeca::lint {
+
+namespace {
+
+using detail::Scan;
+
+/// The declared layering of src/ modules. A module may include itself
+/// and any module of a STRICTLY lower layer. The table is the contract:
+/// a new src/ module must be placed here deliberately or LAYER-DAG
+/// reports it as unregistered.
+///
+///   util(0) → sim(1) → filter(2) → {metrics, location, routing}(3)
+///   → net(4) → client(5) → broker(6) → {workload, analysis}(7)
+///   → scenario(8) → transport(9) → cli(10)
+const std::map<std::string, int>& layer_table() {
+  static const std::map<std::string, int> kLayers = {
+      {"util", 0},     {"sim", 1},      {"filter", 2},  {"metrics", 3},
+      {"location", 3}, {"routing", 3},  {"net", 4},     {"client", 5},
+      {"broker", 6},   {"workload", 7}, {"analysis", 7}, {"scenario", 8},
+      {"transport", 9}, {"cli", 10},
+  };
+  return kLayers;
+}
+
+struct FileNode {
+  const SourceFile* file = nullptr;
+  Scan scan;
+  std::string npath;
+  std::string module;  // empty outside src/
+  /// Resolved local includes: index into `nodes`, with the include line.
+  std::vector<std::pair<std::size_t, int>> edges;
+};
+
+/// Resolves an include target against the model. Include style in this
+/// repo is repo-root-relative ("src/filter/filter.hpp"), so an exact
+/// path match is the common case; a suffix match covers tests fed with
+/// absolute paths or fixtures under a virtual prefix.
+std::size_t resolve(const std::vector<FileNode>& nodes,
+                    const std::map<std::string, std::size_t>& by_path,
+                    const std::string& target) {
+  auto it = by_path.find(target);
+  if (it != by_path.end()) return it->second;
+  std::size_t hit = nodes.size();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (detail::ends_with(nodes[i].npath, "/" + target)) {
+      if (hit != nodes.size()) return nodes.size();  // ambiguous — skip
+      hit = i;
+    }
+  }
+  return hit;
+}
+
+/// DFS cycle detection over the resolved include graph. Reports each
+/// cycle once, at the file where the DFS closes it, with the full
+/// include chain in the message.
+void find_cycles(const std::vector<FileNode>& nodes,
+                 std::vector<Finding>& out) {
+  enum class Color { white, grey, black };
+  std::vector<Color> color(nodes.size(), Color::white);
+  std::vector<std::size_t> stack;
+
+  // Iterative DFS with an explicit edge cursor keeps deep include
+  // chains off the call stack.
+  struct Frame {
+    std::size_t node;
+    std::size_t edge = 0;
+  };
+  for (std::size_t root = 0; root < nodes.size(); ++root) {
+    if (color[root] != Color::white) continue;
+    std::vector<Frame> frames{{root}};
+    color[root] = Color::grey;
+    stack.push_back(root);
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.edge < nodes[f.node].edges.size()) {
+        const auto [next, line] = nodes[f.node].edges[f.edge++];
+        if (color[next] == Color::white) {
+          color[next] = Color::grey;
+          stack.push_back(next);
+          frames.push_back({next});
+        } else if (color[next] == Color::grey) {
+          // Close the loop: chain from `next`'s position on the stack
+          // through the current node, back to `next`.
+          std::string chain;
+          bool in_cycle = false;
+          for (std::size_t n : stack) {
+            if (n == next) in_cycle = true;
+            if (!in_cycle) continue;
+            chain += nodes[n].npath + " -> ";
+          }
+          chain += nodes[next].npath;
+          out.push_back({nodes[f.node].npath, line,
+                         std::string(detail::kLayerDag),
+                         "include cycle: " + chain});
+        }
+      } else {
+        color[f.node] = Color::black;
+        stack.pop_back();
+        frames.pop_back();
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> lint_project(const std::vector<SourceFile>& files,
+                                  const Options& options) {
+  const detail::ActiveRules active = detail::active_rules(options);
+
+  std::vector<FileNode> nodes;
+  nodes.reserve(files.size());
+  std::map<std::string, std::size_t> by_path;
+  for (const SourceFile& f : files) {
+    FileNode n;
+    n.file = &f;
+    n.npath = detail::normalize(f.path);
+    n.module = detail::module_of(n.npath);
+    n.scan = detail::tokenize(f.content);
+    by_path.emplace(n.npath, nodes.size());
+    nodes.push_back(std::move(n));
+  }
+  for (FileNode& n : nodes) {
+    for (const detail::Include& inc : n.scan.includes) {
+      const std::size_t to = resolve(nodes, by_path, inc.target);
+      if (to < nodes.size()) n.edges.emplace_back(to, inc.line);
+    }
+  }
+
+  std::vector<Finding> all;
+  const bool layering = active.count(detail::kLayerDag) != 0;
+  const auto& layers = layer_table();
+
+  for (FileNode& n : nodes) {
+    // Per-file rules first, so project findings join the same
+    // suppression pass (a pragma can cover a LAYER-DAG include line).
+    std::vector<Finding> raw = detail::match_rules(n.npath, n.scan, active);
+
+    if (layering && !n.module.empty()) {
+      const auto self = layers.find(n.module);
+      if (self == layers.end()) {
+        raw.push_back({n.npath, 1, std::string(detail::kLayerDag),
+                       "module 'src/" + n.module +
+                           "/' is not in the layering table "
+                           "(tools/lint/project.cpp) — register it at a "
+                           "deliberate layer"});
+      } else {
+        for (const auto& [to, line] : n.edges) {
+          const std::string& dep = nodes[to].module;
+          if (dep.empty() || dep == n.module) continue;
+          const auto target = layers.find(dep);
+          if (target == layers.end()) continue;  // reported at that file
+          if (target->second >= self->second) {
+            raw.push_back(
+                {n.npath, line, std::string(detail::kLayerDag),
+                 "layering violation: src/" + n.module + "/ (layer " +
+                     std::to_string(self->second) + ") includes src/" + dep +
+                     "/ (layer " + std::to_string(target->second) +
+                     ") — modules may only include strictly lower layers"});
+          }
+        }
+      }
+    }
+
+    std::vector<Finding> kept =
+        detail::finalize(n.npath, n.scan, std::move(raw), active);
+    all.insert(all.end(), std::make_move_iterator(kept.begin()),
+               std::make_move_iterator(kept.end()));
+  }
+
+  if (layering) find_cycles(nodes, all);
+
+  std::sort(all.begin(), all.end(), [](const Finding& a, const Finding& b) {
+    if (a.path != b.path) return a.path < b.path;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return all;
+}
+
+}  // namespace rebeca::lint

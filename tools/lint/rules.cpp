@@ -1,0 +1,614 @@
+// Per-file rule matchers of rebeca-lint, plus the pragma-suppression
+// pipeline shared with the whole-program pass (project.cpp).
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "tools/lint/scan.hpp"
+
+namespace rebeca::lint {
+
+namespace detail {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Path scoping
+// ---------------------------------------------------------------------------
+
+/// The deterministic path: engine/runtime sources, excluding the
+/// wall-clock transport backend (which owns real time and real sockets
+/// by design).
+bool deterministic_scope(const std::string& path) {
+  return contains(path, "src/") && !contains(path, "src/transport/");
+}
+
+/// Everything under src/ — lane-escape hazards include the transport
+/// layer, whose reader threads post closures onto executor lanes.
+bool src_scope(const std::string& path) { return contains(path, "src/"); }
+
+/// Report/metrics code where float summation order reaches report
+/// bytes: sweep aggregation, the metrics checkers, the analytic models.
+bool report_scope(const std::string& path) {
+  return contains(path, "src/metrics/") || contains(path, "src/analysis/") ||
+         contains(path, "src/scenario/sweep.");
+}
+
+bool wire_scope(const std::string& path) {
+  return ends_with(path, "src/transport/wire.cpp") ||
+         ends_with(path, "src/transport/wire.hpp");
+}
+
+bool session_exempt(const std::string& path) {
+  return ends_with(path, "src/transport/session.cpp");
+}
+
+// ---------------------------------------------------------------------------
+// Identifier sets
+// ---------------------------------------------------------------------------
+
+const std::set<std::string_view> kUnorderedContainers = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+
+/// Identifiers that are nondeterministic by their mere presence.
+const std::set<std::string_view> kClockIdents = {
+    "system_clock", "steady_clock", "high_resolution_clock", "srand",
+    "random_device", "gettimeofday", "clock_gettime", "timespec_get",
+    "drand48", "lrand48"};
+
+/// Flagged only when called (identifier directly followed by '(' and
+/// not reached through a member access): these names are common member
+/// spellings elsewhere.
+const std::set<std::string_view> kClockCalls = {"rand", "time", "clock"};
+
+const std::set<std::string_view> kBlockingSocketCalls = {
+    "send", "recv", "connect", "accept", "read", "write", "poll",
+    "select", "sendto", "recvfrom", "sendmsg", "recvmsg"};
+
+/// Statement keywords: an identifier from this set before `::` still
+/// means the `::` opens a *global* qualification (`return ::recv(…)`).
+const std::set<std::string_view> kStmtKeywords = {
+    "return",    "throw",    "case",   "else",   "do",    "new",
+    "delete",    "sizeof",   "co_return", "co_await", "co_yield", "goto"};
+
+const std::set<std::string_view> kOrderedPtrKeyed = {"map", "multimap", "set",
+                                                     "multiset"};
+
+const std::set<std::string_view> kCastKeywords = {
+    "static_cast", "dynamic_cast", "const_cast", "reinterpret_cast"};
+
+const std::set<std::string_view> kPostCalls = {"post", "post_at", "post_after"};
+
+// ---------------------------------------------------------------------------
+// Rule matching over the token stream
+// ---------------------------------------------------------------------------
+
+struct Matcher {
+  const std::string& path;
+  const std::vector<Token>& toks;
+  std::vector<Finding>& out;
+
+  [[nodiscard]] const Token* at(std::size_t i) const {
+    return i < toks.size() ? &toks[i] : nullptr;
+  }
+  [[nodiscard]] bool punct_at(std::size_t i, std::string_view p) const {
+    const Token* t = at(i);
+    return t && t->kind == Kind::punct && t->text == p;
+  }
+  [[nodiscard]] bool ident_at(std::size_t i, std::string_view w) const {
+    const Token* t = at(i);
+    return t && t->kind == Kind::ident && t->text == w;
+  }
+
+  void add(int line, std::string_view rule, std::string message) const {
+    out.push_back({path, line, std::string(rule), std::move(message)});
+  }
+
+  /// True when `name(` at index i reads as a declaration (preceded by a
+  /// type name) or a member call (preceded by . or ->) rather than a
+  /// free call. `std::time(0)` still flags: '::' is neither.
+  [[nodiscard]] bool declaration_or_member(std::size_t i) const {
+    if (i == 0) return false;
+    const Token& p = toks[i - 1];
+    if (p.kind == Kind::ident) {
+      return p.text != "return" && p.text != "co_return" && p.text != "case";
+    }
+    return p.text == "." || p.text == "->" || p.text == "*" || p.text == "&";
+  }
+
+  /// From the token after an opening '<' at index `open`, returns the
+  /// index of the matching '>' (angle depth aware), or npos when the
+  /// walk runs away — a comparison misparsed as a template argument
+  /// list never terminates cleanly within the bound.
+  [[nodiscard]] std::size_t match_angle(std::size_t open) const {
+    int depth = 1;
+    const std::size_t bound = std::min(toks.size(), open + 160);
+    for (std::size_t j = open + 1; j < bound; ++j) {
+      const Token& t = toks[j];
+      if (t.kind != Kind::punct) continue;
+      if (t.text == "<") ++depth;
+      if (t.text == ">" && --depth == 0) return j;
+      // A template argument list never crosses these.
+      if (t.text == ";" || t.text == "{" || t.text == "}") return std::string_view::npos;
+    }
+    return std::string_view::npos;
+  }
+
+  [[nodiscard]] std::size_t match_paren(std::size_t open) const {
+    int depth = 1;
+    for (std::size_t j = open + 1; j < toks.size(); ++j) {
+      const Token& t = toks[j];
+      if (t.kind != Kind::punct) continue;
+      if (t.text == "(") ++depth;
+      if (t.text == ")" && --depth == 0) return j;
+    }
+    return std::string_view::npos;
+  }
+
+  // ---- PTR-ORDER helpers -------------------------------------------------
+
+  /// Container variables declared as std::vector<…*> — candidates for
+  /// the comparator-free-sort check.
+  [[nodiscard]] std::set<std::string> collect_ptr_vectors() const {
+    std::set<std::string> named;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (!ident_at(i, "vector") || !punct_at(i + 1, "<")) continue;
+      const std::size_t close = match_angle(i + 1);
+      if (close == std::string_view::npos || close == i + 2) continue;
+      if (!punct_at(close - 1, "*")) continue;
+      std::size_t j = close + 1;  // skip ref/const quals before the name
+      while (punct_at(j, "&") || punct_at(j, "*")) ++j;
+      if (ident_at(j, "const")) ++j;
+      const Token* name = at(j);
+      if (name && name->kind == Kind::ident) named.insert(name->text);
+    }
+    return named;
+  }
+
+  /// Scalar variables declared as raw pointers (`T* p` in a parameter
+  /// list or declaration) — candidates for the '<'-comparison check.
+  [[nodiscard]] std::set<std::string> collect_ptr_scalars() const {
+    std::set<std::string> named;
+    for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
+      if (!punct_at(i, "*")) continue;
+      if (toks[i - 1].kind != Kind::ident || toks[i + 1].kind != Kind::ident) continue;
+      const Token* after = at(i + 2);
+      if (after == nullptr || after->kind != Kind::punct) continue;
+      // Declaration-shaped tails only; `a * b` inside an expression is
+      // usually followed by an operator this set excludes.
+      if (after->text == "=" || after->text == ";" || after->text == "," ||
+          after->text == ")") {
+        named.insert(toks[i + 1].text);
+      }
+    }
+    return named;
+  }
+
+  void run_ptr_order() const {
+    const std::set<std::string> ptr_vectors = collect_ptr_vectors();
+    const std::set<std::string> ptr_scalars = collect_ptr_scalars();
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != Kind::ident) continue;
+
+      // std::map<T*, …> / std::set<T*> — pointer-KEYED ordered
+      // containers (pointer values are fine; iteration follows the key).
+      if (kOrderedPtrKeyed.count(t.text) && punct_at(i + 1, "<")) {
+        const bool keyed_first = t.text == "map" || t.text == "multimap";
+        std::size_t end = std::string_view::npos;
+        if (keyed_first) {
+          // The key type ends at the first top-level comma.
+          int depth = 1;
+          const std::size_t bound = std::min(toks.size(), i + 160);
+          for (std::size_t j = i + 2; j < bound; ++j) {
+            const Token& u = toks[j];
+            if (u.kind != Kind::punct) continue;
+            if (u.text == "<") ++depth;
+            if (u.text == ">" && --depth == 0) break;
+            if (u.text == ";" || u.text == "{") break;
+            if (u.text == "," && depth == 1) {
+              end = j;
+              break;
+            }
+          }
+        } else {
+          end = match_angle(i + 1);
+        }
+        if (end != std::string_view::npos && end > i + 2 &&
+            punct_at(end - 1, "*")) {
+          add(t.line, kPtrOrder,
+              "std::" + t.text +
+                  " keyed by a pointer: iteration follows address order, "
+                  "which allocator layout decides — key by a domain id "
+                  "(LinkId, ClientId, …) instead");
+        }
+      }
+
+      // Comparator-free std::sort over a pointer vector sorts by
+      // address.
+      if (t.text == "sort" && punct_at(i + 1, "(")) {
+        const std::size_t close = match_paren(i + 1);
+        if (close != std::string_view::npos) {
+          int depth = 0;
+          std::size_t commas = 0;
+          for (std::size_t j = i + 2; j < close; ++j) {
+            const Token& u = toks[j];
+            if (u.kind != Kind::punct) continue;
+            if (u.text == "(" || u.text == "[" || u.text == "{") ++depth;
+            if (u.text == ")" || u.text == "]" || u.text == "}") --depth;
+            if (u.text == "," && depth == 0) ++commas;
+          }
+          const Token* first = at(i + 2);
+          if (commas == 1 && first && first->kind == Kind::ident &&
+              ptr_vectors.count(first->text)) {
+            add(t.line, kPtrOrder,
+                "std::sort over the pointer vector '" + first->text +
+                    "' without a comparator sorts by address — sort by a "
+                    "domain id, or keep the container in keyed order");
+          }
+        }
+      }
+
+      // Raw pointer '<' comparison: both operands declared as raw
+      // pointers in this file.
+      if (ptr_scalars.count(t.text) && punct_at(i + 1, "<") && at(i + 2) &&
+          at(i + 2)->kind == Kind::ident &&
+          ptr_scalars.count(at(i + 2)->text)) {
+        add(t.line, kPtrOrder,
+            "raw pointer comparison '" + t.text + " < " + at(i + 2)->text +
+                "': address order is allocator order — compare domain ids");
+      }
+    }
+  }
+
+  // ---- LANE-ESCAPE -------------------------------------------------------
+
+  void run_lane_escape() const {
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != Kind::ident || !kPostCalls.count(t.text) ||
+          !punct_at(i + 1, "(")) {
+        continue;
+      }
+      // Member declarations (`void post(EventFn fn)`) are not calls:
+      // a call site reaches post through '.', '->', '::' or a bare name
+      // preceded by punctuation/statement keywords, while a declaration
+      // is preceded by a type identifier.
+      if (i > 0 && toks[i - 1].kind == Kind::ident &&
+          !kStmtKeywords.count(toks[i - 1].text)) {
+        continue;
+      }
+      const std::size_t close = match_paren(i + 1);
+      if (close == std::string_view::npos) continue;
+      // Every lambda in argument position within the call: capture list
+      // opens at a '[' directly after '(' or ','.
+      for (std::size_t j = i + 2; j < close; ++j) {
+        if (!punct_at(j, "[")) continue;
+        if (!(punct_at(j - 1, "(") || punct_at(j - 1, ","))) continue;
+        // Walk the capture list to its ']'.
+        std::size_t depth = 1;
+        std::size_t k = j + 1;
+        bool hazard = false;
+        std::string what;
+        for (; k < close && depth > 0; ++k) {
+          const Token& u = toks[k];
+          if (u.kind == Kind::punct) {
+            if (u.text == "[") ++depth;
+            if (u.text == "]" && --depth == 0) break;
+            // '&' in capture position ("[&]", "[&x", ", &x") is a
+            // by-reference capture; after '=' it is address-of inside an
+            // init-capture, which copies the pointer by value.
+            if (u.text == "&" && !hazard &&
+                (punct_at(k - 1, "[") || punct_at(k - 1, ","))) {
+              hazard = true;
+              what = "a by-reference capture";
+            }
+          } else if (u.kind == Kind::ident && u.text == "this") {
+            hazard = true;
+            what = "`this`";
+          }
+        }
+        if (hazard) {
+          add(toks[j].line, kLaneEscape,
+              "lambda passed to " + t.text + "() captures " + what +
+                  ": the closure escapes onto another lane's executor, "
+                  "where the capture is a cross-lane race — capture by "
+                  "value, or audit the site with a pragma naming why the "
+                  "target lane owns the captured state");
+        }
+      }
+    }
+  }
+
+  // ---- FLOAT-ORDER -------------------------------------------------------
+
+  /// Identifiers declared with a floating-point element type: `double
+  /// sum`, `std::vector<double> xs`, `std::array<double, N> sums`.
+  [[nodiscard]] std::set<std::string> collect_float_idents() const {
+    std::set<std::string> named;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != Kind::ident || (t.text != "double" && t.text != "float")) {
+        continue;
+      }
+      const Token* next = at(i + 1);
+      if (next == nullptr) continue;
+      if (next->kind == Kind::ident) {  // double sum = 0;
+        named.insert(next->text);
+        continue;
+      }
+      // Template element type: find the enclosing '>' and the declared
+      // name after it. Casts (`static_cast<double>(…)`) have '(' there.
+      if (next->kind == Kind::punct && (next->text == ">" || next->text == ",")) {
+        int depth = 1;
+        std::size_t j = i + 1;
+        for (; j < std::min(toks.size(), i + 40); ++j) {
+          const Token& u = toks[j];
+          if (u.kind != Kind::punct) continue;
+          if (u.text == "<") ++depth;
+          if (u.text == ">" && --depth == 0) break;
+        }
+        std::size_t k = j + 1;
+        while (k < toks.size() && toks[k].kind == Kind::punct &&
+               (toks[k].text == "&" || toks[k].text == "*")) {
+          ++k;
+        }
+        const Token* name = at(k);
+        if (name && name->kind == Kind::ident) named.insert(name->text);
+      }
+    }
+    return named;
+  }
+
+  void run_float_order() const {
+    const std::set<std::string> floats = collect_float_idents();
+    // Scope walk: brace stack marking loop bodies, plus brace-less loop
+    // bodies (flagged until the closing ';').
+    std::vector<bool> brace_is_loop;
+    int loop_depth = 0;
+    bool pending_loop_brace = false;
+    bool braceless_loop = false;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind == Kind::ident && (t.text == "for" || t.text == "while") &&
+          punct_at(i + 1, "(")) {
+        const std::size_t close = match_paren(i + 1);
+        if (close != std::string_view::npos) {
+          if (punct_at(close + 1, "{")) {
+            pending_loop_brace = true;
+          } else {
+            braceless_loop = true;
+          }
+        }
+        continue;
+      }
+      if (t.kind == Kind::ident && t.text == "do" && punct_at(i + 1, "{")) {
+        pending_loop_brace = true;
+        continue;
+      }
+      if (t.kind == Kind::punct) {
+        if (t.text == "{") {
+          brace_is_loop.push_back(pending_loop_brace);
+          if (pending_loop_brace) ++loop_depth;
+          pending_loop_brace = false;
+          continue;
+        }
+        if (t.text == "}") {
+          if (!brace_is_loop.empty()) {
+            if (brace_is_loop.back()) --loop_depth;
+            brace_is_loop.pop_back();
+          }
+          continue;
+        }
+        if (t.text == ";") {
+          braceless_loop = false;
+          continue;
+        }
+      }
+      if (t.kind != Kind::ident || !floats.count(t.text)) continue;
+      if (loop_depth == 0 && !braceless_loop) continue;
+      // `sum +=` or `sums[c] +=`.
+      std::size_t j = i + 1;
+      if (punct_at(j, "[")) {
+        int depth = 1;
+        for (++j; j < toks.size() && depth > 0; ++j) {
+          if (!punct_at(j, "[") && !punct_at(j, "]")) continue;
+          depth += toks[j].text == "[" ? 1 : -1;
+        }
+      }
+      if (punct_at(j, "+=")) {
+        add(t.line, kFloatOrder,
+            "floating-point accumulation '" + t.text +
+                " +=' inside a loop: FP addition is not associative, so "
+                "the source's iteration order reaches the report bytes — "
+                "iterate a deterministically-ordered source and say so in "
+                "a pragma, or accumulate integers");
+      }
+    }
+  }
+
+  // ---- main token walk (the PR-7 rule families) --------------------------
+
+  void run(const ActiveRules& active) const {
+    const bool det = deterministic_scope(path);
+    const bool wire = wire_scope(path);
+    const bool exec = !session_exempt(path);
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != Kind::ident) continue;
+
+      if (active.count(kCastAudit) &&
+          (t.text == "reinterpret_cast" || t.text == "const_cast")) {
+        add(t.line, kCastAudit,
+            t.text + " requires a justification pragma: // rebeca-lint: "
+                     "allow(CAST-AUDIT, why this is sound)");
+      }
+
+      if (det && active.count(kDetContainer) &&
+          kUnorderedContainers.count(t.text)) {
+        add(t.line, kDetContainer,
+            "std::" + t.text +
+                " in the deterministic path: hash iteration order leaks "
+                "into reports — use std::map / sorted vectors, or justify "
+                "that it is never iterated");
+      }
+
+      if (det && active.count(kDetClock)) {
+        if (kClockIdents.count(t.text)) {
+          add(t.line, kDetClock,
+              t.text +
+                  " outside src/transport/: wall clocks and ambient "
+                  "randomness break equal-seed reproducibility — draw from "
+                  "the lane's Executor::rng() / virtual clock");
+        } else if (kClockCalls.count(t.text) && punct_at(i + 1, "(") &&
+                   !declaration_or_member(i)) {
+          add(t.line, kDetClock,
+              t.text + "() outside src/transport/: use the lane's seeded "
+                       "RNG stream / virtual clock instead");
+        }
+      }
+
+      if (wire && active.count(kWireName)) {
+        if (t.text == "AttrId" || t.text == "attr_of" || t.text == "intern") {
+          add(t.line, kWireName,
+              t.text + " in the wire codec: attributes must serialize by "
+                       "NAME — interned ids are process-local mint order");
+        } else if (t.text == "id" &&
+                   (punct_at(i + 1, ".") || punct_at(i + 1, "->")) &&
+                   at(i + 2) && at(i + 2)->text == "value") {
+          add(t.line, kWireName,
+              "raw `.id.value()` written to the wire: certify via pragma "
+              "that this is a process-stable domain id, never an AttrId");
+        }
+      }
+
+      const bool qualifies_global =
+          i > 0 && punct_at(i - 1, "::") &&
+          !(i > 1 &&
+            ((toks[i - 2].kind == Kind::ident &&
+              !kStmtKeywords.count(toks[i - 2].text)) ||
+             toks[i - 2].text == ">" || toks[i - 2].text == ")"));
+      if (exec && active.count(kExecBlock) &&
+          kBlockingSocketCalls.count(t.text) && punct_at(i + 1, "(") &&
+          qualifies_global) {
+        add(t.line, kExecBlock,
+            "::" + t.text +
+                "() outside src/transport/session.cpp: blocking socket "
+                "calls stall the executor lane — route I/O through the "
+                "session layer");
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<Finding> match_rules(const std::string& npath, const Scan& scan,
+                                 const ActiveRules& active) {
+  std::vector<Finding> findings;
+  Matcher m{npath, scan.tokens, findings};
+  m.run(active);
+  if (active.count(kPtrOrder) && deterministic_scope(npath)) m.run_ptr_order();
+  if (active.count(kLaneEscape) && src_scope(npath)) m.run_lane_escape();
+  if (active.count(kFloatOrder) && report_scope(npath)) m.run_float_order();
+  return findings;
+}
+
+std::vector<Finding> finalize(const std::string& npath, const Scan& scan,
+                              std::vector<Finding> raw,
+                              const ActiveRules& active) {
+  // Suppression: an allow(RULE, reason) pragma covers its own line and
+  // the next. Malformed pragmas are findings themselves.
+  std::map<std::pair<int, std::string>, bool> allowed;
+  for (const Pragma& p : scan.pragmas) {
+    if (!p.known_rule || !p.has_reason) {
+      if (active.count(kBadPragma)) {
+        raw.push_back(
+            {npath, p.line, std::string(kBadPragma),
+             !p.known_rule
+                 ? "allow pragma names unknown rule '" + p.rule + "'"
+                 : "allow(" + p.rule +
+                       ") without a reason — suppressions must say why"});
+      }
+      continue;
+    }
+    allowed[{p.line, p.rule}] = true;
+    allowed[{p.line + 1, p.rule}] = true;
+  }
+  std::vector<Finding> kept;
+  for (Finding& f : raw) {
+    if (allowed.count({f.line, f.rule})) continue;
+    kept.push_back(std::move(f));
+  }
+  std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return kept;
+}
+
+}  // namespace detail
+
+const std::vector<RuleInfo>& rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {detail::kDetContainer,
+       "no unordered containers in the deterministic path (src/ outside "
+       "src/transport/)"},
+      {detail::kDetClock,
+       "no wall clocks / ambient randomness outside src/transport/"},
+      {detail::kWireName, "wire codec serializes attributes by name, never AttrId"},
+      {detail::kExecBlock,
+       "no blocking socket calls outside src/transport/session.cpp"},
+      {detail::kCastAudit,
+       "every reinterpret_cast / const_cast carries a justification pragma"},
+      {detail::kLayerDag,
+       "src/ modules include only strictly lower layers of the declared "
+       "DAG; no cycles, no unregistered modules"},
+      {detail::kPtrOrder,
+       "no pointer-keyed ordered containers, address sorts, or pointer < "
+       "comparisons in the deterministic path"},
+      {detail::kLaneEscape,
+       "lambdas posted to executors must not capture this/by-reference "
+       "without an audited pragma"},
+      {detail::kFloatOrder,
+       "no floating-point += accumulation in loops in report/metrics code "
+       "without a deterministic-order pragma"},
+      {detail::kBadPragma, "allow pragmas must name a known rule and give a reason"},
+  };
+  return kRules;
+}
+
+std::vector<Finding> lint_source(std::string_view path, std::string_view content,
+                                 const Options& options) {
+  const std::string npath = detail::normalize(path);
+  const detail::ActiveRules active = detail::active_rules(options);
+  const detail::Scan scan = detail::tokenize(content);
+  return detail::finalize(npath, scan,
+                          detail::match_rules(npath, scan, active), active);
+}
+
+std::vector<Finding> lint_file(const std::string& path, const Options& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("rebeca-lint: cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return lint_source(path, buf.str(), options);
+}
+
+std::vector<PragmaSite> collect_pragmas(std::string_view path,
+                                        std::string_view content) {
+  const std::string npath = detail::normalize(path);
+  const detail::Scan scan = detail::tokenize(content);
+  std::vector<PragmaSite> sites;
+  for (const detail::Pragma& p : scan.pragmas) {
+    if (p.known_rule && p.has_reason) sites.push_back({npath, p.line, p.rule});
+  }
+  return sites;
+}
+
+}  // namespace rebeca::lint

@@ -1,0 +1,99 @@
+// SARIF 2.1.0 emitter: one run, driver "rebeca-lint", every known rule
+// declared so GitHub code scanning can render rule metadata even for
+// clean runs. Hand-rolled serialization, matching the repo's
+// dependency-free JSON stance (src/cli/json.* is the parser side).
+#include <string>
+#include <vector>
+
+#include "tools/lint/scan.hpp"
+
+namespace rebeca::lint {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_quoted(std::string& out, std::string_view s) {
+  out += '"';
+  append_escaped(out, s);
+  out += '"';
+}
+
+}  // namespace
+
+std::string to_sarif(const std::vector<Finding>& findings) {
+  std::string out;
+  out.reserve(4096 + findings.size() * 256);
+  out +=
+      "{\n"
+      "  \"$schema\": "
+      "\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+      "Schemata/sarif-schema-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"rebeca-lint\",\n"
+      "          \"informationUri\": "
+      "\"https://example.invalid/rebeca/tools/lint\",\n"
+      "          \"rules\": [\n";
+  const std::vector<RuleInfo>& known = rules();
+  for (std::size_t i = 0; i < known.size(); ++i) {
+    out += "            {\"id\": ";
+    append_quoted(out, known[i].id);
+    out += ", \"shortDescription\": {\"text\": ";
+    append_quoted(out, known[i].summary);
+    out += "}}";
+    if (i + 1 < known.size()) out += ',';
+    out += '\n';
+  }
+  out +=
+      "          ]\n"
+      "        }\n"
+      "      },\n"
+      "      \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += "        {\"ruleId\": ";
+    append_quoted(out, f.rule);
+    out += ", \"level\": \"error\", \"message\": {\"text\": ";
+    append_quoted(out, f.message);
+    out +=
+        "}, \"locations\": [{\"physicalLocation\": {\"artifactLocation\": "
+        "{\"uri\": ";
+    append_quoted(out, f.path);
+    out += ", \"uriBaseId\": \"SRCROOT\"}, \"region\": {\"startLine\": ";
+    out += std::to_string(f.line > 0 ? f.line : 1);
+    out += "}}}]}";
+    if (i + 1 < findings.size()) out += ',';
+    out += '\n';
+  }
+  out +=
+      "      ]\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  return out;
+}
+
+}  // namespace rebeca::lint

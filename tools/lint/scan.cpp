@@ -1,0 +1,259 @@
+#include "tools/lint/scan.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace rebeca::lint::detail {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Extracts `rebeca-lint: allow(RULE, reason)` markers from one
+/// comment's text.
+void mine_pragmas(std::string_view comment, int line, std::vector<Pragma>& out) {
+  std::size_t pos = 0;
+  constexpr std::string_view kMarker = "rebeca-lint:";
+  while ((pos = comment.find(kMarker, pos)) != std::string_view::npos) {
+    std::size_t p = pos + kMarker.size();
+    pos = p;
+    while (p < comment.size() &&
+           std::isspace(static_cast<unsigned char>(comment[p]))) {
+      ++p;
+    }
+    if (comment.substr(p, 6) != "allow(") continue;
+    p += 6;
+    Pragma pr;
+    pr.line = line;
+    while (p < comment.size() && comment[p] != ',' && comment[p] != ')') {
+      pr.rule.push_back(comment[p++]);
+    }
+    while (!pr.rule.empty() &&
+           std::isspace(static_cast<unsigned char>(pr.rule.back()))) {
+      pr.rule.pop_back();
+    }
+    if (p < comment.size() && comment[p] == ',') {
+      ++p;
+      std::string reason;
+      while (p < comment.size() && comment[p] != ')') reason.push_back(comment[p++]);
+      pr.has_reason = std::any_of(reason.begin(), reason.end(), [](char c) {
+        return !std::isspace(static_cast<unsigned char>(c));
+      });
+    }
+    for (const RuleInfo& r : rules()) {
+      if (r.id == pr.rule) pr.known_rule = true;
+    }
+    out.push_back(std::move(pr));
+  }
+}
+
+}  // namespace
+
+// Comments and string/char literals never reach the rule matchers;
+// comments are mined for allow pragmas instead. `#include "…"` lines are
+// mined for the include graph (the header name would otherwise read as
+// identifiers); other preprocessor lines are tokenized like code so
+// macro bodies are still scanned.
+Scan tokenize(std::string_view src) {
+  Scan scan;
+  std::size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;
+
+  auto peek = [&](std::size_t off = 0) -> char {
+    return i + off < src.size() ? src[i + off] : '\0';
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && peek(1) == '/') {
+      const std::size_t start = i;
+      while (i < src.size() && src[i] != '\n') ++i;
+      mine_pragmas(src.substr(start, i - start), line, scan.pragmas);
+      continue;
+    }
+    // Block comment; a pragma inside registers on the comment's *last*
+    // line, so a comment directly above code covers that code line.
+    if (c == '/' && peek(1) == '*') {
+      const std::size_t start = i;
+      i += 2;
+      while (i + 1 < src.size() && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      i = std::min(src.size(), i + 2);
+      mine_pragmas(src.substr(start, i - start), line, scan.pragmas);
+      at_line_start = false;
+      continue;
+    }
+    // Preprocessor directive: mine #include "…" targets for the include
+    // graph, skip the rest of the include line; scan everything else as
+    // code.
+    if (c == '#' && at_line_start) {
+      std::size_t p = i + 1;
+      while (p < src.size() && (src[p] == ' ' || src[p] == '\t')) ++p;
+      if (src.substr(p, 7) == "include") {
+        p += 7;
+        while (p < src.size() && (src[p] == ' ' || src[p] == '\t')) ++p;
+        if (p < src.size() && src[p] == '"') {
+          ++p;
+          Include inc;
+          inc.line = line;
+          while (p < src.size() && src[p] != '"' && src[p] != '\n') {
+            inc.target.push_back(src[p++]);
+          }
+          if (!inc.target.empty()) scan.includes.push_back(std::move(inc));
+        }
+        while (i < src.size() && src[i] != '\n') ++i;
+        continue;
+      }
+      ++i;
+      at_line_start = false;
+      continue;
+    }
+    at_line_start = false;
+    // Identifier — possibly a literal prefix (R"…", u8"…", L'…').
+    if (ident_start(c)) {
+      std::size_t p = i;
+      while (p < src.size() && ident_char(src[p])) ++p;
+      std::string word(src.substr(i, p - i));
+      const char after = p < src.size() ? src[p] : '\0';
+      const bool raw = (after == '"') && (word == "R" || word == "u8R" ||
+                                          word == "uR" || word == "UR" ||
+                                          word == "LR");
+      const bool prefixed = (after == '"' || after == '\'') &&
+                            (word == "u8" || word == "u" || word == "U" ||
+                             word == "L");
+      if (raw) {
+        // R"delim( … )delim"
+        std::size_t q = p + 1;
+        std::string delim;
+        while (q < src.size() && src[q] != '(') delim.push_back(src[q++]);
+        const std::string closer = ")" + delim + "\"";
+        std::size_t end = src.find(closer, q);
+        if (end == std::string_view::npos) end = src.size();
+        for (std::size_t k = p; k < std::min(end + closer.size(), src.size()); ++k) {
+          if (src[k] == '\n') ++line;
+        }
+        i = std::min(end + closer.size(), src.size());
+        continue;
+      }
+      if (prefixed) {
+        i = p;  // fall through to the literal scanners below
+        continue;
+      }
+      scan.tokens.push_back({Kind::ident, std::move(word), line});
+      i = p;
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++i;
+      while (i < src.size() && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < src.size()) ++i;
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      if (i < src.size()) ++i;  // closing quote
+      continue;
+    }
+    // Number (digit separators and suffixes folded in).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      std::size_t p = i;
+      while (p < src.size() &&
+             (std::isalnum(static_cast<unsigned char>(src[p])) ||
+              src[p] == '.' ||
+              (src[p] == '\'' && p + 1 < src.size() &&
+               std::isalnum(static_cast<unsigned char>(src[p + 1]))))) {
+        ++p;
+      }
+      scan.tokens.push_back({Kind::number, std::string(src.substr(i, p - i)), line});
+      i = p;
+      continue;
+    }
+    // Punctuation; '::', '->' and '+=' matter to the rules, keep them
+    // fused.
+    if (c == ':' && peek(1) == ':') {
+      scan.tokens.push_back({Kind::punct, "::", line});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && peek(1) == '>') {
+      scan.tokens.push_back({Kind::punct, "->", line});
+      i += 2;
+      continue;
+    }
+    if (c == '+' && peek(1) == '=') {
+      scan.tokens.push_back({Kind::punct, "+=", line});
+      i += 2;
+      continue;
+    }
+    scan.tokens.push_back({Kind::punct, std::string(1, c), line});
+    ++i;
+  }
+  return scan;
+}
+
+std::string normalize(std::string_view path) {
+  std::string p(path);
+  std::replace(p.begin(), p.end(), '\\', '/');
+  return p;
+}
+
+bool contains(const std::string& path, std::string_view needle) {
+  return path.find(needle) != std::string::npos;
+}
+
+bool ends_with(const std::string& path, std::string_view suffix) {
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string module_of(std::string_view path) {
+  const std::string p = normalize(path);
+  // The src/ segment must start a path component ("src/…" or "…/src/…"):
+  // a directory that merely ends in "src" does not anchor the layering.
+  std::size_t at = std::string::npos;
+  for (std::size_t pos = p.find("src/"); pos != std::string::npos;
+       pos = p.find("src/", pos + 1)) {
+    if (pos == 0 || p[pos - 1] == '/') {
+      at = pos;
+      break;
+    }
+  }
+  if (at == std::string::npos) return {};
+  const std::size_t start = at + 4;
+  const std::size_t slash = p.find('/', start);
+  if (slash == std::string::npos) return {};  // a file directly in src/
+  return p.substr(start, slash - start);
+}
+
+ActiveRules active_rules(const Options& options) {
+  ActiveRules active;
+  if (options.only_rules.empty()) {
+    for (const RuleInfo& r : rules()) active.insert(std::string(r.id));
+  } else {
+    for (const std::string& r : options.only_rules) active.insert(r);
+  }
+  return active;
+}
+
+}  // namespace rebeca::lint::detail

@@ -1,0 +1,101 @@
+// Internal scanner layer of rebeca-lint: tokenizer, pragma mining,
+// include mining, and the shared helpers the rule matchers and the
+// whole-program pass both build on. Not part of the public API
+// (lint.hpp); tests drive everything through lint_source/lint_project.
+#ifndef REBECA_TOOLS_LINT_SCAN_HPP
+#define REBECA_TOOLS_LINT_SCAN_HPP
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tools/lint/lint.hpp"
+
+namespace rebeca::lint::detail {
+
+// ---------------------------------------------------------------------------
+// Rule ids (the registry lives in rules.cpp; project.cpp needs the ids).
+// ---------------------------------------------------------------------------
+
+inline constexpr std::string_view kDetContainer = "DET-CONTAINER";
+inline constexpr std::string_view kDetClock = "DET-CLOCK";
+inline constexpr std::string_view kWireName = "WIRE-NAME";
+inline constexpr std::string_view kExecBlock = "EXEC-BLOCK";
+inline constexpr std::string_view kCastAudit = "CAST-AUDIT";
+inline constexpr std::string_view kLayerDag = "LAYER-DAG";
+inline constexpr std::string_view kPtrOrder = "PTR-ORDER";
+inline constexpr std::string_view kLaneEscape = "LANE-ESCAPE";
+inline constexpr std::string_view kFloatOrder = "FLOAT-ORDER";
+/// Meta-rule for malformed suppressions; always on.
+inline constexpr std::string_view kBadPragma = "BAD-PRAGMA";
+
+// ---------------------------------------------------------------------------
+// Token stream
+// ---------------------------------------------------------------------------
+
+enum class Kind { ident, punct, number, eof };
+
+struct Token {
+  Kind kind = Kind::eof;
+  std::string text;
+  int line = 0;
+};
+
+struct Pragma {
+  int line = 0;
+  std::string rule;
+  bool has_reason = false;
+  bool known_rule = false;
+};
+
+/// A `#include "…"` directive (system includes are not recorded: the
+/// layering DAG and cycle detection only reason about repo files).
+struct Include {
+  std::string target;
+  int line = 0;
+};
+
+struct Scan {
+  std::vector<Token> tokens;
+  std::vector<Pragma> pragmas;
+  std::vector<Include> includes;
+};
+
+[[nodiscard]] Scan tokenize(std::string_view src);
+
+// ---------------------------------------------------------------------------
+// Paths and scoping
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] std::string normalize(std::string_view path);
+[[nodiscard]] bool contains(const std::string& path, std::string_view needle);
+[[nodiscard]] bool ends_with(const std::string& path, std::string_view suffix);
+/// "…src/<module>/…" → "<module>"; empty when the path has no src/
+/// segment (tests, bench, tools are not part of the layered core).
+[[nodiscard]] std::string module_of(std::string_view path);
+
+using ActiveRules = std::set<std::string, std::less<>>;
+[[nodiscard]] ActiveRules active_rules(const Options& options);
+
+// ---------------------------------------------------------------------------
+// Shared pipeline pieces (implemented in rules.cpp)
+// ---------------------------------------------------------------------------
+
+/// Runs every per-file rule matcher over one scanned file. No pragma
+/// suppression yet — finalize() applies it.
+[[nodiscard]] std::vector<Finding> match_rules(const std::string& npath,
+                                               const Scan& scan,
+                                               const ActiveRules& active);
+
+/// Applies allow-pragma suppression to `raw` (a pragma covers its own
+/// line and the next, per rule), appends BAD-PRAGMA findings for
+/// malformed pragmas, and sorts by line then rule.
+[[nodiscard]] std::vector<Finding> finalize(const std::string& npath,
+                                            const Scan& scan,
+                                            std::vector<Finding> raw,
+                                            const ActiveRules& active);
+
+}  // namespace rebeca::lint::detail
+
+#endif  // REBECA_TOOLS_LINT_SCAN_HPP
