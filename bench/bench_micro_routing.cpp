@@ -10,6 +10,7 @@
 #include "src/broker/overlay.hpp"
 #include "src/client/client.hpp"
 #include "src/net/topology.hpp"
+#include "src/routing/cover_index.hpp"
 #include "src/routing/match_index.hpp"
 #include "src/routing/strategy.hpp"
 
@@ -97,6 +98,108 @@ void BM_HopDecisionIndex(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_HopDecisionIndex)->Arg(64)->Arg(1024)->Arg(4096);
+
+/// The admin-plane covering collapse — the O(n²) reference pairwise pass
+/// vs the CoverEngine-backed pass. The >= 2x index advantage at >= 1k
+/// filters is the covering-index acceptance bar.
+void BM_CollapseCoveringLinear(benchmark::State& state) {
+  const auto inputs = make_inputs(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        routing::compute_forward_set(routing::Strategy::covering, inputs));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_CollapseCoveringLinear)->Arg(64)->Arg(1024)->Arg(4096);
+
+void BM_CollapseCoveringIndex(benchmark::State& state) {
+  const auto inputs = make_inputs(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing::compute_forward_set(
+        routing::Strategy::covering, inputs, routing::AdminIndex::index));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_CollapseCoveringIndex)->Arg(64)->Arg(1024)->Arg(4096);
+
+/// The re-expose query (answer_reexpose): every forwarding input a
+/// narrow mover filter covers, as the linear covered_by scan over the
+/// collapsed table vs one CoverIndex query.
+void BM_CoveredByLinear(benchmark::State& state) {
+  const auto inputs = make_inputs(static_cast<std::size_t>(state.range(0)));
+  routing::ForwardSet fs;
+  for (const auto& in : inputs) fs[in.f].insert(in.tags.begin(), in.tags.end());
+  filter::Filter f;
+  f.where("service", filter::Constraint::eq("quote"));
+  f.where("px", filter::Constraint::lt(140));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing::covered_by(f, fs));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_CoveredByLinear)->Arg(64)->Arg(1024)->Arg(4096);
+
+void BM_CoveredByIndex(benchmark::State& state) {
+  const auto inputs = make_inputs(static_cast<std::size_t>(state.range(0)));
+  routing::CoverIndex index;
+  std::uint32_t i = 0;
+  for (const auto& in : inputs) {
+    index.upsert_remote(LinkId(1 + (i++ % 4)), in.f, in.tags);
+  }
+  filter::Filter f;
+  f.where("service", filter::Constraint::eq("quote"));
+  f.where("px", filter::Constraint::lt(140));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.covered_inputs(f, LinkId(99)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_CoveredByIndex)->Arg(64)->Arg(1024)->Arg(4096);
+
+/// A moveout burst (begin_moveout's planning step): the moveout program
+/// for one key over a large hop table, linear tag scan vs the cover
+/// index's per-link table walk.
+void BM_MoveoutPlanLinear(benchmark::State& state) {
+  const auto inputs = make_inputs(static_cast<std::size_t>(state.range(0)));
+  const SubKey mover{ClientId(7), 1};
+  routing::ForwardSet fs;
+  std::size_t i = 0;
+  for (const auto& in : inputs) {
+    auto& tags = fs[in.f];
+    tags.insert(in.tags.begin(), in.tags.end());
+    if (i++ % 8 == 0) tags.insert(mover);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        routing::plan_moveout(routing::Strategy::covering, mover, fs));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_MoveoutPlanLinear)->Arg(64)->Arg(1024)->Arg(4096);
+
+void BM_MoveoutPlanIndex(benchmark::State& state) {
+  const auto inputs = make_inputs(static_cast<std::size_t>(state.range(0)));
+  const SubKey mover{ClientId(7), 1};
+  routing::CoverIndex index;
+  std::size_t i = 0;
+  for (const auto& in : inputs) {
+    auto tags = in.tags;
+    if (i++ % 8 == 0) tags.insert(mover);
+    index.upsert_remote(LinkId(1), in.f, tags);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing::plan_moveout(
+        routing::Strategy::covering, index.tagged_filters(LinkId(1), mover)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_MoveoutPlanIndex)->Arg(64)->Arg(1024)->Arg(4096);
 
 void BM_ForwardDiff(benchmark::State& state) {
   const auto inputs = make_inputs(static_cast<std::size_t>(state.range(0)));

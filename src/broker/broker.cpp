@@ -107,25 +107,37 @@ void Broker::handle_message(net::Link& from, const net::Message& msg) {
 
 std::vector<routing::ForwardInput> Broker::collect_inputs_excluding(
     LinkId exclude) const {
-  std::vector<routing::ForwardInput> inputs;
-  // Neighbor subscriptions (subscribers beyond other links).
-  for (const auto& [link, fs] : remote_) {
-    if (link == exclude) continue;
-    for (const auto& [f, tags] : fs) inputs.push_back({f, tags});
-  }
-  // Local client subscriptions. Location-dependent subscriptions
-  // propagate through their own plane (LdSubscribeMsg carries per-hop
-  // instantiations), so they are not generic inputs.
-  for (const auto& [client, session] : sessions_) {
-    for (const auto& [sub_id, sub] : session.subs) {
-      if (sub.is_ld()) continue;
-      inputs.push_back({sub.concrete, {sub.key}});
+  if (inputs_dirty_) {
+    inputs_cache_.clear();
+    // Neighbor subscriptions (subscribers beyond other links).
+    for (const auto& [link, fs] : remote_) {
+      for (const auto& [f, tags] : fs) {
+        inputs_cache_.push_back({true, link, {f, tags}});
+      }
     }
+    // Local client subscriptions. Location-dependent subscriptions
+    // propagate through their own plane (LdSubscribeMsg carries per-hop
+    // instantiations), so they are not generic inputs.
+    for (const auto& [client, session] : sessions_) {
+      for (const auto& [sub_id, sub] : session.subs) {
+        if (sub.is_ld()) continue;
+        inputs_cache_.push_back({false, LinkId{}, {sub.concrete, {sub.key}}});
+      }
+    }
+    // Virtual counterparts keep the old delivery path alive until fetched.
+    for (const auto& [key, v] : virtuals_) {
+      if (v.ld) continue;
+      inputs_cache_.push_back({false, LinkId{}, {v.f, {key}}});
+    }
+    inputs_dirty_ = false;
   }
-  // Virtual counterparts keep the old delivery path alive until fetched.
-  for (const auto& [key, v] : virtuals_) {
-    if (v.ld) continue;
-    inputs.push_back({v.f, {key}});
+  // The per-link exclude is a filter pass over the cached list, in the
+  // cached (= historical scan) order.
+  std::vector<routing::ForwardInput> inputs;
+  inputs.reserve(inputs_cache_.size());
+  for (const CachedInput& ci : inputs_cache_) {
+    if (ci.remote && ci.origin == exclude) continue;
+    inputs.push_back(ci.in);
   }
   return inputs;
 }
@@ -142,7 +154,8 @@ bool Broker::adv_allows(LinkId link, const filter::Filter& f) const {
 void Broker::refresh_link(net::Link& link) {
   const LinkId lid = link.id();
   const auto inputs = collect_inputs_excluding(lid);
-  auto target = routing::compute_forward_set(config_.strategy, inputs);
+  auto target =
+      routing::compute_forward_set(config_.strategy, inputs, config_.admin_index);
 
   // Re-expose pins: filters force-exposed on this link by the moveout
   // protocol stay in the target until the covering conflict resolves —
@@ -222,13 +235,17 @@ void Broker::refresh_all_links() {
 void Broker::on_subscribe(net::Link& from, const net::SubscribeMsg& m) {
   auto& fs = remote_[from.id()];
   if (fs.find(m.f) == fs.end()) index_.add_remote(from.id(), m.f);
-  fs[m.f] = m.tags;  // tag-only upserts leave the index untouched
+  fs[m.f] = m.tags;  // tag-only upserts leave the match index untouched
+  cover_index_.upsert_remote(from.id(), m.f, m.tags);
+  invalidate_inputs();
   refresh_all_links();
 }
 
 void Broker::on_unsubscribe(net::Link& from, const net::UnsubscribeMsg& m) {
   if (remote_[from.id()].erase(m.f) != 0) {
     index_.remove_remote(from.id(), m.f);
+    cover_index_.remove_remote(from.id(), m.f);
+    invalidate_inputs();
   }
   refresh_all_links();
 }

@@ -37,6 +37,7 @@
 #include "src/net/endpoint.hpp"
 #include "src/net/link.hpp"
 #include "src/net/message.hpp"
+#include "src/routing/cover_index.hpp"
 #include "src/routing/match_index.hpp"
 #include "src/routing/strategy.hpp"
 #include "src/sim/executor.hpp"
@@ -59,6 +60,14 @@ const char* matcher_name(Matcher m);
 struct BrokerConfig {
   routing::Strategy strategy = routing::Strategy::covering;
   Matcher matcher = Matcher::index;
+  /// Admin plane: how covering relations are evaluated on subscription
+  /// churn, moveout planning and fetch relocation.
+  ///   linear — the reference scans (O(n²) collapse_covering, the
+  ///            covered_by table walk, the dispatch_fetch fallback).
+  ///   index  — the attribute-partitioned CoverIndex, maintained
+  ///            incrementally from the same table changes. Equal-seed
+  ///            runs are byte-identical under either.
+  routing::AdminIndex admin_index = routing::AdminIndex::index;
   /// Forward subscriptions only toward overlapping advertisements
   /// (Rebeca's advertisement-based pruning; Fig. 5 junction semantics).
   bool use_advertisements = false;
@@ -155,6 +164,10 @@ class Broker final : public net::Endpoint {
   /// Live entries in the notification match index (all four planes).
   [[nodiscard]] std::size_t match_index_entries() const {
     return index_.entry_count();
+  }
+  /// Live entries in the admin-plane covering index (same four planes).
+  [[nodiscard]] std::size_t cover_index_entries() const {
+    return cover_index_.entry_count();
   }
 
  private:
@@ -389,6 +402,27 @@ class Broker final : public net::Endpoint {
   /// route_notification when config_.matcher == Matcher::index.
   routing::MatchIndex index_;
   mutable routing::MatchHits match_hits_;  // query scratch
+
+  /// Admin-plane covering index over the same four planes, maintained
+  /// unconditionally next to index_ at every table mutation; queried by
+  /// refresh_link / answer_reexpose / dispatch_fetch / begin_moveout
+  /// when config_.admin_index == AdminIndex::index.
+  routing::CoverIndex cover_index_;
+  mutable std::vector<LinkId> cover_links_;  // query scratch
+
+  /// collect_inputs_excluding historically rebuilt the ForwardInput
+  /// vector from the tables on every call — once per link per refresh,
+  /// even when nothing changed between calls. The cache keeps the full
+  /// input list (with each entry's origin link, so the per-link exclude
+  /// is a filter pass) and is invalidated by table mutations.
+  struct CachedInput {
+    bool remote = false;
+    LinkId origin;  // remote entries only
+    routing::ForwardInput in;
+  };
+  void invalidate_inputs() { inputs_dirty_ = true; }
+  mutable std::vector<CachedInput> inputs_cache_;
+  mutable bool inputs_dirty_ = true;
 
   std::uint64_t replayed_notifications_ = 0;
   std::uint64_t replay_truncated_ = 0;

@@ -113,6 +113,8 @@ void Broker::install_sub(Session& session, const SubKey& key,
     sub.concrete = ld.concrete_filter(locations(), loc, 1);
     sub.next_seq = last_seq + 1;
     index_.upsert_local(key, sub.concrete);
+    cover_index_.upsert_local(key, sub.concrete, /*ld=*/true);
+    invalidate_inputs();
 
     if (vit != virtuals_.end()) {
       // Same-broker reconnect: replay the buffered backlog locally (the
@@ -128,6 +130,8 @@ void Broker::install_sub(Session& session, const SubKey& key,
       v.widen_timer.cancel();
       v.ttl_timer.cancel();
       index_.remove_virtual(key);
+      cover_index_.remove_virtual(key);
+      invalidate_inputs();
       virtuals_.erase(vit);
       refresh_all_links();
     } else if (config_.ld_presubscribe && relocate && epoch > 0) {
@@ -150,7 +154,10 @@ void Broker::install_sub(Session& session, const SubKey& key,
 
     // (Re-)anchor: this border is hop 1 now; the flood upserts transit
     // state everywhere toward the new consumer direction.
-    if (ld_.erase(key) != 0) index_.remove_transit(key);
+    if (ld_.erase(key) != 0) {
+      index_.remove_transit(key);
+      cover_index_.remove_transit(key);
+    }
     sub.ld_forwarded.clear();
     for (net::Link* link : broker_links_) {
       send(*link, net::LdSubscribeMsg{key, ld, loc, /*hop=*/2});
@@ -161,6 +168,8 @@ void Broker::install_sub(Session& session, const SubKey& key,
 
   sub.concrete = std::get<filter::Filter>(spec);
   index_.upsert_local(key, sub.concrete);
+  cover_index_.upsert_local(key, sub.concrete, /*ld=*/false);
+  invalidate_inputs();
 
   if (vit != virtuals_.end()) {
     // Same-broker reconnect (paper: "reconnects at the same or a
@@ -238,6 +247,8 @@ void Broker::remove_local_sub(Session& session, std::uint32_t sub_id,
   LocalSub& sub = it->second;
   sub.relocation_timer.cancel();
   index_.remove_local(sub.key);
+  cover_index_.remove_local(sub.key);
+  invalidate_inputs();
   if (sub.is_ld()) {
     for (LinkId lid : sub.ld_forwarded) {
       auto lit = links_by_id_.find(lid);
@@ -260,6 +271,7 @@ void Broker::handle_link_down(net::Link& link) {
       virtualize_session(*session);
       session_by_link_.erase(link.id());
       sessions_.erase(session->client);
+      invalidate_inputs();
     }
     return;
   }
@@ -299,6 +311,9 @@ void Broker::virtualize_session(Session& session) {
     auto [it, inserted] = virtuals_.insert_or_assign(sub.key, std::move(v));
     index_.remove_local(sub.key);
     index_.upsert_virtual(sub.key, it->second.f);
+    cover_index_.remove_local(sub.key);
+    cover_index_.upsert_virtual(sub.key, it->second.f, it->second.ld);
+    invalidate_inputs();
     schedule_virtual_ttl(it->second);
     schedule_ld_widen(it->second);
   }
@@ -334,6 +349,8 @@ void Broker::drop_virtual(const SubKey& key) {
     }
   }
   index_.remove_virtual(key);
+  cover_index_.remove_virtual(key);
+  invalidate_inputs();
   virtuals_.erase(it);
   refresh_all_links();
 }
@@ -402,16 +419,22 @@ Broker::Junction Broker::dispatch_fetch(const SubKey& key,
   // other than `exclude`.
   Junction kind = Junction::tagged;
   std::vector<net::Link*> old_dirs;
-  for (auto& [lid, fs] : remote_) {
-    if (lid == exclude) continue;
-    bool serves = false;
-    for (const auto& [entry_f, tags] : fs) {
-      if (tags.count(key) != 0) {
-        serves = true;
-        break;
+  if (config_.admin_index == routing::AdminIndex::index) {
+    // Inverted tag index: key → serving links, no table walk.
+    cover_index_.links_serving(key, exclude, cover_links_);
+    for (LinkId lid : cover_links_) old_dirs.push_back(links_by_id_.at(lid));
+  } else {
+    for (auto& [lid, fs] : remote_) {
+      if (lid == exclude) continue;
+      bool serves = false;
+      for (const auto& [entry_f, tags] : fs) {
+        if (tags.count(key) != 0) {
+          serves = true;
+          break;
+        }
       }
+      if (serves) old_dirs.push_back(links_by_id_.at(lid));
     }
-    if (serves) old_dirs.push_back(links_by_id_.at(lid));
   }
   // LD transit state is keyed exactly: its consumer direction points at
   // the subscription's previous anchor.
@@ -424,12 +447,17 @@ Broker::Junction Broker::dispatch_fetch(const SubKey& key,
   }
   if (old_dirs.empty()) {
     kind = Junction::covering;
-    for (auto& [lid, fs] : remote_) {
-      if (lid == exclude) continue;
-      for (const auto& [entry_f, tags] : fs) {
-        if (entry_f.covers(f)) {
-          old_dirs.push_back(links_by_id_.at(lid));
-          break;
+    if (config_.admin_index == routing::AdminIndex::index) {
+      cover_index_.covering_links(f, exclude, cover_links_);
+      for (LinkId lid : cover_links_) old_dirs.push_back(links_by_id_.at(lid));
+    } else {
+      for (auto& [lid, fs] : remote_) {
+        if (lid == exclude) continue;
+        for (const auto& [entry_f, tags] : fs) {
+          if (entry_f.covers(f)) {
+            old_dirs.push_back(links_by_id_.at(lid));
+            break;
+          }
         }
       }
     }
@@ -457,7 +485,14 @@ void Broker::begin_moveout(net::Link& link, const SubKey& key,
                            std::uint64_t epoch) {
   const LinkId lid = link.id();
   auto& fs = remote_[lid];
-  auto program = routing::plan_moveout(config_.strategy, key, fs);
+  // Both plans see the same (filter → tag count) list in Filter order;
+  // the indexed one reads it off the cover index's per-link table
+  // instead of re-walking every entry's tag set.
+  auto program =
+      config_.admin_index == routing::AdminIndex::index
+          ? routing::plan_moveout(config_.strategy,
+                                  cover_index_.tagged_filters(lid, key))
+          : routing::plan_moveout(config_.strategy, key, fs);
   if (program.empty()) return;
   const bool two_phase =
       config_.uncover_before_prune && program.ack_barriers > 0;
@@ -468,7 +503,11 @@ void Broker::begin_moveout(net::Link& link, const SubKey& key,
       case routing::MoveoutStep::Kind::untag: {
         // Other subscriptions keep the entry alive; routing unchanged.
         auto it = fs.find(step.f);
-        if (it != fs.end()) it->second.erase(key);
+        if (it != fs.end()) {
+          it->second.erase(key);
+          cover_index_.untag_remote(lid, step.f, key);
+          invalidate_inputs();
+        }
         break;
       }
       case routing::MoveoutStep::Kind::reexpose:
@@ -486,11 +525,14 @@ void Broker::begin_moveout(net::Link& link, const SubKey& key,
           auto it = fs.find(step.f);
           if (it != fs.end()) {
             it->second.erase(key);
+            cover_index_.untag_remote(lid, step.f, key);
+            invalidate_inputs();
             // Entries serving nobody anymore must go, or they would
             // keep routing traffic down the abandoned path.
             if (it->second.empty()) {
               fs.erase(it);
               index_.remove_remote(lid, step.f);
+              cover_index_.remove_remote(lid, step.f);
             }
           }
         }
@@ -516,9 +558,12 @@ void Broker::finish_moveout(net::Link& link, const SubKey& key) {
     auto it = fs.find(f);
     if (it == fs.end()) continue;
     it->second.erase(key);
+    cover_index_.untag_remote(link.id(), f, key);
+    invalidate_inputs();
     if (it->second.empty()) {
       fs.erase(it);
       index_.remove_remote(link.id(), f);
+      cover_index_.remove_remote(link.id(), f);
     }
   }
   refresh_all_links();
@@ -560,12 +605,17 @@ void Broker::answer_reexpose(net::Link& to, const SubKey& key,
   // sessions, virtual counterparts, via the same collect_inputs_excluding
   // the forward-set computation uses, so the two can never drift) minus
   // the mover's own tag and whatever is already on the wire.
-  routing::ForwardSet inputs;
-  for (const auto& in : collect_inputs_excluding(lid)) {
-    auto& slot = inputs[in.f];
-    slot.insert(in.tags.begin(), in.tags.end());
+  routing::ForwardSet expose;
+  if (config_.admin_index == routing::AdminIndex::index) {
+    expose = cover_index_.covered_inputs(f, lid);
+  } else {
+    routing::ForwardSet inputs;
+    for (const auto& in : collect_inputs_excluding(lid)) {
+      auto& slot = inputs[in.f];
+      slot.insert(in.tags.begin(), in.tags.end());
+    }
+    expose = routing::covered_by(f, inputs);
   }
-  routing::ForwardSet expose = routing::covered_by(f, inputs);
 
   auto& sentfs = sent_[lid];
   for (auto& [g, tags] : expose) {
@@ -636,12 +686,17 @@ void Broker::on_fetch(net::Link& from, const net::FetchMsg& m) {
   // transit state (keyed exactly; the re-anchor flood trailing the fetch
   // re-points it, so nothing to erase here), covering fallback last.
   std::vector<net::Link*> old_dirs;
-  for (auto& [lid, fs] : remote_) {
-    if (lid == from.id()) continue;
-    for (const auto& [entry_f, tags] : fs) {
-      if (tags.count(m.key) != 0) {
-        old_dirs.push_back(links_by_id_.at(lid));
-        break;
+  if (config_.admin_index == routing::AdminIndex::index) {
+    cover_index_.links_serving(m.key, from.id(), cover_links_);
+    for (LinkId lid : cover_links_) old_dirs.push_back(links_by_id_.at(lid));
+  } else {
+    for (auto& [lid, fs] : remote_) {
+      if (lid == from.id()) continue;
+      for (const auto& [entry_f, tags] : fs) {
+        if (tags.count(m.key) != 0) {
+          old_dirs.push_back(links_by_id_.at(lid));
+          break;
+        }
       }
     }
   }
@@ -653,12 +708,17 @@ void Broker::on_fetch(net::Link& from, const net::FetchMsg& m) {
     }
   }
   if (old_dirs.empty()) {
-    for (auto& [lid, fs] : remote_) {
-      if (lid == from.id()) continue;
-      for (const auto& [f, tags] : fs) {
-        if (f.covers(m.f)) {
-          old_dirs.push_back(links_by_id_.at(lid));
-          break;
+    if (config_.admin_index == routing::AdminIndex::index) {
+      cover_index_.covering_links(m.f, from.id(), cover_links_);
+      for (LinkId lid : cover_links_) old_dirs.push_back(links_by_id_.at(lid));
+    } else {
+      for (auto& [lid, fs] : remote_) {
+        if (lid == from.id()) continue;
+        for (const auto& [f, tags] : fs) {
+          if (f.covers(m.f)) {
+            old_dirs.push_back(links_by_id_.at(lid));
+            break;
+          }
         }
       }
     }

@@ -159,6 +159,12 @@ broker::Matcher parse_matcher(const std::string& name) {
   fail("matcher", "unknown matcher \"" + name + "\"");
 }
 
+routing::AdminIndex parse_admin_index(const std::string& name) {
+  if (name == "linear") return routing::AdminIndex::linear;
+  if (name == "index") return routing::AdminIndex::index;
+  fail("admin_index", "unknown admin index \"" + name + "\"");
+}
+
 /// Validated millisecond field: the DelayModel factories REBECA_ASSERT
 /// their ranges and sim::millis casts double -> int64, so hostile
 /// configs (negative, lo > hi, 1e308, NaN) must be rejected HERE with a
@@ -487,6 +493,10 @@ void apply_config(const JsonValue& root, ScenarioBuilder& b) {
   }
   if (const JsonValue* matcher = root.find("matcher")) {
     overlay.broker.matcher = parse_matcher(matcher->as_string("matcher"));
+  }
+  if (const JsonValue* admin = root.find("admin_index")) {
+    overlay.broker.admin_index =
+        parse_admin_index(admin->as_string("admin_index"));
   }
   if (const JsonValue* d = root.find("broker_link_delay")) {
     overlay.broker_link_delay = parse_delay(*d, "broker_link_delay");

@@ -55,6 +55,12 @@ broker::Matcher parse_matcher(const std::string& name) {
   fail("matcher", "unknown matcher \"" + name + "\"");
 }
 
+routing::AdminIndex parse_admin_index(const std::string& name) {
+  if (name == "linear") return routing::AdminIndex::linear;
+  if (name == "index") return routing::AdminIndex::index;
+  fail("admin_index", "unknown admin index \"" + name + "\"");
+}
+
 void parse_broker(const JsonValue& v, broker::BrokerConfig& base) {
   base.use_advertisements =
       v.bool_or("use_advertisements", base.use_advertisements);
@@ -209,6 +215,9 @@ transport::NodeSpec parse_node_config(const std::string& json_text) {
   }
   if (const JsonValue* matcher = root.find("matcher")) {
     spec.broker.matcher = parse_matcher(matcher->as_string("matcher"));
+  }
+  if (const JsonValue* admin = root.find("admin_index")) {
+    spec.broker.admin_index = parse_admin_index(admin->as_string("admin_index"));
   }
 
   const auto phases = parse_phases(root, spec.total_duration);

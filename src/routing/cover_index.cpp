@@ -1,0 +1,1038 @@
+#include "src/routing/cover_index.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+
+#include "src/util/assert.hpp"
+
+namespace rebeca::routing {
+
+namespace {
+
+using filter::Constraint;
+using filter::Filter;
+using filter::Op;
+using filter::Value;
+
+int value_class(const Value& v) {
+  if (v.is_numeric()) return 0;
+  if (v.is_string()) return 1;
+  return 2;  // bool
+}
+
+/// Within one bound list every operand is of one ordered class, so the
+/// comparison always decides.
+bool bound_less(const Value& a, const Value& b) {
+  return a.compare(b).value_or(0) < 0;
+}
+
+/// True when the value's normalized double equality key is lossless, so
+/// key equality coincides with Value::equals.
+bool eq_key_exact(const Value& v) {
+  if (!v.is_int()) return true;
+  const std::int64_t i = v.as_int();
+  return i >= -(std::int64_t{1} << 53) && i <= (std::int64_t{1} << 53);
+}
+
+/// Smallest string strictly greater than every string with prefix `p`
+/// (the Constraint::covers decision procedure uses the same bound).
+std::optional<std::string> next_prefix(const std::string& p) {
+  std::string q = p;
+  for (auto it = q.rbegin(); it != q.rend(); ++it) {
+    auto c = static_cast<unsigned char>(*it);
+    if (c != 0xFF) {
+      *it = static_cast<char>(c + 1);
+      q.erase(q.size() - static_cast<std::size_t>(it - q.rbegin()));
+      return q;
+    }
+  }
+  return std::nullopt;
+}
+
+/// Degenerate range [a,a]: the covering oracle treats it as eq a, and so
+/// must every witness-probe below.
+bool is_point_range(const Constraint& c) {
+  return c.op() == Op::range && c.operand().equals(c.hi());
+}
+
+/// Witness value of a singleton-shaped constraint (eq v / range [v,v]).
+const Value* witness_of(const Constraint& c) {
+  if (c.op() == Op::eq) return &c.operand();
+  if (is_point_range(c)) return &c.operand();
+  return nullptr;
+}
+
+/// Smallest / largest in_set member under numeric order, provided all
+/// members share one ordered class (mixed-class sets cannot be matched
+/// in full by any single ordered constraint, so bound lanes may skip).
+struct SetSpan {
+  const Value* min = nullptr;
+  const Value* max = nullptr;
+  int cls = 2;
+};
+
+std::optional<SetSpan> set_span(const std::set<Value>& values) {
+  if (values.empty()) return std::nullopt;
+  SetSpan span;
+  span.cls = value_class(*values.begin());
+  span.min = span.max = &*values.begin();
+  for (const Value& v : values) {
+    if (value_class(v) != span.cls) return std::nullopt;
+    if (bound_less(v, *span.min)) span.min = &v;
+    if (bound_less(*span.max, v)) span.max = &v;
+  }
+  return span;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CoverEngine: entry lifecycle
+// ---------------------------------------------------------------------------
+
+std::uint32_t CoverEngine::add(const filter::Filter* f) {
+  REBECA_ASSERT(finalized_, "cover index: add on an unfinalized engine");
+  return add_entry(f, /*sorted=*/true);
+}
+
+std::uint32_t CoverEngine::add_bulk(const filter::Filter* f) {
+  finalized_ = false;
+  return add_entry(f, /*sorted=*/false);
+}
+
+void CoverEngine::finalize() {
+  for (Bucket& b : buckets_) {
+    const auto lo_less = [](const BoundItem& a, const BoundItem& x) {
+      return bound_less(a.c->operand(), x.c->operand());
+    };
+    // Upper-only bounds sort descending so a probe scans exactly the
+    // prefix whose hi admits its value.
+    const auto hi_greater = [](const BoundItem& a, const BoundItem& x) {
+      return bound_less(x.c->operand(), a.c->operand());
+    };
+    std::sort(b.num_lo.begin(), b.num_lo.end(), lo_less);
+    std::sort(b.str_lo.begin(), b.str_lo.end(), lo_less);
+    std::sort(b.num_hi.begin(), b.num_hi.end(), hi_greater);
+    std::sort(b.str_hi.begin(), b.str_hi.end(), hi_greater);
+  }
+  finalized_ = true;
+}
+
+std::uint32_t CoverEngine::add_entry(const filter::Filter* f, bool sorted) {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    entries_[slot] = Entry{f, false};
+  } else {
+    slot = static_cast<std::uint32_t>(entries_.size());
+    entries_.push_back(Entry{f, false});
+    hits_.push_back(Hit{});
+    term_counts_.push_back(0);
+  }
+  Entry& e = entries_[slot];
+  e.alive = true;
+  term_counts_[slot] = static_cast<std::uint32_t>(f->size());
+  ++live_entries_;
+  if (f->empty()) {
+    empty_filter_slots_.push_back(slot);
+  } else {
+    for (const auto& term : f->terms()) index_term(term, slot, sorted);
+  }
+  return slot;
+}
+
+void CoverEngine::remove(std::uint32_t slot) {
+  Entry& e = entries_[slot];
+  REBECA_ASSERT(e.alive, "cover index: double remove of slot " << slot);
+  if (e.f->empty()) {
+    std::erase(empty_filter_slots_, slot);
+  } else {
+    for (const auto& term : e.f->terms()) unindex_term(term, slot);
+  }
+  e.alive = false;
+  e.f = nullptr;
+  --live_entries_;
+  free_slots_.push_back(slot);
+}
+
+void CoverEngine::index_term(const filter::Filter::Term& term,
+                             std::uint32_t slot, bool sorted) {
+  const std::uint32_t attr = term.attr.value();
+  if (attr >= buckets_.size()) buckets_.resize(attr + 1);
+  Bucket& b = buckets_[attr];
+  const Constraint& c = term.c;
+
+  switch (c.op()) {
+    case Op::any:
+      b.any_slots.push_back(slot);
+      return;
+    case Op::eq: {
+      EqKey key;
+      key.cls = value_class(c.operand());
+      switch (key.cls) {
+        case 0: key.num = *c.operand().numeric(); break;
+        case 1: key.str = c.operand().as_string(); break;
+        default: key.b = c.operand().as_bool(); break;
+      }
+      EqBucket& bucket = b.eq[key];
+      if (eq_key_exact(c.operand())) {
+        bucket.exact_slots.push_back(slot);
+        bucket.exact_operands.push_back(c.operand());
+      } else {
+        bucket.inexact.push_back(EqItem{c.operand(), slot});
+      }
+      return;
+    }
+    case Op::lt:
+    case Op::le:
+    case Op::gt:
+    case Op::ge:
+    case Op::range: {
+      const int cls = value_class(c.operand());
+      if (cls == 2) break;  // ordered ops on bools: catch-all below
+      BoundItem item{&c, slot};
+      const bool upper_only = c.op() == Op::lt || c.op() == Op::le;
+      auto& list = upper_only ? (cls == 0 ? b.num_hi : b.str_hi)
+                              : (cls == 0 ? b.num_lo : b.str_lo);
+      if (!sorted) {
+        list.push_back(item);
+      } else if (upper_only) {
+        const auto pos = std::lower_bound(
+            list.begin(), list.end(), item,
+            [](const BoundItem& a, const BoundItem& x) {
+              return bound_less(x.c->operand(), a.c->operand());
+            });
+        list.insert(pos, item);
+      } else {
+        const auto pos = std::lower_bound(
+            list.begin(), list.end(), item,
+            [](const BoundItem& a, const BoundItem& x) {
+              return bound_less(a.c->operand(), x.c->operand());
+            });
+        list.insert(pos, item);
+      }
+      return;
+    }
+    default:
+      break;
+  }
+  // ne / prefix / in_set (and ordered-on-bool): exact evaluation.
+  b.general.push_back(GeneralItem{&c, slot});
+}
+
+void CoverEngine::unindex_term(const filter::Filter::Term& term,
+                               std::uint32_t slot) {
+  REBECA_ASSERT(term.attr.value() < buckets_.size(),
+                "cover index: unindex of unknown attr");
+  Bucket& b = buckets_[term.attr.value()];
+  const Constraint& c = term.c;
+
+  const auto erase_slot = [slot](auto& list) {
+    auto it = std::find_if(list.begin(), list.end(),
+                           [slot](const auto& item) { return item.slot == slot; });
+    REBECA_ASSERT(it != list.end(), "cover index: missing record for slot");
+    list.erase(it);
+  };
+
+  switch (c.op()) {
+    case Op::any:
+      std::erase(b.any_slots, slot);
+      return;
+    case Op::eq: {
+      EqKey key;
+      key.cls = value_class(c.operand());
+      switch (key.cls) {
+        case 0: key.num = *c.operand().numeric(); break;
+        case 1: key.str = c.operand().as_string(); break;
+        default: key.b = c.operand().as_bool(); break;
+      }
+      auto it = b.eq.find(key);
+      REBECA_ASSERT(it != b.eq.end(), "cover index: missing eq bucket");
+      EqBucket& bucket = it->second;
+      if (eq_key_exact(c.operand())) {
+        auto sit = std::find(bucket.exact_slots.begin(),
+                             bucket.exact_slots.end(), slot);
+        REBECA_ASSERT(sit != bucket.exact_slots.end(),
+                      "cover index: missing eq record for slot");
+        const auto i = sit - bucket.exact_slots.begin();
+        bucket.exact_slots.erase(sit);
+        bucket.exact_operands.erase(bucket.exact_operands.begin() + i);
+      } else {
+        erase_slot(bucket.inexact);
+      }
+      if (bucket.exact_slots.empty() && bucket.inexact.empty()) {
+        b.eq.erase(it);
+      }
+      return;
+    }
+    case Op::lt:
+    case Op::le: {
+      const int cls = value_class(c.operand());
+      if (cls == 2) break;
+      erase_slot(cls == 0 ? b.num_hi : b.str_hi);
+      return;
+    }
+    case Op::gt:
+    case Op::ge:
+    case Op::range: {
+      const int cls = value_class(c.operand());
+      if (cls == 2) break;
+      erase_slot(cls == 0 ? b.num_lo : b.str_lo);
+      return;
+    }
+    default:
+      break;
+  }
+  erase_slot(b.general);
+}
+
+// ---------------------------------------------------------------------------
+// CoverEngine: query plumbing
+// ---------------------------------------------------------------------------
+
+void CoverEngine::begin_query() const {
+  REBECA_ASSERT(finalized_, "cover index: query on an unfinalized engine");
+  ++query_stamp_;
+  touched_.clear();
+}
+
+void CoverEngine::bump(std::uint32_t slot) const {
+  Hit& h = hits_[slot];
+  if (h.stamp != query_stamp_) {
+    h.stamp = query_stamp_;
+    h.count = 0;
+    touched_.push_back(slot);
+  }
+  ++h.count;
+}
+
+void CoverEngine::mark(std::uint32_t slot) const {
+  Hit& h = hits_[slot];
+  if (h.stamp != query_stamp_) {
+    h.stamp = query_stamp_;
+    h.count = 1;
+    touched_.push_back(slot);
+  }
+}
+
+void CoverEngine::emit_full(std::vector<std::uint32_t>& out) const {
+  for (const std::uint32_t slot : touched_) {
+    if (hits_[slot].count == term_counts_[slot]) out.push_back(slot);
+  }
+  out.insert(out.end(), empty_filter_slots_.begin(), empty_filter_slots_.end());
+  std::sort(out.begin(), out.end());
+}
+
+void CoverEngine::emit_unmarked(std::vector<std::uint32_t>& out) const {
+  for (std::uint32_t slot = 0;
+       slot < static_cast<std::uint32_t>(entries_.size()); ++slot) {
+    if (entries_[slot].alive && hits_[slot].stamp != query_stamp_) {
+      out.push_back(slot);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// covers_of: registered G with G.covers(F)
+// ---------------------------------------------------------------------------
+//
+// Counting over F's terms: a registered term on attribute a is bumped
+// when it covers F's constraint on a; G covers F iff *every* G term is
+// bumped (plus the empty filters, which cover everything). Each lane
+// narrows by bound order, then confirms with the exact oracle — only
+// the scan *stop* conditions use the index structure.
+
+void CoverEngine::covers_of(const filter::Filter& f,
+                            std::vector<std::uint32_t>& out) const {
+  begin_query();
+  out.clear();
+
+  for (const auto& term : f.terms()) {
+    const std::uint32_t attr = term.attr.value();
+    if (attr >= buckets_.size()) continue;
+    const Bucket& b = buckets_[attr];
+    const Constraint& cf = term.c;
+
+    // `any` terms cover every inner constraint.
+    for (const std::uint32_t slot : b.any_slots) bump(slot);
+    if (cf.op() == Op::any) continue;  // ...and only they cover `any`.
+
+    // Equality lane: a registered eq(v) covers cf iff cf is
+    // witness-shaped and v matches every witness. One normalized probe
+    // finds the only bucket a matching v can live in; items re-verify
+    // with Value::equals where the double key is lossy.
+    if (!b.eq.empty()) {
+      const Value* w = witness_of(cf);
+      const Value* probe = w;
+      if (w == nullptr && cf.op() == Op::in_set && !cf.values().empty()) {
+        probe = &*cf.values().begin();  // all-match ⟹ shared bucket key
+      }
+      if (probe != nullptr) {
+        EqKey key;
+        key.cls = value_class(*probe);
+        switch (key.cls) {
+          case 0: key.num = *probe->numeric(); break;
+          case 1: key.str = probe->as_string(); break;
+          default: key.b = probe->as_bool(); break;
+        }
+        auto it = b.eq.find(key);
+        if (it != b.eq.end()) {
+          const EqBucket& bucket = it->second;
+          if (w != nullptr) {
+            if (eq_key_exact(*w)) {
+              for (const std::uint32_t slot : bucket.exact_slots) bump(slot);
+            } else {
+              for (std::size_t i = 0; i < bucket.exact_slots.size(); ++i) {
+                if (w->equals(bucket.exact_operands[i])) {
+                  bump(bucket.exact_slots[i]);
+                }
+              }
+            }
+            for (const EqItem& item : bucket.inexact) {
+              if (w->equals(item.operand)) bump(item.slot);
+            }
+          } else {
+            // in_set: eq(v) covers iff every member equals v. Verify per
+            // item — Value::equals is not transitive across lossy
+            // int64s, so no member-set shortcut is sound.
+            const auto all_equal = [&](const Value& v) {
+              return std::all_of(cf.values().begin(), cf.values().end(),
+                                 [&](const Value& m) { return m.equals(v); });
+            };
+            for (std::size_t i = 0; i < bucket.exact_slots.size(); ++i) {
+              if (all_equal(bucket.exact_operands[i])) {
+                bump(bucket.exact_slots[i]);
+              }
+            }
+            for (const EqItem& item : bucket.inexact) {
+              if (all_equal(item.operand)) bump(item.slot);
+            }
+          }
+        }
+      }
+    }
+
+    // Bound lanes: a lower-bounded G term (gt/ge/range) can cover cf
+    // only if its lo does not exceed cf's minimum admitted value m —
+    // the ascending lo list is scanned up to m and confirmed exactly.
+    // Symmetrically, an upper-only G term (lt/le) needs hi ≥ cf's
+    // maximum admitted value M on the descending hi list.
+    std::optional<SetSpan> span;
+    if (cf.op() == Op::in_set) span = set_span(cf.values());
+
+    const Value* m = nullptr;  // min admitted by cf (probe for lo lists)
+    const Value* M = nullptr;  // max admitted by cf (probe for hi lists)
+    Value np_value;            // storage for the prefix upper bound
+    int probe_cls = 2;
+    switch (cf.op()) {
+      case Op::eq:
+        m = M = &cf.operand();
+        probe_cls = value_class(cf.operand());
+        break;
+      case Op::in_set:
+        if (span) {
+          m = span->min;
+          M = span->max;
+          probe_cls = span->cls;
+        }
+        break;
+      case Op::gt:
+      case Op::ge:
+        m = &cf.operand();
+        probe_cls = value_class(cf.operand());
+        break;
+      case Op::lt:
+      case Op::le:
+        M = &cf.operand();
+        probe_cls = value_class(cf.operand());
+        break;
+      case Op::range:
+        m = &cf.operand();
+        M = &cf.hi();
+        probe_cls = value_class(cf.operand());
+        break;
+      case Op::prefix: {
+        m = &cf.operand();
+        probe_cls = 1;
+        // The oracle only lets lt/le/range cover a prefix when
+        // next_prefix exists; without it the hi lane has nothing to do.
+        auto np = next_prefix(cf.operand().as_string());
+        if (np.has_value()) {
+          np_value = Value(*np);
+          M = &np_value;
+        }
+        break;
+      }
+      default:
+        break;  // ne/any: no bound-lane coverage possible
+    }
+
+    if (probe_cls == 0 || probe_cls == 1) {
+      if (m != nullptr) {
+        const auto& list = probe_cls == 0 ? b.num_lo : b.str_lo;
+        for (const BoundItem& item : list) {
+          if (item.c->operand().compare(*m).value_or(1) > 0) break;
+          if (item.c->covers(cf)) bump(item.slot);
+        }
+      }
+      if (M != nullptr) {
+        const auto& list = probe_cls == 0 ? b.num_hi : b.str_hi;
+        for (const BoundItem& item : list) {
+          if (item.c->operand().compare(*M).value_or(-1) < 0) break;
+          if (item.c->covers(cf)) bump(item.slot);
+        }
+      }
+    }
+
+    // Catch-all lane: exact oracle.
+    for (const GeneralItem& item : b.general) {
+      if (item.c->covers(cf)) bump(item.slot);
+    }
+  }
+
+  emit_full(out);
+}
+
+// ---------------------------------------------------------------------------
+// covered_by_of: registered G with F.covers(G)
+// ---------------------------------------------------------------------------
+//
+// Counting over F's terms again, but in the inner direction: a
+// registered term on attribute a is bumped when F's constraint on a
+// covers it; G is covered iff it collected one bump per F term (G must
+// constrain every attribute F does). An empty F covers everything.
+
+void CoverEngine::covered_by_of(const filter::Filter& f,
+                                std::vector<std::uint32_t>& out) const {
+  begin_query();
+  out.clear();
+
+  if (f.empty()) {
+    for (std::uint32_t slot = 0;
+         slot < static_cast<std::uint32_t>(entries_.size()); ++slot) {
+      if (entries_[slot].alive) out.push_back(slot);
+    }
+    return;
+  }
+
+  const auto key_of = [](const Value& v) {
+    EqKey k;
+    k.cls = value_class(v);
+    switch (k.cls) {
+      case 0: k.num = *v.numeric(); break;
+      case 1: k.str = v.as_string(); break;
+      default: k.b = v.as_bool(); break;
+    }
+    return k;
+  };
+  const auto class_floor = [](int cls) {
+    EqKey k;
+    k.cls = cls;
+    k.num = -std::numeric_limits<double>::infinity();
+    return k;
+  };
+
+  for (const auto& term : f.terms()) {
+    const std::uint32_t attr = term.attr.value();
+    if (attr >= buckets_.size()) continue;  // nothing here can reach |F|
+    const Bucket& b = buckets_[attr];
+    const Constraint& cf = term.c;
+
+    if (cf.op() == Op::any) {
+      // `any` covers every same-attribute constraint: bump the whole
+      // bucket (each slot holds at most one term per attribute).
+      for (const std::uint32_t slot : b.any_slots) bump(slot);
+      for (const auto& [key, bucket] : b.eq) {
+        for (const std::uint32_t slot : bucket.exact_slots) bump(slot);
+        for (const EqItem& item : bucket.inexact) bump(item.slot);
+      }
+      for (const BoundItem& item : b.num_lo) bump(item.slot);
+      for (const BoundItem& item : b.str_lo) bump(item.slot);
+      for (const BoundItem& item : b.num_hi) bump(item.slot);
+      for (const BoundItem& item : b.str_hi) bump(item.slot);
+      for (const GeneralItem& item : b.general) bump(item.slot);
+      continue;
+    }
+    // A registered `any` is covered only by `any` — lane skipped.
+
+    // Equality lane: eq(w) is covered iff cf.matches(w). The normalized
+    // key order is value-monotone per class (double rounding preserves
+    // order), so ordered cf ops probe a key segment; every candidate is
+    // confirmed with the exact matches() because huge-int64 keys are
+    // lossy.
+    if (!b.eq.empty()) {
+      const auto verify = [&](const EqBucket& bucket) {
+        for (std::size_t i = 0; i < bucket.exact_slots.size(); ++i) {
+          if (cf.matches(bucket.exact_operands[i])) {
+            bump(bucket.exact_slots[i]);
+          }
+        }
+        for (const EqItem& item : bucket.inexact) {
+          if (cf.matches(item.operand)) bump(item.slot);
+        }
+      };
+      const Value* w = witness_of(cf);
+      if (w != nullptr) {
+        auto it = b.eq.find(key_of(*w));
+        if (it != b.eq.end()) {
+          const EqBucket& bucket = it->second;
+          if (eq_key_exact(*w)) {
+            for (const std::uint32_t slot : bucket.exact_slots) bump(slot);
+            for (const EqItem& item : bucket.inexact) {
+              if (w->equals(item.operand)) bump(item.slot);
+            }
+          } else {
+            verify(bucket);
+          }
+        }
+      } else {
+        switch (cf.op()) {
+          case Op::lt:
+          case Op::le: {
+            const EqKey hi = key_of(cf.operand());
+            for (auto it = b.eq.lower_bound(class_floor(hi.cls));
+                 it != b.eq.end() && !EqKeyLess{}(hi, it->first); ++it) {
+              verify(it->second);
+            }
+            break;
+          }
+          case Op::gt:
+          case Op::ge: {
+            const EqKey lo = key_of(cf.operand());
+            for (auto it = b.eq.lower_bound(lo);
+                 it != b.eq.end() && it->first.cls == lo.cls; ++it) {
+              verify(it->second);
+            }
+            break;
+          }
+          case Op::range: {
+            const EqKey lo = key_of(cf.operand());
+            const EqKey hi = key_of(cf.hi());
+            for (auto it = b.eq.lower_bound(lo);
+                 it != b.eq.end() && !EqKeyLess{}(hi, it->first); ++it) {
+              verify(it->second);
+            }
+            break;
+          }
+          case Op::prefix: {
+            EqKey lo;
+            lo.cls = 1;
+            lo.str = cf.operand().as_string();
+            const auto np = next_prefix(lo.str);
+            for (auto it = b.eq.lower_bound(lo);
+                 it != b.eq.end() && it->first.cls == 1 &&
+                 (!np.has_value() || it->first.str < *np);
+                 ++it) {
+              verify(it->second);
+            }
+            break;
+          }
+          case Op::in_set: {
+            // Distinct members may share a normalized key (lossy
+            // int64s), so dedup probes by key, and verify items against
+            // the whole set, not the probing member.
+            std::vector<EqKey> probed;
+            for (const Value& member : cf.values()) {
+              EqKey k = key_of(member);
+              const auto seen = [&](const EqKey& q) {
+                return !EqKeyLess{}(q, k) && !EqKeyLess{}(k, q);
+              };
+              if (std::any_of(probed.begin(), probed.end(), seen)) continue;
+              auto it = b.eq.find(k);
+              if (it != b.eq.end()) verify(it->second);
+              probed.push_back(std::move(k));
+            }
+            break;
+          }
+          case Op::ne:
+            for (const auto& [key, bucket] : b.eq) verify(bucket);
+            break;
+          default:
+            break;
+        }
+      }
+    }
+
+    // Lower-bound lane (gt/ge/range): covered items have lo inside the
+    // window cf admits — including degenerate ranges [w,w], whose lo is
+    // their witness. Candidates confirm with the exact covers() oracle.
+    const int cls = value_class(cf.operand());
+    const auto lo_scan = [&](const std::vector<BoundItem>& list) {
+      const auto from = [&](const Value& v) {
+        return std::partition_point(
+            list.begin(), list.end(),
+            [&](const BoundItem& item) { return bound_less(item.c->operand(), v); });
+      };
+      switch (cf.op()) {
+        case Op::eq: {
+          // Only point-ranges [w,w] with w == v can be covered.
+          for (auto it = from(cf.operand()); it != list.end(); ++it) {
+            if (it->c->operand().compare(cf.operand()).value_or(1) != 0) break;
+            if (cf.covers(*it->c)) bump(it->slot);
+          }
+          break;
+        }
+        case Op::in_set: {
+          // Per-member point probes; members can be numerically equal
+          // while structurally distinct, so dedup slots before bumping.
+          probe_scratch_.clear();
+          for (const Value& member : cf.values()) {
+            if (value_class(member) != value_class(list.front().c->operand())) {
+              continue;
+            }
+            for (auto it = from(member); it != list.end(); ++it) {
+              if (it->c->operand().compare(member).value_or(1) != 0) break;
+              if (cf.covers(*it->c)) probe_scratch_.push_back(it->slot);
+            }
+          }
+          std::sort(probe_scratch_.begin(), probe_scratch_.end());
+          probe_scratch_.erase(
+              std::unique(probe_scratch_.begin(), probe_scratch_.end()),
+              probe_scratch_.end());
+          for (const std::uint32_t slot : probe_scratch_) bump(slot);
+          break;
+        }
+        case Op::gt:
+        case Op::ge:
+          for (auto it = from(cf.operand()); it != list.end(); ++it) {
+            if (cf.covers(*it->c)) bump(it->slot);
+          }
+          break;
+        case Op::range:
+          for (auto it = from(cf.operand()); it != list.end(); ++it) {
+            if (it->c->operand().compare(cf.hi()).value_or(1) > 0) break;
+            if (cf.covers(*it->c)) bump(it->slot);
+          }
+          break;
+        case Op::lt:
+        case Op::le:
+          // Covered ranges satisfy hi ≤ v, hence lo ≤ v: scan that
+          // ascending prefix (gt/ge items confirm false).
+          for (const BoundItem& item : list) {
+            if (item.c->operand().compare(cf.operand()).value_or(1) > 0) break;
+            if (cf.covers(*item.c)) bump(item.slot);
+          }
+          break;
+        case Op::prefix: {
+          const Value pv(cf.operand().as_string());
+          const auto np = next_prefix(cf.operand().as_string());
+          for (auto it = from(pv); it != list.end(); ++it) {
+            if (np.has_value() &&
+                it->c->operand().compare(Value(*np)).value_or(1) >= 0) {
+              break;
+            }
+            if (cf.covers(*it->c)) bump(it->slot);
+          }
+          break;
+        }
+        case Op::ne:
+          for (const BoundItem& item : list) {
+            if (cf.covers(*item.c)) bump(item.slot);
+          }
+          break;
+        default:
+          break;
+      }
+    };
+    if (cf.op() == Op::ne || cf.op() == Op::in_set) {
+      // ne excludes one point; in_set members may span classes. Probe
+      // both class lists (the in_set scan filters per member).
+      if (!b.num_lo.empty()) lo_scan(b.num_lo);
+      if (!b.str_lo.empty()) lo_scan(b.str_lo);
+    } else if (cf.op() == Op::prefix) {
+      if (!b.str_lo.empty()) lo_scan(b.str_lo);
+    } else if (cls == 0 || cls == 1) {
+      const auto& list = cls == 0 ? b.num_lo : b.str_lo;
+      if (!list.empty()) lo_scan(list);
+    }
+
+    // Upper-only lane (lt/le): only an upper-bounded cf (lt/le) or ne
+    // can cover them; covered items have hi ≤ cf's bound — the tail of
+    // the descending hi list.
+    const auto hi_scan = [&](const std::vector<BoundItem>& list) {
+      if (cf.op() == Op::ne) {
+        for (const BoundItem& item : list) {
+          if (cf.covers(*item.c)) bump(item.slot);
+        }
+        return;
+      }
+      const auto from = std::partition_point(
+          list.begin(), list.end(), [&](const BoundItem& item) {
+            return bound_less(cf.operand(), item.c->operand());
+          });
+      for (auto it = from; it != list.end(); ++it) {
+        if (cf.covers(*it->c)) bump(it->slot);
+      }
+    };
+    if (cf.op() == Op::ne) {
+      if (!b.num_hi.empty()) hi_scan(b.num_hi);
+      if (!b.str_hi.empty()) hi_scan(b.str_hi);
+    } else if ((cf.op() == Op::lt || cf.op() == Op::le) &&
+               (cls == 0 || cls == 1)) {
+      const auto& list = cls == 0 ? b.num_hi : b.str_hi;
+      if (!list.empty()) hi_scan(list);
+    }
+
+    // Catch-all lane: exact oracle.
+    for (const GeneralItem& item : b.general) {
+      if (cf.covers(*item.c)) bump(item.slot);
+    }
+  }
+
+  const std::uint32_t target = static_cast<std::uint32_t>(f.size());
+  for (const std::uint32_t slot : touched_) {
+    if (hits_[slot].count == target) out.push_back(slot);
+  }
+  std::sort(out.begin(), out.end());
+}
+
+// ---------------------------------------------------------------------------
+// overlapping: registered G with F.overlaps(G)
+// ---------------------------------------------------------------------------
+//
+// Filter::overlaps fails only when some *shared* attribute's constraints
+// are provably disjoint, so the index proves the complement: walk F's
+// terms, mark every registered term disjoint from them, emit the alive
+// slots never marked. Exact because Constraint::overlaps itself decides
+// each pair.
+
+void CoverEngine::overlapping(const filter::Filter& f,
+                              std::vector<std::uint32_t>& out) const {
+  begin_query();
+  out.clear();
+
+  for (const auto& term : f.terms()) {
+    const std::uint32_t attr = term.attr.value();
+    if (attr >= buckets_.size()) continue;
+    const Bucket& b = buckets_[attr];
+    const Constraint& cf = term.c;
+    if (cf.op() == Op::any) continue;  // any overlaps everything
+
+    for (const auto& [key, bucket] : b.eq) {
+      for (std::size_t i = 0; i < bucket.exact_slots.size(); ++i) {
+        if (!cf.matches(bucket.exact_operands[i])) {
+          mark(bucket.exact_slots[i]);
+        }
+      }
+      for (const EqItem& item : bucket.inexact) {
+        if (!cf.matches(item.operand)) mark(item.slot);
+      }
+    }
+    const auto mark_disjoint = [&](const std::vector<BoundItem>& list) {
+      for (const BoundItem& item : list) {
+        if (!cf.overlaps(*item.c)) mark(item.slot);
+      }
+    };
+    mark_disjoint(b.num_lo);
+    mark_disjoint(b.str_lo);
+    mark_disjoint(b.num_hi);
+    mark_disjoint(b.str_hi);
+    for (const GeneralItem& item : b.general) {
+      if (!cf.overlaps(*item.c)) mark(item.slot);
+    }
+    // any_slots always overlap: never marked.
+  }
+
+  emit_unmarked(out);
+}
+
+// ---------------------------------------------------------------------------
+// CoverIndex: plane maintenance
+// ---------------------------------------------------------------------------
+
+void CoverIndex::set_info(std::uint32_t slot, SlotInfo info) {
+  if (slot >= info_.size()) info_.resize(slot + 1);
+  info_[slot] = std::move(info);
+}
+
+void CoverIndex::tag_link(const SubKey& key, LinkId link) {
+  ++tag_links_[key][link];
+}
+
+void CoverIndex::untag_link(const SubKey& key, LinkId link) {
+  auto kit = tag_links_.find(key);
+  REBECA_ASSERT(kit != tag_links_.end(), "cover index: untag of unknown key");
+  auto lit = kit->second.find(link);
+  REBECA_ASSERT(lit != kit->second.end(), "cover index: untag of unknown link");
+  if (--lit->second == 0) kit->second.erase(lit);
+  if (kit->second.empty()) tag_links_.erase(kit);
+}
+
+void CoverIndex::upsert_remote(LinkId link, const filter::Filter& f,
+                               const std::set<SubKey>& tags) {
+  auto& table = remote_[link];
+  auto it = table.find(f);
+  if (it != table.end()) {
+    // Tag-only upsert: the filter (and its slot) is unchanged.
+    RemoteRec& rec = it->second;
+    for (const SubKey& key : rec.tags) {
+      if (tags.count(key) == 0) untag_link(key, link);
+    }
+    for (const SubKey& key : tags) {
+      if (rec.tags.count(key) == 0) tag_link(key, link);
+    }
+    rec.tags = tags;
+    return;
+  }
+  it = table.emplace(f, RemoteRec{}).first;
+  RemoteRec& rec = it->second;
+  rec.tags = tags;
+  rec.slot = engine_.add(&it->first);  // map keys are address-stable
+  set_info(rec.slot,
+           SlotInfo{Source::remote, link, SubKey{}, false, &rec.tags});
+  for (const SubKey& key : tags) tag_link(key, link);
+}
+
+void CoverIndex::untag_remote(LinkId link, const filter::Filter& f,
+                              const SubKey& key) {
+  auto lit = remote_.find(link);
+  REBECA_ASSERT(lit != remote_.end(), "cover index: untag on unknown link");
+  auto it = lit->second.find(f);
+  REBECA_ASSERT(it != lit->second.end(), "cover index: untag on unknown entry");
+  if (it->second.tags.erase(key) != 0) untag_link(key, link);
+}
+
+void CoverIndex::remove_remote(LinkId link, const filter::Filter& f) {
+  auto lit = remote_.find(link);
+  if (lit == remote_.end()) return;
+  auto it = lit->second.find(f);
+  if (it == lit->second.end()) return;
+  for (const SubKey& key : it->second.tags) untag_link(key, link);
+  engine_.remove(it->second.slot);
+  lit->second.erase(it);
+  if (lit->second.empty()) remote_.erase(lit);
+}
+
+void CoverIndex::upsert_keyed(std::map<SubKey, KeyedRec>& plane, Source source,
+                              const SubKey& key, const filter::Filter& f,
+                              bool ld, LinkId toward) {
+  auto it = plane.find(key);
+  if (it != plane.end()) {
+    // Unindex through the old filter *before* overwriting it: the
+    // engine borrows the record's storage.
+    engine_.remove(it->second.slot);
+  } else {
+    it = plane.emplace(key, KeyedRec{}).first;
+  }
+  KeyedRec& rec = it->second;
+  rec.f = f;
+  rec.ld = ld;
+  rec.toward = toward;
+  rec.slot = engine_.add(&rec.f);
+  set_info(rec.slot, SlotInfo{source, toward, key, ld, nullptr});
+}
+
+void CoverIndex::remove_keyed(std::map<SubKey, KeyedRec>& plane,
+                              const SubKey& key) {
+  auto it = plane.find(key);
+  if (it == plane.end()) return;
+  engine_.remove(it->second.slot);
+  plane.erase(it);
+}
+
+void CoverIndex::upsert_local(const SubKey& key, const filter::Filter& f,
+                              bool ld) {
+  upsert_keyed(local_, Source::local, key, f, ld, LinkId{});
+}
+
+void CoverIndex::remove_local(const SubKey& key) { remove_keyed(local_, key); }
+
+void CoverIndex::upsert_virtual(const SubKey& key, const filter::Filter& f,
+                                bool ld) {
+  upsert_keyed(virtual_, Source::virt, key, f, ld, LinkId{});
+}
+
+void CoverIndex::remove_virtual(const SubKey& key) {
+  remove_keyed(virtual_, key);
+}
+
+void CoverIndex::upsert_transit(const SubKey& key, LinkId toward,
+                                const filter::Filter& f) {
+  upsert_keyed(transit_, Source::transit, key, f, false, toward);
+}
+
+void CoverIndex::remove_transit(const SubKey& key) {
+  remove_keyed(transit_, key);
+}
+
+// ---------------------------------------------------------------------------
+// CoverIndex: consumer queries
+// ---------------------------------------------------------------------------
+
+ForwardSet CoverIndex::covered_inputs(const filter::Filter& f,
+                                      LinkId exclude) const {
+  engine_.covered_by_of(f, query_scratch_);
+  ForwardSet out;
+  for (const std::uint32_t slot : query_scratch_) {
+    const SlotInfo& si = info_[slot];
+    const filter::Filter& g = *engine_.filter_of(slot);
+    switch (si.source) {
+      case Source::remote:
+        if (si.link == exclude || g == f) break;
+        out[g].insert(si.tags->begin(), si.tags->end());
+        break;
+      case Source::local:
+      case Source::virt:
+        if (si.ld || g == f) break;
+        out[g].insert(si.key);
+        break;
+      case Source::transit:
+        break;  // LD transit state is not a forward-set input
+    }
+  }
+  return out;
+}
+
+void CoverIndex::covering_links(const filter::Filter& f, LinkId exclude,
+                                std::vector<LinkId>& out) const {
+  engine_.covers_of(f, query_scratch_);
+  out.clear();
+  for (const std::uint32_t slot : query_scratch_) {
+    const SlotInfo& si = info_[slot];
+    if (si.source == Source::remote && si.link != exclude) {
+      out.push_back(si.link);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+void CoverIndex::links_serving(const SubKey& key, LinkId exclude,
+                               std::vector<LinkId>& out) const {
+  out.clear();
+  auto it = tag_links_.find(key);
+  if (it == tag_links_.end()) return;
+  for (const auto& [link, count] : it->second) {
+    if (link != exclude && count > 0) out.push_back(link);
+  }
+}
+
+std::vector<MoveoutCandidate> CoverIndex::tagged_filters(
+    LinkId link, const SubKey& key) const {
+  std::vector<MoveoutCandidate> out;
+  auto lit = remote_.find(link);
+  if (lit == remote_.end()) return out;
+  for (const auto& [f, rec] : lit->second) {
+    if (rec.tags.count(key) != 0) {
+      out.push_back(MoveoutCandidate{f, rec.tags.size()});
+    }
+  }
+  return out;
+}
+
+std::vector<filter::Filter> CoverIndex::overlapping_filters(
+    const filter::Filter& f) const {
+  engine_.overlapping(f, query_scratch_);
+  std::vector<filter::Filter> out;
+  out.reserve(query_scratch_.size());
+  for (const std::uint32_t slot : query_scratch_) {
+    out.push_back(*engine_.filter_of(slot));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace rebeca::routing

@@ -1,6 +1,9 @@
 #include "src/routing/strategy.hpp"
 
 #include <algorithm>
+#include <cstdint>
+
+#include "src/routing/cover_index.hpp"
 
 namespace rebeca::routing {
 
@@ -11,6 +14,14 @@ const char* strategy_name(Strategy s) {
     case Strategy::identity: return "identity";
     case Strategy::covering: return "covering";
     case Strategy::merging: return "merging";
+  }
+  return "?";
+}
+
+const char* admin_index_name(AdminIndex a) {
+  switch (a) {
+    case AdminIndex::linear: return "linear";
+    case AdminIndex::index: return "index";
   }
   return "?";
 }
@@ -60,10 +71,58 @@ ForwardSet collapse_covering(const std::vector<ForwardInput>& inputs) {
   return out;
 }
 
-/// merging collapse: covering, then greedy pairwise exact merges to a
-/// fixpoint. Deterministic: scan pairs in map order, restart on change.
-ForwardSet collapse_merging(const std::vector<ForwardInput>& inputs) {
-  ForwardSet current = collapse_covering(inputs);
+/// The indexed covering collapse: same result as collapse_covering,
+/// computed as an incremental maximal set instead of the O(n²) pairwise
+/// pass. Write g ≻ f for "g dominates f" (g covers f, and either not
+/// mutually — a strict cover — or g < f, the reference pass's
+/// deterministic equivalence tie-break). ≻ is a strict partial order
+/// (covers is a transitive preorder; mutual-cover classes fall back to
+/// the total structural order), so every dominated filter is dominated
+/// by a ≻-maximal one — checking each candidate against the *current
+/// maximal set* (via one CoverEngine query over it) decides domination
+/// exactly, and the maximal set is usually far smaller than the input.
+/// A later candidate may dominate earlier survivors; covered_by_of
+/// finds and evicts them, so the final set is precisely the ≻-maximal
+/// elements — element-for-element what collapse_covering keeps.
+ForwardSet collapse_covering_indexed(const std::vector<ForwardInput>& inputs) {
+  ForwardSet distinct = collapse_identity(inputs);
+
+  CoverEngine engine;  // holds the current maximal set only
+  ForwardSet out;
+  std::vector<std::uint32_t> hits;
+  for (const auto& [f, tags] : distinct) {
+    engine.covers_of(f, hits);
+    bool dominated = false;
+    for (const std::uint32_t s : hits) {
+      const filter::Filter& g = *engine.filter_of(s);
+      if (!f.covers(g) || g < f) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) continue;
+    // f joins the maximal set; evict current members it dominates. The
+    // copy matters: the engine's pointer targets the out-map key the
+    // erase destroys.
+    engine.covered_by_of(f, hits);
+    for (const std::uint32_t s : hits) {
+      const filter::Filter g = *engine.filter_of(s);
+      if (!g.covers(f) || f < g) {
+        engine.remove(s);
+        out.erase(g);
+      }
+    }
+    auto [it, inserted] = out.emplace(f, tags);
+    engine.add(&it->first);  // map keys are address-stable
+  }
+  return out;
+}
+
+/// merging fixpoint: greedy pairwise exact merges over an
+/// already-covering-collapsed set. Deterministic: scan pairs in map
+/// order, restart on change. Shared by the linear and indexed paths so
+/// they can only differ in how the covering pass was computed.
+ForwardSet merge_fixpoint(ForwardSet current) {
   bool changed = true;
   while (changed) {
     changed = false;
@@ -82,6 +141,11 @@ ForwardSet collapse_merging(const std::vector<ForwardInput>& inputs) {
     }
   }
   return current;
+}
+
+/// merging collapse: covering, then merge to fixpoint.
+ForwardSet collapse_merging(const std::vector<ForwardInput>& inputs) {
+  return merge_fixpoint(collapse_covering(inputs));
 }
 
 }  // namespace
@@ -104,6 +168,20 @@ ForwardSet compute_forward_set(Strategy strategy,
       return collapse_merging(inputs);
   }
   return {};
+}
+
+ForwardSet compute_forward_set(Strategy strategy,
+                               const std::vector<ForwardInput>& inputs,
+                               AdminIndex admin_index) {
+  if (admin_index == AdminIndex::linear ||
+      !strategy_aggregates(strategy)) {
+    // Only the covering pass has an indexed variant; the other
+    // strategies are already linear-time collapses.
+    return compute_forward_set(strategy, inputs);
+  }
+  return strategy == Strategy::covering
+             ? collapse_covering_indexed(inputs)
+             : merge_fixpoint(collapse_covering_indexed(inputs));
 }
 
 std::size_t DiffProgram::upserts() const {
@@ -152,23 +230,31 @@ bool strategy_aggregates(Strategy s) {
 
 MoveoutProgram plan_moveout(Strategy strategy, const SubKey& key,
                             const ForwardSet& hop) {
-  MoveoutProgram program;
+  std::vector<MoveoutCandidate> candidates;
   for (const auto& [f, tags] : hop) {
-    if (tags.count(key) == 0) continue;
-    if (tags.size() > 1) {
+    if (tags.count(key) != 0) candidates.push_back({f, tags.size()});
+  }
+  return plan_moveout(strategy, candidates);
+}
+
+MoveoutProgram plan_moveout(Strategy strategy,
+                            const std::vector<MoveoutCandidate>& candidates) {
+  MoveoutProgram program;
+  for (const auto& cand : candidates) {
+    if (cand.tag_count > 1) {
       // Other subscriptions keep the entry alive; dropping the key is
       // invisible to routing.
-      program.steps.push_back({MoveoutStep::Kind::untag, f});
+      program.steps.push_back({MoveoutStep::Kind::untag, cand.f});
       continue;
     }
     // The entry dies with the mover. Under an aggregating strategy it
     // may be the sole representative of covered downstream filters that
     // were never forwarded — uncover before pruning.
     if (strategy_aggregates(strategy)) {
-      program.steps.push_back({MoveoutStep::Kind::reexpose, f});
+      program.steps.push_back({MoveoutStep::Kind::reexpose, cand.f});
       ++program.ack_barriers;
     }
-    program.steps.push_back({MoveoutStep::Kind::prune, f});
+    program.steps.push_back({MoveoutStep::Kind::prune, cand.f});
   }
   return program;
 }

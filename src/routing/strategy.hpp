@@ -35,6 +35,16 @@ enum class Strategy { flooding, simple, identity, covering, merging };
 
 const char* strategy_name(Strategy s);
 
+/// How the admin plane evaluates covering relations: `linear` keeps the
+/// reference scans (the O(n²) collapse_covering pass and the
+/// covered_by/junction table walks); `index` routes them through the
+/// attribute-partitioned CoverIndex. Equal-seed runs are byte-identical
+/// under either — the index is an exact replica of the linear decision
+/// procedure, and equivalence tests enforce it.
+enum class AdminIndex { linear, index };
+
+const char* admin_index_name(AdminIndex a);
+
 /// One subscription as seen by the forwarding computation.
 struct ForwardInput {
   filter::Filter f;
@@ -49,6 +59,14 @@ using ForwardSet = std::map<filter::Filter, std::set<SubKey>>;
 /// be forwarded to one neighbor.
 [[nodiscard]] ForwardSet compute_forward_set(Strategy strategy,
                                              const std::vector<ForwardInput>& inputs);
+
+/// As above, with the covering pass evaluated per `admin_index`:
+/// `linear` delegates to the two-argument reference; `index` replaces
+/// the O(n²) pairwise covering scan with CoverEngine queries over the
+/// distinct filters. Both produce the identical ForwardSet.
+[[nodiscard]] ForwardSet compute_forward_set(Strategy strategy,
+                                             const std::vector<ForwardInput>& inputs,
+                                             AdminIndex admin_index);
 
 /// One step of a forward-set reconciliation program.
 struct DiffStep {
@@ -126,9 +144,24 @@ struct MoveoutProgram {
   [[nodiscard]] bool empty() const { return steps.empty(); }
 };
 
+/// One moveout candidate: a routing-table entry tagged with the
+/// departing key, plus how many keys it serves in total (the
+/// untag-vs-prune decision). The CoverIndex produces these directly
+/// from its inverted tag index, without walking the hop's table.
+struct MoveoutCandidate {
+  filter::Filter f;
+  std::size_t tag_count = 0;
+};
+
 /// Plans the moveout of `key` from one hop's table under `strategy`.
 [[nodiscard]] MoveoutProgram plan_moveout(Strategy strategy, const SubKey& key,
                                           const ForwardSet& hop);
+
+/// Same program from pre-extracted candidates (the entries tagged with
+/// the departing key, in Filter order, with their tag counts): the
+/// keyed overload above is exactly this after a table walk.
+[[nodiscard]] MoveoutProgram plan_moveout(
+    Strategy strategy, const std::vector<MoveoutCandidate>& candidates);
 
 }  // namespace rebeca::routing
 

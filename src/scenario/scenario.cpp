@@ -316,6 +316,10 @@ ScenarioBuilder& ScenarioBuilder::matcher(broker::Matcher matcher) {
   overlay_.broker.matcher = matcher;
   return *this;
 }
+ScenarioBuilder& ScenarioBuilder::admin_index(routing::AdminIndex admin_index) {
+  overlay_.broker.admin_index = admin_index;
+  return *this;
+}
 ScenarioBuilder& ScenarioBuilder::broker_link_delay(sim::DelayModel delay) {
   overlay_.broker_link_delay = delay;
   return *this;

@@ -308,6 +308,10 @@ class ScenarioBuilder {
   /// MatchIndex) or Matcher::linear (the four reference scans). Equal
   /// seeds produce byte-identical reports under either.
   ScenarioBuilder& matcher(broker::Matcher matcher);
+  /// Admin plane: AdminIndex::index (default, the CoverIndex) or
+  /// AdminIndex::linear (the reference covering/covered-by scans).
+  /// Equal seeds produce byte-identical reports under either.
+  ScenarioBuilder& admin_index(routing::AdminIndex admin_index);
   ScenarioBuilder& broker_link_delay(sim::DelayModel delay);
   ScenarioBuilder& client_link_delay(sim::DelayModel delay);
   /// Declares a client — or, when the name is already declared, returns

@@ -1,0 +1,556 @@
+// CoverIndex correctness: the counting covering/overlap index must agree
+// with naive linear Filter::covers / overlaps scans on every corpus we
+// can generate — across every routing strategy's forward-set shapes,
+// across all four broker planes, and across incremental churn. The
+// broker-level byte-identity of --admin-index linear vs index rests on
+// this agreement (and on collapse_covering_indexed reproducing the
+// reference pass's tie-breaks exactly, tested here at the strategy
+// layer).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/routing/cover_index.hpp"
+#include "src/routing/strategy.hpp"
+#include "src/util/rng.hpp"
+
+namespace rebeca::routing {
+namespace {
+
+using filter::Constraint;
+using filter::Filter;
+using filter::Value;
+
+// ---------------------------------------------------------------------------
+// Corpus generation: the same small universe as match_index_test, so
+// covering relations actually occur.
+// ---------------------------------------------------------------------------
+
+const std::vector<std::string>& attr_pool() {
+  static const std::vector<std::string> pool = {
+      "service", "cost", "size", "location", "sym", "flag"};
+  return pool;
+}
+
+Value random_value(util::Rng& rng) {
+  switch (rng.index(6)) {
+    case 0: return Value(static_cast<int>(rng.uniform_i64(-5, 20)));
+    case 1: return Value(rng.uniform_real(-2.0, 12.0));
+    case 2: return Value(static_cast<double>(rng.uniform_i64(-5, 20)));
+    case 3: return Value("s" + std::to_string(rng.uniform_u64(0, 9)));
+    case 4: return Value(rng.bernoulli(0.5));
+    default:
+      // Huge int64s past 2^53: the eq-bucket double normalization must
+      // not conflate them (Value::equals is not transitive there).
+      return Value(static_cast<std::int64_t>(
+          (1LL << 53) + static_cast<std::int64_t>(rng.uniform_u64(0, 3))));
+  }
+}
+
+Constraint random_constraint(util::Rng& rng) {
+  switch (rng.index(10)) {
+    case 0: return Constraint::any();
+    case 1: return Constraint::eq(random_value(rng));
+    case 2: return Constraint::ne(random_value(rng));
+    case 3: return Constraint::lt(Value(static_cast<int>(rng.uniform_i64(-5, 20))));
+    case 4: return Constraint::le(Value(rng.uniform_real(-2.0, 12.0)));
+    case 5: return Constraint::gt(Value("s" + std::to_string(rng.uniform_u64(0, 9))));
+    case 6: return Constraint::ge(Value(static_cast<int>(rng.uniform_i64(-5, 20))));
+    case 7: {
+      std::set<Value> values;
+      const std::size_t n = 1 + rng.index(4);
+      for (std::size_t i = 0; i < n; ++i) values.insert(random_value(rng));
+      return Constraint::in_set(std::move(values));
+    }
+    case 8: return Constraint::prefix("s" + std::string(rng.bernoulli(0.5) ? "1" : ""));
+    default: {
+      const auto lo = static_cast<int>(rng.uniform_i64(-5, 10));
+      const auto hi = lo + static_cast<int>(rng.uniform_u64(0, 10));
+      return Constraint::range(Value(lo), Value(hi));
+    }
+  }
+}
+
+Filter random_filter(util::Rng& rng) {
+  Filter f;
+  const std::size_t n = rng.index(4);  // 0..3 constraints; 0 = cover-all
+  for (std::size_t i = 0; i < n; ++i) {
+    f.where(rng.pick(attr_pool()), random_constraint(rng));
+  }
+  return f;
+}
+
+// ---------------------------------------------------------------------------
+// Engine level: covers_of / covered_by_of / overlapping == naive scans
+// ---------------------------------------------------------------------------
+
+struct NaiveEngine {
+  std::map<std::uint32_t, Filter> live;
+
+  [[nodiscard]] std::vector<std::uint32_t> covers_of(const Filter& f) const {
+    std::vector<std::uint32_t> out;
+    for (const auto& [slot, g] : live) {
+      if (g.covers(f)) out.push_back(slot);
+    }
+    return out;
+  }
+  [[nodiscard]] std::vector<std::uint32_t> covered_by_of(const Filter& f) const {
+    std::vector<std::uint32_t> out;
+    for (const auto& [slot, g] : live) {
+      if (f.covers(g)) out.push_back(slot);
+    }
+    return out;
+  }
+  [[nodiscard]] std::vector<std::uint32_t> overlapping(const Filter& f) const {
+    std::vector<std::uint32_t> out;
+    for (const auto& [slot, g] : live) {
+      if (f.overlaps(g)) out.push_back(slot);
+    }
+    return out;
+  }
+};
+
+void expect_engine_same(const CoverEngine& engine, const NaiveEngine& naive,
+                        const Filter& probe) {
+  std::vector<std::uint32_t> got;
+  engine.covers_of(probe, got);
+  EXPECT_EQ(naive.covers_of(probe), got)
+      << "covers_of diverges on " << probe.to_string();
+  engine.covered_by_of(probe, got);
+  EXPECT_EQ(naive.covered_by_of(probe), got)
+      << "covered_by_of diverges on " << probe.to_string();
+  engine.overlapping(probe, got);
+  EXPECT_EQ(naive.overlapping(probe), got)
+      << "overlapping diverges on " << probe.to_string();
+}
+
+TEST(CoverEngine, AgreesWithLinearAcrossStrategies) {
+  const Strategy strategies[] = {Strategy::flooding, Strategy::simple,
+                                 Strategy::identity, Strategy::covering,
+                                 Strategy::merging};
+  util::Rng rng(20260808);
+  for (std::uint64_t corpus = 0; corpus < 40; ++corpus) {
+    std::vector<ForwardInput> inputs;
+    const std::size_t subs = 1 + rng.index(24);
+    for (std::size_t i = 0; i < subs; ++i) {
+      inputs.push_back(
+          {random_filter(rng),
+           {SubKey{ClientId(static_cast<std::uint32_t>(i + 1)), 1}}});
+    }
+    for (const Strategy strategy : strategies) {
+      // The engine's population is exactly the filters a broker's tables
+      // would hold under this strategy.
+      const ForwardSet fs = compute_forward_set(strategy, inputs);
+
+      CoverEngine engine;
+      NaiveEngine naive;
+      std::vector<Filter> registered;
+      for (const auto& [f, tags] : fs) {
+        const std::uint32_t slot = engine.add_bulk(&f);
+        naive.live[slot] = f;
+        registered.push_back(f);
+      }
+      engine.finalize();
+
+      // Probe with fresh random filters AND with every registered filter
+      // (self-coverage, equivalence classes, exact-duplicate handling).
+      for (std::size_t probe = 0; probe < 15; ++probe) {
+        expect_engine_same(engine, naive, random_filter(rng));
+      }
+      for (const Filter& f : registered) expect_engine_same(engine, naive, f);
+    }
+  }
+}
+
+TEST(CoverEngine, IncrementalAddMatchesBulk) {
+  util::Rng rng(7);
+  for (std::uint64_t corpus = 0; corpus < 10; ++corpus) {
+    std::vector<Filter> filters;
+    const std::size_t n = 1 + rng.index(20);
+    for (std::size_t i = 0; i < n; ++i) filters.push_back(random_filter(rng));
+
+    CoverEngine bulk;
+    for (const Filter& f : filters) bulk.add_bulk(&f);
+    bulk.finalize();
+    CoverEngine incremental;  // a fresh engine is finalized; add() keeps it so
+    for (const Filter& f : filters) incremental.add(&f);
+
+    std::vector<std::uint32_t> a, b;
+    for (std::size_t probe = 0; probe < 20; ++probe) {
+      const Filter p = random_filter(rng);
+      bulk.covers_of(p, a);
+      incremental.covers_of(p, b);
+      EXPECT_EQ(a, b);
+      bulk.covered_by_of(p, a);
+      incremental.covered_by_of(p, b);
+      EXPECT_EQ(a, b);
+      bulk.overlapping(p, a);
+      incremental.overlapping(p, b);
+      EXPECT_EQ(a, b);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy level: the indexed collapse is byte-identical to the
+// reference pass — including its deterministic equivalence tie-break.
+// ---------------------------------------------------------------------------
+
+TEST(CoverIndexStrategy, IndexedForwardSetEqualsLinear) {
+  const Strategy strategies[] = {Strategy::flooding, Strategy::simple,
+                                 Strategy::identity, Strategy::covering,
+                                 Strategy::merging};
+  util::Rng rng(314159);
+  for (std::uint64_t corpus = 0; corpus < 60; ++corpus) {
+    std::vector<ForwardInput> inputs;
+    const std::size_t subs = rng.index(30);
+    for (std::size_t i = 0; i < subs; ++i) {
+      // Shared tag space so tag-union grouping is exercised too.
+      inputs.push_back(
+          {random_filter(rng),
+           {SubKey{ClientId(static_cast<std::uint32_t>(rng.index(8) + 1)),
+                   static_cast<std::uint32_t>(rng.index(3) + 1)}}});
+    }
+    for (const Strategy strategy : strategies) {
+      const ForwardSet linear = compute_forward_set(strategy, inputs);
+      const ForwardSet indexed =
+          compute_forward_set(strategy, inputs, AdminIndex::index);
+      EXPECT_EQ(linear, indexed)
+          << "strategy " << strategy_name(strategy) << ", corpus " << corpus;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Broker-plane level: CoverIndex consumer queries under churn
+// ---------------------------------------------------------------------------
+
+struct NaiveIndex {
+  std::map<LinkId, std::map<Filter, std::set<SubKey>>> remote;
+  std::map<SubKey, std::pair<Filter, bool>> locals;    // filter, is_ld
+  std::map<SubKey, std::pair<Filter, bool>> virtuals;  // filter, is_ld
+  std::map<SubKey, std::pair<LinkId, Filter>> transits;
+
+  // Mirrors Broker::answer_reexpose's linear arm: identity-collapse of
+  // collect_inputs_excluding, then routing::covered_by.
+  [[nodiscard]] ForwardSet covered_inputs(const Filter& f,
+                                          LinkId exclude) const {
+    ForwardSet inputs;
+    for (const auto& [link, fs] : remote) {
+      if (link == exclude) continue;
+      for (const auto& [g, tags] : fs) {
+        inputs[g].insert(tags.begin(), tags.end());
+      }
+    }
+    for (const auto& [key, ent] : locals) {
+      if (!ent.second) inputs[ent.first].insert(key);
+    }
+    for (const auto& [key, ent] : virtuals) {
+      if (!ent.second) inputs[ent.first].insert(key);
+    }
+    return covered_by(f, inputs);
+  }
+
+  [[nodiscard]] std::vector<LinkId> covering_links(const Filter& f,
+                                                   LinkId exclude) const {
+    std::vector<LinkId> out;
+    for (const auto& [link, fs] : remote) {
+      if (link == exclude) continue;
+      for (const auto& [g, tags] : fs) {
+        if (g.covers(f)) {
+          out.push_back(link);
+          break;
+        }
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::vector<LinkId> links_serving(const SubKey& key,
+                                                  LinkId exclude) const {
+    std::vector<LinkId> out;
+    for (const auto& [link, fs] : remote) {
+      if (link == exclude) continue;
+      for (const auto& [g, tags] : fs) {
+        if (tags.count(key) != 0) {
+          out.push_back(link);
+          break;
+        }
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::vector<MoveoutCandidate> tagged_filters(
+      LinkId link, const SubKey& key) const {
+    std::vector<MoveoutCandidate> out;
+    auto it = remote.find(link);
+    if (it == remote.end()) return out;
+    for (const auto& [f, tags] : it->second) {
+      if (tags.count(key) != 0) out.push_back({f, tags.size()});
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::vector<Filter> overlapping_filters(const Filter& f) const {
+    std::vector<Filter> out;
+    const auto consider = [&](const Filter& g) {
+      if (f.overlaps(g)) out.push_back(g);
+    };
+    for (const auto& [link, fs] : remote) {
+      for (const auto& [g, tags] : fs) consider(g);
+    }
+    for (const auto& [key, ent] : locals) consider(ent.first);
+    for (const auto& [key, ent] : virtuals) consider(ent.first);
+    for (const auto& [key, ent] : transits) consider(ent.second);
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+};
+
+void expect_index_same(const CoverIndex& index, const NaiveIndex& naive,
+                       const Filter& probe, const SubKey& probe_key,
+                       LinkId exclude) {
+  EXPECT_EQ(naive.covered_inputs(probe, exclude),
+            index.covered_inputs(probe, exclude))
+      << "covered_inputs diverges on " << probe.to_string();
+  std::vector<LinkId> links;
+  index.covering_links(probe, exclude, links);
+  EXPECT_EQ(naive.covering_links(probe, exclude), links)
+      << "covering_links diverges on " << probe.to_string();
+  index.links_serving(probe_key, exclude, links);
+  EXPECT_EQ(naive.links_serving(probe_key, exclude), links);
+  for (std::uint32_t l = 1; l <= 3; ++l) {
+    const auto want = naive.tagged_filters(LinkId(l), probe_key);
+    const auto got = index.tagged_filters(LinkId(l), probe_key);
+    ASSERT_EQ(want.size(), got.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(want[i].f, got[i].f);
+      EXPECT_EQ(want[i].tag_count, got[i].tag_count);
+    }
+  }
+  EXPECT_EQ(naive.overlapping_filters(probe), index.overlapping_filters(probe))
+      << "overlapping_filters diverges on " << probe.to_string();
+}
+
+TEST(CoverIndex, AgreesWithLinearUnderChurn) {
+  util::Rng rng(42);
+  CoverIndex index;
+  NaiveIndex naive;
+  std::vector<std::pair<LinkId, Filter>> live_remote;
+  std::uint32_t next_key = 1;
+  std::vector<SubKey> live_locals, live_virtuals, live_transits;
+  std::vector<SubKey> key_pool;
+  for (std::uint32_t k = 1; k <= 12; ++k) {
+    key_pool.push_back(SubKey{ClientId(k), 1});
+  }
+
+  const auto random_tags = [&](util::Rng& r) {
+    std::set<SubKey> tags;
+    const std::size_t n = 1 + r.index(3);
+    for (std::size_t i = 0; i < n; ++i) tags.insert(r.pick(key_pool));
+    return tags;
+  };
+
+  for (std::size_t step = 0; step < 2000; ++step) {
+    switch (rng.index(10)) {
+      case 0: {  // upsert remote (fresh entry or tag-replace)
+        const LinkId link(static_cast<std::uint32_t>(rng.uniform_u64(1, 3)));
+        const bool fresh = live_remote.empty() || rng.bernoulli(0.6);
+        const Filter f = fresh ? random_filter(rng) : rng.pick(live_remote).second;
+        const auto tags = random_tags(rng);
+        index.upsert_remote(link, f, tags);
+        auto& slot = naive.remote[link][f];
+        if (slot.empty() &&
+            std::find(live_remote.begin(), live_remote.end(),
+                      std::make_pair(link, f)) == live_remote.end()) {
+          live_remote.emplace_back(link, f);
+        }
+        slot = tags;
+        break;
+      }
+      case 1: {  // untag remote
+        if (live_remote.empty()) break;
+        const auto [link, f] = rng.pick(live_remote);
+        const SubKey key = rng.pick(key_pool);
+        index.untag_remote(link, f, key);
+        naive.remote[link][f].erase(key);
+        break;
+      }
+      case 2: {  // remove remote
+        if (live_remote.empty()) break;
+        const std::size_t i = rng.index(live_remote.size());
+        const auto [link, f] = live_remote[i];
+        live_remote.erase(live_remote.begin() + static_cast<std::ptrdiff_t>(i));
+        index.remove_remote(link, f);
+        naive.remote[link].erase(f);
+        if (naive.remote[link].empty()) naive.remote.erase(link);
+        break;
+      }
+      case 3: {  // add/replace local
+        const SubKey key{ClientId(next_key++), 1};
+        const Filter f = random_filter(rng);
+        const bool ld = rng.bernoulli(0.25);
+        index.upsert_local(key, f, ld);
+        naive.locals[key] = {f, ld};
+        live_locals.push_back(key);
+        break;
+      }
+      case 4: {  // remove local
+        if (live_locals.empty()) break;
+        const std::size_t i = rng.index(live_locals.size());
+        index.remove_local(live_locals[i]);
+        naive.locals.erase(live_locals[i]);
+        live_locals.erase(live_locals.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+      case 5: {  // add/replace virtual
+        const SubKey key{ClientId(next_key++), 2};
+        const Filter f = random_filter(rng);
+        const bool ld = rng.bernoulli(0.25);
+        index.upsert_virtual(key, f, ld);
+        naive.virtuals[key] = {f, ld};
+        live_virtuals.push_back(key);
+        break;
+      }
+      case 6: {  // remove virtual
+        if (live_virtuals.empty()) break;
+        const std::size_t i = rng.index(live_virtuals.size());
+        index.remove_virtual(live_virtuals[i]);
+        naive.virtuals.erase(live_virtuals[i]);
+        live_virtuals.erase(live_virtuals.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+      case 7: {  // upsert transit (fresh or re-pointed)
+        const bool fresh = live_transits.empty() || rng.bernoulli(0.5);
+        const SubKey key = fresh ? SubKey{ClientId(next_key++), 3}
+                                 : rng.pick(live_transits);
+        const LinkId toward(static_cast<std::uint32_t>(rng.uniform_u64(1, 3)));
+        const Filter f = random_filter(rng);
+        index.upsert_transit(key, toward, f);
+        naive.transits[key] = {toward, f};
+        if (fresh) live_transits.push_back(key);
+        break;
+      }
+      case 8: {  // remove transit
+        if (live_transits.empty()) break;
+        const std::size_t i = rng.index(live_transits.size());
+        index.remove_transit(live_transits[i]);
+        naive.transits.erase(live_transits[i]);
+        live_transits.erase(live_transits.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+      default: {  // probe
+        const Filter probe = random_filter(rng);
+        const SubKey probe_key = rng.pick(key_pool);
+        const LinkId exclude(
+            static_cast<std::uint32_t>(rng.uniform_u64(0, 3)));
+        expect_index_same(index, naive, probe, probe_key, exclude);
+        break;
+      }
+    }
+  }
+  // Final sweep: drain everything and verify emptiness.
+  for (const auto& [link, f] : live_remote) index.remove_remote(link, f);
+  for (const SubKey& k : live_locals) index.remove_local(k);
+  for (const SubKey& k : live_virtuals) index.remove_virtual(k);
+  for (const SubKey& k : live_transits) index.remove_transit(k);
+  EXPECT_EQ(index.entry_count(), 0u);
+  EXPECT_TRUE(index.covered_inputs(random_filter(rng), LinkId{}).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Targeted edges the generators may hit rarely
+// ---------------------------------------------------------------------------
+
+TEST(CoverEngine, EmptyFilterCoversEverything) {
+  // An empty filter covers every filter and is covered only by empty
+  // filters; it overlaps everything.
+  Filter empty;
+  Filter narrow;
+  narrow.where("x", Constraint::eq(1));
+  CoverEngine engine;
+  const std::uint32_t se = engine.add(&empty);
+  const std::uint32_t sn = engine.add(&narrow);
+
+  std::vector<std::uint32_t> out;
+  engine.covered_by_of(empty, out);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{se, sn}));
+  engine.covers_of(empty, out);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{se}));
+  engine.covers_of(narrow, out);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{se, sn}));
+  engine.overlapping(empty, out);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{se, sn}));
+}
+
+TEST(CoverEngine, HugeInt64EqualityIsExact) {
+  // 2^53 and 2^53 + 1 share a double-normalized bucket key; covering
+  // must still tell them apart via the exact operands.
+  const std::int64_t base = 1LL << 53;
+  Filter fa;
+  fa.where("x", Constraint::eq(Value(base)));
+  Filter fb;
+  fb.where("x", Constraint::eq(Value(base + 1)));
+  CoverEngine engine;
+  const std::uint32_t sa = engine.add(&fa);
+  engine.add(&fb);
+
+  std::vector<std::uint32_t> out;
+  engine.covers_of(fa, out);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{sa}));
+  Filter in_both;
+  in_both.where("x", Constraint::in_set({Value(base), Value(base + 1)}));
+  engine.covered_by_of(in_both, out);
+  EXPECT_EQ(out.size(), 2u);  // the set covers both point filters
+  engine.covers_of(in_both, out);
+  EXPECT_TRUE(out.empty());  // neither point covers the two-point set
+}
+
+TEST(CoverEngine, PointRangeActsAsEquality) {
+  // range(5, 5) admits exactly one value: it is covered by eq(5) and
+  // covers it.
+  Filter point;
+  point.where("x", Constraint::range(Value(5), Value(5)));
+  Filter eq5;
+  eq5.where("x", Constraint::eq(5));
+  CoverEngine engine;
+  const std::uint32_t sp = engine.add(&point);
+  const std::uint32_t se = engine.add(&eq5);
+
+  std::vector<std::uint32_t> out;
+  engine.covers_of(eq5, out);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{sp, se}));
+  engine.covered_by_of(eq5, out);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{sp, se}));
+}
+
+TEST(CoverIndex, RemoteUpsertReplacesTags) {
+  CoverIndex index;
+  Filter f;
+  f.where("sym", Constraint::prefix("A"));
+  const SubKey k1{ClientId(1), 1};
+  const SubKey k2{ClientId(2), 1};
+  index.upsert_remote(LinkId(1), f, {k1, k2});
+  index.upsert_remote(LinkId(1), f, {k2});  // tag-only upsert drops k1
+
+  std::vector<LinkId> links;
+  index.links_serving(k1, LinkId{}, links);
+  EXPECT_TRUE(links.empty());
+  index.links_serving(k2, LinkId{}, links);
+  EXPECT_EQ(links, std::vector<LinkId>{LinkId(1)});
+  EXPECT_EQ(index.entry_count(), 1u);
+  index.remove_remote(LinkId(1), f);
+  index.links_serving(k2, LinkId{}, links);
+  EXPECT_TRUE(links.empty());
+  EXPECT_EQ(index.entry_count(), 0u);
+}
+
+}  // namespace
+}  // namespace rebeca::routing

@@ -23,6 +23,12 @@ using detail::Scan;
 ///   util(0) → sim(1) → filter(2) → {metrics, location, routing}(3)
 ///   → net(4) → client(5) → broker(6) → {workload, analysis}(7)
 ///   → scenario(8) → transport(9) → cli(10)
+///
+/// The table is keyed by directory, so new sources inside a registered
+/// module need no edit here: routing/cover_index.{hpp,cpp} (the
+/// admin-plane covering index) rides in routing(3) — below broker(6),
+/// which owns the maintained instance, and above filter(2), whose
+/// cover tests it decomposes.
 const std::map<std::string, int>& layer_table() {
   static const std::map<std::string, int> kLayers = {
       {"util", 0},     {"sim", 1},      {"filter", 2},  {"metrics", 3},
